@@ -1,0 +1,96 @@
+// Command pasmasm assembles an MC68000 source file with the
+// simulator's assembler and prints the structured listing (instruction
+// indices, word counts, accounting regions), or times a straight-line
+// program on a single simulated PE.
+//
+// Usage:
+//
+//	pasmasm [-time] [-dram] file.s
+//	pasmasm -e 'move.w d0, d1'    (assemble a one-liner from the flag)
+//
+// -time runs the program on one PE (it must end in HALT) and reports
+// cycles and instructions; -dram charges DRAM wait states and refresh
+// for instruction fetches (MIMD-style) instead of zero-wait fetches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/m68k"
+)
+
+func main() {
+	timeIt := flag.Bool("time", false, "execute on one PE and report cycles")
+	dram := flag.Bool("dram", false, "with -time: fetch from DRAM (wait states + refresh)")
+	hex := flag.Bool("hex", false, "print the MC68000 binary encoding")
+	expr := flag.String("e", "", "assemble this source text instead of a file")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *expr != "":
+		src = *expr
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasmasm:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "pasmasm: need a source file or -e 'source'")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := m68k.Assemble(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmasm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(prog.Disassemble())
+
+	if *hex {
+		words, err := prog.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasmasm: encode:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d words of MC68000 object code:\n", len(words))
+		for i, w := range words {
+			if i%8 == 0 {
+				fmt.Printf("%06X:", i*2)
+			}
+			fmt.Printf(" %04X", w)
+			if i%8 == 7 || i == len(words)-1 {
+				fmt.Println()
+			}
+		}
+	}
+
+	if *timeIt {
+		mem := m68k.NewMemory(1 << 20)
+		if *dram {
+			mem.WaitStates = 1
+			mem.RefreshPeriod = 256
+			mem.RefreshStall = 2
+		}
+		cpu := m68k.NewCPU(prog, mem)
+		cpu.FetchFromMem = *dram
+		cpu.A[7] = mem.Size() - 4
+		st := cpu.Run(1 << 32)
+		if st != m68k.StatusHalted {
+			fmt.Fprintf(os.Stderr, "pasmasm: program did not halt: %v (err=%v)\n", st, cpu.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d instructions, %d cycles (%.2f cycles/instruction)\n",
+			cpu.InstrCount, cpu.Clock, float64(cpu.Clock)/float64(cpu.InstrCount))
+		for r := m68k.RegionID(0); r < m68k.NumRegions; r++ {
+			if cpu.Regions[r] > 0 {
+				fmt.Printf("  %-8s %12d cycles\n", r, cpu.Regions[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command pasmbench regenerates the paper's tables and figures on the
+// simulated PASM prototype.
+//
+// Usage:
+//
+//	pasmbench [-exp all|table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12]
+//	          [-full] [-seed N]
+//
+// -full runs the paper's complete problem-size set (n up to 256),
+// which takes a few minutes of host time; the default quick set caps n
+// at 64 and reproduces every qualitative result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+type plotter interface{ Plot() string }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
+	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
+	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
+	plots := flag.Bool("plot", false, "also render ASCII charts of the figure shapes")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Full = *full
+	opts.Seed = uint32(*seed)
+
+	runners := map[string]func() (renderer, error){
+		"table1": func() (renderer, error) { return experiments.Table1(opts) },
+		"fig6":   func() (renderer, error) { return experiments.Fig6(opts) },
+		"fig7":   func() (renderer, error) { return experiments.Fig7(opts) },
+		"fig8":   func() (renderer, error) { return experiments.Breakdown(opts, 1) },
+		"fig9":   func() (renderer, error) { return experiments.Breakdown(opts, 14) },
+		"fig10":  func() (renderer, error) { return experiments.Breakdown(opts, 30) },
+		"fig11":  func() (renderer, error) { return experiments.Fig11(opts) },
+		"fig12":  func() (renderer, error) { return experiments.Fig12(opts) },
+		// Extensions beyond the paper (see DESIGN.md §6):
+		"ext-crossover": func() (renderer, error) { return experiments.CrossoverVsP(opts) },
+		"ext-model":     func() (renderer, error) { return experiments.ModelValidation(opts) },
+		"ext-fault":     func() (renderer, error) { return experiments.FaultTolerance(opts) },
+		"ext-workloads": func() (renderer, error) { return experiments.Workloads(opts) },
+		"ext-mixed":     func() (renderer, error) { return experiments.MixedMode(opts) },
+	}
+	order := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	if *exp == "ext" {
+		*exp = "ext-crossover,ext-model,ext-fault,ext-workloads,ext-mixed"
+	}
+
+	var selected []string
+	switch *exp {
+	case "all":
+		selected = order
+	default:
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "pasmbench: unknown experiment %q\n", name)
+				flag.Usage()
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		res, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *plots {
+			if p, ok := res.(plotter); ok {
+				fmt.Println(p.Plot())
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs host time]\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,56 @@
+// Command pasmreport runs the complete reproduction and writes a
+// self-contained markdown report: every table, the figure shapes as
+// ASCII charts, and a PASS/FAIL checklist of the paper's qualitative
+// claims. Exit status 1 if any claim fails.
+//
+// Usage:
+//
+//	pasmreport [-full] [-seed N] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
+	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
+	out := flag.String("o", "", "write the report to this file (default stdout)")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Full = *full
+	opts.Seed = uint32(*seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasmreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	claims, err := report.Generate(opts, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmreport:", err)
+		os.Exit(1)
+	}
+	passed := 0
+	for _, c := range claims {
+		if c.Pass {
+			passed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pasmreport: %d/%d claims pass\n", passed, len(claims))
+	if !report.AllPass(claims) {
+		os.Exit(1)
+	}
+}

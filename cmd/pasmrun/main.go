@@ -1,0 +1,176 @@
+// Command pasmrun executes one matrix-multiplication configuration on
+// the simulated PASM prototype and reports its timing in detail:
+// cycles, seconds at 8 MHz, the execution-time component breakdown,
+// instruction counts, network traffic, barrier rounds, and Fetch Unit
+// queue occupancy.
+//
+// Usage:
+//
+//	pasmrun [-n 64] [-p 4] [-muls 1] [-mode simd|mimd|smimd|mixed|sisd]
+//	        [-seed N] [-verify] [-asm] [-trace N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/m68k"
+	"repro/internal/matmul"
+	"repro/internal/pasm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 64, "matrix dimension (power of two)")
+	p := flag.Int("p", 4, "number of PEs (power of two)")
+	muls := flag.Int("muls", 1, "multiplies per inner loop (1 = plain algorithm)")
+	mode := flag.String("mode", "simd", "execution mode: sisd, simd, mimd, smimd, mixed")
+	seed := flag.Uint("seed", 1988, "seed for the random B matrix")
+	verify := flag.Bool("verify", true, "check the product against the host reference")
+	asm := flag.Bool("asm", false, "print the generated assembly and exit")
+	traceN := flag.Int("trace", 0, "print the last N executed instructions of every unit")
+	flag.Parse()
+
+	var m matmul.Mode
+	switch *mode {
+	case "sisd", "serial":
+		m = matmul.Serial
+	case "simd":
+		m = matmul.SIMD
+	case "mimd":
+		m = matmul.MIMD
+	case "smimd":
+		m = matmul.SMIMD
+	case "mixed":
+		m = matmul.Mixed
+	default:
+		fmt.Fprintf(os.Stderr, "pasmrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	spec := matmul.Spec{N: *n, P: *p, Muls: *muls, Mode: m}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(2)
+	}
+
+	if *asm {
+		src, err := matmul.Generate(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
+		}
+		fmt.Print(src)
+		return
+	}
+
+	cfg := pasm.DefaultConfig()
+	a := matmul.Identity(*n)
+	b := matmul.Random(*n, uint32(*seed))
+
+	prog, l, err := matmul.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	buffers := map[string]*trace.Buffer{}
+	if *traceN > 0 {
+		vm.TraceHook = func(unit string, cpu *m68k.CPU) {
+			buf := trace.New(*traceN)
+			buffers[unit] = buf
+			buf.Attach(unit, cpu)
+		}
+	}
+	if err := vm.EstablishShift(); err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	if err := matmul.Load(vm, l, a, b); err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	var res pasm.RunResult
+	if spec.Mode == matmul.SIMD || spec.Mode == matmul.Mixed {
+		res, err = vm.RunSIMD(prog)
+	} else {
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	c, err := matmul.ReadC(vm, l)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmrun:", err)
+		os.Exit(1)
+	}
+	if *verify {
+		if !matmul.Equal(c, b) { // identity A: C must equal B
+			fmt.Fprintln(os.Stderr, "pasmrun: WRONG PRODUCT")
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("matmul %s  n=%d  p=%d  multiplies/inner-loop=%d\n", m, *n, spec.P, *muls)
+	fmt.Printf("  execution time : %d cycles = %.4f s at %.0f MHz\n",
+		res.Cycles, stats.Seconds(res.Cycles, cfg.ClockHz), cfg.ClockHz/1e6)
+	fmt.Printf("  breakdown      : mult %d (%.1f%%), comm %d (%.1f%%), other %d (%.1f%%)\n",
+		res.Regions[m68k.RegionMult], pct(res.Regions[m68k.RegionMult], res.Cycles),
+		res.Regions[m68k.RegionComm], pct(res.Regions[m68k.RegionComm], res.Cycles),
+		res.Regions[m68k.RegionOther]+res.Regions[m68k.RegionControl],
+		pct(res.Regions[m68k.RegionOther]+res.Regions[m68k.RegionControl], res.Cycles))
+	fmt.Printf("  PE instructions: %d total", res.Instrs)
+	if res.MCInstrs > 0 {
+		fmt.Printf("  (MC instructions: %d)", res.MCInstrs)
+	}
+	fmt.Println()
+	if res.MCInstrs > 0 {
+		fmt.Printf("  fetch unit     : PEs starved %d cycles, MC stalled %d cycles, controller stalled %d cycles\n",
+			res.PEStarveCycles, res.MCStallCycles, res.QueueStallCycles)
+	}
+	if res.NetTransfers > 0 {
+		fmt.Printf("  network        : %d bytes transferred\n", res.NetTransfers)
+	}
+	if res.BarrierRounds > 0 {
+		fmt.Printf("  barriers       : %d rounds\n", res.BarrierRounds)
+	}
+	if *verify {
+		fmt.Println("  result verified against host reference")
+	}
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d instructions per unit:\n", *traceN)
+		for _, unit := range sortedKeys(buffers) {
+			fmt.Printf("--- %s (%d instructions executed) ---\n", unit, buffers[unit].Total())
+			fmt.Print(buffers[unit].String())
+		}
+	}
+}
+
+func sortedKeys(m map[string]*trace.Buffer) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

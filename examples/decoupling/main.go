@@ -1,0 +1,56 @@
+// Decoupling: the paper's central experiment (Figure 7). The MC68000
+// multiply takes 38 + 2*ones(multiplier) cycles — data dependent. In
+// SIMD lockstep every broadcast instruction costs the worst case
+// across the PEs; decoupled into asynchronous MIMD streams, each PE
+// pays only its own times. This program sweeps the number of
+// inner-loop multiplies at n=64, p=4 and locates the granularity at
+// which decoupling starts to win — approximately fourteen multiplies,
+// as in the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/matmul"
+	"repro/internal/pasm"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := pasm.DefaultConfig()
+	const n, p = 64, 4
+	a := matmul.Identity(n)
+	b := matmul.Random(n, 7)
+
+	fmt.Printf("SIMD vs S/MIMD, n=%d, p=%d, sweeping inner-loop multiplies\n\n", n, p)
+	fmt.Printf("%5s %12s %12s   winner\n", "muls", "SIMD", "S/MIMD")
+
+	var xs []int
+	var simd, smimd []int64
+	for _, m := range []int{1, 5, 10, 13, 14, 15, 20, 30} {
+		rs, _, err := matmul.Execute(cfg, matmul.Spec{N: n, P: p, Muls: m, Mode: matmul.SIMD}, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rh, _, err := matmul.Execute(cfg, matmul.Spec{N: n, P: p, Muls: m, Mode: matmul.SMIMD}, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "SIMD"
+		if rh.Cycles < rs.Cycles {
+			winner = "S/MIMD"
+		}
+		fmt.Printf("%5d %12d %12d   %s\n", m, rs.Cycles, rh.Cycles, winner)
+		xs = append(xs, m)
+		simd = append(simd, rs.Cycles)
+		smimd = append(smimd, rh.Cycles)
+	}
+
+	fmt.Printf("\ncrossover at about %.1f multiplies per inner loop (paper: ~14)\n",
+		stats.Crossover(xs, simd, smimd))
+	fmt.Println("\nWhy: each asynchronous multiply saves E[max over p PEs] - E[own]")
+	fmt.Println("cycles of lockstep worst-case charging, but S/MIMD pays DRAM fetch")
+	fmt.Println("wait states and loses the MC control-flow overlap; the savings only")
+	fmt.Println("accumulate past the fixed per-iteration SIMD advantage at ~14 multiplies.")
+}

@@ -1,0 +1,54 @@
+// Mixedmode: the architecture feature the paper proposes — decoupling
+// small grains of variable execution-time operations from SIMD
+// sections into asynchronous MIMD bursts — implemented literally: a
+// broadcast jump switches the PEs to asynchronous execution from their
+// own memories, and a jump into the SIMD instruction space rejoins the
+// lockstep stream (paper Section 3's mode-switch mechanism).
+//
+// The measured result sharpens the paper's granularity question: on
+// the matrix multiplication, per-element bursts NEVER beat pure SIMD,
+// no matter how many multiplies they contain, because each burst
+// reuses a single multiplier — its timing variation is perfectly
+// correlated, so the rejoin barrier pays exactly the lockstep maximum
+// and the mode switches are pure overhead. S/MIMD overtakes SIMD at
+// ~14 multiplies only because its synchronization interval spans n/p
+// INDEPENDENT multipliers. Decoupling pays per independent
+// variable-time draw, not per decoupled instruction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/matmul"
+	"repro/internal/pasm"
+)
+
+func main() {
+	cfg := pasm.DefaultConfig()
+	const n, p = 64, 4
+	a := matmul.Identity(n)
+	b := matmul.Random(n, 1988)
+
+	fmt.Printf("matrix multiplication n=%d, p=%d: pure SIMD vs per-element\n", n, p)
+	fmt.Printf("mixed-mode bursts vs whole-program S/MIMD decoupling\n\n")
+	fmt.Printf("%5s %12s %12s %12s %12s %12s\n", "muls", "SIMD", "Mixed", "S/MIMD", "Mixed/SIMD", "S-M/SIMD")
+	for _, m := range []int{1, 5, 14, 30} {
+		var cyc [3]int64
+		for i, mode := range []matmul.Mode{matmul.SIMD, matmul.Mixed, matmul.SMIMD} {
+			res, c, err := matmul.Execute(cfg, matmul.Spec{N: n, P: p, Muls: m, Mode: mode}, a, b)
+			if err != nil {
+				log.Fatalf("%s muls=%d: %v", mode, m, err)
+			}
+			if !matmul.Equal(c, b) { // identity A
+				log.Fatalf("%s muls=%d: wrong product", mode, m)
+			}
+			cyc[i] = res.Cycles
+		}
+		fmt.Printf("%5d %12d %12d %12d %12.4f %12.4f\n",
+			m, cyc[0], cyc[1], cyc[2],
+			float64(cyc[1])/float64(cyc[0]), float64(cyc[2])/float64(cyc[0]))
+	}
+	fmt.Println("\nMixed approaches SIMD from above but never crosses (correlated bursts);")
+	fmt.Println("S/MIMD crosses near 14 multiplies (independent draws per sync interval).")
+}

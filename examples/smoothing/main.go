@@ -1,0 +1,41 @@
+// Smoothing: image processing — the application domain PASM was built
+// for — on the simulated prototype. A 3x3 mean filter runs over a
+// 32x32 image of 8-bit pixels distributed as row strips across 4 PEs,
+// in all four program variants. The halo-row exchange reconfigures the
+// circuit-switched network at run time (up-shift circuits, then
+// down-shift circuits), and the kernel's DIVU has quotient-dependent
+// timing, so the paper's SIMD-vs-decoupled question carries over to
+// this domain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pasm"
+	"repro/internal/smoothing"
+)
+
+func main() {
+	cfg := pasm.DefaultConfig()
+	const h, w, p = 32, 32, 4
+	img := smoothing.RandomImage(h, w, 2024)
+	want := smoothing.Reference(img)
+
+	fmt.Printf("3x3 mean filter, %dx%d image, p=%d\n\n", h, w, p)
+	fmt.Printf("%-8s %12s %10s %12s %10s\n", "mode", "cycles", "ms @8MHz", "net bytes", "reconfigs")
+	for _, mode := range []smoothing.Mode{smoothing.Serial, smoothing.SIMD, smoothing.MIMD, smoothing.SMIMD} {
+		res, out, err := smoothing.Execute(cfg, smoothing.Spec{H: h, W: w, P: p, Mode: mode}, img)
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		if !smoothing.Equal(out, want) {
+			log.Fatalf("%s: wrong image", mode)
+		}
+		fmt.Printf("%-8s %12d %10.2f %12d %10d\n",
+			mode, res.Cycles, 1e3*res.Seconds(cfg), res.NetTransfers, res.NetReconfigs)
+	}
+	fmt.Println("\nall outputs verified against the host reference; the MIMD variants")
+	fmt.Println("establish their own circuits at run time (2 per PE), and the pure-MIMD")
+	fmt.Println("phase ordering rides on the network's destination-in-use blocking.")
+}

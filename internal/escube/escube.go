@@ -1,0 +1,318 @@
+// Package escube implements the circuit-switched Extra-Stage Cube
+// interconnection network of the PASM prototype.
+//
+// The Extra-Stage Cube (ESC, Adams & Siegel) is the generalized
+// multistage cube network for N = 2^n lines — n stages of N/2
+// two-by-two interchange boxes, where stage i pairs the lines whose
+// labels differ in bit i — augmented with one extra cube_0 stage at
+// the input. The two cube_0 stages (the extra input stage and the
+// output stage 0) can be individually bypassed, which is what makes
+// the network single-fault tolerant: every source/destination pair has
+// two paths, one with the extra stage bypassed (the "primary" path,
+// identical to the plain cube route) and one with the extra stage
+// exchanging bit 0 first (the "secondary" path, whose intermediate
+// links all differ from the primary's in bit 0 and therefore avoid any
+// single faulty interior box).
+//
+// The network is circuit switched: paths are established once (a
+// comparatively expensive operation on the prototype) and data then
+// streams over the held circuits. The PASM matrix-multiplication
+// algorithm exploits this by using the single static permutation
+// PE i -> PE (i-1) mod p for the whole run.
+package escube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Setting is the state of one interchange box along a path.
+type Setting uint8
+
+// Box settings. An unused box is free to take either setting.
+const (
+	Free Setting = iota
+	Straight
+	Exchange
+)
+
+func (s Setting) String() string {
+	switch s {
+	case Straight:
+		return "straight"
+	case Exchange:
+		return "exchange"
+	default:
+		return "free"
+	}
+}
+
+// Hop is one stage traversal of an established path.
+type Hop struct {
+	Stage   int // n for the extra stage, n-1..0 for the cube stages
+	Box     int
+	Setting Setting
+}
+
+// Network is an N-line Extra-Stage Cube with circuit state.
+type Network struct {
+	n      int // log2(N)
+	size   int // N
+	stages int // n+1 (extra stage + n cube stages)
+
+	// boxSetting[stage][box]: current committed setting, Free if the
+	// box is not part of any established circuit.
+	boxSetting [][]Setting
+	// boxFaulty[stage][box]
+	boxFaulty [][]bool
+	// users[stage][box]: number of circuits through the box.
+	users [][]int
+
+	// circuits[src] = dst for established circuits; -1 when none.
+	circuits []int
+	paths    [][]Hop
+}
+
+// New returns a fault-free network with N = 2^n lines and no circuits.
+// N must be a power of two and at least 2.
+func New(size int) (*Network, error) {
+	if size < 2 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("escube: size %d is not a power of two >= 2", size)
+	}
+	n := bits.TrailingZeros(uint(size))
+	nw := &Network{n: n, size: size, stages: n + 1}
+	nw.boxSetting = make([][]Setting, nw.stages)
+	nw.boxFaulty = make([][]bool, nw.stages)
+	nw.users = make([][]int, nw.stages)
+	for s := range nw.boxSetting {
+		nw.boxSetting[s] = make([]Setting, size/2)
+		nw.boxFaulty[s] = make([]bool, size/2)
+		nw.users[s] = make([]int, size/2)
+	}
+	nw.circuits = make([]int, size)
+	for i := range nw.circuits {
+		nw.circuits[i] = -1
+	}
+	nw.paths = make([][]Hop, size)
+	return nw, nil
+}
+
+// MustNew is New for sizes known valid statically.
+func MustNew(size int) *Network {
+	nw, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+// Size returns the number of network lines N.
+func (nw *Network) Size() int { return nw.size }
+
+// Stages returns the stage count (log2(N) + 1).
+func (nw *Network) Stages() int { return nw.stages }
+
+// boxOf returns the interchange box index handling line l at a cube_i
+// stage: the line label with bit i removed.
+func boxOf(l, i int) int {
+	return l>>(i+1)<<i | l&(1<<i-1)
+}
+
+// route computes the hop list for src->dst with the extra stage either
+// bypassed (secondary=false) or exchanging (secondary=true). It does
+// not touch network state.
+func (nw *Network) route(src, dst int, secondary bool) []Hop {
+	hops := make([]Hop, 0, nw.stages)
+	label := src
+	// Extra stage (cube_0) at the input; stage index n.
+	set := Straight
+	if secondary {
+		set = Exchange
+		label ^= 1
+	}
+	hops = append(hops, Hop{Stage: nw.n, Box: boxOf(label, 0), Setting: set})
+	// Cube stages n-1 .. 0.
+	for i := nw.n - 1; i >= 0; i-- {
+		set := Straight
+		if label>>i&1 != dst>>i&1 {
+			set = Exchange
+			label ^= 1 << i
+		}
+		hops = append(hops, Hop{Stage: i, Box: boxOf(label, i), Setting: set})
+	}
+	return hops
+}
+
+// usable reports whether a candidate path is compatible with the
+// current circuit and fault state.
+func (nw *Network) usable(hops []Hop) bool {
+	for _, h := range hops {
+		if nw.boxFaulty[h.Stage][h.Box] {
+			return false
+		}
+		cur := nw.boxSetting[h.Stage][h.Box]
+		if cur != Free && cur != h.Setting {
+			return false
+		}
+	}
+	return true
+}
+
+// Establish sets up a circuit from src to dst, preferring the primary
+// (extra-stage-bypassed) path and falling back to the secondary path
+// when the primary is blocked by a fault or a conflicting circuit.
+func (nw *Network) Establish(src, dst int) error {
+	if src < 0 || src >= nw.size || dst < 0 || dst >= nw.size {
+		return fmt.Errorf("escube: establish %d->%d outside 0..%d", src, dst, nw.size-1)
+	}
+	if nw.circuits[src] != -1 {
+		return fmt.Errorf("escube: source %d already holds a circuit to %d", src, nw.circuits[src])
+	}
+	for _, other := range nw.circuits {
+		if other == dst {
+			return fmt.Errorf("escube: destination %d already in use", dst)
+		}
+	}
+	primary := nw.route(src, dst, false)
+	secondary := nw.route(src, dst, true)
+	var chosen []Hop
+	switch {
+	case nw.usable(primary):
+		chosen = primary
+	case nw.usable(secondary):
+		chosen = secondary
+	default:
+		return fmt.Errorf("escube: no fault-free conflict-free path %d->%d", src, dst)
+	}
+	for _, h := range chosen {
+		nw.boxSetting[h.Stage][h.Box] = h.Setting
+		nw.users[h.Stage][h.Box]++
+	}
+	nw.circuits[src] = dst
+	nw.paths[src] = chosen
+	return nil
+}
+
+// EstablishPermutation establishes one circuit per source according to
+// perm (perm[src] = dst). Sources with perm[src] < 0 are skipped. It
+// searches over the primary/secondary path choice of every circuit
+// (depth-first with backtracking), so a permutation is rejected only
+// if no combination of path choices is conflict-free and fault-free —
+// one faulty box can force several circuits onto their alternate
+// paths simultaneously. On failure nothing is left established.
+func (nw *Network) EstablishPermutation(perm []int) error {
+	srcs := make([]int, 0, len(perm))
+	for src, dst := range perm {
+		if dst < 0 {
+			continue
+		}
+		if src >= nw.size || dst >= nw.size || src < 0 {
+			return fmt.Errorf("escube: permutation entry %d->%d out of range", src, dst)
+		}
+		if nw.circuits[src] != -1 {
+			return fmt.Errorf("escube: source %d already holds a circuit", src)
+		}
+		srcs = append(srcs, src)
+	}
+	if !nw.placePerm(perm, srcs, 0) {
+		return fmt.Errorf("escube: permutation not routable with current faults and circuits")
+	}
+	return nil
+}
+
+// placePerm recursively routes srcs[i:], trying the primary path first
+// and backtracking through the secondary.
+func (nw *Network) placePerm(perm, srcs []int, i int) bool {
+	if i == len(srcs) {
+		return true
+	}
+	src := srcs[i]
+	for _, secondary := range []bool{false, true} {
+		hops := nw.route(src, perm[src], secondary)
+		if !nw.usable(hops) {
+			continue
+		}
+		for _, h := range hops {
+			nw.boxSetting[h.Stage][h.Box] = h.Setting
+			nw.users[h.Stage][h.Box]++
+		}
+		nw.circuits[src] = perm[src]
+		nw.paths[src] = hops
+		if nw.placePerm(perm, srcs, i+1) {
+			return true
+		}
+		nw.Release(src)
+	}
+	return false
+}
+
+// Release tears down the circuit held by src, if any.
+func (nw *Network) Release(src int) {
+	if src < 0 || src >= nw.size || nw.circuits[src] == -1 {
+		return
+	}
+	for _, h := range nw.paths[src] {
+		if nw.users[h.Stage][h.Box]--; nw.users[h.Stage][h.Box] == 0 {
+			nw.boxSetting[h.Stage][h.Box] = Free
+		}
+	}
+	nw.circuits[src] = -1
+	nw.paths[src] = nil
+}
+
+// ReleaseAll tears down every circuit.
+func (nw *Network) ReleaseAll() {
+	for src := range nw.circuits {
+		nw.Release(src)
+	}
+}
+
+// DestOf returns the destination of src's circuit, or -1.
+func (nw *Network) DestOf(src int) int { return nw.circuits[src] }
+
+// SourceOf returns the source holding a circuit to dst, or -1.
+func (nw *Network) SourceOf(dst int) int {
+	for s, d := range nw.circuits {
+		if d == dst {
+			return s
+		}
+	}
+	return -1
+}
+
+// Path returns the hop list of src's circuit (nil if none).
+func (nw *Network) Path(src int) []Hop { return nw.paths[src] }
+
+// FailBox marks an interchange box faulty. Establishing paths through
+// it will fail over to the alternate path. Failing a box that carries
+// live circuits returns an error; release them first.
+func (nw *Network) FailBox(stage, box int) error {
+	if stage < 0 || stage >= nw.stages || box < 0 || box >= nw.size/2 {
+		return fmt.Errorf("escube: no box (stage %d, box %d)", stage, box)
+	}
+	if nw.users[stage][box] > 0 {
+		return fmt.Errorf("escube: box (stage %d, box %d) carries %d live circuits", stage, box, nw.users[stage][box])
+	}
+	nw.boxFaulty[stage][box] = true
+	return nil
+}
+
+// RepairBox clears a fault.
+func (nw *Network) RepairBox(stage, box int) {
+	if stage >= 0 && stage < nw.stages && box >= 0 && box < nw.size/2 {
+		nw.boxFaulty[stage][box] = false
+	}
+}
+
+// FaultCount returns the number of faulty boxes.
+func (nw *Network) FaultCount() int {
+	c := 0
+	for _, st := range nw.boxFaulty {
+		for _, f := range st {
+			if f {
+				c++
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,285 @@
+package escube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidatesSize(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 6, 12, -8} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%d): expected error", bad)
+		}
+	}
+	for _, good := range []int{2, 4, 8, 16, 1024} {
+		nw, err := New(good)
+		if err != nil {
+			t.Errorf("New(%d): %v", good, err)
+			continue
+		}
+		if nw.Size() != good {
+			t.Errorf("Size = %d", nw.Size())
+		}
+	}
+}
+
+func TestStageCount(t *testing.T) {
+	nw := MustNew(16)
+	if nw.Stages() != 5 { // log2(16)+1: the "extra" stage
+		t.Errorf("Stages = %d, want 5", nw.Stages())
+	}
+}
+
+// simulate traces a path's hops through the link labels and returns
+// the output line reached from src.
+func simulate(nw *Network, src int, hops []Hop) int {
+	label := src
+	for _, h := range hops {
+		bit := h.Stage
+		if h.Stage == nw.n { // extra stage is cube_0
+			bit = 0
+		}
+		if h.Setting == Exchange {
+			label ^= 1 << bit
+		}
+	}
+	return label
+}
+
+func TestPrimaryAndSecondaryPathsReachDestination(t *testing.T) {
+	nw := MustNew(16)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			for _, sec := range []bool{false, true} {
+				hops := nw.route(src, dst, sec)
+				if len(hops) != nw.Stages() {
+					t.Fatalf("route(%d,%d,%v): %d hops", src, dst, sec, len(hops))
+				}
+				if got := simulate(nw, src, hops); got != dst {
+					t.Errorf("route(%d,%d,%v) reaches %d", src, dst, sec, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPathsAreInteriorDisjoint(t *testing.T) {
+	// The defining ESC property: for any src/dst, the primary and
+	// secondary paths share no interior (cube stages n-1..1) boxes.
+	nw := MustNew(16)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			p := nw.route(src, dst, false)
+			s := nw.route(src, dst, true)
+			used := map[[2]int]bool{}
+			for _, h := range p {
+				if h.Stage != nw.n && h.Stage != 0 {
+					used[[2]int{h.Stage, h.Box}] = true
+				}
+			}
+			for _, h := range s {
+				if h.Stage != nw.n && h.Stage != 0 && used[[2]int{h.Stage, h.Box}] {
+					t.Fatalf("src=%d dst=%d: interior box (stage %d, box %d) shared", src, dst, h.Stage, h.Box)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftPermutationRoutesConflictFree(t *testing.T) {
+	// The matrix-multiplication algorithm holds PE i -> PE (i-1) mod p
+	// for the entire run; a cube network passes uniform shifts.
+	for _, p := range []int{4, 8, 16} {
+		nw := MustNew(p)
+		perm := make([]int, p)
+		for i := range perm {
+			perm[i] = (i - 1 + p) % p
+		}
+		if err := nw.EstablishPermutation(perm); err != nil {
+			t.Errorf("p=%d: %v", p, err)
+			continue
+		}
+		for i := range perm {
+			if nw.DestOf(i) != perm[i] {
+				t.Errorf("p=%d: DestOf(%d) = %d, want %d", p, i, nw.DestOf(i), perm[i])
+			}
+			if nw.SourceOf(perm[i]) != i {
+				t.Errorf("p=%d: SourceOf(%d) = %d, want %d", p, perm[i], nw.SourceOf(perm[i]), i)
+			}
+		}
+	}
+}
+
+func TestIdentityAndReversalPermutations(t *testing.T) {
+	nw := MustNew(8)
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if err := nw.EstablishPermutation(perm); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	nw.ReleaseAll()
+	rev := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	if err := nw.EstablishPermutation(rev); err != nil {
+		t.Errorf("reversal: %v", err)
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	nw := MustNew(4)
+	if err := nw.Establish(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Destination in use.
+	if err := nw.Establish(1, 2); err == nil {
+		t.Error("duplicate destination accepted")
+	}
+	// Source already holds a circuit.
+	if err := nw.Establish(0, 3); err == nil {
+		t.Error("double source accepted")
+	}
+}
+
+func TestReleaseFreesBoxes(t *testing.T) {
+	nw := MustNew(8)
+	if err := nw.Establish(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Path(3) == nil {
+		t.Fatal("no path recorded")
+	}
+	nw.Release(3)
+	if nw.DestOf(3) != -1 || nw.Path(3) != nil {
+		t.Error("release did not clear circuit")
+	}
+	for s := range nw.boxSetting {
+		for b, set := range nw.boxSetting[s] {
+			if set != Free {
+				t.Errorf("box (stage %d, %d) still %v after release", s, b, set)
+			}
+		}
+	}
+}
+
+func TestSingleFaultTolerance(t *testing.T) {
+	// Fail each interior box in turn; every src/dst pair must still be
+	// routable in an otherwise idle network (the ESC single-fault
+	// guarantee).
+	base := MustNew(8)
+	for stage := 1; stage < base.Stages()-1; stage++ { // interior cube stages
+		for box := 0; box < 4; box++ {
+			nw := MustNew(8)
+			if err := nw.FailBox(stage, box); err != nil {
+				t.Fatal(err)
+			}
+			for src := 0; src < 8; src++ {
+				for dst := 0; dst < 8; dst++ {
+					if err := nw.Establish(src, dst); err != nil {
+						t.Errorf("fault (stage %d, box %d): %d->%d unroutable: %v", stage, box, src, dst, err)
+					}
+					nw.Release(src)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultFailoverUsesSecondary(t *testing.T) {
+	nw := MustNew(8)
+	primary := nw.route(2, 6, false)
+	// Fail an interior box on the primary path.
+	var failed Hop
+	for _, h := range primary {
+		if h.Stage != nw.n && h.Stage != 0 {
+			failed = h
+			break
+		}
+	}
+	if err := nw.FailBox(failed.Stage, failed.Box); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Establish(2, 6); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	// The established path must start with an Exchange in the extra
+	// stage (the secondary route).
+	got := nw.Path(2)
+	if got[0].Stage != nw.n || got[0].Setting != Exchange {
+		t.Errorf("expected secondary path via extra stage, got %+v", got[0])
+	}
+	if nw.FaultCount() != 1 {
+		t.Errorf("FaultCount = %d", nw.FaultCount())
+	}
+	nw.ReleaseAll()
+	nw.RepairBox(failed.Stage, failed.Box)
+	if nw.FaultCount() != 0 {
+		t.Errorf("FaultCount after repair = %d", nw.FaultCount())
+	}
+}
+
+func TestFailBoxRefusesLiveCircuits(t *testing.T) {
+	nw := MustNew(8)
+	if err := nw.Establish(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	h := nw.Path(1)[2]
+	if err := nw.FailBox(h.Stage, h.Box); err == nil {
+		t.Error("FailBox on a live box accepted")
+	}
+}
+
+// Property: every permutation of 8 lines either routes completely or
+// fails cleanly, and after ReleaseAll the network is pristine.
+func TestPermutationProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a permutation from the seed via Fisher-Yates.
+		perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		s := seed
+		for i := 7; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s % uint32(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		nw := MustNew(8)
+		err := nw.EstablishPermutation(perm)
+		if err == nil {
+			for i, d := range perm {
+				if nw.DestOf(i) != d {
+					return false
+				}
+			}
+		}
+		nw.ReleaseAll()
+		for s := range nw.boxSetting {
+			for _, set := range nw.boxSetting[s] {
+				if set != Free {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if nw.DestOf(i) != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	// At cube stage i, lines l and l^2^i share a box.
+	for i := 0; i < 4; i++ {
+		for l := 0; l < 16; l++ {
+			if boxOf(l, i) != boxOf(l^1<<i, i) {
+				t.Errorf("stage %d: lines %d and %d not paired", i, l, l^1<<i)
+			}
+		}
+	}
+	if boxOf(5, 0) != 2 { // 101b -> drop bit 0 -> 10b
+		t.Errorf("boxOf(5,0) = %d, want 2", boxOf(5, 0))
+	}
+	if boxOf(5, 1) != 3 { // 101b -> drop bit 1 -> 11b
+		t.Errorf("boxOf(5,1) = %d, want 3", boxOf(5, 1))
+	}
+}

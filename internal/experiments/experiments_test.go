@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Quick options with small sizes so the full suite stays fast; the
+// paper-scale sweeps run through cmd/pasmbench.
+func quickOpts() Options {
+	o := DefaultOptions()
+	return o
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	mips := map[string]map[string]float64{}
+	for _, r := range res.Rows {
+		if r.MIPS <= 0 || r.MIPS > 8 {
+			t.Errorf("%s %s: implausible MIPS %.3f", r.Instruction, r.Mode, r.MIPS)
+		}
+		if mips[r.Instruction] == nil {
+			mips[r.Instruction] = map[string]float64{}
+		}
+		mips[r.Instruction][r.Mode] = r.MIPS
+	}
+	// The paper's Table 1 property: SIMD instruction issue is faster
+	// than MIMD for both instruction types (queue SRAM vs PE DRAM).
+	for instr, m := range mips {
+		if m["SIMD"] <= m["MIMD"] {
+			t.Errorf("%s: SIMD %.3f MIPS not faster than MIMD %.3f", instr, m["SIMD"], m["MIMD"])
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "add.w") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		sisd := row.Cycles["SISD"]
+		for _, mode := range []string{"SIMD", "MIMD", "S/MIMD"} {
+			if row.Cycles[mode] >= sisd {
+				t.Errorf("n=%d: %s (%d) not faster than SISD (%d)", row.N, mode, row.Cycles[mode], sisd)
+			}
+		}
+		// SIMD is fastest at one multiply per inner loop.
+		if row.Cycles["SIMD"] >= row.Cycles["S/MIMD"] || row.Cycles["SIMD"] >= row.Cycles["MIMD"] {
+			t.Errorf("n=%d: SIMD not fastest: %v", row.N, row.Cycles)
+		}
+	}
+	// The parallel improvement approaches a factor of about p for
+	// large n.
+	last := res.Rows[len(res.Rows)-1]
+	ratio := float64(last.Cycles["SISD"]) / float64(last.Cycles["S/MIMD"])
+	if ratio < float64(res.P)*0.6 || ratio > float64(res.P)*1.5 {
+		t.Errorf("SISD/S-MIMD ratio %.2f not near p=%d", ratio, res.P)
+	}
+	// T_MIMD / T_S/MIMD decreases as n increases (communication's
+	// O(n^2) share shrinks).
+	first := res.Rows[0]
+	r0 := float64(first.Cycles["MIMD"]) / float64(first.Cycles["S/MIMD"])
+	r1 := float64(last.Cycles["MIMD"]) / float64(last.Cycles["S/MIMD"])
+	if r1 > r0 {
+		t.Errorf("MIMD/S-MIMD ratio grew with n: %.4f -> %.4f", r0, r1)
+	}
+}
+
+func TestFig7CrossoverNearFourteen(t *testing.T) {
+	res, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint winners per the paper.
+	if res.Rows[0].Winner != "SIMD" {
+		t.Errorf("at 1 multiply, winner = %s, want SIMD", res.Rows[0].Winner)
+	}
+	lastRow := res.Rows[len(res.Rows)-1]
+	if lastRow.Winner != "S/MIMD" {
+		t.Errorf("at %d multiplies, winner = %s, want S/MIMD", lastRow.Muls, lastRow.Winner)
+	}
+	// The paper's crossover is "approximately fourteen" multiplies.
+	if res.Crossover < 11 || res.Crossover > 17 {
+		t.Errorf("crossover at %.1f multiplies, want ~14", res.Crossover)
+	}
+	if !strings.Contains(res.Render(), "crossover") {
+		t.Error("render missing crossover line")
+	}
+}
+
+func TestBreakdownShapes(t *testing.T) {
+	opts := quickOpts()
+	for _, muls := range []int{1, 14, 30} {
+		res, err := Breakdown(opts, muls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Mult+row.Comm+row.Other != row.Total {
+				t.Errorf("muls=%d n=%d %s: components %d+%d+%d != total %d",
+					muls, row.N, row.Mode, row.Mult, row.Comm, row.Other, row.Total)
+			}
+		}
+		// Multiplication time grows faster than communication time
+		// (O(n^3/p) vs O(n^2)): the mult share increases with n.
+		bySeries := map[string][]BreakdownRow{}
+		for _, row := range res.Rows {
+			bySeries[row.Mode] = append(bySeries[row.Mode], row)
+		}
+		for mode, rows := range bySeries {
+			first, last := rows[0], rows[len(rows)-1]
+			fShare := float64(first.Mult) / float64(first.Total)
+			lShare := float64(last.Mult) / float64(last.Total)
+			if lShare <= fShare {
+				t.Errorf("muls=%d %s: mult share did not grow with n (%.3f -> %.3f)",
+					muls, mode, fShare, lShare)
+			}
+			if float64(last.Mult) < float64(last.Comm) {
+				t.Errorf("muls=%d %s: mult (%d) does not dominate comm (%d) at n=%d",
+					muls, mode, last.Mult, last.Comm, last.N)
+			}
+		}
+	}
+}
+
+func TestBreakdown30SMIMDWinsAtLargeN(t *testing.T) {
+	res, err := Breakdown(quickOpts(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]map[int]int64{"SIMD": {}, "S/MIMD": {}}
+	for _, row := range res.Rows {
+		totals[row.Mode][row.N] = row.Total
+	}
+	nmax := res.Rows[len(res.Rows)-1].N
+	if totals["S/MIMD"][nmax] >= totals["SIMD"][nmax] {
+		t.Errorf("at 30 multiplies and n=%d, S/MIMD (%d) not faster than SIMD (%d)",
+			nmax, totals["S/MIMD"][nmax], totals["SIMD"][nmax])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	// SIMD superlinear at large n; parallel MIMD variants below 1,
+	// S/MIMD above MIMD; efficiency rising with n.
+	if last.Efficiency["SIMD"] <= 1 {
+		t.Errorf("SIMD efficiency %.3f at n=%d not superlinear", last.Efficiency["SIMD"], last.X)
+	}
+	for _, mode := range []string{"MIMD", "S/MIMD"} {
+		if e := last.Efficiency[mode]; e >= 1 || e <= 0 {
+			t.Errorf("%s efficiency %.3f out of (0,1)", mode, e)
+		}
+	}
+	if last.Efficiency["S/MIMD"] <= last.Efficiency["MIMD"] {
+		t.Errorf("S/MIMD efficiency %.3f not above MIMD %.3f",
+			last.Efficiency["S/MIMD"], last.Efficiency["MIMD"])
+	}
+	first := res.Rows[0]
+	for _, mode := range []string{"MIMD", "S/MIMD"} {
+		if last.Efficiency[mode] <= first.Efficiency[mode] {
+			t.Errorf("%s efficiency did not rise with n (%.3f -> %.3f)",
+				mode, first.Efficiency[mode], last.Efficiency[mode])
+		}
+	}
+}
+
+func TestFig12EfficiencyDropsWithP(t *testing.T) {
+	res, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, mode := range []string{"SIMD", "MIMD", "S/MIMD"} {
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i].Efficiency[mode] >= res.Rows[i-1].Efficiency[mode] {
+				t.Errorf("%s: efficiency did not drop from p=%d to p=%d (%.3f -> %.3f)",
+					mode, res.Rows[i-1].X, res.Rows[i].X,
+					res.Rows[i-1].Efficiency[mode], res.Rows[i].Efficiency[mode])
+			}
+		}
+	}
+}
+
+func TestRendersAreNonEmpty(t *testing.T) {
+	opts := quickOpts()
+	t1, err := Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Fig12(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{
+		"table1": t1.Render(),
+		"fig12":  f12.Render(),
+	} {
+		if len(strings.TrimSpace(s)) == 0 {
+			t.Errorf("%s renders empty", name)
+		}
+	}
+}
+
+func TestRendersAndPlots(t *testing.T) {
+	opts := quickOpts()
+	f6, err := Fig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := Fig11(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Fig12(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := Breakdown(opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := map[string]string{
+		"fig6-render":  f6.Render(),
+		"fig6-plot":    f6.Plot(),
+		"fig7-render":  f7.Render(),
+		"fig7-plot":    f7.Plot(),
+		"fig11-render": f11.Render(),
+		"fig11-plot":   f11.Plot(),
+		"fig12-plot":   f12.Plot(),
+		"bd-render":    bd.Render(),
+	}
+	for name, out := range outputs {
+		if len(strings.TrimSpace(out)) < 40 {
+			t.Errorf("%s suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(f6.Plot(), "log y") {
+		t.Error("fig6 plot should use a log axis")
+	}
+	if !strings.Contains(f7.Render(), "crossover") {
+		t.Error("fig7 render missing crossover")
+	}
+}
+
+func TestFullSizesSelection(t *testing.T) {
+	o := DefaultOptions()
+	quick := o.sizes()
+	o.Full = true
+	full := o.sizes()
+	if full[len(full)-1] != 256 {
+		t.Errorf("full sizes end at %d, want 256", full[len(full)-1])
+	}
+	if quick[len(quick)-1] > 64 {
+		t.Errorf("quick sizes reach %d, want <= 64", quick[len(quick)-1])
+	}
+}

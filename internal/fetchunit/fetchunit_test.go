@@ -1,0 +1,187 @@
+package fetchunit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewQueue(0, 4); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewQueue(8, 0); err == nil {
+		t.Error("wordCycles 0 accepted")
+	}
+}
+
+func TestEnqueueTiming(t *testing.T) {
+	q, _ := NewQueue(64, 4)
+	// First block: 3 words issued at t=100 -> last word at 100+12.
+	ready, err := q.Enqueue(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready != 112 {
+		t.Errorf("ready = %d, want 112", ready)
+	}
+	if q.CtrlFree() != 112 {
+		t.Errorf("CtrlFree = %d, want 112", q.CtrlFree())
+	}
+	// Second block issued earlier than the controller frees: chains.
+	ready, err = q.Enqueue(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready != 120 {
+		t.Errorf("chained ready = %d, want 120", ready)
+	}
+	if q.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", q.Pending())
+	}
+}
+
+func TestQueueFullStallsController(t *testing.T) {
+	q, _ := NewQueue(4, 4)
+	// Fill the queue: 4 words from t=0, done at 16.
+	if _, err := q.Enqueue(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the first word only at t=1000.
+	if err := q.Consume(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Next word must wait for that dequeue: ready = 1000+4.
+	ready, err := q.Enqueue(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready != 1004 {
+		t.Errorf("ready = %d, want 1004 (stalled on full queue)", ready)
+	}
+}
+
+func TestEnqueueWithoutConsumeIsOrderingError(t *testing.T) {
+	q, _ := NewQueue(4, 4)
+	if _, err := q.Enqueue(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue(0, 1); err == nil {
+		t.Error("enqueue past an unconsumed full queue accepted")
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	q, _ := NewQueue(4, 4)
+	if _, err := q.Enqueue(0, 5); err == nil {
+		t.Error("entry larger than queue accepted")
+	}
+}
+
+func TestConsumeMoreThanEnqueued(t *testing.T) {
+	q, _ := NewQueue(8, 4)
+	if _, err := q.Enqueue(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Consume(3, 10); err == nil {
+		t.Error("over-consume accepted")
+	}
+}
+
+func TestMaxOccupancy(t *testing.T) {
+	q, _ := NewQueue(16, 2)
+	q.Enqueue(0, 6)
+	q.Consume(2, 100)
+	q.Enqueue(0, 4)
+	if q.MaxOccupancy != 8 {
+		t.Errorf("MaxOccupancy = %d, want 8", q.MaxOccupancy)
+	}
+}
+
+func TestReset(t *testing.T) {
+	q, _ := NewQueue(8, 4)
+	q.Enqueue(0, 8)
+	q.Consume(8, 500)
+	q.Reset()
+	if q.Pending() != 0 || q.CtrlFree() != 0 || q.MaxOccupancy != 0 {
+		t.Error("Reset left state behind")
+	}
+	ready, err := q.Enqueue(0, 1)
+	if err != nil || ready != 4 {
+		t.Errorf("after Reset: ready=%d err=%v", ready, err)
+	}
+}
+
+// Property: with a very deep queue, ready times are exactly
+// issue-or-chain plus wordCycles*words — no spurious stalls.
+func TestNoStallWhenDeep(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		q, _ := NewQueue(1<<20, 3)
+		expect := int64(0)
+		for _, b := range blocks {
+			w := int(b%16) + 1
+			ready, err := q.Enqueue(0, w)
+			if err != nil {
+				return false
+			}
+			expect += int64(3 * w)
+			if ready != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FIFO occupancy accounting never goes negative and pending
+// equals enqueued minus consumed.
+func TestOccupancyInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q, _ := NewQueue(32, 2)
+		enq, cons := 0, 0
+		clock := int64(0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				w := int(op/2%8) + 1
+				if enq+w-cons > 32 {
+					// Must consume first to respect executor ordering.
+					q.Consume(enq-cons, clock)
+					cons = enq
+				}
+				if _, err := q.Enqueue(clock, w); err != nil {
+					return false
+				}
+				enq += w
+			} else if enq > cons {
+				q.Consume(1, clock)
+				cons++
+			}
+			clock += int64(op)
+			if q.Pending() != enq-cons {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	m := AllEnabled(4)
+	if m != 0xF {
+		t.Errorf("AllEnabled(4) = %#x", m)
+	}
+	if !m.Enabled(0) || !m.Enabled(3) || m.Enabled(4) {
+		t.Error("Enabled bits wrong")
+	}
+	if m.Count() != 4 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if Mask(0b1010).Count() != 2 {
+		t.Error("Count of 0b1010 != 2")
+	}
+}

@@ -1,0 +1,1012 @@
+package m68k
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates MC68000 assembly source into a Program.
+//
+// Supported syntax (one instruction or directive per line):
+//
+//	; comment           * comment also accepted
+//	label:  move.w  (a0)+, d0
+//	        mulu.w  d2, d0
+//	        add.w   d0, (a1)+
+//	        dbra    d1, label
+//	        .equ    NCOLS, 8
+//	        .region mult            ; accounting region for what follows
+//	        .block  elem            ; begin a SIMD broadcast block
+//	        .endblock
+//	        bcast   elem            ; MC: enqueue block via the Fetch Unit
+//
+// Operands: dn, an, sp (=a7), (an), (an)+, -(an), d(an), #expr, $hex or
+// expr as an absolute address, and bare identifiers as labels for
+// branch/jump/bcast targets. Expressions over .equ names support
+// + - * / ( ) and unary minus.
+func Assemble(src string) (*Program, error) {
+	a := &asm{
+		equs:   map[string]int64{},
+		labels: map[string]int{},
+		blocks: map[string]BlockRange{},
+		prog:   &Program{Source: src},
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(src); err != nil {
+		return nil, err
+	}
+	a.prog.Labels = a.labels
+	a.prog.Blocks = a.blocks
+	relaxBranches(a.prog)
+	return a.prog, nil
+}
+
+// relaxBranches sizes conditional/unconditional branches: the 68000
+// short form holds an 8-bit displacement in the opcode word, but a
+// displacement of zero (branch to the next instruction) or one outside
+// -128..127 bytes needs the word form with an extension word. Sizes
+// and displacements are interdependent, so iterate to a fixpoint
+// (growing only, which terminates). Branch timing depends on the form
+// (word-form not-taken costs 12 cycles, byte-form 8), which exec reads
+// off Words.
+func relaxBranches(p *Program) {
+	for {
+		addr := instrAddrs(p)
+		changed := false
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if in.Op != BCC || in.Dst.Mode != ModeLabel || in.Words != 1 {
+				continue
+			}
+			t := int(in.Dst.Val)
+			if t < 0 || t > len(p.Instrs) {
+				continue // runtime error; leave as is
+			}
+			var tAddr int32
+			if t == len(p.Instrs) {
+				tAddr = endAddr(p, addr)
+			} else {
+				tAddr = addr[t]
+			}
+			disp := tAddr - (addr[i] + 2)
+			if disp == 0 || disp < -128 || disp > 127 {
+				in.Words = 2
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// instrAddrs returns each instruction's byte address in the assembled
+// image (instructions are laid out contiguously in order).
+func instrAddrs(p *Program) []int32 {
+	addr := make([]int32, len(p.Instrs))
+	var a int32
+	for i := range p.Instrs {
+		addr[i] = a
+		a += int32(p.Instrs[i].Words) * 2
+	}
+	return addr
+}
+
+func endAddr(p *Program, addr []int32) int32 {
+	if len(p.Instrs) == 0 {
+		return 0
+	}
+	last := len(p.Instrs) - 1
+	return addr[last] + int32(p.Instrs[last].Words)*2
+}
+
+// MustAssemble is Assemble for programs known statically correct,
+// panicking on error. Intended for program generators and tests.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type asm struct {
+	equs   map[string]int64
+	labels map[string]int
+	blocks map[string]BlockRange
+	prog   *Program
+	errs   []string
+}
+
+func (a *asm) errf(line int, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (a *asm) err() error {
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("assembly failed:\n  %s", strings.Join(a.errs, "\n  "))
+}
+
+// stripComment removes ; and * comments. A '*' only starts a comment at
+// the beginning of a line (68k listing style); elsewhere it is the
+// multiplication operator.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	if t := strings.TrimSpace(line); strings.HasPrefix(t, "*") {
+		return ""
+	}
+	return line
+}
+
+// splitLabel splits an optional leading "label:" off a line.
+func splitLabel(line string) (label, rest string) {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return "", line
+	}
+	cand := strings.TrimSpace(line[:i])
+	if cand == "" || !isIdent(cand) {
+		return "", line
+	}
+	return cand, line[i+1:]
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pass1 collects labels (as instruction indices), .equ values, and
+// .block ranges.
+func (a *asm) pass1(src string) error {
+	idx := 0 // next instruction index
+	blockName := ""
+	blockStart := 0
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		label, rest := splitLabel(line)
+		if label != "" {
+			if _, dup := a.labels[label]; dup {
+				a.errf(ln+1, "duplicate label %q", label)
+			}
+			a.labels[label] = idx
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			continue
+		}
+		mnem, operands := splitMnemonic(rest)
+		switch mnem {
+		case ".equ":
+			parts := splitOperands(operands)
+			if len(parts) != 2 {
+				a.errf(ln+1, ".equ needs name, value")
+				continue
+			}
+			name := strings.TrimSpace(parts[0])
+			if !isIdent(name) {
+				a.errf(ln+1, "bad .equ name %q", name)
+				continue
+			}
+			v, err := a.evalExpr(parts[1])
+			if err != nil {
+				a.errf(ln+1, ".equ %s: %v", name, err)
+				continue
+			}
+			if _, dup := a.equs[name]; dup {
+				a.errf(ln+1, "duplicate .equ %q", name)
+			}
+			a.equs[name] = v
+		case ".region":
+			// handled in pass2
+		case ".block":
+			if blockName != "" {
+				a.errf(ln+1, ".block inside .block %q", blockName)
+			}
+			blockName = strings.TrimSpace(operands)
+			if !isIdent(blockName) {
+				a.errf(ln+1, "bad block name %q", blockName)
+				blockName = "?"
+			}
+			blockStart = idx
+		case ".endblock":
+			if blockName == "" {
+				a.errf(ln+1, ".endblock without .block")
+				continue
+			}
+			if _, dup := a.blocks[blockName]; dup {
+				a.errf(ln+1, "duplicate block %q", blockName)
+			}
+			a.blocks[blockName] = BlockRange{Start: blockStart, End: idx}
+			blockName = ""
+		default:
+			idx++
+		}
+	}
+	if blockName != "" {
+		a.errf(0, "unterminated .block %q", blockName)
+	}
+	return a.err()
+}
+
+// splitMnemonic separates the mnemonic from its operand field.
+func splitMnemonic(s string) (mnem, operands string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return strings.ToLower(s), ""
+	}
+	return strings.ToLower(s[:i]), strings.TrimSpace(s[i+1:])
+}
+
+// splitOperands splits on commas that are not inside parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+func (a *asm) pass2(src string) error {
+	region := RegionOther
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		_, rest := splitLabel(line)
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			continue
+		}
+		mnem, operands := splitMnemonic(rest)
+		switch mnem {
+		case ".equ", ".block", ".endblock":
+			continue
+		case ".region":
+			switch strings.TrimSpace(operands) {
+			case "mult":
+				region = RegionMult
+			case "comm":
+				region = RegionComm
+			case "control":
+				region = RegionControl
+			case "other":
+				region = RegionOther
+			default:
+				a.errf(ln+1, "unknown region %q", operands)
+			}
+			continue
+		}
+		in, err := a.parseInstr(mnem, operands)
+		if err != nil {
+			a.errf(ln+1, "%v", err)
+			continue
+		}
+		in.Region = region
+		in.Line = ln + 1
+		in.Words = instrWords(&in)
+		a.prog.Instrs = append(a.prog.Instrs, in)
+	}
+	return a.err()
+}
+
+// mnemonic tables ----------------------------------------------------
+
+type opInfo struct {
+	op       Op
+	operands int  // expected operand count
+	sized    bool // accepts .b/.w/.l suffix
+	defSize  Size
+}
+
+var mnemonics = map[string]opInfo{
+	"nop":     {NOP, 0, false, Word},
+	"move":    {MOVE, 2, true, Word},
+	"movea":   {MOVEA, 2, true, Long},
+	"moveq":   {MOVEQ, 2, false, Long},
+	"lea":     {LEA, 2, false, Long},
+	"clr":     {CLR, 1, true, Word},
+	"add":     {ADD, 2, true, Word},
+	"adda":    {ADDA, 2, true, Long},
+	"addq":    {ADDQ, 2, true, Word},
+	"addi":    {ADDI, 2, true, Word},
+	"sub":     {SUB, 2, true, Word},
+	"suba":    {SUBA, 2, true, Long},
+	"subq":    {SUBQ, 2, true, Word},
+	"subi":    {SUBI, 2, true, Word},
+	"mulu":    {MULU, 2, true, Word},
+	"muls":    {MULS, 2, true, Word},
+	"divu":    {DIVU, 2, true, Word},
+	"and":     {AND, 2, true, Word},
+	"andi":    {ANDI, 2, true, Word},
+	"or":      {OR, 2, true, Word},
+	"ori":     {ORI, 2, true, Word},
+	"eor":     {EOR, 2, true, Word},
+	"eori":    {EORI, 2, true, Word},
+	"not":     {NOT, 1, true, Word},
+	"neg":     {NEG, 1, true, Word},
+	"lsl":     {LSL, 2, true, Word},
+	"lsr":     {LSR, 2, true, Word},
+	"asl":     {ASL, 2, true, Word},
+	"asr":     {ASR, 2, true, Word},
+	"rol":     {ROL, 2, true, Word},
+	"ror":     {ROR, 2, true, Word},
+	"swap":    {SWAP, 1, false, Word},
+	"exg":     {EXG, 2, false, Long},
+	"ext":     {EXT, 1, true, Word},
+	"tst":     {TST, 1, true, Word},
+	"cmp":     {CMP, 2, true, Word},
+	"cmpa":    {CMPA, 2, true, Long},
+	"cmpi":    {CMPI, 2, true, Word},
+	"btst":    {BTST, 2, false, Byte},
+	"bset":    {BSET, 2, false, Byte},
+	"bclr":    {BCLR, 2, false, Byte},
+	"bchg":    {BCHG, 2, false, Byte},
+	"jmp":     {JMP, 1, false, Word},
+	"jsr":     {JSR, 1, false, Word},
+	"rts":     {RTS, 0, false, Word},
+	"halt":    {HALT, 0, false, Word},
+	"bcast":   {BCAST, 1, false, Word},
+	"setmask": {SETMASK, 1, false, Word},
+}
+
+// branch mnemonics: bra, beq, bne, ... and dbra, dbeq, ...
+var branchConds = map[string]Cond{
+	"ra": CondT, "t": CondT, "f": CondF,
+	"eq": CondEQ, "ne": CondNE,
+	"cs": CondCS, "lo": CondCS, "cc": CondCC, "hs": CondCC,
+	"lt": CondLT, "ge": CondGE, "le": CondLE, "gt": CondGT,
+	"hi": CondHI, "ls": CondLS, "mi": CondMI, "pl": CondPL,
+	"vs": CondVS, "vc": CondVC,
+}
+
+func (a *asm) parseInstr(mnem, operands string) (Instr, error) {
+	base, size, hasSize, err := splitSize(mnem)
+	if err != nil {
+		return Instr{}, err
+	}
+
+	// Branches first: b<cc> and db<cc>.
+	if cond, ok := branchCond(base, "b"); ok && base != "bcast" {
+		if hasSize {
+			return Instr{}, fmt.Errorf("branch %s does not take a size", mnem)
+		}
+		ops := splitOperands(operands)
+		if len(ops) != 1 {
+			return Instr{}, fmt.Errorf("%s needs one target", base)
+		}
+		tgt, err := a.parseTarget(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: BCC, Cond: cond, Size: Word, Dst: tgt}, nil
+	}
+	if cond, ok := branchCond(base, "db"); ok {
+		if hasSize {
+			return Instr{}, fmt.Errorf("%s does not take a size", mnem)
+		}
+		if base == "dbra" {
+			// DBRA is the conventional alias for DBF: decrement and
+			// branch until the counter expires ("ra" would otherwise
+			// resolve to the always-true condition, which never loops).
+			cond = CondF
+		}
+		ops := splitOperands(operands)
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs register, target", base)
+		}
+		reg, err := a.parseOperand(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if reg.Mode != ModeDataReg {
+			return Instr{}, fmt.Errorf("%s counter must be a data register", base)
+		}
+		tgt, err := a.parseTarget(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: DBCC, Cond: cond, Size: Word, Src: reg, Dst: tgt}, nil
+	}
+
+	info, ok := mnemonics[base]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	if hasSize && !info.sized {
+		return Instr{}, fmt.Errorf("%s does not take a size suffix", base)
+	}
+	if !hasSize {
+		size = info.defSize
+	}
+	in := Instr{Op: info.op, Size: size}
+
+	ops := splitOperands(operands)
+	if len(ops) == 1 && ops[0] == "" {
+		ops = nil
+	}
+	if len(ops) != info.operands {
+		return Instr{}, fmt.Errorf("%s needs %d operand(s), got %d", base, info.operands, len(ops))
+	}
+
+	switch info.op {
+	case SETMASK:
+		in.Src, err = a.parseOperand(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if err := validate(&in); err != nil {
+			return Instr{}, err
+		}
+		return in, nil
+	case JMP, JSR:
+		tgt, err := a.parseTarget(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Dst = tgt
+	case BCAST:
+		name := strings.TrimSpace(ops[0])
+		br, ok := a.blocks[name]
+		if !ok {
+			return Instr{}, fmt.Errorf("bcast of unknown block %q", name)
+		}
+		in.Src = Operand{Mode: ModeLabel, Val: int32(br.Start)}
+		in.Dst = Operand{Mode: ModeLabel, Val: int32(br.End)}
+	default:
+		if info.operands >= 1 {
+			in.Src, err = a.parseOperand(ops[0])
+			if err != nil {
+				return Instr{}, err
+			}
+		}
+		if info.operands >= 2 {
+			in.Dst, err = a.parseOperand(ops[1])
+			if err != nil {
+				return Instr{}, err
+			}
+		}
+		if info.operands == 1 { // single-operand ops use Dst
+			in.Dst, in.Src = in.Src, Operand{}
+		}
+	}
+	if err := validate(&in); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+func branchCond(base, prefix string) (Cond, bool) {
+	if !strings.HasPrefix(base, prefix) {
+		return 0, false
+	}
+	c, ok := branchConds[base[len(prefix):]]
+	return c, ok
+}
+
+func splitSize(mnem string) (base string, size Size, hasSize bool, err error) {
+	i := strings.LastIndexByte(mnem, '.')
+	if i < 0 {
+		return mnem, Word, false, nil
+	}
+	switch mnem[i+1:] {
+	case "b":
+		return mnem[:i], Byte, true, nil
+	case "w":
+		return mnem[:i], Word, true, nil
+	case "l":
+		return mnem[:i], Long, true, nil
+	default:
+		return "", 0, false, fmt.Errorf("bad size suffix in %q", mnem)
+	}
+}
+
+// parseTarget parses a branch/jump target: a label or an absolute
+// expression.
+func (a *asm) parseTarget(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if idx, ok := a.labels[s]; ok {
+		return Operand{Mode: ModeLabel, Val: int32(idx)}, nil
+	}
+	if isIdent(s) {
+		if _, isEqu := a.equs[s]; !isEqu {
+			return Operand{}, fmt.Errorf("unknown label %q", s)
+		}
+	}
+	v, err := a.evalExpr(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Mode: ModeAbs, Val: int32(v)}, nil
+}
+
+func (a *asm) parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	// #imm
+	if s[0] == '#' {
+		v, err := a.evalExpr(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Mode: ModeImm, Val: int32(v)}, nil
+	}
+	// -(an)
+	if strings.HasPrefix(s, "-(") && strings.HasSuffix(s, ")") {
+		r, ok := addrReg(s[2 : len(s)-1])
+		if !ok {
+			return Operand{}, fmt.Errorf("bad predecrement operand %q", s)
+		}
+		return Operand{Mode: ModePreDec, Reg: r}, nil
+	}
+	// (an)+ and (an)
+	if strings.HasPrefix(s, "(") {
+		if strings.HasSuffix(s, ")+") {
+			r, ok := addrReg(s[1 : len(s)-2])
+			if !ok {
+				return Operand{}, fmt.Errorf("bad postincrement operand %q", s)
+			}
+			return Operand{Mode: ModePostInc, Reg: r}, nil
+		}
+		if strings.HasSuffix(s, ")") {
+			r, ok := addrReg(s[1 : len(s)-1])
+			if !ok {
+				return Operand{}, fmt.Errorf("bad indirect operand %q", s)
+			}
+			return Operand{Mode: ModeIndirect, Reg: r}, nil
+		}
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	// d(an)
+	if strings.HasSuffix(s, ")") {
+		if i := strings.LastIndexByte(s, '('); i > 0 {
+			r, ok := addrReg(s[i+1 : len(s)-1])
+			if !ok {
+				return Operand{}, fmt.Errorf("bad displacement operand %q", s)
+			}
+			d, err := a.evalExpr(s[:i])
+			if err != nil {
+				return Operand{}, err
+			}
+			if d < -32768 || d > 32767 {
+				return Operand{}, fmt.Errorf("displacement %d out of 16-bit range", d)
+			}
+			return Operand{Mode: ModeDisp, Reg: r, Val: int32(d)}, nil
+		}
+	}
+	// registers
+	if r, ok := dataReg(s); ok {
+		return Operand{Mode: ModeDataReg, Reg: r}, nil
+	}
+	if r, ok := addrReg(s); ok {
+		return Operand{Mode: ModeAddrReg, Reg: r}, nil
+	}
+	// absolute address expression
+	if isIdent(s) {
+		if _, isEqu := a.equs[s]; !isEqu {
+			return Operand{}, fmt.Errorf("unknown symbol %q", s)
+		}
+	}
+	v, err := a.evalExpr(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Mode: ModeAbs, Val: int32(v)}, nil
+}
+
+func dataReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) == 2 && s[0] == 'd' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', true
+	}
+	return 0, false
+}
+
+func addrReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return 7, true
+	}
+	if len(s) == 2 && s[0] == 'a' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', true
+	}
+	return 0, false
+}
+
+// expression evaluator ------------------------------------------------
+
+// evalExpr evaluates a constant expression over numbers and .equ names
+// with + - * / % ( ) and unary minus.
+func (a *asm) evalExpr(s string) (int64, error) {
+	p := &exprParser{src: s, equs: a.equs}
+	v, err := p.parseAddSub()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing junk in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	equs map[string]int64
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseAddSub() (int64, error) {
+	v, err := p.parseMulDiv()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseMulDiv()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseMulDiv()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMulDiv() (int64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= r
+		case '%':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	case '(':
+		p.pos++
+		v, err := p.parseAddSub()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	// $hex
+	if c == '$' {
+		start := p.pos + 1
+		end := start
+		for end < len(p.src) && isHexDigit(p.src[end]) {
+			end++
+		}
+		if end == start {
+			return 0, fmt.Errorf("bad hex literal in %q", p.src)
+		}
+		p.pos = end
+		v, err := strconv.ParseInt(p.src[start:end], 16, 64)
+		return v, err
+	}
+	// decimal or 0x hex
+	if c >= '0' && c <= '9' {
+		start := p.pos
+		end := start
+		if strings.HasPrefix(p.src[start:], "0x") || strings.HasPrefix(p.src[start:], "0X") {
+			end = start + 2
+			for end < len(p.src) && isHexDigit(p.src[end]) {
+				end++
+			}
+		} else {
+			for end < len(p.src) && p.src[end] >= '0' && p.src[end] <= '9' {
+				end++
+			}
+		}
+		p.pos = end
+		v, err := strconv.ParseInt(p.src[start:end], 0, 64)
+		return v, err
+	}
+	// identifier
+	start := p.pos
+	end := start
+	for end < len(p.src) && isIdentByte(p.src[end]) {
+		end++
+	}
+	if end == start {
+		return 0, fmt.Errorf("bad expression %q", p.src)
+	}
+	name := p.src[start:end]
+	p.pos = end
+	v, ok := p.equs[name]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return v, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+// validation and size computation --------------------------------------
+
+func validate(in *Instr) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%s: %s", in.Op, fmt.Sprintf(format, args...))
+	}
+	switch in.Op {
+	case MOVEA, ADDA, SUBA, CMPA:
+		if in.Dst.Mode != ModeAddrReg {
+			return bad("destination must be an address register")
+		}
+		if in.Size == Byte {
+			return bad("byte size not allowed")
+		}
+	case MOVEQ:
+		if in.Src.Mode != ModeImm || in.Dst.Mode != ModeDataReg {
+			return bad("needs #imm, dn")
+		}
+		if in.Src.Val < -128 || in.Src.Val > 127 {
+			return bad("immediate %d out of range -128..127", in.Src.Val)
+		}
+	case LEA:
+		if !in.Src.IsMem() && in.Src.Mode != ModeAbs {
+			return bad("source must be a memory effective address")
+		}
+		if in.Src.Mode == ModePostInc || in.Src.Mode == ModePreDec {
+			return bad("(an)+ and -(an) are not valid LEA sources")
+		}
+		if in.Dst.Mode != ModeAddrReg {
+			return bad("destination must be an address register")
+		}
+	case ADDQ, SUBQ:
+		if in.Src.Mode != ModeImm || in.Src.Val < 1 || in.Src.Val > 8 {
+			return bad("immediate must be 1..8")
+		}
+	case ADDI, SUBI, CMPI, ANDI, ORI, EORI:
+		if in.Src.Mode != ModeImm {
+			return bad("source must be immediate")
+		}
+		if in.Dst.Mode == ModeAddrReg {
+			return bad("address register destination not allowed")
+		}
+	case MULU, MULS, DIVU:
+		if in.Dst.Mode != ModeDataReg {
+			return bad("destination must be a data register")
+		}
+		if in.Size != Word {
+			return bad("only word size is defined")
+		}
+	case LSL, LSR, ASL, ASR, ROL, ROR:
+		if in.Dst.Mode != ModeDataReg {
+			return bad("register shifts only (memory shifts unsupported)")
+		}
+		switch in.Src.Mode {
+		case ModeImm:
+			if in.Src.Val < 1 || in.Src.Val > 8 {
+				return bad("immediate shift count must be 1..8")
+			}
+		case ModeDataReg:
+		default:
+			return bad("count must be #imm or dn")
+		}
+	case SWAP, EXT:
+		if in.Dst.Mode != ModeDataReg {
+			return bad("operand must be a data register")
+		}
+	case EXG:
+		okSrc := in.Src.Mode == ModeDataReg || in.Src.Mode == ModeAddrReg
+		okDst := in.Dst.Mode == ModeDataReg || in.Dst.Mode == ModeAddrReg
+		if !okSrc || !okDst {
+			return bad("operands must be registers")
+		}
+	case CLR, NOT, NEG, TST:
+		if in.Dst.Mode == ModeAddrReg || in.Dst.Mode == ModeImm {
+			return bad("bad operand mode")
+		}
+	case BTST, BSET, BCLR, BCHG:
+		if in.Src.Mode != ModeDataReg && in.Src.Mode != ModeImm {
+			return bad("bit number must be dn or #imm")
+		}
+		if in.Dst.Mode == ModeAddrReg || in.Dst.Mode == ModeImm {
+			return bad("bad destination mode")
+		}
+	case SETMASK:
+		if in.Src.Mode != ModeImm && in.Src.Mode != ModeDataReg {
+			return bad("mask must be #imm or dn")
+		}
+	case MOVE:
+		if in.Dst.Mode == ModeImm {
+			return bad("cannot move to an immediate")
+		}
+		if in.Dst.Mode == ModeAddrReg {
+			return bad("use movea for address register destinations")
+		}
+	case ADD, SUB, AND, OR, EOR, CMP:
+		if in.Dst.Mode == ModeImm {
+			return bad("bad destination")
+		}
+		if in.Op != CMP && in.Dst.Mode == ModeAddrReg {
+			return bad("use the address-register form (adda/suba)")
+		}
+		if in.Src.IsMem() && in.Dst.IsMem() {
+			return bad("memory-to-memory form not supported; go through a register")
+		}
+		if (in.Op == AND || in.Op == OR || in.Op == EOR) && in.Src.Mode == ModeAddrReg {
+			return bad("address register source not allowed")
+		}
+	}
+	// Two device accesses in one instruction would break blocking
+	// re-execution; the CPU enforces this at run time, but catch the
+	// only assemble-time-visible case (two absolute operands) early.
+	return nil
+}
+
+// extWords returns the number of extension words an operand occupies.
+func extWords(o Operand, sz Size) uint8 {
+	switch o.Mode {
+	case ModeDisp:
+		return 1
+	case ModeAbs:
+		if uint32(o.Val) > 0xFFFF {
+			return 2 // abs.l
+		}
+		return 1 // abs.w
+	case ModeImm:
+		if sz == Long {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// instrWords computes the instruction length in 16-bit words, which
+// drives instruction-fetch timing.
+func instrWords(in *Instr) uint8 {
+	switch in.Op {
+	case NOP, RTS, SWAP, EXG, EXT, MOVEQ, HALT:
+		return 1
+	case BCC:
+		return 1 // short (byte-displacement) branch
+	case DBCC:
+		return 2
+	case JMP, JSR:
+		if in.Dst.Mode == ModeLabel {
+			return 2 // abs.w target
+		}
+		return 1 + extWords(in.Dst, Word)
+	case BCAST, SETMASK:
+		return 2 // modeled as move.w #imm, (fetch-unit register)
+	case BTST, BSET, BCLR, BCHG:
+		w := uint8(1)
+		if in.Src.Mode == ModeImm {
+			w++
+		}
+		return w + extWords(in.Dst, Byte)
+	case ADDQ, SUBQ:
+		return 1 + extWords(in.Dst, in.Size) // immediate lives in the opcode
+	case LSL, LSR, ASL, ASR, ROL, ROR:
+		return 1 // count in opcode or register
+	}
+	w := uint8(1)
+	w += extWords(in.Src, in.Size)
+	w += extWords(in.Dst, in.Size)
+	return w
+}

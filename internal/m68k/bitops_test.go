@@ -1,0 +1,225 @@
+package m68k
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitOpsOnRegisters(t *testing.T) {
+	c := run(t, `
+		moveq   #0, d0
+		bset    #3, d0       ; d0 = 8
+		bset    #0, d0       ; d0 = 9
+		bchg    #3, d0       ; d0 = 1
+		bclr    #0, d0       ; d0 = 0
+		moveq   #5, d1
+		btst    #2, d1       ; bit set: Z=0
+		halt
+	`)
+	if c.D[0] != 0 {
+		t.Errorf("d0 = %d, want 0", c.D[0])
+	}
+	if c.Z {
+		t.Error("btst of a set bit left Z set")
+	}
+}
+
+func TestBitOpsZSemantics(t *testing.T) {
+	// Z reflects the tested bit BEFORE modification.
+	c := run(t, `
+		moveq   #0, d0
+		bset    #4, d0       ; bit was clear: Z=1 (and stays from bset)
+		halt
+	`)
+	if !c.Z {
+		t.Error("bset of a clear bit should set Z")
+	}
+	if c.D[0] != 16 {
+		t.Errorf("d0 = %d, want 16", c.D[0])
+	}
+}
+
+func TestBitOpsRegisterModulo32(t *testing.T) {
+	c := run(t, `
+		moveq   #0, d0
+		moveq   #33, d1      ; 33 mod 32 = 1
+		bset    d1, d0
+		halt
+	`)
+	if c.D[0] != 2 {
+		t.Errorf("d0 = %d, want 2 (bit 33 mod 32)", c.D[0])
+	}
+}
+
+func TestBitOpsOnMemoryAreByteSizedModulo8(t *testing.T) {
+	c := run(t, `
+		.equ X, $2000
+		move.b  #0, X
+		bset    #9, X        ; 9 mod 8 = 1
+		bset    #0, X
+		bchg    #1, X        ; clears bit 1 again
+		halt
+	`)
+	v, _ := c.Mem.Read(0x2000, Byte)
+	if v != 1 {
+		t.Errorf("mem = %d, want 1", v)
+	}
+}
+
+func TestBitOpProperty(t *testing.T) {
+	// bset then bclr of the same bit restores the value; bchg twice
+	// likewise.
+	f := func(v uint32, bit uint8) bool {
+		b := uint32(bit) % 32
+		p := MustAssemble(`
+			bset    d1, d0
+			bclr    d1, d0
+			bchg    d1, d2
+			bchg    d1, d2
+			halt
+		`)
+		c := NewCPU(p, NewMemory(256))
+		c.D[0] = v
+		c.D[1] = b
+		c.D[2] = v
+		if st := c.Run(10); st != StatusHalted {
+			return false
+		}
+		return c.D[0] == v&^(1<<b) && c.D[2] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitOpOnDeviceRejected(t *testing.T) {
+	p := MustAssemble(`
+		movea.l #$F10000, a0
+		bset    #1, (a0)
+		halt
+	`)
+	c := NewCPU(p, NewMemory(256))
+	c.Dev = nullDev{}
+	if st := c.Run(10); st != StatusError {
+		t.Errorf("bit RMW on device: status %v, want error", st)
+	}
+}
+
+type nullDev struct{}
+
+func (nullDev) Load(addr uint32, sz Size, clock int64) (uint32, int64, bool) { return 0, 0, true }
+func (nullDev) Store(addr uint32, sz Size, val uint32, clock int64) (int64, bool) {
+	return 0, true
+}
+
+func TestMulsSigned(t *testing.T) {
+	c := run(t, `
+		move.w  #-3, d0
+		move.w  #7, d1
+		muls.w  d1, d0       ; -21
+		halt
+	`)
+	if int32(c.D[0]) != -21 {
+		t.Errorf("muls = %d, want -21", int32(c.D[0]))
+	}
+}
+
+func TestMulsCyclesPattern(t *testing.T) {
+	// MULS timing counts 01/10 boundaries of src<<1: 0x0000 has none
+	// (38 cycles); 0x5555 alternates everywhere (38+2*16).
+	if got := MulsCycles(0); got != 38 {
+		t.Errorf("MulsCycles(0) = %d", got)
+	}
+	if got := MulsCycles(0x5555); got != 38+2*16 {
+		t.Errorf("MulsCycles(0x5555) = %d, want 70", got)
+	}
+}
+
+func TestSetmaskAssemblesAndReports(t *testing.T) {
+	p := MustAssemble("setmask #5\n halt")
+	c := NewCPU(p, NewMemory(256))
+	if st := c.Step(); st != StatusSetMask {
+		t.Fatalf("status = %v, want setmask", st)
+	}
+	if c.LastMask != 5 {
+		t.Errorf("LastMask = %d", c.LastMask)
+	}
+	if st := c.Step(); st != StatusHalted {
+		t.Errorf("second step = %v", st)
+	}
+}
+
+func TestPostIncTwiceSameRegister(t *testing.T) {
+	// move.w (a0)+, (a0)+ copies mem[a0] to mem[a0+2] and bumps a0 by 4.
+	c := run(t, `
+		.equ BUF, $1000
+		movea.l #BUF, a0
+		move.w  #1234, BUF
+		move.w  (a0)+, (a0)+
+		halt
+	`)
+	v, _ := c.Mem.Read(0x1002, Word)
+	if v != 1234 {
+		t.Errorf("copied value = %d", v)
+	}
+	if c.A[0] != 0x1004 {
+		t.Errorf("a0 = $%X, want $1004", c.A[0])
+	}
+}
+
+func TestNestedSubroutines(t *testing.T) {
+	c := run(t, `
+		moveq   #1, d0
+		jsr     outer
+		halt
+outer:	addq.w  #2, d0
+		jsr     inner
+		addq.w  #4, d0
+		rts
+inner:	addq.w  #8, d0
+		rts
+	`)
+	if got := c.D[0] & 0xFF; got != 15 {
+		t.Errorf("d0 = %d, want 15", got)
+	}
+}
+
+func TestNegAndNotFlags(t *testing.T) {
+	c := run(t, `
+		moveq   #0, d0
+		neg.w   d0           ; 0: Z=1, C=0
+		halt
+	`)
+	if !c.Z || c.C {
+		t.Errorf("neg 0: Z=%v C=%v", c.Z, c.C)
+	}
+	c = run(t, `
+		moveq   #1, d0
+		neg.w   d0           ; $FFFF: N=1, C=1
+		halt
+	`)
+	if !c.N || !c.C || c.D[0]&0xFFFF != 0xFFFF {
+		t.Errorf("neg 1: N=%v C=%v d0=%x", c.N, c.C, c.D[0]&0xFFFF)
+	}
+}
+
+func TestFixedMulCyclesAblation(t *testing.T) {
+	src := "mulu.w d1, d0\n halt"
+	timed := func(fixed int64, operand uint32) int64 {
+		c := NewCPU(MustAssemble(src), NewMemory(256))
+		c.FixedMulCycles = fixed
+		c.D[1] = operand
+		if st := c.Run(10); st != StatusHalted {
+			t.Fatalf("status %v", st)
+		}
+		return c.Clock
+	}
+	// Data-dependent: different operands, different times.
+	if timed(0, 0x0000) == timed(0, 0xFFFF) {
+		t.Error("data dependence missing")
+	}
+	// Fixed: identical times regardless of data.
+	if timed(54, 0x0000) != timed(54, 0xFFFF) {
+		t.Error("fixed multiply time still data-dependent")
+	}
+}

@@ -1,0 +1,513 @@
+package m68k
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// run assembles src, loads it on a CPU with a 64 KiB memory, runs to
+// halt, and returns the CPU.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	c := NewCPU(p, NewMemory(64*1024))
+	c.FetchFromMem = true
+	c.A[7] = 0x8000 // stack
+	st := c.Run(1 << 20)
+	if st != StatusHalted {
+		t.Fatalf("status = %v (err=%v, pc=%d)", st, c.Err, c.PC)
+	}
+	return c
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	c := run(t, `
+		moveq   #10, d0
+		moveq   #3, d1
+		add.w   d1, d0      ; d0 = 13
+		sub.w   #1, d0      ; d0 = 12
+		move.w  d0, d2
+		mulu.w  d2, d2      ; d2 = 144
+		divu.w  #12, d2     ; d2 = 12 rem 0
+		halt
+	`)
+	if got := c.D[0] & 0xFFFF; got != 12 {
+		t.Errorf("d0 = %d, want 12", got)
+	}
+	if got := c.D[2] & 0xFFFF; got != 12 {
+		t.Errorf("d2 quotient = %d, want 12", got)
+	}
+	if got := c.D[2] >> 16; got != 0 {
+		t.Errorf("d2 remainder = %d, want 0", got)
+	}
+}
+
+func TestMemoryAddressing(t *testing.T) {
+	c := run(t, `
+		.equ BUF, $1000
+		movea.l #BUF, a0
+		move.w  #111, (a0)+
+		move.w  #222, (a0)+
+		move.w  #333, (a0)
+		movea.l #BUF, a1
+		move.w  (a1)+, d0    ; 111
+		move.w  (a1)+, d1    ; 222
+		move.w  4(a1), d3    ; reads BUF+8 = 0
+		move.w  -4(a1), d4   ; reads BUF+0 = 111
+		move.w  -(a1), d2    ; back to BUF+2 -> 222
+		halt
+	`)
+	if c.D[0]&0xFFFF != 111 || c.D[1]&0xFFFF != 222 || c.D[2]&0xFFFF != 222 {
+		t.Errorf("d0,d1,d2 = %d,%d,%d", c.D[0]&0xFFFF, c.D[1]&0xFFFF, c.D[2]&0xFFFF)
+	}
+	if c.D[4]&0xFFFF != 111 {
+		t.Errorf("d4 = %d, want 111", c.D[4]&0xFFFF)
+	}
+	v, _ := c.Mem.Read(0x1004, Word)
+	if v != 333 {
+		t.Errorf("mem[0x1004] = %d, want 333", v)
+	}
+	if c.A[1] != 0x1002 {
+		t.Errorf("a1 = %#x, want 0x1002", c.A[1])
+	}
+}
+
+func TestRMWToMemory(t *testing.T) {
+	c := run(t, `
+		.equ X, $2000
+		move.w  #5, X
+		moveq   #7, d0
+		add.w   d0, X        ; X = 12
+		sub.w   #2, X        ; X = 10  (subi form)
+		halt
+	`)
+	v, _ := c.Mem.Read(0x2000, Word)
+	if v != 10 {
+		t.Errorf("X = %d, want 10", v)
+	}
+}
+
+func TestLoopsAndBranches(t *testing.T) {
+	// Sum 1..10 with dbra.
+	c := run(t, `
+		moveq   #0, d0       ; sum
+		moveq   #10, d1      ; i
+loop:	add.w   d1, d0
+		subq.w  #1, d1
+		bne     loop
+		halt
+	`)
+	if got := c.D[0] & 0xFFFF; got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+
+	c = run(t, `
+		moveq   #0, d0
+		moveq   #4, d1       ; dbra runs body 5 times (4..0)
+loop:	addq.w  #1, d0
+		dbra    d1, loop
+		halt
+	`)
+	if got := c.D[0] & 0xFFFF; got != 5 {
+		t.Errorf("dbra iterations = %d, want 5", got)
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint32
+	}{
+		{"beq-taken", "moveq #0, d1\n tst.w d1\n beq yes\n moveq #0, d0\n bra end\nyes: moveq #1, d0\nend: halt", 1},
+		{"bne-not", "moveq #0, d1\n tst.w d1\n bne yes\n moveq #2, d0\n bra end\nyes: moveq #1, d0\nend: halt", 2},
+		{"blt-signed", "moveq #-5, d1\n cmp.w #3, d1\n blt yes\n moveq #0, d0\n bra end\nyes: moveq #1, d0\nend: halt", 1},
+		{"bhi-unsigned", "move.w #$FFF0, d1\n cmp.w #3, d1\n bhi yes\n moveq #0, d0\n bra end\nyes: moveq #1, d0\nend: halt", 1},
+		{"bge-equal", "moveq #3, d1\n cmp.w #3, d1\n bge yes\n moveq #0, d0\n bra end\nyes: moveq #1, d0\nend: halt", 1},
+	}
+	for _, tc := range cases {
+		c := run(t, tc.src)
+		if got := c.D[0] & 0xFF; got != tc.want {
+			t.Errorf("%s: d0 = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestShiftsAndLogic(t *testing.T) {
+	c := run(t, `
+		move.w  #$00F0, d0
+		lsl.w   #4, d0       ; $0F00
+		move.w  #$8001, d1
+		lsr.w   #1, d1       ; $4000
+		move.w  #$8000, d2
+		asr.w   #2, d2       ; $E000 (sign fill)
+		move.w  #$F00F, d3
+		and.w   #$0FF0, d3   ; $0000
+		move.w  #$0F00, d4
+		or.w    #$00F0, d4   ; $0FF0
+		move.w  #$FFFF, d5
+		eor.w   #$F0F0, d5   ; $0F0F
+		move.w  #$1234, d6
+		rol.w   #4, d6       ; $2341
+		not.w   d6           ; $DCBE
+		halt
+	`)
+	want := map[int]uint32{0: 0x0F00, 1: 0x4000, 2: 0xE000, 3: 0, 4: 0x0FF0, 5: 0x0F0F, 6: 0xDCBE}
+	for r, w := range want {
+		if got := c.D[r] & 0xFFFF; got != w {
+			t.Errorf("d%d = $%04X, want $%04X", r, got, w)
+		}
+	}
+}
+
+func TestSwapExtExg(t *testing.T) {
+	c := run(t, `
+		move.l  #$12345678, d0
+		swap    d0           ; $56781234
+		move.w  #$0080, d1
+		ext.w   d1           ; $FF80
+		move.w  #$8000, d2
+		ext.l   d2           ; $FFFF8000
+		moveq   #1, d3
+		moveq   #2, d4
+		exg     d3, d4
+		halt
+	`)
+	if c.D[0] != 0x56781234 {
+		t.Errorf("swap: d0 = $%08X", c.D[0])
+	}
+	if c.D[1]&0xFFFF != 0xFF80 {
+		t.Errorf("ext.w: d1 = $%04X", c.D[1]&0xFFFF)
+	}
+	if c.D[2] != 0xFFFF8000 {
+		t.Errorf("ext.l: d2 = $%08X", c.D[2])
+	}
+	if c.D[3] != 2 || c.D[4] != 1 {
+		t.Errorf("exg: d3=%d d4=%d", c.D[3], c.D[4])
+	}
+}
+
+func TestSubroutines(t *testing.T) {
+	c := run(t, `
+		moveq   #5, d0
+		jsr     double
+		jsr     double
+		halt
+double:	add.w   d0, d0
+		rts
+	`)
+	if got := c.D[0] & 0xFFFF; got != 20 {
+		t.Errorf("d0 = %d, want 20", got)
+	}
+}
+
+func TestAddressRegisterOps(t *testing.T) {
+	c := run(t, `
+		movea.l #$1000, a0
+		adda.l  #$20, a0
+		suba.l  #$10, a0
+		addq.l  #2, a0
+		movea.w #$FFFE, a1   ; sign-extends to $FFFFFFFE
+		halt
+	`)
+	if c.A[0] != 0x1012 {
+		t.Errorf("a0 = $%X, want $1012", c.A[0])
+	}
+	if c.A[1] != 0xFFFFFFFE {
+		t.Errorf("a1 = $%X, want $FFFFFFFE", c.A[1])
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	c := run(t, `
+		.equ B, $3000
+		move.b  #$AB, B
+		move.b  B, d0
+		move.w  #$1234, d1
+		move.b  d1, B+1
+		move.w  B, d2        ; $AB34
+		halt
+	`)
+	if c.D[0]&0xFF != 0xAB {
+		t.Errorf("d0 = $%X", c.D[0]&0xFF)
+	}
+	if c.D[2]&0xFFFF != 0xAB34 {
+		t.Errorf("d2 = $%04X, want $AB34", c.D[2]&0xFFFF)
+	}
+}
+
+func TestDivuOverflowAndDivZero(t *testing.T) {
+	c := run(t, `
+		move.l  #$00200000, d0
+		divu.w  #2, d0       ; quotient $100000 > $FFFF: overflow, d0 unchanged
+		halt
+	`)
+	if c.D[0] != 0x00200000 {
+		t.Errorf("d0 = $%X, want unchanged on overflow", c.D[0])
+	}
+	if !c.V {
+		t.Error("V flag not set on DIVU overflow")
+	}
+
+	p := MustAssemble("moveq #0, d1\n divu.w d1, d0\n halt")
+	cpu := NewCPU(p, NewMemory(4096))
+	if st := cpu.Run(100); st != StatusError {
+		t.Fatalf("status = %v, want error on divide by zero", st)
+	}
+}
+
+func TestAddressErrorOnOddWordAccess(t *testing.T) {
+	p := MustAssemble("move.w $1001, d0\n halt")
+	c := NewCPU(p, NewMemory(4096))
+	if st := c.Run(10); st != StatusError {
+		t.Fatalf("status = %v, want error", st)
+	}
+	if _, ok := c.Err.(*AddressError); !ok {
+		// errf wraps; just check text
+		if c.Err == nil || !contains(c.Err.Error(), "address error") {
+			t.Errorf("err = %v, want address error", c.Err)
+		}
+	}
+}
+
+func TestBoundsError(t *testing.T) {
+	p := MustAssemble("move.w $F000, d0\n halt") // beyond the 4 KiB memory
+	c := NewCPU(p, NewMemory(4096))
+	if st := c.Run(10); st != StatusError {
+		t.Fatalf("status = %v, want error", st)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+// Property: MULU computes the exact 32-bit product of 16-bit operands,
+// and its cycle count follows 38+2*ones exactly.
+func TestMuluProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := MustAssemble(`
+			mulu.w  d1, d0
+			halt
+		`)
+		c := NewCPU(p, NewMemory(1024))
+		c.D[0] = uint32(a)
+		c.D[1] = uint32(b)
+		before := c.Clock
+		if st := c.Run(10); st != StatusHalted {
+			return false
+		}
+		if c.D[0] != uint32(a)*uint32(b) {
+			return false
+		}
+		// First instruction time: MULU table time only (register
+		// source, no fetch penalty configured).
+		muluTime := c.Clock - before - 4 // minus HALT
+		return muluTime == MuluCycles(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ADD.W sets Z and N consistently with the 16-bit result.
+func TestAddFlagsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := MustAssemble("add.w d1, d0\n halt")
+		c := NewCPU(p, NewMemory(1024))
+		c.D[0] = uint32(a)
+		c.D[1] = uint32(b)
+		if st := c.Run(10); st != StatusHalted {
+			return false
+		}
+		r := uint16(a + b)
+		if (r == 0) != c.Z {
+			return false
+		}
+		if (r&0x8000 != 0) != c.N {
+			return false
+		}
+		carry := uint32(a)+uint32(b) > 0xFFFF
+		return carry == c.C && c.C == c.X
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CMP leaves both operands unchanged and orders unsigned
+// values via the carry flag.
+func TestCmpProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := MustAssemble("cmp.w d1, d0\n halt")
+		c := NewCPU(p, NewMemory(1024))
+		c.D[0] = uint32(a)
+		c.D[1] = uint32(b)
+		if st := c.Run(10); st != StatusHalted {
+			return false
+		}
+		if c.D[0] != uint32(a) || c.D[1] != uint32(b) {
+			return false
+		}
+		return c.C == (b > a) && c.Z == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuluCyclesTable(t *testing.T) {
+	cases := []struct {
+		src  uint16
+		want int64
+	}{
+		{0x0000, 38},
+		{0xFFFF, 70}, // worst case in the 68000 manual
+		{0x0001, 40},
+		{0x8000, 40},
+		{0x00FF, 54},
+	}
+	for _, tc := range cases {
+		if got := MuluCycles(tc.src); got != tc.want {
+			t.Errorf("MuluCycles(%#x) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+	// Exhaustive consistency with the definition.
+	for v := 0; v < 0x10000; v++ {
+		if MuluCycles(uint16(v)) != 38+2*int64(bits.OnesCount16(uint16(v))) {
+			t.Fatalf("MuluCycles inconsistent at %#x", v)
+		}
+	}
+}
+
+func TestTimingFetchWaitStates(t *testing.T) {
+	src := `
+		move.w  d0, d1
+		move.w  d0, d1
+		move.w  d0, d1
+		move.w  d0, d1
+		halt
+	`
+	// No wait states (SIMD-queue-like fetch).
+	p := MustAssemble(src)
+	fast := NewCPU(p, NewMemory(1024))
+	fast.FetchFromMem = true // memory has zero wait states anyway
+	fast.Run(100)
+
+	// One wait state per access (PE DRAM fetch).
+	slow := NewCPU(MustAssemble(src), NewMemory(1024))
+	slow.Mem.WaitStates = 1
+	slow.FetchFromMem = true
+	slow.Run(100)
+
+	if slow.Clock <= fast.Clock {
+		t.Errorf("DRAM fetch (%d cycles) not slower than 0-wait fetch (%d)", slow.Clock, fast.Clock)
+	}
+	// Each of the 5 single-word instructions costs exactly 1 extra cycle.
+	if slow.Clock-fast.Clock != 5 {
+		t.Errorf("wait-state delta = %d, want 5", slow.Clock-fast.Clock)
+	}
+}
+
+func TestRefreshInterference(t *testing.T) {
+	src := "loop: add.w d0, d1\n dbra d2, loop\n halt"
+	mk := func(period, stall int64) int64 {
+		c := NewCPU(MustAssemble(src), NewMemory(1024))
+		c.Mem.RefreshPeriod = period
+		c.Mem.RefreshStall = stall
+		c.FetchFromMem = true
+		c.D[2] = 999
+		if st := c.Run(1 << 16); st != StatusHalted {
+			t.Fatalf("status %v", st)
+		}
+		return c.Clock
+	}
+	base := mk(0, 0)
+	withRefresh := mk(128, 6)
+	if withRefresh <= base {
+		t.Errorf("refresh did not slow execution: %d vs %d", withRefresh, base)
+	}
+	overhead := float64(withRefresh-base) / float64(base)
+	if overhead > 0.10 {
+		t.Errorf("refresh overhead %.1f%% implausibly high", overhead*100)
+	}
+}
+
+func TestRegionAccounting(t *testing.T) {
+	c := run(t, `
+		.region mult
+		mulu.w  d1, d0
+		.region comm
+		move.w  d2, d3
+		.region other
+		halt
+	`)
+	if c.Regions[RegionMult] == 0 || c.Regions[RegionComm] == 0 {
+		t.Errorf("regions not accounted: %v", c.Regions)
+	}
+	total := int64(0)
+	for _, v := range c.Regions {
+		total += v
+	}
+	if total != c.Clock {
+		t.Errorf("region sum %d != clock %d", total, c.Clock)
+	}
+}
+
+func TestCPUReset(t *testing.T) {
+	c := run(t, "moveq #9, d0\n halt")
+	c.Reset()
+	if c.D[0] != 0 || c.Clock != 0 || c.Halted || c.PC != 0 || c.InstrCount != 0 {
+		t.Errorf("Reset left state: %+v", c)
+	}
+	if st := c.Run(100); st != StatusHalted {
+		t.Errorf("re-run after Reset: %v", st)
+	}
+}
+
+func TestStackAndMemoryHelpers(t *testing.T) {
+	m := NewMemory(1024)
+	if err := m.WriteWords(0x100, []uint16{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := m.ReadWords(0x100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0] != 1 || ws[1] != 2 || ws[2] != 3 {
+		t.Errorf("ReadWords = %v", ws)
+	}
+	// Big-endian layout.
+	b, _ := m.Read(0x100, Byte)
+	if b != 0 {
+		t.Errorf("high byte = %d, want 0", b)
+	}
+	b, _ = m.Read(0x101, Byte)
+	if b != 1 {
+		t.Errorf("low byte = %d, want 1", b)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	// An infinite loop exhausts the step budget and returns StatusOK.
+	p := MustAssemble("loop: bra loop")
+	c := NewCPU(p, NewMemory(256))
+	if st := c.Run(100); st != StatusOK {
+		t.Errorf("status = %v, want OK (budget exhausted)", st)
+	}
+	if c.InstrCount != 100 {
+		t.Errorf("InstrCount = %d, want 100", c.InstrCount)
+	}
+}

@@ -1,0 +1,475 @@
+package m68k
+
+import "fmt"
+
+// Decode disassembles MC68000 machine words (as produced by Encode)
+// back into a Program. Branch and jump targets are resolved to
+// instruction indices; labels and SIMD blocks are not reconstructed
+// (they are assembler artifacts). Decode supports exactly the
+// simulated subset; any other opcode is an error.
+func Decode(words []uint16) (*Program, error) {
+	d := &decoder{words: words}
+	// First pass: decode instructions, recording their word addresses.
+	for d.pos < len(d.words) {
+		start := d.pos
+		in, err := d.next()
+		if err != nil {
+			return nil, fmt.Errorf("m68k: decode at word %d (%04x): %w", start, d.words[start], err)
+		}
+		in.Words = uint8(d.pos - start)
+		d.addrs = append(d.addrs, int32(start*2))
+		d.instrs = append(d.instrs, in)
+	}
+	// Second pass: resolve branch byte addresses to instruction indices.
+	byAddr := map[int32]int{}
+	for i, a := range d.addrs {
+		byAddr[a] = i
+	}
+	end := int32(len(words) * 2)
+	for i := range d.instrs {
+		in := &d.instrs[i]
+		if in.Op != BCC && in.Op != DBCC && !(in.Op == JMP || in.Op == JSR) {
+			continue
+		}
+		if in.Dst.Mode != ModeLabel {
+			continue
+		}
+		target := in.Dst.Val // byte address stashed by next()
+		var idx int
+		if target == end {
+			idx = len(d.instrs)
+		} else {
+			j, ok := byAddr[target]
+			if !ok {
+				return nil, fmt.Errorf("m68k: branch at instruction %d targets mid-instruction address $%X", i, target)
+			}
+			idx = j
+		}
+		in.Dst.Val = int32(idx)
+	}
+	return &Program{Instrs: d.instrs, Labels: map[string]int{}, Blocks: map[string]BlockRange{}}, nil
+}
+
+type decoder struct {
+	words  []uint16
+	pos    int
+	instrs []Instr
+	addrs  []int32
+}
+
+func (d *decoder) fetch() (uint16, error) {
+	if d.pos >= len(d.words) {
+		return 0, fmt.Errorf("truncated instruction")
+	}
+	w := d.words[d.pos]
+	d.pos++
+	return w, nil
+}
+
+// ea decodes a 6-bit mode/register field, consuming extension words.
+func (d *decoder) ea(field uint16, sz Size) (Operand, error) {
+	mode := field >> 3
+	reg := uint8(field & 7)
+	switch mode {
+	case 0:
+		return Operand{Mode: ModeDataReg, Reg: reg}, nil
+	case 1:
+		return Operand{Mode: ModeAddrReg, Reg: reg}, nil
+	case 2:
+		return Operand{Mode: ModeIndirect, Reg: reg}, nil
+	case 3:
+		return Operand{Mode: ModePostInc, Reg: reg}, nil
+	case 4:
+		return Operand{Mode: ModePreDec, Reg: reg}, nil
+	case 5:
+		w, err := d.fetch()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Mode: ModeDisp, Reg: reg, Val: int32(int16(w))}, nil
+	case 7:
+		switch reg {
+		case 0:
+			w, err := d.fetch()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Mode: ModeAbs, Val: int32(w)}, nil
+		case 1:
+			hi, err := d.fetch()
+			if err != nil {
+				return Operand{}, err
+			}
+			lo, err := d.fetch()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Mode: ModeAbs, Val: int32(uint32(hi)<<16 | uint32(lo))}, nil
+		case 4:
+			if sz == Long {
+				hi, err := d.fetch()
+				if err != nil {
+					return Operand{}, err
+				}
+				lo, err := d.fetch()
+				if err != nil {
+					return Operand{}, err
+				}
+				return Operand{Mode: ModeImm, Val: int32(uint32(hi)<<16 | uint32(lo))}, nil
+			}
+			w, err := d.fetch()
+			if err != nil {
+				return Operand{}, err
+			}
+			if sz == Byte {
+				return Operand{Mode: ModeImm, Val: int32(int8(w))}, nil
+			}
+			return Operand{Mode: ModeImm, Val: int32(int16(w))}, nil
+		}
+	}
+	return Operand{}, fmt.Errorf("unsupported addressing mode %d/%d", mode, reg)
+}
+
+func sizeFromBits(b uint16) (Size, error) {
+	switch b {
+	case 0:
+		return Byte, nil
+	case 1:
+		return Word, nil
+	case 2:
+		return Long, nil
+	}
+	return 0, fmt.Errorf("bad size field")
+}
+
+// next decodes one instruction.
+func (d *decoder) next() (Instr, error) {
+	op, err := d.fetch()
+	if err != nil {
+		return Instr{}, err
+	}
+	base := d.pos * 2 // byte address after the opcode word
+
+	switch {
+	case op == 0x4E71:
+		return Instr{Op: NOP, Size: Word}, nil
+	case op == 0x4AFC:
+		return Instr{Op: HALT, Size: Word}, nil
+	case op == 0x4E75:
+		return Instr{Op: RTS, Size: Word}, nil
+	}
+
+	switch op >> 12 {
+	case 0x0: // immediates and bit ops
+		if op&0x0100 != 0 || op&0x0F00 == 0x0800 {
+			// bit operations
+			tt := op >> 6 & 3
+			bop := [4]Op{BTST, BCHG, BCLR, BSET}[tt]
+			var src Operand
+			if op&0x0100 != 0 {
+				src = Operand{Mode: ModeDataReg, Reg: uint8(op >> 9 & 7)}
+			} else {
+				w, err := d.fetch()
+				if err != nil {
+					return Instr{}, err
+				}
+				src = Operand{Mode: ModeImm, Val: int32(w)}
+			}
+			dst, err := d.ea(op&0x3F, Byte)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: bop, Size: Byte, Src: src, Dst: dst}, nil
+		}
+		var iop Op
+		switch op & 0x0F00 {
+		case 0x0000:
+			iop = ORI
+		case 0x0200:
+			iop = ANDI
+		case 0x0400:
+			iop = SUBI
+		case 0x0600:
+			iop = ADDI
+		case 0x0A00:
+			iop = EORI
+		case 0x0C00:
+			iop = CMPI
+		default:
+			return Instr{}, fmt.Errorf("unsupported 0000-family opcode %04x", op)
+		}
+		sz, err := sizeFromBits(op >> 6 & 3)
+		if err != nil {
+			return Instr{}, err
+		}
+		src, err := d.ea(eaImm, sz) // immediate comes first
+		if err != nil {
+			return Instr{}, err
+		}
+		dst, err := d.ea(op&0x3F, sz)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: iop, Size: sz, Src: src, Dst: dst}, nil
+
+	case 0x1, 0x2, 0x3: // MOVE / MOVEA
+		var sz Size
+		switch op >> 12 {
+		case 1:
+			sz = Byte
+		case 3:
+			sz = Word
+		default:
+			sz = Long
+		}
+		src, err := d.ea(op&0x3F, sz)
+		if err != nil {
+			return Instr{}, err
+		}
+		dstField := (op>>9)&7 | (op>>6&7)<<3
+		if dstField>>3 == 1 { // address register destination: MOVEA
+			return Instr{Op: MOVEA, Size: sz, Src: src, Dst: Operand{Mode: ModeAddrReg, Reg: uint8(dstField & 7)}}, nil
+		}
+		dst, err := d.ea(dstField, sz)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVE, Size: sz, Src: src, Dst: dst}, nil
+
+	case 0x4:
+		switch {
+		case op&0xFF00 == 0x4200, op&0xFF00 == 0x4400, op&0xFF00 == 0x4600, op&0xFF00 == 0x4A00:
+			sop := map[uint16]Op{0x4200: CLR, 0x4400: NEG, 0x4600: NOT, 0x4A00: TST}[op&0xFF00]
+			sz, err := sizeFromBits(op >> 6 & 3)
+			if err != nil {
+				return Instr{}, err
+			}
+			dst, err := d.ea(op&0x3F, sz)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: sop, Size: sz, Dst: dst}, nil
+		case op&0xFFF8 == 0x4840:
+			return Instr{Op: SWAP, Size: Word, Dst: Operand{Mode: ModeDataReg, Reg: uint8(op & 7)}}, nil
+		case op&0xFFF8 == 0x4880:
+			return Instr{Op: EXT, Size: Word, Dst: Operand{Mode: ModeDataReg, Reg: uint8(op & 7)}}, nil
+		case op&0xFFF8 == 0x48C0:
+			return Instr{Op: EXT, Size: Long, Dst: Operand{Mode: ModeDataReg, Reg: uint8(op & 7)}}, nil
+		case op&0xF1C0 == 0x41C0:
+			src, err := d.ea(op&0x3F, Long)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: LEA, Size: Long, Src: src,
+				Dst: Operand{Mode: ModeAddrReg, Reg: uint8(op >> 9 & 7)}}, nil
+		case op&0xFFC0 == 0x4EC0, op&0xFFC0 == 0x4E80:
+			jop := JMP
+			if op&0xFFC0 == 0x4E80 {
+				jop = JSR
+			}
+			dst, err := d.ea(op&0x3F, Word)
+			if err != nil {
+				return Instr{}, err
+			}
+			if dst.Mode == ModeAbs {
+				// Absolute targets inside the image are labels.
+				return Instr{Op: jop, Size: Word, Dst: Operand{Mode: ModeLabel, Val: dst.Val}}, nil
+			}
+			return Instr{Op: jop, Size: Word, Dst: dst}, nil
+		}
+		return Instr{}, fmt.Errorf("unsupported 0100-family opcode %04x", op)
+
+	case 0x5: // ADDQ/SUBQ/DBcc
+		if op&0x00C0 == 0x00C0 {
+			// DBcc
+			cond, ok := condFromBits[op>>8&0xF]
+			if !ok {
+				return Instr{}, fmt.Errorf("bad DBcc condition")
+			}
+			disp, err := d.fetch()
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: DBCC, Cond: cond, Size: Word,
+				Src: Operand{Mode: ModeDataReg, Reg: uint8(op & 7)},
+				Dst: Operand{Mode: ModeLabel, Val: int32(base) + int32(int16(disp))}}, nil
+		}
+		qop := ADDQ
+		if op&0x0100 != 0 {
+			qop = SUBQ
+		}
+		sz, err := sizeFromBits(op >> 6 & 3)
+		if err != nil {
+			return Instr{}, err
+		}
+		data := int32(op >> 9 & 7)
+		if data == 0 {
+			data = 8
+		}
+		dst, err := d.ea(op&0x3F, sz)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: qop, Size: sz, Src: Operand{Mode: ModeImm, Val: data}, Dst: dst}, nil
+
+	case 0x6: // Bcc
+		cond, ok := condFromBits[op>>8&0xF]
+		if !ok || cond == CondF {
+			return Instr{}, fmt.Errorf("BSR not supported")
+		}
+		disp := int32(int8(op & 0xFF))
+		if disp == 0 {
+			w, err := d.fetch()
+			if err != nil {
+				return Instr{}, err
+			}
+			disp = int32(int16(w))
+		}
+		return Instr{Op: BCC, Cond: cond, Size: Word,
+			Dst: Operand{Mode: ModeLabel, Val: int32(base) + disp}}, nil
+
+	case 0x7: // MOVEQ
+		return Instr{Op: MOVEQ, Size: Long,
+			Src: Operand{Mode: ModeImm, Val: int32(int8(op & 0xFF))},
+			Dst: Operand{Mode: ModeDataReg, Reg: uint8(op >> 9 & 7)}}, nil
+
+	case 0x8, 0x9, 0xB, 0xC, 0xD:
+		return d.decodeALU(op)
+
+	case 0xE: // shifts
+		tt := op >> 3 & 3
+		var sop Op
+		left := op&0x0100 != 0
+		switch tt {
+		case 0:
+			sop = ASR
+			if left {
+				sop = ASL
+			}
+		case 1:
+			sop = LSR
+			if left {
+				sop = LSL
+			}
+		case 3:
+			sop = ROR
+			if left {
+				sop = ROL
+			}
+		default:
+			return Instr{}, fmt.Errorf("ROX shifts unsupported")
+		}
+		sz, err := sizeFromBits(op >> 6 & 3)
+		if err != nil {
+			return Instr{}, err
+		}
+		var src Operand
+		if op&0x0020 != 0 {
+			src = Operand{Mode: ModeDataReg, Reg: uint8(op >> 9 & 7)}
+		} else {
+			cnt := int32(op >> 9 & 7)
+			if cnt == 0 {
+				cnt = 8
+			}
+			src = Operand{Mode: ModeImm, Val: cnt}
+		}
+		return Instr{Op: sop, Size: sz, Src: src,
+			Dst: Operand{Mode: ModeDataReg, Reg: uint8(op & 7)}}, nil
+	}
+	return Instr{}, fmt.Errorf("unsupported opcode %04x", op)
+}
+
+// decodeALU handles the 1000/1001/1011/1100/1101 families.
+func (d *decoder) decodeALU(op uint16) (Instr, error) {
+	family := op >> 12
+	opmode := op >> 6 & 7
+	reg := uint8(op >> 9 & 7)
+
+	// MULU/MULS/DIVU special opmodes.
+	if opmode == 3 || opmode == 7 {
+		switch family {
+		case 0xC:
+			mop := MULU
+			if opmode == 7 {
+				mop = MULS
+			}
+			src, err := d.ea(op&0x3F, Word)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: mop, Size: Word, Src: src, Dst: Operand{Mode: ModeDataReg, Reg: reg}}, nil
+		case 0x8:
+			if opmode == 3 {
+				src, err := d.ea(op&0x3F, Word)
+				if err != nil {
+					return Instr{}, err
+				}
+				return Instr{Op: DIVU, Size: Word, Src: src, Dst: Operand{Mode: ModeDataReg, Reg: reg}}, nil
+			}
+		case 0x9, 0xB, 0xD:
+			// ADDA/CMPA/SUBA
+			aop := map[uint16]Op{0x9: SUBA, 0xB: CMPA, 0xD: ADDA}[family]
+			sz := Word
+			if opmode == 7 {
+				sz = Long
+			}
+			src, err := d.ea(op&0x3F, sz)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: aop, Size: sz, Src: src, Dst: Operand{Mode: ModeAddrReg, Reg: reg}}, nil
+		}
+	}
+
+	// EXG (inside the 1100 family).
+	if family == 0xC && (op&0x01F8 == 0x0140 || op&0x01F8 == 0x0148 || op&0x01F8 == 0x0188) {
+		rx, ry := uint8(op>>9&7), uint8(op&7)
+		switch op & 0x01F8 {
+		case 0x0140:
+			return Instr{Op: EXG, Size: Long,
+				Src: Operand{Mode: ModeDataReg, Reg: rx}, Dst: Operand{Mode: ModeDataReg, Reg: ry}}, nil
+		case 0x0148:
+			return Instr{Op: EXG, Size: Long,
+				Src: Operand{Mode: ModeAddrReg, Reg: rx}, Dst: Operand{Mode: ModeAddrReg, Reg: ry}}, nil
+		default:
+			return Instr{Op: EXG, Size: Long,
+				Src: Operand{Mode: ModeDataReg, Reg: rx}, Dst: Operand{Mode: ModeAddrReg, Reg: ry}}, nil
+		}
+	}
+
+	sz, err := sizeFromBits(opmode & 3)
+	if err != nil {
+		return Instr{}, err
+	}
+	toEA := opmode&4 != 0
+	var aop Op
+	switch family {
+	case 0x8:
+		aop = OR
+	case 0x9:
+		aop = SUB
+	case 0xB:
+		if toEA {
+			aop = EOR
+		} else {
+			aop = CMP
+		}
+	case 0xC:
+		aop = AND
+	case 0xD:
+		aop = ADD
+	}
+	if toEA {
+		dst, err := d.ea(op&0x3F, sz)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: aop, Size: sz,
+			Src: Operand{Mode: ModeDataReg, Reg: reg}, Dst: dst}, nil
+	}
+	src, err := d.ea(op&0x3F, sz)
+	if err != nil {
+		return Instr{}, err
+	}
+	return Instr{Op: aop, Size: sz, Src: src, Dst: Operand{Mode: ModeDataReg, Reg: reg}}, nil
+}

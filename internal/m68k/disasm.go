@@ -1,0 +1,102 @@
+package m68k
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an operand in assembler syntax.
+func (o Operand) String() string {
+	switch o.Mode {
+	case ModeNone:
+		return ""
+	case ModeDataReg:
+		return fmt.Sprintf("d%d", o.Reg)
+	case ModeAddrReg:
+		return fmt.Sprintf("a%d", o.Reg)
+	case ModeIndirect:
+		return fmt.Sprintf("(a%d)", o.Reg)
+	case ModePostInc:
+		return fmt.Sprintf("(a%d)+", o.Reg)
+	case ModePreDec:
+		return fmt.Sprintf("-(a%d)", o.Reg)
+	case ModeDisp:
+		return fmt.Sprintf("%d(a%d)", o.Val, o.Reg)
+	case ModeAbs:
+		return fmt.Sprintf("$%X", uint32(o.Val))
+	case ModeImm:
+		return fmt.Sprintf("#%d", o.Val)
+	case ModeLabel:
+		return fmt.Sprintf("L%d", o.Val)
+	}
+	return "?"
+}
+
+// String renders an instruction in assembler syntax.
+func (in Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case BCC:
+		fmt.Fprintf(&b, "b%s\t%s", in.Cond, in.Dst)
+		return b.String()
+	case DBCC:
+		fmt.Fprintf(&b, "db%s\t%s, %s", in.Cond, in.Src, in.Dst)
+		return b.String()
+	case BCAST:
+		fmt.Fprintf(&b, "bcast\t[%d,%d)", in.Src.Val, in.Dst.Val)
+		return b.String()
+	}
+	b.WriteString(in.Op.String())
+	if sized(in.Op) {
+		fmt.Fprintf(&b, ".%s", in.Size)
+	}
+	if in.Src.Mode != ModeNone && in.Dst.Mode != ModeNone {
+		fmt.Fprintf(&b, "\t%s, %s", in.Src, in.Dst)
+	} else if in.Dst.Mode != ModeNone {
+		fmt.Fprintf(&b, "\t%s", in.Dst)
+	} else if in.Src.Mode != ModeNone {
+		fmt.Fprintf(&b, "\t%s", in.Src)
+	}
+	return b.String()
+}
+
+func sized(op Op) bool {
+	switch op {
+	case NOP, RTS, HALT, SWAP, EXG, LEA, MOVEQ, JMP, JSR, BCAST, BCC, DBCC:
+		return false
+	}
+	return true
+}
+
+// Disassemble renders the whole program with instruction indices,
+// labels, block boundaries, and per-instruction word counts — useful
+// for debugging generated programs.
+func (p *Program) Disassemble() string {
+	labelAt := map[int][]string{}
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	blockStart := map[int][]string{}
+	blockEnd := map[int][]string{}
+	for name, br := range p.Blocks {
+		blockStart[br.Start] = append(blockStart[br.Start], name)
+		blockEnd[br.End] = append(blockEnd[br.End], name)
+	}
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		for _, n := range blockEnd[i] {
+			fmt.Fprintf(&b, "        .endblock ; %s\n", n)
+		}
+		for _, n := range blockStart[i] {
+			fmt.Fprintf(&b, "        .block %s\n", n)
+		}
+		for _, n := range labelAt[i] {
+			fmt.Fprintf(&b, "%s:\n", n)
+		}
+		fmt.Fprintf(&b, "%5d:  %-32s ; %dw %s\n", i, in.String(), in.Words, in.Region)
+	}
+	for _, n := range blockEnd[len(p.Instrs)] {
+		fmt.Fprintf(&b, "        .endblock ; %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,377 @@
+package m68k
+
+import "fmt"
+
+// Binary encoding of the simulated subset into authentic MC68000
+// machine words, and decoding back. The simulator itself executes
+// structured instructions, but the encoder serves two purposes: it
+// lets generated programs be inspected as real 68000 object code
+// (cmd/pasmasm -hex), and — because fetch timing is driven by
+// Instr.Words — the round-trip tests cross-validate the timing model's
+// instruction lengths against the true encodings.
+//
+// Simulator pseudo-instructions: HALT encodes as ILLEGAL (0x4AFC), the
+// conventional single-word trap. BCAST and SETMASK are MC-side
+// operations implemented with Fetch Unit control registers on the real
+// machine and have no PE encoding; Encode rejects programs containing
+// them (encode the PE-side programs, which is where timing matters).
+
+// EA mode/register field values.
+const (
+	eaDataReg = 0x00 // 000 rrr
+	eaAddrReg = 0x08 // 001 rrr
+	eaInd     = 0x10 // 010 rrr
+	eaPostInc = 0x18 // 011 rrr
+	eaPreDec  = 0x20 // 100 rrr
+	eaDisp    = 0x28 // 101 rrr
+	eaAbsW    = 0x38 // 111 000
+	eaAbsL    = 0x39 // 111 001
+	eaImm     = 0x3C // 111 100
+)
+
+// eaField returns the 6-bit mode/register field and the extension
+// words for an operand.
+func eaField(o Operand, sz Size) (field uint16, ext []uint16, err error) {
+	switch o.Mode {
+	case ModeDataReg:
+		return eaDataReg | uint16(o.Reg), nil, nil
+	case ModeAddrReg:
+		return eaAddrReg | uint16(o.Reg), nil, nil
+	case ModeIndirect:
+		return eaInd | uint16(o.Reg), nil, nil
+	case ModePostInc:
+		return eaPostInc | uint16(o.Reg), nil, nil
+	case ModePreDec:
+		return eaPreDec | uint16(o.Reg), nil, nil
+	case ModeDisp:
+		return eaDisp | uint16(o.Reg), []uint16{uint16(o.Val)}, nil
+	case ModeAbs:
+		if uint32(o.Val) > 0xFFFF {
+			return eaAbsL, []uint16{uint16(uint32(o.Val) >> 16), uint16(o.Val)}, nil
+		}
+		return eaAbsW, []uint16{uint16(o.Val)}, nil
+	case ModeImm:
+		if sz == Long {
+			return eaImm, []uint16{uint16(uint32(o.Val) >> 16), uint16(o.Val)}, nil
+		}
+		return eaImm, []uint16{uint16(o.Val)}, nil
+	}
+	return 0, nil, fmt.Errorf("m68k: operand %v not encodable", o)
+}
+
+// sizeBitsMove returns the MOVE-format size field (01=B, 11=W, 10=L).
+func sizeBitsMove(sz Size) uint16 {
+	switch sz {
+	case Byte:
+		return 1
+	case Word:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// sizeBits returns the common 2-bit size field (00=B, 01=W, 10=L).
+func sizeBits(sz Size) uint16 { return uint16(sz) }
+
+// condBits maps simulator conditions to 68000 condition codes for Bcc
+// and DBcc. For Bcc, code 0001 is BSR, so CondF is not encodable; for
+// DBcc, 0001 is the standard DBF/DBRA.
+var condBits = map[Cond]uint16{
+	CondT: 0x0, CondF: 0x1,
+	CondHI: 0x2, CondLS: 0x3,
+	CondCC: 0x4, CondCS: 0x5,
+	CondNE: 0x6, CondEQ: 0x7,
+	CondVC: 0x8, CondVS: 0x9,
+	CondPL: 0xA, CondMI: 0xB,
+	CondGE: 0xC, CondLT: 0xD,
+	CondGT: 0xE, CondLE: 0xF,
+}
+
+var condFromBits = func() map[uint16]Cond {
+	m := map[uint16]Cond{}
+	for c, b := range condBits {
+		m[b] = c
+	}
+	return m
+}()
+
+// Encode assembles the program into MC68000 machine words. Branch
+// targets become real byte displacements; the result's length in words
+// equals the sum of every instruction's Words (verified by tests, and
+// relied on by the fetch-timing model).
+func (p *Program) Encode() ([]uint16, error) {
+	addr := instrAddrs(p)
+	var out []uint16
+	for i := range p.Instrs {
+		words, err := encodeInstr(p, i, addr)
+		if err != nil {
+			return nil, fmt.Errorf("m68k: instruction %d (%s, line %d): %w", i, p.Instrs[i].Op, p.Instrs[i].Line, err)
+		}
+		if len(words) != int(p.Instrs[i].Words) {
+			return nil, fmt.Errorf("m68k: instruction %d (%s): encoded to %d words but timing model says %d",
+				i, &p.Instrs[i], len(words), p.Instrs[i].Words)
+		}
+		out = append(out, words...)
+	}
+	return out, nil
+}
+
+func labelAddr(p *Program, addr []int32, idx int32) (int32, error) {
+	if idx < 0 || int(idx) > len(p.Instrs) {
+		return 0, fmt.Errorf("branch target %d outside program", idx)
+	}
+	if int(idx) == len(p.Instrs) {
+		return endAddr(p, addr), nil
+	}
+	return addr[idx], nil
+}
+
+func encodeInstr(p *Program, i int, addr []int32) ([]uint16, error) {
+	in := &p.Instrs[i]
+	sz := in.Size
+	switch in.Op {
+	case NOP:
+		return []uint16{0x4E71}, nil
+	case HALT:
+		return []uint16{0x4AFC}, nil // ILLEGAL: the simulator's halt trap
+	case RTS:
+		return []uint16{0x4E75}, nil
+	case BCAST, SETMASK:
+		return nil, fmt.Errorf("MC-only pseudo-instruction has no PE encoding")
+
+	case MOVE, MOVEA:
+		src, srcExt, err := eaField(in.Src, sz)
+		if err != nil {
+			return nil, err
+		}
+		var dstField uint16
+		var dstExt []uint16
+		if in.Op == MOVEA {
+			dstField = eaAddrReg | uint16(in.Dst.Reg)
+		} else {
+			dstField, dstExt, err = eaField(in.Dst, sz)
+			if err != nil {
+				return nil, err
+			}
+			if dstField == eaImm {
+				return nil, fmt.Errorf("immediate destination")
+			}
+		}
+		// MOVE: 00 ss RRR MMM mmm rrr (dst reg/mode, src mode/reg)
+		op := sizeBitsMove(sz)<<12 |
+			(dstField&7)<<9 | (dstField>>3)<<6 | src
+		return append(append([]uint16{op}, srcExt...), dstExt...), nil
+
+	case MOVEQ:
+		return []uint16{0x7000 | uint16(in.Dst.Reg)<<9 | uint16(uint8(in.Src.Val))}, nil
+
+	case LEA:
+		ea, ext, err := eaField(in.Src, Long)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{0x41C0 | uint16(in.Dst.Reg)<<9 | ea}, ext...), nil
+
+	case CLR, NEG, NOT, TST:
+		base := map[Op]uint16{CLR: 0x4200, NEG: 0x4400, NOT: 0x4600, TST: 0x4A00}[in.Op]
+		ea, ext, err := eaField(in.Dst, sz)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | sizeBits(sz)<<6 | ea}, ext...), nil
+
+	case ADD, SUB, AND, OR, EOR, CMP:
+		base := map[Op]uint16{ADD: 0xD000, SUB: 0x9000, AND: 0xC000, OR: 0x8000, EOR: 0xB000, CMP: 0xB000}[in.Op]
+		if in.Dst.Mode == ModeDataReg && in.Op != EOR {
+			// <ea> op Dn -> Dn: opmode 0ss
+			ea, ext, err := eaField(in.Src, sz)
+			if err != nil {
+				return nil, err
+			}
+			return append([]uint16{base | uint16(in.Dst.Reg)<<9 | sizeBits(sz)<<6 | ea}, ext...), nil
+		}
+		if in.Op == CMP {
+			return nil, fmt.Errorf("CMP destination must be a data register")
+		}
+		// Dn op <ea> -> <ea>: opmode 1ss. (EOR only has this form.)
+		if in.Src.Mode != ModeDataReg {
+			// and #imm / or #imm parsed as AND/OR: encode as the
+			// immediate instruction forms.
+			if in.Src.Mode == ModeImm {
+				return encodeImmediate(map[Op]uint16{AND: 0x0200, OR: 0x0000, EOR: 0x0A00,
+					ADD: 0x0600, SUB: 0x0400}[in.Op], in)
+			}
+			return nil, fmt.Errorf("source must be a data register or immediate")
+		}
+		ea, ext, err := eaField(in.Dst, sz)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | uint16(in.Src.Reg)<<9 | (4+sizeBits(sz))<<6 | ea}, ext...), nil
+
+	case ADDA, SUBA, CMPA:
+		base := map[Op]uint16{ADDA: 0xD000, SUBA: 0x9000, CMPA: 0xB000}[in.Op]
+		opmode := uint16(3) // word
+		if sz == Long {
+			opmode = 7
+		}
+		ea, ext, err := eaField(in.Src, sz)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | uint16(in.Dst.Reg)<<9 | opmode<<6 | ea}, ext...), nil
+
+	case ADDI, SUBI, ANDI, ORI, EORI, CMPI:
+		base := map[Op]uint16{ORI: 0x0000, ANDI: 0x0200, SUBI: 0x0400, ADDI: 0x0600, EORI: 0x0A00, CMPI: 0x0C00}[in.Op]
+		return encodeImmediate(base, in)
+
+	case ADDQ, SUBQ:
+		base := uint16(0x5000)
+		if in.Op == SUBQ {
+			base |= 0x0100
+		}
+		data := uint16(in.Src.Val) & 7 // 8 encodes as 0
+		ea, ext, err := eaField(in.Dst, sz)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | data<<9 | sizeBits(sz)<<6 | ea}, ext...), nil
+
+	case MULU, MULS, DIVU:
+		base := map[Op]uint16{MULU: 0xC0C0, MULS: 0xC1C0, DIVU: 0x80C0}[in.Op]
+		ea, ext, err := eaField(in.Src, Word)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | uint16(in.Dst.Reg)<<9 | ea}, ext...), nil
+
+	case LSL, LSR, ASL, ASR, ROL, ROR:
+		// register shifts: 1110 ccc d ss i tt rrr
+		tt := map[Op]uint16{ASL: 0, ASR: 0, LSL: 1, LSR: 1, ROL: 3, ROR: 3}[in.Op]
+		dr := uint16(0)
+		switch in.Op {
+		case LSL, ASL, ROL:
+			dr = 1
+		}
+		var cnt, ir uint16
+		if in.Src.Mode == ModeImm {
+			cnt = uint16(in.Src.Val) & 7 // 8 encodes as 0
+		} else {
+			cnt = uint16(in.Src.Reg)
+			ir = 1
+		}
+		return []uint16{0xE000 | cnt<<9 | dr<<8 | sizeBits(sz)<<6 | ir<<5 | tt<<3 | uint16(in.Dst.Reg)}, nil
+
+	case SWAP:
+		return []uint16{0x4840 | uint16(in.Dst.Reg)}, nil
+
+	case EXT:
+		op := uint16(0x4880) // ext.w
+		if sz == Long {
+			op = 0x48C0
+		}
+		return []uint16{op | uint16(in.Dst.Reg)}, nil
+
+	case EXG:
+		rx, ry := uint16(in.Src.Reg), uint16(in.Dst.Reg)
+		switch {
+		case in.Src.Mode == ModeDataReg && in.Dst.Mode == ModeDataReg:
+			return []uint16{0xC140 | rx<<9 | ry}, nil
+		case in.Src.Mode == ModeAddrReg && in.Dst.Mode == ModeAddrReg:
+			return []uint16{0xC148 | rx<<9 | ry}, nil
+		case in.Src.Mode == ModeDataReg && in.Dst.Mode == ModeAddrReg:
+			return []uint16{0xC188 | rx<<9 | ry}, nil
+		default: // An, Dn: canonical form puts the data register first
+			return []uint16{0xC188 | ry<<9 | rx}, nil
+		}
+
+	case BTST, BSET, BCLR, BCHG:
+		tt := map[Op]uint16{BTST: 0, BCHG: 1, BCLR: 2, BSET: 3}[in.Op]
+		ea, ext, err := eaField(in.Dst, Byte)
+		if err != nil {
+			return nil, err
+		}
+		if in.Src.Mode == ModeImm {
+			// 0000 1000 tt eeeeee + bit number word
+			words := []uint16{0x0800 | tt<<6 | ea, uint16(in.Src.Val)}
+			return append(words, ext...), nil
+		}
+		// 0000 rrr 1 tt eeeeee
+		return append([]uint16{0x0100 | uint16(in.Src.Reg)<<9 | tt<<6 | ea}, ext...), nil
+
+	case BCC:
+		cc, ok := condBits[in.Cond]
+		if !ok || in.Cond == CondF {
+			return nil, fmt.Errorf("condition %v not encodable as Bcc (0001 is BSR)", in.Cond)
+		}
+		t, err := labelAddr(p, addr, in.Dst.Val)
+		if err != nil {
+			return nil, err
+		}
+		disp := t - (addr[i] + 2)
+		if in.Words == 1 {
+			if disp == 0 || disp < -128 || disp > 127 {
+				return nil, fmt.Errorf("byte branch displacement %d out of range (relaxation bug)", disp)
+			}
+			return []uint16{0x6000 | cc<<8 | uint16(uint8(disp))}, nil
+		}
+		if disp < -32768 || disp > 32767 {
+			return nil, fmt.Errorf("branch displacement %d exceeds word range", disp)
+		}
+		return []uint16{0x6000 | cc<<8, uint16(disp)}, nil
+
+	case DBCC:
+		cc, ok := condBits[in.Cond]
+		if !ok {
+			return nil, fmt.Errorf("condition %v not encodable", in.Cond)
+		}
+		t, err := labelAddr(p, addr, in.Dst.Val)
+		if err != nil {
+			return nil, err
+		}
+		disp := t - (addr[i] + 2)
+		if disp < -32768 || disp > 32767 {
+			return nil, fmt.Errorf("DBcc displacement %d exceeds word range", disp)
+		}
+		return []uint16{0x50C8 | cc<<8 | uint16(in.Src.Reg), uint16(disp)}, nil
+
+	case JMP, JSR:
+		base := uint16(0x4EC0) // jmp
+		if in.Op == JSR {
+			base = 0x4E80
+		}
+		if in.Dst.Mode == ModeLabel {
+			t, err := labelAddr(p, addr, in.Dst.Val)
+			if err != nil {
+				return nil, err
+			}
+			if uint32(t) > 0xFFFF {
+				return nil, fmt.Errorf("program too large for abs.w jump targets")
+			}
+			return []uint16{base | eaAbsW, uint16(t)}, nil
+		}
+		ea, ext, err := eaField(in.Dst, Word)
+		if err != nil {
+			return nil, err
+		}
+		return append([]uint16{base | ea}, ext...), nil
+	}
+	return nil, fmt.Errorf("no encoding for %s", in.Op)
+}
+
+// encodeImmediate emits the 0000-family immediate-operand forms.
+func encodeImmediate(base uint16, in *Instr) ([]uint16, error) {
+	ea, ext, err := eaField(in.Dst, in.Size)
+	if err != nil {
+		return nil, err
+	}
+	var imm []uint16
+	if in.Size == Long {
+		imm = []uint16{uint16(uint32(in.Src.Val) >> 16), uint16(in.Src.Val)}
+	} else {
+		imm = []uint16{uint16(in.Src.Val)}
+	}
+	words := append([]uint16{base | sizeBits(in.Size)<<6 | ea}, imm...)
+	return append(words, ext...), nil
+}

@@ -1,0 +1,218 @@
+package m68k
+
+import (
+	"testing"
+)
+
+// TestEncodeGoldenOpcodes pins known MC68000 encodings.
+func TestEncodeGoldenOpcodes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []uint16
+	}{
+		{"nop", []uint16{0x4E71}},
+		{"rts", []uint16{0x4E75}},
+		{"halt", []uint16{0x4AFC}}, // ILLEGAL as the simulator's halt
+		{"move.w d0, d1", []uint16{0x3200}},
+		{"move.w (a0)+, d0", []uint16{0x3018}},
+		{"move.w d0, (a1)", []uint16{0x3280}},
+		{"move.b d0, (a5)", []uint16{0x1A80}},
+		{"move.w #100, d3", []uint16{0x363C, 100}},
+		{"move.l #$12345678, d1", []uint16{0x223C, 0x1234, 0x5678}},
+		{"move.w 8(a2), d0", []uint16{0x302A, 8}},
+		{"move.w $1000, d0", []uint16{0x3038, 0x1000}},
+		{"move.w $F10000, d0", []uint16{0x3039, 0x00F1, 0x0000}},
+		{"movea.l #$1000, a0", []uint16{0x207C, 0x0000, 0x1000}},
+		{"moveq #1, d0", []uint16{0x7001}},
+		{"moveq #-1, d7", []uint16{0x7EFF}},
+		{"add.w d1, d0", []uint16{0xD041}},
+		{"add.w d0, (a1)+", []uint16{0xD159}},
+		{"sub.w d2, d3", []uint16{0x9642}},
+		{"mulu.w d1, d0", []uint16{0xC0C1}},
+		{"muls.w d1, d0", []uint16{0xC1C1}},
+		{"divu.w d1, d0", []uint16{0x80C1}},
+		{"clr.w d3", []uint16{0x4243}},
+		{"clr.w (a1)+", []uint16{0x4259}},
+		{"tst.w d0", []uint16{0x4A40}},
+		{"swap d2", []uint16{0x4842}},
+		{"ext.w d1", []uint16{0x4881}},
+		{"ext.l d2", []uint16{0x48C2}},
+		{"exg d3, d4", []uint16{0xC744}},
+		{"lea $1000, a3", []uint16{0x47F8, 0x1000}},
+		{"addq.w #1, d0", []uint16{0x5240}},
+		{"addq.w #8, d0", []uint16{0x5040}}, // 8 encodes as 0
+		{"subq.l #4, a3", []uint16{0x598B}},
+		{"addi.w #5, d1", []uint16{0x0641, 5}},
+		{"cmpi.w #3, d1", []uint16{0x0C41, 3}},
+		{"and.w #15, d3", []uint16{0xC67C, 15}}, // immediate source EA (canonical assemblers emit ANDI)
+		{"lsl.w #8, d0", []uint16{0xE148}},
+		{"lsr.w #1, d1", []uint16{0xE249}},
+		{"asr.w #2, d2", []uint16{0xE442}},
+		{"rol.w #4, d6", []uint16{0xE95E}},
+		{"lsl.w d1, d0", []uint16{0xE368}},
+		{"btst #2, d1", []uint16{0x0801, 2}},
+		{"bset d1, d0", []uint16{0x03C0}},
+		{"adda.w #2, a0", []uint16{0xD0FC, 2}},
+		{"dbra d0, x\nx: nop", []uint16{0x51C8, 0x0002, 0x4E71}},
+		{"jmp x\nx: nop", []uint16{0x4EF8, 0x0004, 0x4E71}},
+		{"jsr x\nx: nop", []uint16{0x4EB8, 0x0004, 0x4E71}},
+	}
+	for _, tc := range cases {
+		p, err := Assemble(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		got, err := p.Encode()
+		if err != nil {
+			t.Errorf("%q: encode: %v", tc.src, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: encoded %04X, want %04X", tc.src, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: word %d = %04X, want %04X", tc.src, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestEncodeBranchForms(t *testing.T) {
+	// Backward short branch.
+	p := MustAssemble("x: nop\n bra x")
+	words, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bra at byte 2; disp = 0 - 4 = -4 = 0xFC.
+	if len(words) != 2 || words[1] != 0x60FC {
+		t.Errorf("short bra = %04X", words)
+	}
+
+	// Branch to the immediately following instruction must take the
+	// word form (byte displacement 0 means "word follows").
+	p = MustAssemble("beq next\nnext: nop")
+	words, err = p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 3 || words[0] != 0x6700 || words[1] != 0x0002 {
+		t.Errorf("word-form beq = %04X", words)
+	}
+	if p.Instrs[0].Words != 2 {
+		t.Errorf("relaxation missed: Words = %d", p.Instrs[0].Words)
+	}
+}
+
+func TestRelaxationLongBranch(t *testing.T) {
+	// A branch over >127 bytes of code must be relaxed to word form.
+	src := "top: nop\n"
+	for i := 0; i < 100; i++ {
+		src += "\tmove.w #1, d0\n" // 2 words each = 400 bytes
+	}
+	src += "\tbra top\n halt"
+	p := MustAssemble(src)
+	bra := p.Instrs[101]
+	if bra.Op != BCC || bra.Words != 2 {
+		t.Fatalf("long bra not relaxed: %+v", bra)
+	}
+	if _, err := p.Encode(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+}
+
+func TestEncodeRejectsMCOnly(t *testing.T) {
+	p := MustAssemble(`
+		bcast   b
+		halt
+		.block  b
+		nop
+		.endblock
+	`)
+	if _, err := p.Encode(); err == nil {
+		t.Error("BCAST encoded")
+	}
+	p = MustAssemble("setmask #3\n halt")
+	if _, err := p.Encode(); err == nil {
+		t.Error("SETMASK encoded")
+	}
+}
+
+// roundTrip encodes a program and decodes it back, comparing the
+// instruction streams (ops, sizes, operands, branch targets, widths).
+func roundTrip(t *testing.T, p *Program, name string) {
+	t.Helper()
+	words, err := p.Encode()
+	if err != nil {
+		t.Fatalf("%s: encode: %v", name, err)
+	}
+	total := 0
+	for _, in := range p.Instrs {
+		total += int(in.Words)
+	}
+	if total != len(words) {
+		t.Fatalf("%s: Words sum %d != encoding length %d (fetch timing would be wrong)", name, total, len(words))
+	}
+	q, err := Decode(words)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("%s: decoded %d instructions, want %d", name, len(q.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], q.Instrs[i]
+		if a.Op != b.Op || a.Size != b.Size || a.Cond != b.Cond || a.Words != b.Words {
+			t.Errorf("%s: instr %d: %v round-tripped to %v", name, i, a.String(), b.String())
+			continue
+		}
+		if !operandEqual(a.Src, b.Src) || !operandEqual(a.Dst, b.Dst) {
+			t.Errorf("%s: instr %d: operands %v -> %v", name, i, a.String(), b.String())
+		}
+	}
+}
+
+// operandEqual compares operands, normalizing sign-extension artifacts
+// in immediates (a word immediate -1 encodes as 0xFFFF).
+func operandEqual(a, b Operand) bool {
+	if a.Mode != b.Mode || a.Reg != b.Reg {
+		return false
+	}
+	if a.Mode == ModeImm || a.Mode == ModeDisp {
+		return uint16(a.Val) == uint16(b.Val) || a.Val == b.Val
+	}
+	return a.Val == b.Val
+}
+
+func TestRoundTripHandWritten(t *testing.T) {
+	roundTrip(t, MustAssemble(`
+		.equ BUF, $1000
+start:	movea.l #BUF, a0
+		moveq   #7, d1
+loop:	move.w  (a0)+, d0
+		mulu.w  d0, d0
+		add.w   d0, 4(a0)
+		lsr.w   #2, d0
+		bne     skip
+		addq.w  #1, d2
+skip:	dbra    d1, loop
+		jsr     sub
+		bra     start
+sub:	clr.w   d3
+		not.w   d3
+		neg.w   d3
+		swap    d3
+		ext.l   d3
+		exg     d3, d4
+		btst    #5, d3
+		bset    d1, d4
+		cmp.w   d3, d4
+		cmpi.w  #9, d3
+		suba.l  #2, a0
+		tst.b   (a0)
+		rts
+	`), "handwritten")
+}

@@ -1,0 +1,127 @@
+package m68k
+
+import (
+	"testing"
+)
+
+// TestDecodedProgramExecutesIdentically is the strongest encoder
+// property: assemble a program, encode it to machine words, decode it
+// back, and run both against identical memories — final registers,
+// flags, memory, instruction counts and cycle counts must all match.
+func TestDecodedProgramExecutesIdentically(t *testing.T) {
+	src := `
+	.equ BUF, $1000
+	movea.l #BUF, a0
+	moveq   #63, d1
+fill:	move.w  d1, (a0)+
+	mulu.w  d1, d2
+	dbra    d1, fill
+	movea.l #BUF, a0
+	moveq   #0, d3
+	moveq   #63, d1
+sum:	add.w   (a0)+, d3
+	lsr.w   #1, d3
+	bne     noinc
+	addq.w  #1, d4
+noinc:	dbra    d1, sum
+	jsr     square
+	halt
+square:	mulu.w  d3, d3
+	rts
+	`
+	orig := MustAssemble(src)
+	words, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOne := func(p *Program) *CPU {
+		c := NewCPU(p, NewMemory(1<<16))
+		c.Mem.WaitStates = 1
+		c.Mem.RefreshPeriod = 256
+		c.Mem.RefreshStall = 2
+		c.FetchFromMem = true
+		c.A[7] = 0x8000
+		if st := c.Run(1 << 20); st != StatusHalted {
+			t.Fatalf("status %v (err=%v)", st, c.Err)
+		}
+		return c
+	}
+	a := runOne(orig)
+	b := runOne(decoded)
+
+	if a.Clock != b.Clock {
+		t.Errorf("cycles differ: %d vs %d", a.Clock, b.Clock)
+	}
+	if a.InstrCount != b.InstrCount {
+		t.Errorf("instruction counts differ: %d vs %d", a.InstrCount, b.InstrCount)
+	}
+	if a.D != b.D || a.A != b.A {
+		t.Errorf("registers differ:\n%v %v\n%v %v", a.D, a.A, b.D, b.A)
+	}
+	if a.N != b.N || a.Z != b.Z || a.V != b.V || a.C != b.C || a.X != b.X {
+		t.Error("flags differ")
+	}
+	for addr := uint32(0x1000); addr < 0x1100; addr += 2 {
+		va, _ := a.Mem.Read(addr, Word)
+		vb, _ := b.Mem.Read(addr, Word)
+		if va != vb {
+			t.Errorf("memory differs at $%X: %d vs %d", addr, va, vb)
+		}
+	}
+}
+
+// TestEncodeDecodeIdempotent: decoding then re-encoding reproduces the
+// exact machine words.
+func TestEncodeDecodeIdempotent(t *testing.T) {
+	src := `
+	moveq   #5, d0
+l:	mulu.w  d0, d1
+	add.w   d1, $2000
+	subq.w  #1, d0
+	bne     l
+	clr.b   $2002
+	btst    #3, d1
+	halt
+	`
+	p := MustAssemble(src)
+	w1, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != len(w2) {
+		t.Fatalf("lengths differ: %d vs %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Errorf("word %d: %04X vs %04X", i, w1[i], w2[i])
+		}
+	}
+}
+
+// TestDecodeRejectsGarbage: unsupported opcodes are reported, not
+// silently misdecoded.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, words := range [][]uint16{
+		{0xFFFF},         // line-F
+		{0xA123},         // line-A
+		{0x4E40},         // TRAP #0 (unsupported)
+		{0x3200, 0x303C}, // truncated: move.w #imm missing the immediate
+	} {
+		if _, err := Decode(words); err == nil {
+			t.Errorf("decoded garbage %04X", words)
+		}
+	}
+}

@@ -1,0 +1,522 @@
+package m68k
+
+// exec executes one instruction. It must be free of side effects until
+// it is certain the instruction completes (device accesses may refuse,
+// after which the engine retries the same instruction); staged flag
+// and pending address-register updates implement that.
+func (c *CPU) exec(in *Instr, fetchPenalty int64) Status {
+	cycles := baseCycles(in) + fetchPenalty
+	next := c.PC + 1
+	sz := in.Size
+	c.lastLoadWasDev = false
+
+	switch in.Op {
+	case NOP:
+		return c.commit(in, cycles, next)
+
+	case HALT:
+		c.Halted = true
+		c.commit(in, cycles, next)
+		return StatusHalted
+
+	case MOVE:
+		v, blocked, err := c.opRead(in.Src, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		f := nzFlags(v, sz)
+		blocked, err = c.opWrite(in.Dst, sz, v, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		c.applyFlags(f)
+		return c.commit(in, cycles, next)
+
+	case MOVEA:
+		v, blocked, err := c.opRead(in.Src, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		c.A[in.Dst.Reg] = signExtTo32(v, sz)
+		return c.commit(in, cycles, next)
+
+	case MOVEQ:
+		v := uint32(in.Src.Val) // sign-extended by the assembler range check
+		c.D[in.Dst.Reg] = v
+		c.applyFlags(nzFlags(v, Long))
+		return c.commit(in, cycles, next)
+
+	case LEA:
+		c.A[in.Dst.Reg] = c.ea(in.Src, Long)
+		c.npend = 0 // LEA computes the address only
+		return c.commit(in, cycles, next)
+
+	case CLR:
+		blocked, err := c.opWrite(in.Dst, sz, 0, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		c.applyFlags(flags{z: true})
+		return c.commit(in, cycles, next)
+
+	case ADD, SUB, AND, OR, EOR:
+		return c.alu2(in, cycles, next)
+
+	case ADDI, SUBI, ANDI, ORI, EORI:
+		return c.alu2(in, cycles, next)
+
+	case ADDQ, SUBQ:
+		if in.Dst.Mode == ModeAddrReg {
+			// Address-register quick forms act on all 32 bits and do
+			// not affect flags.
+			d := uint32(in.Src.Val)
+			if in.Op == ADDQ {
+				c.A[in.Dst.Reg] += d
+			} else {
+				c.A[in.Dst.Reg] -= d
+			}
+			return c.commit(in, cycles, next)
+		}
+		return c.alu2(in, cycles, next)
+
+	case CMP, CMPI:
+		src, blocked, err := c.opRead(in.Src, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		dst, blocked, err := c.opRead(in.Dst, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		r := dst - src
+		f := subFlags(dst, src, r, sz)
+		f.setX = false // CMP does not touch X
+		c.applyFlags(f)
+		return c.commit(in, cycles, next)
+
+	case CMPA:
+		src, blocked, err := c.opRead(in.Src, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		s32 := signExtTo32(src, sz)
+		d32 := c.A[in.Dst.Reg]
+		r := d32 - s32
+		f := subFlags(d32, s32, r, Long)
+		f.setX = false
+		c.applyFlags(f)
+		return c.commit(in, cycles, next)
+
+	case ADDA, SUBA:
+		src, blocked, err := c.opRead(in.Src, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		s32 := signExtTo32(src, sz)
+		if in.Op == ADDA {
+			c.A[in.Dst.Reg] += s32
+		} else {
+			c.A[in.Dst.Reg] -= s32
+		}
+		return c.commit(in, cycles, next)
+
+	case NOT, NEG:
+		return c.alu1(in, cycles, next)
+
+	case TST:
+		v, blocked, err := c.opRead(in.Dst, sz, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		c.applyFlags(nzFlags(v, sz))
+		return c.commit(in, cycles, next)
+
+	case MULU:
+		src, blocked, err := c.opRead(in.Src, Word, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		if c.FixedMulCycles > 0 {
+			cycles += c.FixedMulCycles
+		} else {
+			cycles += MuluCycles(uint16(src))
+		}
+		r := mask(c.D[in.Dst.Reg], Word) * src
+		c.D[in.Dst.Reg] = r
+		c.applyFlags(nzFlags(r, Long))
+		return c.commit(in, cycles, next)
+
+	case MULS:
+		src, blocked, err := c.opRead(in.Src, Word, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		cycles += MulsCycles(uint16(src))
+		r := uint32(int32(int16(src)) * int32(int16(c.D[in.Dst.Reg])))
+		c.D[in.Dst.Reg] = r
+		c.applyFlags(nzFlags(r, Long))
+		return c.commit(in, cycles, next)
+
+	case DIVU:
+		src, blocked, err := c.opRead(in.Src, Word, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		if src == 0 {
+			return c.errf(in, "divide by zero")
+		}
+		dividend := c.D[in.Dst.Reg]
+		q := dividend / src
+		if q > 0xFFFF {
+			// Overflow: destination unchanged, V set.
+			cycles += 10
+			c.applyFlags(flags{v: true, n: c.N, z: c.Z})
+			return c.commit(in, cycles, next)
+		}
+		cycles += DivuCycles(uint16(q))
+		rem := dividend % src
+		c.D[in.Dst.Reg] = rem<<16 | q
+		c.applyFlags(nzFlags(q, Word))
+		return c.commit(in, cycles, next)
+
+	case LSL, LSR, ASL, ASR, ROL, ROR:
+		return c.shift(in, cycles, next)
+
+	case SWAP:
+		v := c.D[in.Dst.Reg]
+		v = v>>16 | v<<16
+		c.D[in.Dst.Reg] = v
+		c.applyFlags(nzFlags(v, Long))
+		return c.commit(in, cycles, next)
+
+	case EXG:
+		a := c.regPtr(in.Src)
+		b := c.regPtr(in.Dst)
+		*a, *b = *b, *a
+		return c.commit(in, cycles, next)
+
+	case EXT:
+		v := c.D[in.Dst.Reg]
+		if sz == Word {
+			v = merge(v, uint32(int32(int8(v)))&0xFFFF, Word)
+			c.applyFlags(nzFlags(v, Word))
+		} else {
+			v = uint32(int32(int16(v)))
+			c.applyFlags(nzFlags(v, Long))
+		}
+		c.D[in.Dst.Reg] = v
+		return c.commit(in, cycles, next)
+
+	case BCC:
+		if in.Dst.Mode != ModeLabel {
+			return c.errf(in, "branch target must be a label")
+		}
+		if c.condTrue(in.Cond) {
+			return c.commit(in, cycles, int(in.Dst.Val)) // taken: 10 either form
+		}
+		if in.Words == 2 {
+			return c.commit(in, cycles+2, next) // word form not-taken: 12
+		}
+		return c.commit(in, cycles-2, next) // byte form not-taken: 8
+
+	case DBCC:
+		if in.Dst.Mode != ModeLabel {
+			return c.errf(in, "branch target must be a label")
+		}
+		if c.condTrue(in.Cond) {
+			return c.commit(in, 12+fetchPenalty, next)
+		}
+		cnt := uint16(c.D[in.Src.Reg]) - 1
+		c.D[in.Src.Reg] = merge(c.D[in.Src.Reg], uint32(cnt), Word)
+		if cnt == 0xFFFF {
+			return c.commit(in, 14+fetchPenalty, next)
+		}
+		return c.commit(in, 10+fetchPenalty, int(in.Dst.Val))
+
+	case JMP:
+		if in.Dst.Mode == ModeAbs && uint32(in.Dst.Val) >= DeviceBase {
+			// Jump into the SIMD instruction space: the PASM
+			// MIMD-to-SIMD mode switch (paper Section 3). The PE
+			// starts requesting broadcast instructions; the executor
+			// takes over.
+			c.commit(in, cycles, c.PC)
+			return StatusSIMDJump
+		}
+		if in.Dst.Mode != ModeLabel {
+			return c.errf(in, "jump target must be a label")
+		}
+		return c.commit(in, cycles, int(in.Dst.Val))
+
+	case JSR:
+		if in.Dst.Mode != ModeLabel {
+			return c.errf(in, "call target must be a label")
+		}
+		sp := c.A[7] - 4
+		if err := c.Mem.Write(sp, Long, uint32(next)); err != nil {
+			return c.errf(in, "stack push: %v", err)
+		}
+		cycles += c.Mem.Penalty(c.Clock, 2)
+		c.A[7] = sp
+		return c.commit(in, cycles, int(in.Dst.Val))
+
+	case RTS:
+		v, err := c.Mem.Read(c.A[7], Long)
+		if err != nil {
+			return c.errf(in, "stack pop: %v", err)
+		}
+		cycles += c.Mem.Penalty(c.Clock, 2)
+		c.A[7] += 4
+		return c.commit(in, cycles, int(v))
+
+	case BTST, BSET, BCLR, BCHG:
+		return c.bitOp(in, cycles, next)
+
+	case BCAST:
+		c.LastBcast = BlockRange{Start: int(in.Src.Val), End: int(in.Dst.Val)}
+		c.commit(in, cycles, next)
+		return StatusBcast
+
+	case SETMASK:
+		v, blocked, err := c.opRead(in.Src, Word, &cycles)
+		if blocked || err != nil {
+			return c.bail(in, blocked, err)
+		}
+		c.LastMask = v
+		c.commit(in, cycles, next)
+		return StatusSetMask
+	}
+	return c.errf(in, "unimplemented operation")
+}
+
+// bail aborts a partially evaluated instruction, either blocked on a
+// device (retryable, no state changed) or with a program error.
+func (c *CPU) bail(in *Instr, blocked bool, err error) Status {
+	c.npend = 0
+	if err != nil {
+		return c.errf(in, "%v", err)
+	}
+	return StatusBlocked
+}
+
+// regPtr returns the storage cell for a register operand (EXG).
+func (c *CPU) regPtr(o Operand) *uint32 {
+	if o.Mode == ModeAddrReg {
+		return &c.A[o.Reg]
+	}
+	return &c.D[o.Reg]
+}
+
+// alu2 executes the two-operand ALU forms (ADD/SUB/AND/OR/EOR and
+// their immediate and quick variants) to either a data register or a
+// memory destination (read-modify-write). Device destinations are
+// rejected: an RMW bus cycle against a transfer register is not
+// meaningful hardware behaviour.
+func (c *CPU) alu2(in *Instr, cycles int64, next int) Status {
+	sz := in.Size
+	src, blocked, err := c.opRead(in.Src, sz, &cycles)
+	if blocked || err != nil {
+		return c.bail(in, blocked, err)
+	}
+	if !in.Dst.IsMem() {
+		old := mask(c.D[in.Dst.Reg], sz)
+		r, f := aluOp(in.Op, old, src, sz)
+		c.D[in.Dst.Reg] = merge(c.D[in.Dst.Reg], r, sz)
+		c.applyFlags(f)
+		return c.commit(in, cycles, next)
+	}
+	addr := c.ea(in.Dst, sz)
+	if addr >= DeviceBase {
+		return c.errf(in, "read-modify-write on device register $%X", addr)
+	}
+	old, err := c.Mem.Read(addr, sz)
+	if err != nil {
+		return c.errf(in, "%v", err)
+	}
+	r, f := aluOp(in.Op, old, src, sz)
+	if err := c.Mem.Write(addr, sz, mask(r, sz)); err != nil {
+		return c.errf(in, "%v", err)
+	}
+	acc := int64(2)
+	if sz == Long {
+		acc = 4
+	}
+	cycles += c.Mem.Penalty(c.Clock, acc)
+	c.applyFlags(f)
+	return c.commit(in, cycles, next)
+}
+
+// aluOp computes a two-operand ALU result and its flags.
+func aluOp(op Op, dst, src uint32, sz Size) (uint32, flags) {
+	switch op {
+	case ADD, ADDI, ADDQ:
+		r := dst + src
+		return r, addFlags(dst, src, r, sz)
+	case SUB, SUBI, SUBQ:
+		r := dst - src
+		return r, subFlags(dst, src, r, sz)
+	case AND, ANDI:
+		r := dst & src
+		return r, nzFlags(r, sz)
+	case OR, ORI:
+		r := dst | src
+		return r, nzFlags(r, sz)
+	default: // EOR, EORI
+		r := dst ^ src
+		return r, nzFlags(r, sz)
+	}
+}
+
+// alu1 executes NOT and NEG (register or memory destination).
+func (c *CPU) alu1(in *Instr, cycles int64, next int) Status {
+	sz := in.Size
+	compute := func(v uint32) (uint32, flags) {
+		if in.Op == NOT {
+			r := ^v
+			return r, nzFlags(r, sz)
+		}
+		r := -v
+		f := subFlags(0, v, r, sz)
+		return r, f
+	}
+	if !in.Dst.IsMem() {
+		r, f := compute(mask(c.D[in.Dst.Reg], sz))
+		c.D[in.Dst.Reg] = merge(c.D[in.Dst.Reg], r, sz)
+		c.applyFlags(f)
+		return c.commit(in, cycles, next)
+	}
+	addr := c.ea(in.Dst, sz)
+	if addr >= DeviceBase {
+		return c.errf(in, "read-modify-write on device register $%X", addr)
+	}
+	v, err := c.Mem.Read(addr, sz)
+	if err != nil {
+		return c.errf(in, "%v", err)
+	}
+	r, f := compute(v)
+	if err := c.Mem.Write(addr, sz, mask(r, sz)); err != nil {
+		return c.errf(in, "%v", err)
+	}
+	acc := int64(2)
+	if sz == Long {
+		acc = 4
+	}
+	cycles += c.Mem.Penalty(c.Clock, acc)
+	c.applyFlags(f)
+	return c.commit(in, cycles, next)
+}
+
+// bitOp executes BTST/BSET/BCLR/BCHG: bit numbers are taken modulo 32
+// for data-register operands and modulo 8 for memory (byte) operands,
+// per the 68000. Z is set from the *tested* (pre-modification) bit.
+func (c *CPU) bitOp(in *Instr, cycles int64, next int) Status {
+	var bitNum uint32
+	if in.Src.Mode == ModeImm {
+		bitNum = uint32(in.Src.Val)
+	} else {
+		bitNum = c.D[in.Src.Reg]
+	}
+	modify := func(v uint32, bit uint32) uint32 {
+		switch in.Op {
+		case BSET:
+			return v | 1<<bit
+		case BCLR:
+			return v &^ (1 << bit)
+		case BCHG:
+			return v ^ 1<<bit
+		}
+		return v // BTST
+	}
+	if !in.Dst.IsMem() {
+		bit := bitNum % 32
+		v := c.D[in.Dst.Reg]
+		c.Z = v&(1<<bit) == 0
+		c.D[in.Dst.Reg] = modify(v, bit)
+		return c.commit(in, cycles, next)
+	}
+	bit := bitNum % 8
+	addr := c.ea(in.Dst, Byte)
+	if addr >= DeviceBase {
+		return c.errf(in, "bit operation on device register $%X", addr)
+	}
+	v, err := c.Mem.Read(addr, Byte)
+	if err != nil {
+		return c.errf(in, "%v", err)
+	}
+	c.Z = v&(1<<bit) == 0
+	acc := int64(1)
+	if in.Op != BTST {
+		if err := c.Mem.Write(addr, Byte, modify(v, bit)); err != nil {
+			return c.errf(in, "%v", err)
+		}
+		acc = 2
+	}
+	cycles += c.Mem.Penalty(c.Clock, acc)
+	return c.commit(in, cycles, next)
+}
+
+// shift executes the register shift and rotate instructions.
+func (c *CPU) shift(in *Instr, cycles int64, next int) Status {
+	sz := in.Size
+	var count uint32
+	if in.Src.Mode == ModeImm {
+		count = uint32(in.Src.Val)
+	} else {
+		count = c.D[in.Src.Reg] & 63
+		cycles += 2 * int64(count)
+	}
+	bitsN := sz.Bytes() * 8
+	v := mask(c.D[in.Dst.Reg], sz)
+	var r uint32
+	f := flags{}
+	switch in.Op {
+	case LSL, ASL:
+		r = v
+		for i := uint32(0); i < count; i++ {
+			out := r & signBit(sz)
+			nr := mask(r<<1, sz)
+			f.cc = out != 0
+			f.setX, f.x = true, f.cc
+			if in.Op == ASL && (nr&signBit(sz) != 0) != (r&signBit(sz) != 0) {
+				f.v = true
+			}
+			r = nr
+		}
+	case LSR:
+		r = v
+		for i := uint32(0); i < count; i++ {
+			f.cc = r&1 != 0
+			f.setX, f.x = true, f.cc
+			r >>= 1
+		}
+	case ASR:
+		r = v
+		sb := signBit(sz)
+		for i := uint32(0); i < count; i++ {
+			f.cc = r&1 != 0
+			f.setX, f.x = true, f.cc
+			r = r>>1 | r&sb
+		}
+	case ROL:
+		r = v
+		for i := uint32(0); i < count; i++ {
+			out := r & signBit(sz) >> (bitsN - 1)
+			r = mask(r<<1|out, sz)
+			f.cc = out != 0
+		}
+	case ROR:
+		r = v
+		for i := uint32(0); i < count; i++ {
+			out := r & 1
+			r = r>>1 | out<<(bitsN-1)
+			f.cc = out != 0
+		}
+	}
+	if count == 0 {
+		r = v
+	}
+	nz := nzFlags(r, sz)
+	f.n, f.z = nz.n, nz.z
+	c.D[in.Dst.Reg] = merge(c.D[in.Dst.Reg], r, sz)
+	c.applyFlags(f)
+	return c.commit(in, cycles, next)
+}

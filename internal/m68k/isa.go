@@ -1,0 +1,274 @@
+// Package m68k implements the subset of the Motorola MC68000
+// architecture needed to reproduce the PASM prototype experiments:
+// an assembler, a disassembler, a per-instruction cycle-timing model
+// taken from the MC68000 user manual (including the data-dependent
+// MULU/DIVU times), and an interpreter with a wait-state/refresh
+// memory model.
+//
+// Programs are kept as structured instructions after assembly; binary
+// opcode encodings are not modeled, but instruction sizes in words
+// are, because instruction-fetch time (and hence the SIMD/MIMD fetch
+// difference central to the paper) depends on them.
+package m68k
+
+import "fmt"
+
+// Op identifies an operation. The set covers every instruction used by
+// the four matrix-multiplication programs plus general-purpose
+// arithmetic, logic, shift, and control-flow instructions so that the
+// package is usable as a stand-alone simulator.
+type Op uint8
+
+// Operations. Bcc condition codes are folded into the single BCC op
+// with a Cond field; DBcc likewise.
+const (
+	NOP Op = iota
+	MOVE
+	MOVEA
+	MOVEQ
+	LEA
+	CLR
+	ADD
+	ADDA
+	ADDQ
+	ADDI
+	SUB
+	SUBA
+	SUBQ
+	SUBI
+	MULU
+	MULS
+	DIVU
+	AND
+	ANDI
+	OR
+	ORI
+	EOR
+	EORI
+	NOT
+	NEG
+	LSL
+	LSR
+	ASL
+	ASR
+	ROL
+	ROR
+	SWAP
+	EXG
+	EXT
+	TST
+	CMP
+	CMPA
+	CMPI
+	BCC // all conditional and unconditional branches (Cond field)
+	DBCC
+	JMP
+	JSR
+	RTS
+	BTST
+	BSET
+	BCLR
+	BCHG
+	HALT    // simulator pseudo-instruction: stop this CPU
+	BCAST   // MC pseudo-instruction: write a Fetch Unit control word
+	SETMASK // MC pseudo-instruction: write the Fetch Unit mask register
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", MOVE: "move", MOVEA: "movea", MOVEQ: "moveq", LEA: "lea",
+	CLR: "clr", ADD: "add", ADDA: "adda", ADDQ: "addq", ADDI: "addi",
+	SUB: "sub", SUBA: "suba", SUBQ: "subq", SUBI: "subi",
+	MULU: "mulu", MULS: "muls", DIVU: "divu",
+	AND: "and", ANDI: "andi", OR: "or", ORI: "ori", EOR: "eor", EORI: "eori",
+	NOT: "not", NEG: "neg",
+	LSL: "lsl", LSR: "lsr", ASL: "asl", ASR: "asr", ROL: "rol", ROR: "ror",
+	SWAP: "swap", EXG: "exg", EXT: "ext", TST: "tst",
+	CMP: "cmp", CMPA: "cmpa", CMPI: "cmpi",
+	BCC: "b", DBCC: "db", JMP: "jmp", JSR: "jsr", RTS: "rts",
+	BTST: "btst", BSET: "bset", BCLR: "bclr", BCHG: "bchg",
+	HALT: "halt", BCAST: "bcast", SETMASK: "setmask",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Size is an operand size suffix (.b, .w, .l).
+type Size uint8
+
+// Operand sizes.
+const (
+	Byte Size = iota
+	Word
+	Long
+)
+
+func (s Size) String() string {
+	switch s {
+	case Byte:
+		return "b"
+	case Word:
+		return "w"
+	default:
+		return "l"
+	}
+}
+
+// Bytes returns the operand width in bytes.
+func (s Size) Bytes() uint32 {
+	switch s {
+	case Byte:
+		return 1
+	case Word:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Cond is a branch condition for BCC/DBCC.
+type Cond uint8
+
+// Branch conditions. CondT ("always") makes BCC a BRA and DBCC the
+// standard DBRA/DBF loop instruction (DBcc loops while cc is false,
+// so DBRA uses CondF).
+const (
+	CondT  Cond = iota // always (BRA)
+	CondF              // never (DBRA/DBF)
+	CondEQ             // Z
+	CondNE             // !Z
+	CondCS             // C (BLO)
+	CondCC             // !C (BHS)
+	CondLT             // N^V
+	CondGE             // !(N^V)
+	CondLE             // Z | N^V
+	CondGT             // !Z & !(N^V)
+	CondHI             // !C & !Z
+	CondLS             // C | Z
+	CondMI             // N
+	CondPL             // !N
+	CondVS             // V
+	CondVC             // !V
+	numConds
+)
+
+var condNames = [numConds]string{
+	"ra", "f", "eq", "ne", "cs", "cc", "lt", "ge", "le", "gt",
+	"hi", "ls", "mi", "pl", "vs", "vc",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// AddrMode is an MC68000 addressing mode.
+type AddrMode uint8
+
+// Addressing modes. Indexed modes (d8(An,Xn)) are not needed by the
+// PASM programs and are omitted.
+const (
+	ModeNone     AddrMode = iota
+	ModeDataReg           // Dn
+	ModeAddrReg           // An
+	ModeIndirect          // (An)
+	ModePostInc           // (An)+
+	ModePreDec            // -(An)
+	ModeDisp              // d16(An)
+	ModeAbs               // $addr (abs.W/abs.L by value)
+	ModeImm               // #imm
+	ModeLabel             // branch/jump/bcast target (resolved to instr index)
+)
+
+// Operand is one effective-address operand of an instruction.
+type Operand struct {
+	Mode AddrMode
+	Reg  uint8 // register number for Dn/An/(An)/(An)+/-(An)/d(An)
+	Val  int32 // displacement, immediate, absolute address, or label index
+}
+
+// IsMem reports whether the operand involves a data-memory access.
+func (o Operand) IsMem() bool {
+	switch o.Mode {
+	case ModeIndirect, ModePostInc, ModePreDec, ModeDisp, ModeAbs:
+		return true
+	}
+	return false
+}
+
+// RegionID tags an instruction with the execution-time component it is
+// accounted under (the paper's Figures 8-10 break total time into
+// multiplication, communication, and "other").
+type RegionID uint8
+
+// Execution-time accounting regions.
+const (
+	RegionOther RegionID = iota
+	RegionMult
+	RegionComm
+	RegionControl // control flow executed on the MC in SIMD mode
+	NumRegions
+)
+
+func (r RegionID) String() string {
+	switch r {
+	case RegionMult:
+		return "mult"
+	case RegionComm:
+		return "comm"
+	case RegionControl:
+		return "control"
+	default:
+		return "other"
+	}
+}
+
+// Instr is one assembled instruction.
+type Instr struct {
+	Op     Op
+	Size   Size
+	Cond   Cond
+	Src    Operand
+	Dst    Operand
+	Words  uint8    // instruction length in 16-bit words (drives fetch time)
+	Region RegionID // execution-time accounting region
+	Line   int      // source line, for diagnostics
+}
+
+// Program is an assembled program: a flat instruction list plus the
+// label table. Branch targets are instruction indices, not byte
+// addresses; Words is retained per instruction so fetch timing remains
+// faithful.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+	// Blocks maps a SIMD block name to the [start,end) instruction
+	// index range holding the block body (used by BCAST).
+	Blocks map[string]BlockRange
+	Source string
+}
+
+// BlockRange is a [Start,End) range of instruction indices forming a
+// SIMD broadcast block.
+type BlockRange struct {
+	Start, End int
+}
+
+// Len returns the number of instructions in the block.
+func (b BlockRange) Len() int { return b.End - b.Start }
+
+// WordsIn returns the total instruction words in the range, which is
+// what the Fetch Unit controller must enqueue.
+func (p *Program) WordsIn(b BlockRange) int {
+	w := 0
+	for i := b.Start; i < b.End; i++ {
+		w += int(p.Instrs[i].Words)
+	}
+	return w
+}

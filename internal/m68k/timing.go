@@ -1,0 +1,253 @@
+package m68k
+
+import "math/bits"
+
+// Instruction timing, after the MC68000 User's Manual execution-time
+// tables (8 MHz part; times are in clock cycles and include the
+// instruction's own fetch at zero wait states). Wait states for
+// fetching from DRAM rather than the Fetch Unit queue, and DRAM
+// refresh interference, are charged separately by the CPU using
+// Memory.Penalty, which is how the SIMD/MIMD fetch-speed difference of
+// the paper's Table 1 arises.
+//
+// The central data-dependent times:
+//
+//	MULU <ea>,Dn = 38 + 2*n + EA, n = number of 1 bits in the source
+//	MULS <ea>,Dn = 38 + 2*n + EA, n = number of 01/10 boundaries in
+//	               (source << 1) viewed as a 17-bit pattern
+//	DIVU <ea>,Dn = 76 + 2*n + EA, n = number of 1 bits in the 16-bit
+//	               quotient (an approximation of the manual's
+//	               data-dependent 76..140 range, documented here)
+
+// eaReadCycles is the effective-address calculation + operand fetch
+// time for a source read of byte/word size.
+func eaReadCycles(o Operand, sz Size) int64 {
+	long := int64(0)
+	if sz == Long {
+		long = 4
+	}
+	switch o.Mode {
+	case ModeDataReg, ModeAddrReg, ModeNone, ModeLabel:
+		return 0
+	case ModeIndirect, ModePostInc:
+		return 4 + long
+	case ModePreDec:
+		return 6 + long
+	case ModeDisp:
+		return 8 + long
+	case ModeAbs:
+		if uint32(o.Val) > 0xFFFF {
+			return 12 + long
+		}
+		return 8 + long
+	case ModeImm:
+		return 4 + long
+	}
+	return 0
+}
+
+// eaWriteCycles is the destination-write time for MOVE-class stores.
+// (The 68000 quirk that MOVE to -(An) costs the same as to (An) is
+// reflected here.)
+func eaWriteCycles(o Operand, sz Size) int64 {
+	long := int64(0)
+	if sz == Long {
+		long = 4
+	}
+	switch o.Mode {
+	case ModeDataReg, ModeAddrReg:
+		return 0
+	case ModeIndirect, ModePostInc, ModePreDec:
+		return 4 + long
+	case ModeDisp:
+		return 8 + long
+	case ModeAbs:
+		if uint32(o.Val) > 0xFFFF {
+			return 12 + long
+		}
+		return 8 + long
+	}
+	return 0
+}
+
+// MuluCycles returns the full MULU <ea>,Dn time for a given 16-bit
+// source operand: 38 + 2*ones(src), plus the source EA time, which is
+// added by the interpreter. Exported so that workload generators and
+// analytic models can predict instruction times.
+func MuluCycles(src uint16) int64 {
+	return 38 + 2*int64(bits.OnesCount16(src))
+}
+
+// MulsCycles returns the MULS time for a 16-bit source: 38 + 2*n where
+// n counts the 01/10 pattern boundaries in src<<1 (per the manual).
+func MulsCycles(src uint16) int64 {
+	pattern := uint32(src) << 1
+	n := bits.OnesCount32(pattern ^ (pattern>>1)&0x1FFFF)
+	return 38 + 2*int64(n)
+}
+
+// DivuCycles returns the modeled DIVU time for a quotient value.
+func DivuCycles(quotient uint16) int64 {
+	return 76 + 2*int64(bits.OnesCount16(quotient))
+}
+
+// baseCycles returns the table execution time of an instruction,
+// excluding data-dependent components (MULU/MULS/DIVU add those at
+// execution time) and excluding wait states.
+func baseCycles(in *Instr) int64 {
+	sz := in.Size
+	switch in.Op {
+	case NOP, HALT:
+		return 4
+	case MOVE:
+		base := int64(4)
+		if sz == Long {
+			// move.l register-to-register is 4; memory traffic is in
+			// the EA components.
+		}
+		return base + eaReadCycles(in.Src, sz) + eaWriteCycles(in.Dst, sz)
+	case MOVEA:
+		return 4 + eaReadCycles(in.Src, sz)
+	case MOVEQ:
+		return 4
+	case LEA:
+		switch in.Src.Mode {
+		case ModeIndirect:
+			return 4
+		case ModeDisp:
+			return 8
+		case ModeAbs:
+			if uint32(in.Src.Val) > 0xFFFF {
+				return 12
+			}
+			return 8
+		}
+		return 4
+	case CLR, NOT, NEG:
+		if in.Dst.IsMem() {
+			return 8 + eaReadCycles(in.Dst, sz)
+		}
+		if sz == Long {
+			return 6
+		}
+		return 4
+	case TST:
+		return 4 + eaReadCycles(in.Dst, sz)
+	case ADD, SUB, AND, OR, EOR:
+		if in.Dst.IsMem() {
+			return 8 + eaReadCycles(in.Dst, sz)
+		}
+		if sz == Long {
+			return 6 + eaReadCycles(in.Src, sz)
+		}
+		return 4 + eaReadCycles(in.Src, sz)
+	case CMP:
+		if sz == Long {
+			return 6 + eaReadCycles(in.Src, sz)
+		}
+		return 4 + eaReadCycles(in.Src, sz)
+	case ADDA, SUBA:
+		if sz == Long {
+			return 6 + eaReadCycles(in.Src, sz)
+		}
+		return 8 + eaReadCycles(in.Src, sz)
+	case CMPA:
+		return 6 + eaReadCycles(in.Src, sz)
+	case ADDQ, SUBQ:
+		if in.Dst.IsMem() {
+			return 8 + eaReadCycles(in.Dst, sz)
+		}
+		if in.Dst.Mode == ModeAddrReg || sz == Long {
+			return 8
+		}
+		return 4
+	case ADDI, SUBI, ANDI, ORI, EORI:
+		if in.Dst.IsMem() {
+			return 12 + eaReadCycles(in.Dst, sz)
+		}
+		if sz == Long {
+			return 16
+		}
+		return 8
+	case CMPI:
+		if in.Dst.IsMem() {
+			return 8 + eaReadCycles(in.Dst, sz)
+		}
+		if sz == Long {
+			return 14
+		}
+		return 8
+	case MULU, MULS:
+		// data-dependent part added at execution; EA time here
+		return eaReadCycles(in.Src, Word)
+	case DIVU:
+		return eaReadCycles(in.Src, Word)
+	case LSL, LSR, ASL, ASR, ROL, ROR:
+		// 6 + 2n (word) / 8 + 2n (long); n added at execution for
+		// register counts, here for immediate counts.
+		base := int64(6)
+		if sz == Long {
+			base = 8
+		}
+		if in.Src.Mode == ModeImm {
+			return base + 2*int64(in.Src.Val)
+		}
+		return base
+	case SWAP:
+		return 4
+	case EXG:
+		return 6
+	case EXT:
+		return 4
+	case BCC:
+		return 10 // taken; not-taken adjusts to 8 at execution
+	case DBCC:
+		return 10 // loop-taken; expired 14, cc-true 12 at execution
+	case JMP:
+		return jmpCycles(in.Dst, 10)
+	case JSR:
+		return jmpCycles(in.Dst, 18)
+	case RTS:
+		return 16
+	case BCAST, SETMASK:
+		// Modeled as move.w #imm,(FU register): 4 + imm fetch 4 +
+		// register-file write 4.
+		return 12
+	case BTST:
+		if in.Dst.IsMem() {
+			return 4 + eaReadCycles(in.Dst, Byte) + immExtra(in, 4)
+		}
+		return 6 + immExtra(in, 4)
+	case BSET, BCLR, BCHG:
+		if in.Dst.IsMem() {
+			return 8 + eaReadCycles(in.Dst, Byte) + immExtra(in, 4)
+		}
+		return 8 + immExtra(in, 4)
+	}
+	return 4
+}
+
+// immExtra adds the immediate-operand fetch time for bit instructions.
+func immExtra(in *Instr, t int64) int64 {
+	if in.Src.Mode == ModeImm {
+		return t
+	}
+	return 0
+}
+
+func jmpCycles(o Operand, absW int64) int64 {
+	switch o.Mode {
+	case ModeIndirect:
+		return absW - 2
+	case ModeDisp:
+		return absW
+	case ModeAbs:
+		if uint32(o.Val) > 0xFFFF {
+			return absW + 2
+		}
+		return absW
+	case ModeLabel:
+		return absW
+	}
+	return absW
+}

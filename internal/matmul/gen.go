@@ -1,0 +1,355 @@
+package matmul
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Generate emits the MC68000 assembly source for a spec. The register
+// conventions, loop structure, and per-element instruction sequences
+// follow Section 4/5 of the paper:
+//
+//   - the inner loop multiplies one A-column element (multiplicand,
+//     timing-neutral) by the B element held in a register (multiplier,
+//     whose 1-bits determine the MULU time) and accumulates into C;
+//   - extra inner-loop multiplies are straight-line code so control
+//     flow overlap cannot skew the measurements, and their results are
+//     discarded so C is unaffected;
+//   - the B row index is (i*(n/p) + v + j) mod n, with i*(n/p)
+//     pre-calculated per PE in its data segment (IOFF);
+//   - A columns rotate left once per j step: internal columns by a
+//     pointer swap in TT, the boundary column through the network as
+//     2n 8-bit transfers (one shift on transmit, one on receive, an
+//     OR, per 16-bit element);
+//   - the serial version is the optimized SISD program with the same
+//     per-element kernel and no communication.
+func Generate(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	l, err := NewLayout(spec.N, spec.p())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("; matmul %s n=%d p=%d muls=%d (generated)\n", spec.Mode, spec.N, spec.p(), spec.Muls))
+	b.WriteString(l.equs())
+	switch spec.Mode {
+	case Serial:
+		genSerial(&b, spec)
+	case SIMD, Mixed:
+		genSIMD(&b, spec, l)
+	case MIMD, SMIMD:
+		genMIMD(&b, spec, l)
+	}
+	return b.String(), nil
+}
+
+// extraMuls emits the straight-line added multiplies (all but the
+// algorithm's own one). The multiplier is the same B element as the
+// real multiply, so the added work has identical data-dependent
+// timing; the destination is the scratch register d5, so the results
+// never reach C.
+func extraMuls(b *strings.Builder, count int) {
+	for i := 1; i < count; i++ {
+		b.WriteString("\tmulu.w\td2, d5\n")
+	}
+}
+
+// genSerial emits the optimized serial program: for each C column c,
+// for each k, the scalar B[k][c] multiplies A's column k into C's
+// column c. All matrices are columnar, every inner-loop access is
+// sequential, and the accumulate is the same add-to-memory as the
+// parallel kernel, so speed-up measurements compare like with like.
+func genSerial(b *strings.Builder, spec Spec) {
+	b.WriteString(`	.region other
+	; clear C
+	lea	CBASE, a1
+	move.w	#N*COLS-1, d6
+clrl:	clr.w	(a1)+
+	dbra	d6, clrl
+	lea	CBASE, a6	; C column base (advances per c)
+	lea	BBASE, a4	; B walks sequentially across the whole run
+	move.w	#N-1, d7	; c loop
+cloop:	lea	ABASE, a0	; A columns walk k=0..n-1 within each c
+	move.w	#N-1, d3	; k loop
+	.region mult
+kloop:	movea.l	a6, a1		; C column restarts every k
+	move.w	(a4)+, d2	; b = B[k][c] - the data-dependent multiplier
+	move.w	#N-1, d6	; r loop over column elements
+rloop:	move.w	(a0)+, d0
+	mulu.w	d2, d0
+	add.w	d0, (a1)+
+`)
+	extraMuls(b, spec.Muls)
+	b.WriteString(`	dbra	d6, rloop
+	dbra	d3, kloop
+	.region other
+	adda.w	#COLBYTES, a6
+	dbra	d7, cloop
+	halt
+`)
+}
+
+// genMIMD emits the asynchronous per-PE program (pure MIMD with
+// status polling, or S/MIMD with barrier reads when spec.Mode is
+// SMIMD). All control flow runs on the PE from its own DRAM.
+func genMIMD(b *strings.Builder, spec Spec, l Layout) {
+	p := spec.p()
+	b.WriteString(`	.region other
+	lea	NETX, a5
+	move.w	IOFF, d4	; jbase = i*(n/p) + j
+	clr.w	d5
+	; clear C
+	lea	CBASE, a1
+	move.w	#N*COLS-1, d6
+clrl:	clr.w	(a1)+
+	dbra	d6, clrl
+	; TT[v] = &A column v
+	lea	TTBASE, a3
+	lea	ABASE, a0
+	move.w	#COLS-1, d6
+ttl:	move.l	a0, (a3)+
+	adda.w	#COLBYTES, a0
+	dbra	d6, ttl
+	move.w	#N-1, d7	; j loop
+jloop:	lea	CBASE, a1
+	lea	BBASE, a2
+	lea	TTBASE, a3
+	move.w	d4, d3
+	and.w	#MASK, d3	; rb for v=0
+	move.w	#COLS, VCOUNT
+	.region mult
+vloop:	move.w	d3, d0		; b address = BBASE + v*COLBYTES + 2*rb
+	add.w	d0, d0
+	movea.l	a2, a4
+	adda.w	d0, a4
+	move.w	(a4), d2	; b
+	movea.l	(a3), a0	; A column via TT[v]
+	move.w	#N-1, d6
+eloop:	move.w	(a0)+, d0
+	mulu.w	d2, d0
+	add.w	d0, (a1)+
+`)
+	extraMuls(b, spec.Muls)
+	b.WriteString(`	dbra	d6, eloop
+	.region other
+	addq.l	#4, a3
+	adda.w	#COLBYTES, a2
+	addq.w	#1, d3
+	and.w	#MASK, d3
+	subq.w	#1, VCOUNT
+	bne	vloop
+`)
+	// Rotation: boundary column through the network (skipped when the
+	// partition is a single PE, where the "transfer" is the identity),
+	// then the TT pointer shift.
+	b.WriteString(`	.region comm
+	lea	TTBASE, a3
+	movea.l	(a3), a0	; departing (lowest) column
+	movea.l	a0, a4		; its storage becomes the new highest column
+`)
+	if p > 1 {
+		b.WriteString("\tmove.w\t#N-1, d6\nxloop:\tmove.w\t(a0), d0\n")
+		if spec.Mode == MIMD {
+			// Polled transfers: the asynchronous network operations
+			// necessitate polling the buffer status (paper Sec. 5.2).
+			b.WriteString(`txw1:	tst.w	4(a5)
+	beq	txw1
+	move.b	d0, (a5)
+rxw1:	tst.w	6(a5)
+	beq	rxw1
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+txw2:	tst.w	4(a5)
+	beq	txw2
+	move.b	d0, (a5)
+rxw2:	tst.w	6(a5)
+	beq	rxw2
+	move.b	2(a5), d0
+`)
+		} else {
+			// Barrier-synchronized transfers: each network operation
+			// becomes a simple move bracketed by Fetch-Unit barrier
+			// reads (paper Sec. 5.3); d3 is free here and absorbs the
+			// dummy word.
+			b.WriteString(`	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d0
+`)
+		}
+		b.WriteString(`	lsl.w	#8, d0
+	move.b	d1, d0
+	move.w	d0, (a0)+
+	dbra	d6, xloop
+`)
+	}
+	b.WriteString("\t.region other\n")
+	if l.Cols > 1 {
+		b.WriteString(`	lea	TTBASE, a3
+	move.w	#COLS-2, d6
+trot:	move.l	4(a3), (a3)
+	addq.l	#4, a3
+	dbra	d6, trot
+`)
+	}
+	b.WriteString(`	move.l	a4, (a3)
+	addq.w	#1, d4
+	dbra	d7, jloop
+	halt
+`)
+}
+
+// genSIMD emits the MC control program plus the PE broadcast blocks.
+// Every loop and counter lives on the MC; the PEs see only the
+// straight-line blocks delivered through the Fetch Unit queue.
+func genSIMD(b *strings.Builder, spec Spec, l Layout) {
+	p := spec.p()
+	b.WriteString(`	.region control
+	bcast	init
+	move.w	#N*COLS/4-1, d0
+mclr:	bcast	clr4
+	dbra	d0, mclr
+	move.w	#COLS-1, d0
+mtt:	bcast	ttstep
+	dbra	d0, mtt
+	move.w	#N-1, d7	; j loop
+mjloop:	bcast	jreset
+	move.w	#COLS-1, d5	; v loop
+mvloop:	bcast	colsetup
+	move.w	#N-1, d6	; element loop
+meloop:	bcast	elem
+	dbra	d6, meloop
+	bcast	vstep
+	dbra	d5, mvloop
+	bcast	rotsetup
+`)
+	if p > 1 {
+		b.WriteString(`	move.w	#N-1, d6
+mxloop:	bcast	xfer
+	dbra	d6, mxloop
+`)
+	}
+	if l.Cols > 1 {
+		b.WriteString(`	move.w	#COLS-2, d5
+mrot:	bcast	rotstep
+	dbra	d5, mrot
+`)
+	}
+	b.WriteString(`	bcast	rotlast
+	bcast	jinc
+	dbra	d7, mjloop
+	halt
+
+	.region other
+	.block	init
+	lea	NETX, a5
+	move.w	IOFF, d4
+	clr.w	d5
+	lea	CBASE, a1
+	lea	TTBASE, a3
+	lea	ABASE, a0
+	.endblock
+
+	.block	clr4
+	clr.w	(a1)+
+	clr.w	(a1)+
+	clr.w	(a1)+
+	clr.w	(a1)+
+	.endblock
+
+	.block	ttstep
+	move.l	a0, (a3)+
+	adda.w	#COLBYTES, a0
+	.endblock
+
+	.block	jreset
+	lea	CBASE, a1
+	lea	BBASE, a2
+	lea	TTBASE, a3
+	move.w	d4, d3
+	and.w	#MASK, d3
+	.endblock
+
+	.region mult
+	.block	colsetup
+	move.w	d3, d0
+	add.w	d0, d0
+	movea.l	a2, a4
+	adda.w	d0, a4
+	move.w	(a4), d2
+	movea.l	(a3), a0
+	.endblock
+
+	.block	elem
+`)
+	if spec.Mode == Mixed {
+		// The paper's fine-grained decoupling: only the variable-time
+		// multiply grain leaves lockstep. The broadcast jump switches
+		// every PE to asynchronous execution from its own memory;
+		// jumping back into the SIMD space rejoins the stream (the
+		// Fetch Unit release is the implicit barrier).
+		b.WriteString("\tmove.w\t(a0)+, d0\n\tjmp\tmelem\n")
+	} else {
+		b.WriteString("\tmove.w\t(a0)+, d0\n\tmulu.w\td2, d0\n\tadd.w\td0, (a1)+\n")
+		extraMuls(b, spec.Muls)
+	}
+	b.WriteString(`	.endblock
+
+	.region other
+	.block	vstep
+	addq.l	#4, a3
+	adda.w	#COLBYTES, a2
+	addq.w	#1, d3
+	and.w	#MASK, d3
+	.endblock
+
+	.region comm
+	.block	rotsetup
+	lea	TTBASE, a3
+	movea.l	(a3), a0
+	movea.l	a0, a4
+	.endblock
+`)
+	if p > 1 {
+		b.WriteString(`
+	.block	xfer
+	move.w	(a0), d0
+	move.b	d0, (a5)
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.b	d0, (a5)
+	move.b	2(a5), d0
+	lsl.w	#8, d0
+	move.b	d1, d0
+	move.w	d0, (a0)+
+	.endblock
+`)
+	}
+	b.WriteString(`
+	.region other
+	.block	rotstep
+	move.l	4(a3), (a3)
+	addq.l	#4, a3
+	.endblock
+
+	.block	rotlast
+	move.l	a4, (a3)
+	.endblock
+
+	.block	jinc
+	addq.w	#1, d4
+	.endblock
+`)
+	if spec.Mode == Mixed {
+		b.WriteString("\n\t.region mult\n\t; asynchronous multiply burst (fetched from PE memory)\nmelem:\tmulu.w\td2, d0\n")
+		extraMuls(b, spec.Muls)
+		b.WriteString("\tadd.w\td0, (a1)+\n\tjmp\tSIMDSPACE\n")
+	}
+}

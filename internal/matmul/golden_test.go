@@ -1,0 +1,95 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+	"repro/internal/pasm"
+)
+
+// TestGoldenCycleCounts pins exact cycle counts for a grid of small
+// configurations. The simulator is deterministic, so any change to
+// instruction timings, queue arithmetic, network costs, or program
+// generation shows up here first. If a change is *intentional*,
+// set the constant to 0 to have the test log the measured value to
+// fill in.
+func TestGoldenCycleCounts(t *testing.T) {
+	golden := []struct {
+		spec Spec
+		want int64
+	}{
+		{Spec{N: 8, Muls: 1, Mode: Serial}, 52387},
+		{Spec{N: 8, P: 4, Muls: 1, Mode: SIMD}, 20311},
+		{Spec{N: 8, P: 4, Muls: 1, Mode: MIMD}, 31969},
+		{Spec{N: 8, P: 4, Muls: 1, Mode: SMIMD}, 31436},
+		{Spec{N: 16, P: 8, Muls: 3, Mode: SIMD}, 137161},
+		{Spec{N: 16, P: 8, Muls: 3, Mode: SMIMD}, 177474},
+	}
+	cfg := pasm.DefaultConfig()
+	cfg.PEMemBytes = 1 << 16
+	for i, g := range golden {
+		a := Identity(g.spec.N)
+		b := Random(g.spec.N, 1988+uint32(g.spec.N))
+		res, c, err := Execute(cfg, g.spec, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", g.spec, err)
+		}
+		if !Equal(c, b) {
+			t.Fatalf("%v: wrong product", g.spec)
+		}
+		if g.want == 0 {
+			t.Logf("golden[%d] %s n=%d p=%d m=%d: %d cycles (fill in)",
+				i, g.spec.Mode, g.spec.N, g.spec.P, g.spec.Muls, res.Cycles)
+			continue
+		}
+		if res.Cycles != g.want {
+			t.Errorf("%s n=%d p=%d m=%d: %d cycles, golden %d",
+				g.spec.Mode, g.spec.N, g.spec.P, g.spec.Muls, res.Cycles, g.want)
+		}
+	}
+}
+
+// TestGeneratedProgramsEncode round-trips every MIMD-family generated
+// program through the binary encoder and decoder: the encoding length
+// must equal the timing model's instruction words, and the decoded
+// stream must match instruction for instruction. (SIMD programs
+// contain MC-only pseudo-instructions and are intentionally not
+// encodable.)
+func TestGeneratedProgramsEncode(t *testing.T) {
+	for _, spec := range []Spec{
+		{N: 8, Muls: 1, Mode: Serial},
+		{N: 64, Muls: 30, Mode: Serial},
+		{N: 8, P: 4, Muls: 1, Mode: MIMD},
+		{N: 64, P: 4, Muls: 30, Mode: MIMD},
+		{N: 64, P: 16, Muls: 14, Mode: SMIMD},
+	} {
+		prog, _, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, err := prog.Encode()
+		if err != nil {
+			t.Fatalf("%s n=%d muls=%d: encode: %v", spec.Mode, spec.N, spec.Muls, err)
+		}
+		total := 0
+		for _, in := range prog.Instrs {
+			total += int(in.Words)
+		}
+		if total != len(words) {
+			t.Fatalf("%s: Words sum %d != encoding %d", spec.Mode, total, len(words))
+		}
+		back, err := m68k.Decode(words)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", spec.Mode, err)
+		}
+		if len(back.Instrs) != len(prog.Instrs) {
+			t.Fatalf("%s: decoded %d instrs, want %d", spec.Mode, len(back.Instrs), len(prog.Instrs))
+		}
+		for i := range prog.Instrs {
+			if prog.Instrs[i].Op != back.Instrs[i].Op || prog.Instrs[i].Words != back.Instrs[i].Words {
+				t.Errorf("%s: instr %d: %s -> %s", spec.Mode, i,
+					prog.Instrs[i].String(), back.Instrs[i].String())
+			}
+		}
+	}
+}

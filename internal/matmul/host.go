@@ -1,0 +1,169 @@
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/pasm"
+	"repro/internal/prng"
+)
+
+// Matrix is an n x n matrix of 16-bit unsigned values in column-major
+// order: m[c][r] is row r of column c. Columnar storage is what the
+// machine uses (paper Figure 5), so the host representation matches.
+type Matrix [][]uint16
+
+// NewMatrix returns a zero n x n matrix.
+func NewMatrix(n int) Matrix {
+	m := make(Matrix, n)
+	backing := make([]uint16, n*n)
+	for c := range m {
+		m[c], backing = backing[:n], backing[n:]
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix. The paper uses it for
+// the A (multiplicand) side: the MC68000 multiply time depends only on
+// the multiplier, so the identity simplifies verification without
+// changing any timing.
+func Identity(n int) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// Random returns an n x n matrix of uniformly distributed 16-bit
+// values from the given seed (the paper's B side: "random data,
+// produced from a uniformly distributed random number generator").
+func Random(n int, seed uint32) Matrix {
+	m := NewMatrix(n)
+	g := prng.New(seed)
+	for c := range m {
+		g.Fill(m[c])
+	}
+	return m
+}
+
+// Reference computes A x B with 16-bit wraparound on the host, for
+// verifying machine results ("overflow was ignored").
+func Reference(a, b Matrix) Matrix {
+	n := len(a)
+	c := NewMatrix(n)
+	for col := 0; col < n; col++ {
+		for k := 0; k < n; k++ {
+			bv := b[col][k]
+			if bv == 0 {
+				continue
+			}
+			ac := a[k]
+			cc := c[col]
+			for r := 0; r < n; r++ {
+				cc[r] += ac[r] * bv
+			}
+		}
+	}
+	return c
+}
+
+// Equal reports whether two matrices are identical.
+func Equal(a, b Matrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			return false
+		}
+		for r := range a[c] {
+			if a[c][r] != b[c][r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Load writes the operand matrices and per-PE constants into the
+// partition's PE memories following the layout: PE i holds columns
+// i*(n/p) .. (i+1)*(n/p)-1 of A, B and C, plus its pre-calculated
+// IOFF = i*(n/p).
+func Load(vm *pasm.VM, l Layout, a, b Matrix) error {
+	if len(a) != l.N || len(b) != l.N {
+		return fmt.Errorf("matmul: matrices are %dx?, layout wants n=%d", len(a), l.N)
+	}
+	if vm.P != l.P {
+		return fmt.Errorf("matmul: partition has %d PEs, layout wants %d", vm.P, l.P)
+	}
+	for i, pe := range vm.PEs {
+		pe.Mem.Reset()
+		for v := 0; v < l.Cols; v++ {
+			g := i*l.Cols + v
+			if err := pe.Mem.WriteWords(l.ABase+uint32(v)*l.ColBytes, a[g]); err != nil {
+				return err
+			}
+			if err := pe.Mem.WriteWords(l.BBase+uint32(v)*l.ColBytes, b[g]); err != nil {
+				return err
+			}
+		}
+		if err := pe.Mem.WriteWords(l.IOff, []uint16{uint16(i * l.Cols)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadC extracts the result matrix from the PE memories.
+func ReadC(vm *pasm.VM, l Layout) (Matrix, error) {
+	c := NewMatrix(l.N)
+	for i, pe := range vm.PEs {
+		for v := 0; v < l.Cols; v++ {
+			col, err := pe.Mem.ReadWords(l.CBase+uint32(v)*l.ColBytes, l.N)
+			if err != nil {
+				return nil, err
+			}
+			copy(c[i*l.Cols+v], col)
+		}
+	}
+	return c, nil
+}
+
+// Execute builds the program for spec, loads the operands into a fresh
+// partition, runs it in the appropriate mode, and returns the timing
+// result and the computed C matrix. This is the single entry point the
+// experiments and examples use.
+func Execute(cfg pasm.Config, spec Spec, a, b Matrix) (pasm.RunResult, Matrix, error) {
+	prog, l, err := Build(spec)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if err := vm.EstablishShift(); err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if err := Load(vm, l, a, b); err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	var res pasm.RunResult
+	switch spec.Mode {
+	case SIMD, Mixed:
+		res, err = vm.RunSIMD(prog)
+	default:
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	c, err := ReadC(vm, l)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	return res, c, nil
+}

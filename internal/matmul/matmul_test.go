@@ -1,0 +1,340 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/pasm"
+)
+
+func testConfig() pasm.Config {
+	cfg := pasm.DefaultConfig()
+	cfg.PEMemBytes = 1 << 16
+	return cfg
+}
+
+func TestReferenceSmall(t *testing.T) {
+	// [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+	a := NewMatrix(2)
+	a[0][0], a[1][0] = 1, 2
+	a[0][1], a[1][1] = 3, 4
+	b := NewMatrix(2)
+	b[0][0], b[1][0] = 5, 6
+	b[0][1], b[1][1] = 7, 8
+	c := Reference(a, b)
+	want := [][]uint16{{19, 43}, {22, 50}} // column-major
+	for col := range want {
+		for r := range want[col] {
+			if c[col][r] != want[col][r] {
+				t.Errorf("c[%d][%d] = %d, want %d", col, r, c[col][r], want[col][r])
+			}
+		}
+	}
+}
+
+func TestReferenceIdentity(t *testing.T) {
+	b := Random(8, 77)
+	c := Reference(Identity(8), b)
+	if !Equal(c, b) {
+		t.Error("I x B != B")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{N: 3, P: 1, Muls: 1, Mode: MIMD},
+		{N: 8, P: 3, Muls: 1, Mode: MIMD},
+		{N: 8, P: 4, Muls: 0, Mode: MIMD},
+		{N: 8, P: 4, Muls: 100, Mode: MIMD},
+		{N: 4, P: 8, Muls: 1, Mode: MIMD},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+	if err := (Spec{N: 3, P: 1, Muls: 1, Mode: Serial}); err.Validate() == nil {
+		t.Error("serial n=3 accepted")
+	}
+	good := Spec{N: 64, P: 4, Muls: 14, Mode: SMIMD}
+	if err := good.Validate(); err != nil {
+		t.Errorf("%+v rejected: %v", good, err)
+	}
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{4, 1}, {8, 4}, {64, 4}, {256, 16}, {256, 1}} {
+		l, err := NewLayout(tc.n, tc.p)
+		if err != nil {
+			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
+		}
+		mat := uint32(l.Cols) * l.ColBytes
+		if l.BBase != l.ABase+mat || l.CBase != l.BBase+mat || l.TTBase != l.CBase+mat {
+			t.Errorf("n=%d p=%d: overlapping regions %+v", tc.n, tc.p, l)
+		}
+		if l.MemBytes() < l.End {
+			t.Errorf("n=%d p=%d: MemBytes %d < End %d", tc.n, tc.p, l.MemBytes(), l.End)
+		}
+	}
+}
+
+func TestGenerateAssembles(t *testing.T) {
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		for _, tc := range []struct{ n, p, m int }{{4, 4, 1}, {8, 4, 3}, {16, 8, 1}, {16, 16, 2}, {8, 1, 1}} {
+			spec := Spec{N: tc.n, P: tc.p, Muls: tc.m, Mode: mode}
+			if _, _, err := Build(spec); err != nil {
+				t.Errorf("%s n=%d p=%d m=%d: %v", mode, tc.n, tc.p, tc.m, err)
+			}
+		}
+	}
+}
+
+// verify runs a spec against random A and B and checks the machine's C
+// against the host reference. Random A (not the paper's identity)
+// exercises the full data path.
+func verify(t *testing.T, spec Spec, seed uint32) pasm.RunResult {
+	t.Helper()
+	a := Random(spec.N, seed)
+	b := Random(spec.N, seed+1)
+	res, c, err := Execute(testConfig(), spec, a, b)
+	if err != nil {
+		t.Fatalf("%s n=%d p=%d m=%d: %v", spec.Mode, spec.N, spec.P, spec.Muls, err)
+	}
+	if want := Reference(a, b); !Equal(c, want) {
+		t.Fatalf("%s n=%d p=%d m=%d: wrong product", spec.Mode, spec.N, spec.P, spec.Muls)
+	}
+	return res
+}
+
+func TestSerialCorrect(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		verify(t, Spec{N: n, Muls: 1, Mode: Serial}, uint32(n))
+	}
+	verify(t, Spec{N: 8, Muls: 5, Mode: Serial}, 99)
+}
+
+func TestMIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{4, 4}, {8, 2}, {8, 4}, {16, 4}, {16, 8}, {16, 16}, {8, 1}} {
+		verify(t, Spec{N: tc.n, P: tc.p, Muls: 1, Mode: MIMD}, uint32(tc.n*tc.p))
+	}
+	verify(t, Spec{N: 8, P: 4, Muls: 7, Mode: MIMD}, 123)
+}
+
+func TestSMIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{4, 4}, {8, 4}, {16, 8}, {16, 16}} {
+		verify(t, Spec{N: tc.n, P: tc.p, Muls: 1, Mode: SMIMD}, uint32(tc.n+tc.p))
+	}
+	verify(t, Spec{N: 8, P: 4, Muls: 14, Mode: SMIMD}, 5)
+}
+
+func TestSIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{4, 4}, {8, 2}, {8, 4}, {16, 4}, {16, 8}, {16, 16}, {8, 1}} {
+		verify(t, Spec{N: tc.n, P: tc.p, Muls: 1, Mode: SIMD}, uint32(3*tc.n+tc.p))
+	}
+	verify(t, Spec{N: 8, P: 4, Muls: 30, Mode: SIMD}, 7)
+}
+
+func TestAllModesAgree(t *testing.T) {
+	// The same operands through all four programs must give the same C.
+	a := Random(16, 1000)
+	b := Random(16, 1001)
+	var first Matrix
+	for _, spec := range []Spec{
+		{N: 16, Muls: 1, Mode: Serial},
+		{N: 16, P: 4, Muls: 1, Mode: SIMD},
+		{N: 16, P: 4, Muls: 1, Mode: MIMD},
+		{N: 16, P: 4, Muls: 1, Mode: SMIMD},
+	} {
+		_, c, err := Execute(testConfig(), spec, a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Mode, err)
+		}
+		if first == nil {
+			first = c
+		} else if !Equal(first, c) {
+			t.Errorf("%s disagrees with serial result", spec.Mode)
+		}
+	}
+}
+
+func TestExtraMulsDoNotChangeResult(t *testing.T) {
+	a := Random(8, 50)
+	b := Random(8, 51)
+	_, c1, err := Execute(testConfig(), Spec{N: 8, P: 4, Muls: 1, Mode: SIMD}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c30, err := Execute(testConfig(), Spec{N: 8, P: 4, Muls: 30, Mode: SIMD}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(c1, c30) {
+		t.Error("added multiplies changed the product")
+	}
+}
+
+func TestExtraMulsIncreaseTime(t *testing.T) {
+	a := Identity(8)
+	b := Random(8, 52)
+	r1, _, err := Execute(testConfig(), Spec{N: 8, P: 4, Muls: 1, Mode: SMIMD}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, _, err := Execute(testConfig(), Spec{N: 8, P: 4, Muls: 5, Mode: SMIMD}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Cycles <= r1.Cycles {
+		t.Errorf("5 multiplies (%d cycles) not slower than 1 (%d)", r5.Cycles, r1.Cycles)
+	}
+}
+
+func TestNetworkTrafficMatchesAnalysis(t *testing.T) {
+	// The algorithm performs n byte-pair transfers per PE per j step:
+	// n rotations x n elements x 2 bytes per PE (paper: 2n network
+	// operations per column, n^2 element transfers per PE overall).
+	n, p := 8, 4
+	res := verify(t, Spec{N: n, P: p, Muls: 1, Mode: MIMD}, 77)
+	want := int64(2 * n * n * p)
+	if res.NetTransfers != want {
+		t.Errorf("network bytes = %d, want %d", res.NetTransfers, want)
+	}
+}
+
+func TestSMIMDBarrierCount(t *testing.T) {
+	// Four barriers per transferred element: n^2 elements -> 4n^2
+	// rounds.
+	n, p := 8, 4
+	res := verify(t, Spec{N: n, P: p, Muls: 1, Mode: SMIMD}, 11)
+	want := 4 * n * n
+	if res.BarrierRounds != want {
+		t.Errorf("barrier rounds = %d, want %d", res.BarrierRounds, want)
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	spec := Spec{N: 8, P: 4, Muls: 1, Mode: SIMD}
+	a, b := Identity(8), Random(8, 4242)
+	r1, _, err := Execute(testConfig(), spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Execute(testConfig(), spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Instrs != r2.Instrs {
+		t.Errorf("non-deterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestIdentityAVersusRandomATimingInvariant(t *testing.T) {
+	// The paper's key measurement trick: the multiplicand (A) does not
+	// affect MULU time, so identity-A and random-A runs must take
+	// exactly the same cycles when B is fixed.
+	spec := Spec{N: 8, P: 4, Muls: 1, Mode: SIMD}
+	b := Random(8, 321)
+	rI, _, err := Execute(testConfig(), spec, Identity(8), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA, _, err := Execute(testConfig(), spec, Random(8, 654), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rI.Cycles != rA.Cycles {
+		t.Errorf("A data changed timing: %d vs %d cycles", rI.Cycles, rA.Cycles)
+	}
+}
+
+// TestBothOrdersWithoutReformatting: the paper chose the columnar
+// layout so "BxA may be calculated as well as AxB without
+// rearrangement of the data" — swapping which matrix is loaded where
+// computes the transposed-order product with the same program.
+func TestBothOrdersWithoutReformatting(t *testing.T) {
+	a := Random(8, 201)
+	b := Random(8, 202)
+	spec := Spec{N: 8, P: 4, Muls: 1, Mode: SIMD}
+	_, ab, err := Execute(testConfig(), spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ba, err := Execute(testConfig(), spec, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ab, Reference(a, b)) {
+		t.Error("AxB wrong")
+	}
+	if !Equal(ba, Reference(b, a)) {
+		t.Error("BxA wrong")
+	}
+	if Equal(ab, ba) {
+		t.Error("AxB == BxA for random matrices (suspicious)")
+	}
+}
+
+// TestGenerateSourceIsStable: program generation is deterministic.
+func TestGenerateSourceIsStable(t *testing.T) {
+	s1, err := Generate(Spec{N: 16, P: 4, Muls: 5, Mode: SMIMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Generate(Spec{N: 16, P: 4, Muls: 5, Mode: SMIMD})
+	if s1 != s2 {
+		t.Error("generation not deterministic")
+	}
+	if len(s1) < 500 {
+		t.Errorf("generated source suspiciously short (%d bytes)", len(s1))
+	}
+}
+
+func TestMixedCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{4, 4}, {8, 2}, {8, 4}, {16, 8}, {16, 16}, {8, 1}} {
+		verify(t, Spec{N: tc.n, P: tc.p, Muls: 1, Mode: Mixed}, uint32(5*tc.n+tc.p))
+	}
+	verify(t, Spec{N: 8, P: 4, Muls: 14, Mode: Mixed}, 9)
+}
+
+func TestMixedAgreesWithSerial(t *testing.T) {
+	a := Random(16, 1100)
+	b := Random(16, 1101)
+	_, want, err := Execute(testConfig(), Spec{N: 16, Muls: 1, Mode: Serial}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Execute(testConfig(), Spec{N: 16, P: 4, Muls: 1, Mode: Mixed}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(want, got) {
+		t.Error("Mixed disagrees with serial")
+	}
+}
+
+// TestMixedNeverBeatsSIMDOnCorrelatedBursts pins the central insight
+// of the mixed-mode extension: per-element decoupled bursts reuse one
+// multiplier, so their execution-time variation is perfectly
+// correlated within the burst — the rejoin pays the same maximum a
+// per-instruction lockstep would, and the mode switches are pure
+// overhead. (S/MIMD's much coarser per-rotation granularity aggregates
+// n/p independent multipliers, which is where its gain comes from.)
+func TestMixedNeverBeatsSIMDOnCorrelatedBursts(t *testing.T) {
+	a := Identity(32)
+	b := Random(32, 77)
+	for _, m := range []int{1, 14, 30} {
+		rs, _, err := Execute(testConfig(), Spec{N: 32, P: 4, Muls: m, Mode: SIMD}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, _, err := Execute(testConfig(), Spec{N: 32, P: 4, Muls: m, Mode: Mixed}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rx.Cycles <= rs.Cycles {
+			t.Errorf("muls=%d: Mixed (%d) beat SIMD (%d) despite correlated bursts", m, rx.Cycles, rs.Cycles)
+		}
+		// The relative penalty must shrink as bursts grow (overhead
+		// amortizes).
+		_ = m
+	}
+}

@@ -1,0 +1,135 @@
+package pasm
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+// TestSIMDMasking exercises the Fetch Unit mask register: the MC
+// disables a subset of its PEs, broadcasts, and re-enables them.
+// Disabled PEs must not execute the masked instructions ("Disabled PEs
+// do not participate in the instruction and wait until an instruction
+// is broadcast for which they are enabled", paper Section 3) and must
+// not participate in instruction release.
+func TestSIMDMasking(t *testing.T) {
+	vm := newTestVM(t, 4, nil)
+	prog := m68k.MustAssemble(`
+		bcast   init
+		setmask #5            ; enable PEs 0 and 2 only
+		moveq   #9, d0
+l:	bcast   addone
+	dbra    d0, l
+		setmask #15           ; everyone back
+		bcast   store
+		halt
+		.block  init
+		clr.w   d0
+		.endblock
+		.block  addone
+		addq.w  #1, d0
+		.endblock
+		.block  store
+		move.w  d0, $100
+		.endblock
+	`)
+	res, err := vm.RunSIMD(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{10, 0, 10, 0}
+	for i, pe := range vm.PEs {
+		v, _ := pe.Mem.Read(0x100, m68k.Word)
+		if v != want[i] {
+			t.Errorf("PE %d: d0 = %d, want %d", i, v, want[i])
+		}
+	}
+	// Disabled PEs idle during the masked section: their clocks lag at
+	// the store release, then all converge at the final instruction.
+	if res.PEClocks[0] != res.PEClocks[1] {
+		t.Errorf("final clocks diverge: %v", res.PEClocks)
+	}
+}
+
+// TestSIMDMaskFromRegister covers the register form of SETMASK.
+func TestSIMDMaskFromRegister(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble(`
+		moveq   #1, d1        ; MC register: enable PE 0 only
+		setmask d1
+		bcast   mark
+		setmask #3
+		halt
+		.block  mark
+		move.w  $100, d0
+		addq.w  #7, d0
+		move.w  d0, $100
+		.endblock
+	`)
+	for _, pe := range vm.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{100})
+	}
+	if _, err := vm.RunSIMD(prog); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := vm.PEs[0].Mem.Read(0x100, m68k.Word)
+	v1, _ := vm.PEs[1].Mem.Read(0x100, m68k.Word)
+	if v0 != 107 || v1 != 100 {
+		t.Errorf("got %d, %d; want 107, 100", v0, v1)
+	}
+}
+
+// TestMaskedReleaseDoesNotWaitForDisabledPEs checks the timing
+// property: a long-running disabled PE must not delay release of
+// instructions it does not participate in... which cannot happen in
+// pure SIMD (the disabled PE is idle), so the test verifies the dual:
+// a disabled PE's clock does not advance while it is masked out.
+func TestMaskedPEClockFrozen(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble(`
+		setmask #1
+		moveq   #99, d0
+l:	bcast   work
+	dbra    d0, l
+		halt
+		.block  work
+		mulu.w  d1, d2
+		.endblock
+	`)
+	res, err := vm.RunSIMD(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEClocks[1] != 0 {
+		t.Errorf("disabled PE clock = %d, want 0", res.PEClocks[1])
+	}
+	if res.PEClocks[0] == 0 {
+		t.Error("enabled PE did no work")
+	}
+}
+
+// TestSETMASKRejectedOnPE: the mask register belongs to the MC; a PE
+// executing SETMASK in MIMD mode is a program error.
+func TestSETMASKRejectedOnPE(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble("setmask #3\n halt")
+	if _, err := vm.RunMIMD(prog); err == nil {
+		t.Error("SETMASK on a PE accepted in MIMD mode")
+	}
+}
+
+// TestSETMASKNotBroadcastable: SETMASK inside a broadcast block is
+// rejected by the SIMD executor.
+func TestSETMASKNotBroadcastable(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble(`
+		bcast   bad
+		halt
+		.block  bad
+		setmask #1
+		.endblock
+	`)
+	if _, err := vm.RunSIMD(prog); err == nil {
+		t.Error("SETMASK inside a block accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package pasm
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+// mixedProg runs `bursts` SIMD-dispatched MIMD sections; each burst
+// multiplies by the PE's own multiplier (data-dependent time) and
+// counts in d0.
+const mixedProg = `
+	bcast   init
+	moveq   #4, d3
+l:	bcast   burst
+	dbra    d3, l
+	bcast   fini
+	halt
+	.block  init
+	clr.w   d0
+	move.w  $100, d1      ; per-PE multiplier
+	move.w  #7, d2
+	.endblock
+	.block  burst
+	jmp     mimd          ; SIMD -> MIMD mode switch (broadcast jump)
+	.endblock
+	.block  fini
+	move.w  d0, $200
+	.endblock
+	; --- asynchronous section, fetched from PE memory ---
+mimd:	mulu.w  d1, d2        ; own data-dependent time
+	addq.w  #1, d0
+	jmp     $F00000       ; MIMD -> SIMD mode switch (rejoin)
+`
+
+func TestMixedModeBasic(t *testing.T) {
+	// Refresh off: per-PE refresh phase differs with asymmetric data
+	// and would blur the exact clock-equality assertion.
+	vm := newTestVM(t, 4, func(c *Config) { c.RefreshPeriod = 0 })
+	prog := m68k.MustAssemble(mixedProg)
+	mults := []uint16{0x0000, 0xFFFF, 0x0F0F, 0x8001}
+	for i, pe := range vm.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{mults[i]})
+	}
+	res, err := vm.RunSIMD(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pe := range vm.PEs {
+		v, _ := pe.Mem.Read(0x200, m68k.Word)
+		if v != 5 {
+			t.Errorf("PE %d: burst count %d, want 5", i, v)
+		}
+	}
+	// The final store re-synchronizes all PEs.
+	for i, c := range res.PEClocks {
+		if c != res.PEClocks[0] {
+			t.Errorf("PE %d clock %d != PE 0 clock %d", i, c, res.PEClocks[0])
+		}
+	}
+}
+
+func TestMixedModeRejoinIsBarrier(t *testing.T) {
+	// The slow-multiplier PE dominates every burst: total time must
+	// reflect 5 bursts of the 0xFFFF multiply (70 cycles each), not
+	// the fast PE's 38.
+	run := func(mults []uint16) int64 {
+		vm := newTestVM(t, 2, func(c *Config) { c.RefreshPeriod = 0 })
+		for i, pe := range vm.PEs {
+			pe.Mem.WriteWords(0x100, []uint16{mults[i]})
+		}
+		res, err := vm.RunSIMD(m68k.MustAssemble(mixedProg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	bothFast := run([]uint16{0, 0})
+	mixed := run([]uint16{0, 0xFFFF})
+	bothSlow := run([]uint16{0xFFFF, 0xFFFF})
+	if mixed != bothSlow {
+		t.Errorf("one slow PE (%d) should cost the same as two (%d): rejoin is a barrier", mixed, bothSlow)
+	}
+	// 5 bursts x 32 extra cycles for the slow multiply.
+	if bothSlow-bothFast != 5*32 {
+		t.Errorf("slow-fast delta = %d, want 160", bothSlow-bothFast)
+	}
+}
+
+func TestMixedModeSectionUsesDRAMFetch(t *testing.T) {
+	// The MIMD section fetches from PE memory: with extra DRAM wait
+	// states the mixed program slows, while a pure-SIMD version of the
+	// same work does not (its data accesses aside).
+	mk := func(ws int64) int64 {
+		vm := newTestVM(t, 2, func(c *Config) { c.DRAMWaitStates = ws; c.RefreshPeriod = 0 })
+		for _, pe := range vm.PEs {
+			pe.Mem.WriteWords(0x100, []uint16{7})
+		}
+		res, err := vm.RunSIMD(m68k.MustAssemble(mixedProg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if mk(4) <= mk(0) {
+		t.Error("MIMD-section fetches not charged to DRAM")
+	}
+}
+
+func TestMixedModeNetworkInSection(t *testing.T) {
+	// The asynchronous section may use the network with polling, like
+	// any MIMD program: a ring exchange inside a burst.
+	vm := newTestVM(t, 4, nil)
+	prog := m68k.MustAssemble(`
+	bcast   init
+	bcast   burst
+	bcast   fini
+	halt
+	.block  init
+	movea.l #$F10000, a5
+	move.w  $100, d0
+	.endblock
+	.block  burst
+	jmp     ring
+	.endblock
+	.block  fini
+	move.w  d1, $102
+	.endblock
+ring:
+t1:	tst.w   4(a5)
+	beq     t1
+	move.b  d0, (a5)
+r1:	tst.w   6(a5)
+	beq     r1
+	move.b  2(a5), d1
+	jmp     $F00000
+`)
+	for i, pe := range vm.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{uint16(30 + i)})
+	}
+	if _, err := vm.RunSIMD(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, pe := range vm.PEs {
+		v, _ := pe.Mem.Read(0x102, m68k.Word)
+		if want := uint32(30 + (i+1)%4); v != want {
+			t.Errorf("PE %d received %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestJumpToSIMDSpaceOutsideMixedModeRejected(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble("jmp $F00000\n halt")
+	if _, err := vm.RunMIMD(prog); err == nil {
+		t.Error("SIMD-space jump accepted in pure MIMD mode")
+	}
+}
+
+func TestBranchStillRejectedInBlocks(t *testing.T) {
+	vm := newTestVM(t, 2, nil)
+	prog := m68k.MustAssemble(`
+	bcast   bad
+	halt
+	.block  bad
+x:	bra     x
+	.endblock
+	`)
+	if _, err := vm.RunSIMD(prog); err == nil {
+		t.Error("branch inside block accepted")
+	}
+}
+
+func TestMixedModeWithMaskRejected(t *testing.T) {
+	vm := newTestVM(t, 4, nil)
+	prog := m68k.MustAssemble(`
+	setmask #5
+	bcast   burst
+	halt
+	.block  burst
+	jmp     m
+	.endblock
+m:	nop
+	jmp     $F00000
+`)
+	if _, err := vm.RunSIMD(prog); err == nil {
+		t.Error("mode switch with disabled PEs accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Package pasm simulates the PASM prototype machine: processing
+// elements (PEs) and Micro Controllers (MCs) built from the m68k
+// interpreter, the Fetch Unit queue, the Extra-Stage Cube network, the
+// SIMD lockstep executor, the asynchronous MIMD discrete-event engine,
+// and the Fetch-Unit barrier used by the hybrid S/MIMD mode.
+package pasm
+
+import (
+	"repro/internal/escube"
+	"repro/internal/m68k"
+)
+
+// Memory-mapped device addresses seen by every PE (above
+// m68k.DeviceBase). The network appears to the PEs as transfer
+// registers; the SIMD instruction space doubles as the barrier
+// synchronization mechanism (a data read from it completes only when
+// all PEs of the partition have issued one).
+const (
+	// AddrSIMDSpace is the SIMD instruction space. In MIMD programs a
+	// word read from it is the Fetch-Unit barrier synchronization.
+	AddrSIMDSpace = 0x00F00000
+	// AddrNetXmit is the network transmit register (byte writes).
+	AddrNetXmit = 0x00F10000
+	// AddrNetRecv is the network receive register (byte reads).
+	AddrNetRecv = 0x00F10002
+	// AddrNetTxReady reads 1 when the destination's input buffer is
+	// free (a transmit would complete immediately).
+	AddrNetTxReady = 0x00F10004
+	// AddrNetRxValid reads 1 when the receive register holds data.
+	AddrNetRxValid = 0x00F10006
+	// AddrNetCtrl reconfigures this PE's circuit at run time (word
+	// write): the value is the destination line to establish a path
+	// to, or NetCtrlRelease to drop the held circuit. Establishing is
+	// the expensive circuit-switched path set-up the paper calls "a
+	// time consuming operation"; a write that conflicts with standing
+	// circuits blocks until they are released.
+	AddrNetCtrl = 0x00F10008
+	// NetCtrlRelease written to AddrNetCtrl drops the PE's circuit.
+	NetCtrlRelease = 0xFFFF
+)
+
+// netBuf is one PE's single-byte network input register with the
+// timestamps needed for cycle-exact simulation.
+type netBuf struct {
+	val     uint8
+	hasData bool
+	availAt int64 // when in-flight data reaches the register
+	freedAt int64 // when the register was last consumed
+}
+
+// netState is the shared state of one virtual machine's established
+// network circuits.
+type netState struct {
+	nw      *escube.Network
+	bufs    []netBuf
+	latency int64 // TX-store to RX-availability, through the circuit
+	extra   int64 // extra cycles per transfer-register access
+	setup   int64 // cycles to establish a circuit at run time
+
+	// transfers counts completed byte deliveries (observability);
+	// reconfigs counts run-time path establishments.
+	transfers int64
+	reconfigs int64
+}
+
+func newNetState(size int, latency, extra, setup int64) (*netState, error) {
+	nw, err := escube.New(size)
+	if err != nil {
+		return nil, err
+	}
+	return &netState{
+		nw: nw, bufs: make([]netBuf, size),
+		latency: latency, extra: extra, setup: setup,
+	}, nil
+}
+
+// reconfig handles a run-time write to the network control register:
+// drop the held circuit (dst == NetCtrlRelease) or establish a new
+// one. Establishment that conflicts with standing circuits reports
+// ok=false so the caller blocks and retries after other PEs release.
+func (n *netState) reconfig(src int, dst uint32, t int64) (extra int64, ok bool) {
+	n.nw.Release(src)
+	if dst == NetCtrlRelease {
+		return 0, true
+	}
+	if int(dst) >= n.nw.Size() {
+		return 0, true // write to nowhere: path setup fails silently, as hardware would
+	}
+	if err := n.nw.Establish(src, int(dst)); err != nil {
+		return 0, false
+	}
+	n.reconfigs++
+	return n.setup, true
+}
+
+// Establish sets the static circuit permutation for a run.
+func (n *netState) Establish(perm []int) error {
+	n.nw.ReleaseAll()
+	return n.nw.EstablishPermutation(perm)
+}
+
+// reset clears buffers but keeps circuits.
+func (n *netState) reset() {
+	for i := range n.bufs {
+		n.bufs[i] = netBuf{}
+	}
+	n.transfers = 0
+	n.reconfigs = 0
+}
+
+// send attempts PE src's transmit at time t. ok=false means the
+// destination register still holds unconsumed data (the hardware
+// refuses the store; MIMD programs poll to avoid this, lockstep
+// programs are ordered to make it impossible).
+func (n *netState) send(src int, val uint8, t int64) (extra int64, ok bool) {
+	dst := n.nw.DestOf(src)
+	if dst < 0 {
+		return 0, true // no circuit: store is dropped into the void (path not set up)
+	}
+	b := &n.bufs[dst]
+	if b.hasData {
+		return 0, false
+	}
+	start := t
+	if b.freedAt > start {
+		// The register frees "in the simulation's past" but at a later
+		// timestamp than this store (lockstep groups may be processed
+		// out of time order); the store waits for the hardware.
+		start = b.freedAt
+	}
+	b.val = val
+	b.hasData = true
+	b.availAt = start + n.latency
+	n.transfers++
+	return start - t + n.extra, true
+}
+
+// recv attempts PE dst's receive at time t. ok=false means nothing is
+// in flight to this register yet.
+func (n *netState) recv(dst int, t int64) (val uint8, extra int64, ok bool) {
+	b := &n.bufs[dst]
+	if !b.hasData {
+		return 0, 0, false
+	}
+	done := t
+	if b.availAt > done {
+		done = b.availAt // data still in the network: wait for it
+	}
+	b.hasData = false
+	b.freedAt = done
+	return b.val, done - t + n.extra, true
+}
+
+// txReady reports whether PE src could complete a send at time t.
+func (n *netState) txReady(src int, t int64) bool {
+	dst := n.nw.DestOf(src)
+	if dst < 0 {
+		return true
+	}
+	b := &n.bufs[dst]
+	return !b.hasData && b.freedAt <= t
+}
+
+// rxValid reports whether PE dst has receivable data at time t.
+func (n *netState) rxValid(dst int, t int64) bool {
+	b := &n.bufs[dst]
+	return b.hasData && b.availAt <= t
+}
+
+// barrier implements the Fetch-Unit barrier synchronization of
+// Section 3: the MC pre-enqueues R arbitrary words; MIMD-mode PEs read
+// a word from the SIMD instruction space, and the Fetch Unit releases
+// the word only after every enabled PE has requested it.
+//
+// The paper uses one MC group per barrier; this simulator synchronizes
+// the whole virtual machine (multi-MC partitions coordinate their MCs,
+// which the prototype's partitioning unit supports). The release time
+// is the latest arrival.
+type barrier struct {
+	p       int
+	arrived []bool  // PE has arrived in the current round
+	hasRel  []bool  // PE has a completed round release to consume
+	relAt   []int64 // that release's time
+	count   int
+	latest  int64
+	rounds  int
+}
+
+func newBarrier(p int) *barrier {
+	return &barrier{
+		p:       p,
+		arrived: make([]bool, p),
+		hasRel:  make([]bool, p),
+		relAt:   make([]int64, p),
+	}
+}
+
+// arrive registers (or retries) PE k's barrier read at time t. The
+// read is retry-safe: a first call registers the arrival; calls while
+// the round is incomplete stay blocked; once the last PE arrives the
+// round is released at the latest arrival time and each PE's next
+// call consumes its release.
+func (b *barrier) arrive(k int, t int64) (release int64, done bool) {
+	if b.hasRel[k] {
+		b.hasRel[k] = false
+		return b.relAt[k], true
+	}
+	if b.arrived[k] {
+		return 0, false // still waiting for the rest of the partition
+	}
+	b.arrived[k] = true
+	b.count++
+	if t > b.latest {
+		b.latest = t
+	}
+	if b.count < b.p {
+		return 0, false
+	}
+	// Round complete: release everyone at the latest arrival.
+	rel := b.latest
+	for i := range b.arrived {
+		b.arrived[i] = false
+		b.hasRel[i] = true
+		b.relAt[i] = rel
+	}
+	b.count = 0
+	b.latest = 0
+	b.rounds++
+	// The caller consumes its own release immediately.
+	b.hasRel[k] = false
+	return rel, true
+}
+
+// deviceBus adapts the shared netState/barrier to one PE's
+// m68k.DeviceBus. The MIMD engine points `armed` at its active-PE
+// marker so that CPUs stop at device operations instead of executing
+// them out of global timestamp order; a disarmed probe refuses every
+// access. The lockstep executor leaves armed nil (always allowed,
+// because it already processes device operations in stream order).
+type deviceBus struct {
+	pe    int
+	net   *netState
+	bar   *barrier
+	barX  int64 // extra cycles per barrier read (mode-switch cost)
+	armed *int  // points at the engine's active-PE marker; nil = always armed
+}
+
+func (d *deviceBus) isArmed() bool { return d.armed == nil || *d.armed == d.pe }
+
+func (d *deviceBus) Load(addr uint32, sz m68k.Size, clock int64) (uint32, int64, bool) {
+	if !d.isArmed() {
+		return 0, 0, false
+	}
+	switch {
+	case addr >= AddrSIMDSpace && addr < AddrNetXmit:
+		if d.bar == nil {
+			return 0, 0, false
+		}
+		release, done := d.bar.arrive(d.pe, clock)
+		if !done {
+			// This PE waits for the rest of the partition; the last
+			// arriver's successful read wakes it for a retry, which
+			// consumes the release recorded for it.
+			return 0, 0, false
+		}
+		return 0, release - clock + d.barX, true
+	case addr == AddrNetRecv:
+		v, extra, ok := d.net.recv(d.pe, clock)
+		return uint32(v), extra, ok
+	case addr == AddrNetTxReady:
+		if d.net.txReady(d.pe, clock) {
+			return 1, 0, true
+		}
+		return 0, 0, true
+	case addr == AddrNetRxValid:
+		if d.net.rxValid(d.pe, clock) {
+			return 1, 0, true
+		}
+		return 0, 0, true
+	}
+	return 0, 0, false
+}
+
+func (d *deviceBus) Store(addr uint32, sz m68k.Size, val uint32, clock int64) (int64, bool) {
+	if !d.isArmed() {
+		return 0, false
+	}
+	switch addr {
+	case AddrNetXmit:
+		return d.net.send(d.pe, uint8(val), clock)
+	case AddrNetCtrl:
+		return d.net.reconfig(d.pe, val&0xFFFF, clock)
+	}
+	return 0, false
+}

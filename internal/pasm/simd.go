@@ -1,0 +1,299 @@
+package pasm
+
+import (
+	"fmt"
+
+	"repro/internal/fetchunit"
+	"repro/internal/m68k"
+)
+
+// RunSIMD executes an MC program in SIMD mode.
+//
+// Every MC of the partition runs the same program from its own memory:
+// control flow (loops, pointer bookkeeping) executes on the MC CPU,
+// and each BCAST instruction hands a block of data-processing
+// instructions to the Fetch Unit, whose controller streams it word by
+// word into the finite queue. Each PE of the group requests the next
+// instruction when it finishes its current one; the Fetch Unit
+// releases an instruction only when it is fully enqueued AND every
+// enabled PE of the group has requested it — per-instruction lockstep,
+// which is exactly the paper's "SIMD mode charges the worst case of
+// every instruction" behaviour (T_SIMD = sum of per-instruction
+// maxima).
+//
+// The MC timeline and the PE timelines are tracked independently and
+// coupled only through the queue (ready times, controller-busy stalls,
+// queue-full back-pressure), so MC control flow overlaps PE
+// computation exactly as on the prototype; with the queue non-empty
+// the PEs never see control flow at all.
+func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
+	if len(prog.Instrs) == 0 {
+		return RunResult{}, fmt.Errorf("pasm: empty program")
+	}
+	vm.net.reset()
+	vm.bar = newBarrier(vm.P)
+
+	type group struct {
+		mc     *m68k.CPU
+		halted bool
+	}
+	groups := make([]group, vm.Q)
+	for g := range groups {
+		vm.MCs[g].Queue.Reset()
+		vm.MCs[g].Mask = fetchunit.AllEnabled(len(vm.MCs[g].PEs))
+		mc := m68k.NewCPU(prog, vm.MCs[g].Mem)
+		mc.FetchFromMem = true
+		mc.A[7] = vm.MCs[g].Mem.Size() - 4
+		if vm.TraceHook != nil {
+			vm.TraceHook(fmt.Sprintf("MC%d", g), mc)
+		}
+		groups[g].mc = mc
+	}
+	pes := make([]*m68k.CPU, vm.P)
+	for i, pe := range vm.PEs {
+		cpu := m68k.NewCPU(prog, pe.Mem)
+		cpu.FetchFromMem = false // instructions arrive from the queue
+		cpu.FixedMulCycles = vm.Cfg.FixedMulCycles
+		pe.dev.bar = vm.bar
+		cpu.Dev = pe.dev
+		if vm.TraceHook != nil {
+			vm.TraceHook(fmt.Sprintf("PE%d", i), cpu)
+		}
+		pes[i] = cpu
+	}
+
+	var mcSteps int64
+	var mcStall, peStarve int64
+	for {
+		// Advance every live MC to its next BCAST (or halt).
+		type issue struct {
+			blk   m68k.BlockRange
+			ready bool
+		}
+		issues := make([]issue, vm.Q)
+		anyLive := false
+		for g := range groups {
+			if groups[g].halted {
+				continue
+			}
+			mc := groups[g].mc
+			for {
+				st := mc.Step()
+				mcSteps++
+				if mcSteps > vm.Cfg.MaxSteps {
+					return RunResult{}, fmt.Errorf("pasm: MC exceeded %d steps (runaway control program?)", vm.Cfg.MaxSteps)
+				}
+				switch st {
+				case m68k.StatusOK:
+					continue
+				case m68k.StatusSetMask:
+					// The MC wrote the Fetch Unit mask register:
+					// subsequent broadcasts reach only the enabled PEs
+					// of this group (disabled PEs wait, not
+					// participating in instruction release).
+					vm.MCs[g].Mask = fetchunit.Mask(mc.LastMask)
+					continue
+				case m68k.StatusBcast:
+					// The Fetch Unit controller must be free before the
+					// MC's control-word write completes.
+					if free := vm.MCs[g].Queue.CtrlFree(); free > mc.Clock {
+						stall := free - mc.Clock
+						mc.Clock = free
+						mc.Regions[m68k.RegionControl] += stall
+						mcStall += stall
+					}
+					issues[g] = issue{blk: mc.LastBcast, ready: true}
+				case m68k.StatusHalted:
+					groups[g].halted = true
+				case m68k.StatusBlocked:
+					return RunResult{}, fmt.Errorf("pasm: MC %d blocked on a device access at pc %d", g, mc.PC)
+				default:
+					return RunResult{}, fmt.Errorf("pasm: MC %d error: %w", g, mc.Err)
+				}
+				break
+			}
+			if issues[g].ready {
+				anyLive = true
+			}
+		}
+		if !anyLive {
+			break // all MCs halted
+		}
+		// All groups execute the same program; their BCAST sequences
+		// must agree.
+		var blk m68k.BlockRange
+		first := true
+		for g := range groups {
+			if !issues[g].ready {
+				return RunResult{}, fmt.Errorf("pasm: MC %d halted while others broadcast", g)
+			}
+			if first {
+				blk = issues[g].blk
+				first = false
+			} else if issues[g].blk != blk {
+				return RunResult{}, fmt.Errorf("pasm: MCs diverged: block [%d,%d) vs [%d,%d)",
+					blk.Start, blk.End, issues[g].blk.Start, issues[g].blk.End)
+			}
+		}
+		if blk.Len() == 0 {
+			return RunResult{}, fmt.Errorf("pasm: empty broadcast block")
+		}
+		// Stream the block: per instruction, per group: enqueue,
+		// release at max(ready, all enabled requests), execute on each
+		// enabled PE.
+		for idx := blk.Start; idx < blk.End; idx++ {
+			in := &prog.Instrs[idx]
+			if !broadcastable(in) {
+				return RunResult{}, fmt.Errorf("pasm: %s at instruction %d is not valid inside a broadcast block", in.Op, idx)
+			}
+			for g := range groups {
+				mcg := vm.MCs[g]
+				ready, err := mcg.Queue.Enqueue(groups[g].mc.Clock, int(in.Words))
+				if err != nil {
+					return RunResult{}, fmt.Errorf("pasm: group %d: %w", g, err)
+				}
+				var maxReq int64 = -1
+				for k, pe := range mcg.PEs {
+					if mcg.Mask.Enabled(k) && pes[pe.Index].Clock > maxReq {
+						maxReq = pes[pe.Index].Clock
+					}
+				}
+				release := ready
+				if maxReq > release {
+					release = maxReq
+				} else if maxReq >= 0 {
+					// PEs requested before the word was in the queue:
+					// they starve on the controller/MC.
+					peStarve += ready - maxReq
+				}
+				if err := vm.execLockstep(mcg, pes, in, release); err != nil {
+					return RunResult{}, err
+				}
+				if err := mcg.Queue.Consume(int(in.Words), release); err != nil {
+					return RunResult{}, fmt.Errorf("pasm: group %d: %w", g, err)
+				}
+			}
+			if in.Op == m68k.JMP {
+				// The asynchronous section runs every PE of the
+				// partition; a disabled PE never took the jump and
+				// has no valid MIMD program counter.
+				for g := range groups {
+					if vm.MCs[g].Mask != fetchunit.AllEnabled(len(vm.MCs[g].PEs)) {
+						return RunResult{}, fmt.Errorf("pasm: mixed-mode switch with disabled PEs (group %d mask %#x) is not supported", g, vm.MCs[g].Mask)
+					}
+				}
+				// Mixed mode: every PE just took the broadcast jump
+				// into its own program. Run the asynchronous section
+				// (own-memory fetches, full device semantics) until
+				// every PE jumps back into the SIMD space, then
+				// continue the lockstep stream — the PEs' park times
+				// become their next request times, so the rejoin is
+				// the implicit Fetch Unit barrier.
+				for _, cpu := range pes {
+					cpu.FetchFromMem = true
+				}
+				if err := vm.runDES(pes, true); err != nil {
+					return RunResult{}, err
+				}
+				for _, cpu := range pes {
+					cpu.FetchFromMem = false
+				}
+			}
+		}
+	}
+
+	res := RunResult{PEClocks: make([]int64, vm.P)}
+	var critical *m68k.CPU
+	for i, cpu := range pes {
+		res.PEClocks[i] = cpu.Clock
+		if cpu.Clock > res.Cycles {
+			res.Cycles = cpu.Clock
+			critical = cpu
+		}
+		res.Instrs += cpu.InstrCount
+	}
+	if critical != nil {
+		res.Regions = critical.Regions
+	}
+	for g := range groups {
+		res.MCInstrs += groups[g].mc.InstrCount
+		if occ := vm.MCs[g].Queue.MaxOccupancy; occ > res.QueueMaxOccupancy {
+			res.QueueMaxOccupancy = occ
+		}
+		res.QueueStallCycles += vm.MCs[g].Queue.StallCycles
+	}
+	res.MCStallCycles = mcStall
+	res.PEStarveCycles = peStarve
+	res.BarrierRounds = vm.bar.rounds
+	res.NetTransfers = vm.net.transfers
+	res.NetReconfigs = vm.net.reconfigs
+	return res, nil
+}
+
+// execLockstep runs one released broadcast instruction on every
+// enabled PE of a group, retrying PEs that block on a device until the
+// whole group completes (a barrier read inside a broadcast block
+// resolves this way; anything else that stays blocked is a program
+// structure error).
+func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, release int64) error {
+	var blocked []int
+	for k, pe := range mcg.PEs {
+		if !mcg.Mask.Enabled(k) {
+			continue
+		}
+		cpu := pes[pe.Index]
+		// Lockstep wait: the PE requested at its clock; the release
+		// time is charged to the instruction's region.
+		if wait := release - cpu.Clock; wait > 0 {
+			cpu.Regions[in.Region] += wait
+			cpu.Clock = release
+		}
+		switch st := cpu.ExecBroadcast(in); st {
+		case m68k.StatusOK, m68k.StatusHalted:
+		case m68k.StatusBlocked:
+			blocked = append(blocked, pe.Index)
+		default:
+			return fmt.Errorf("pasm: PE %d error in broadcast: %w", pe.Index, cpu.Err)
+		}
+	}
+	// Retry blocked PEs; each full pass must make progress.
+	for pass := 0; len(blocked) > 0; pass++ {
+		if pass > vm.P+1 {
+			return fmt.Errorf("pasm: PEs %v deadlocked in broadcast instruction %q", blocked, in)
+		}
+		var still []int
+		for _, idx := range blocked {
+			switch st := pes[idx].ExecBroadcast(in); st {
+			case m68k.StatusOK, m68k.StatusHalted:
+			case m68k.StatusBlocked:
+				still = append(still, idx)
+			default:
+				return fmt.Errorf("pasm: PE %d error in broadcast retry: %w", idx, pes[idx].Err)
+			}
+		}
+		if len(still) == len(blocked) {
+			return fmt.Errorf("pasm: PEs %v stuck in broadcast instruction %q (no progress)", still, in)
+		}
+		blocked = still
+	}
+	return nil
+}
+
+// broadcastable reports whether an operation may appear in a broadcast
+// block: PEs have no program counter of their own in SIMD mode, so
+// control flow cannot be broadcast.
+func broadcastable(in *m68k.Instr) bool {
+	switch in.Op {
+	case m68k.BCC, m68k.DBCC, m68k.JSR, m68k.RTS,
+		m68k.BCAST, m68k.SETMASK, m68k.HALT:
+		return false
+	case m68k.JMP:
+		// A broadcast jump to a PE program label is the SIMD-to-MIMD
+		// mode switch (paper Section 3): the PEs leave the lockstep
+		// stream and execute asynchronously from their own memories
+		// until they jump back into the SIMD space. Other jumps have
+		// no meaning in a block.
+		return in.Dst.Mode == m68k.ModeLabel
+	}
+	return true
+}

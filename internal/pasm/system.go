@@ -1,0 +1,163 @@
+package pasm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// System manages the whole PASM machine as a pool of PEs that can be
+// partitioned into independent virtual machines — the architecture's
+// defining feature ("the processors may be partitioned to form
+// independent virtual SIMD and/or MIMD machines of various sizes").
+//
+// Partitions follow the cube-partitioning rule: a partition of size p
+// (a power of two, a multiple of the MC group size) occupies p
+// consecutive PEs starting at a multiple of p, so every partition is a
+// subcube with its own MCs. Partitions are fully independent — each
+// runs in its own goroutine with its own memories, Fetch Units, and
+// circuit-switched connections (the circuit-switched network gives
+// established partitions no cross-traffic, so simulating per-partition
+// circuits is exact).
+type System struct {
+	cfg Config
+
+	mu    sync.Mutex
+	inUse []bool // per PE
+}
+
+// NewSystem returns an empty machine.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, inUse: make([]bool, cfg.NumPEs)}, nil
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// FreePEs returns the number of unallocated PEs.
+func (s *System) FreePEs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	free := 0
+	for _, u := range s.inUse {
+		if !u {
+			free++
+		}
+	}
+	return free
+}
+
+// Partition allocates a virtual machine of p PEs at the lowest
+// available properly aligned base address (a multiple of p). The
+// returned VM must be released with Release when the job completes.
+func (s *System) Partition(p int) (*VM, error) {
+	if p < 1 || p&(p-1) != 0 || p > s.cfg.NumPEs {
+		return nil, fmt.Errorf("pasm: partition size %d invalid for a %d-PE machine", p, s.cfg.NumPEs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := -1
+	for cand := 0; cand+p <= s.cfg.NumPEs; cand += p {
+		ok := true
+		for i := cand; i < cand+p; i++ {
+			if s.inUse[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			base = cand
+			break
+		}
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("pasm: no aligned block of %d free PEs (machine fragmented or full)", p)
+	}
+	vm, err := NewVM(s.cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	vm.Base = base
+	for i := base; i < base+p; i++ {
+		s.inUse[i] = true
+	}
+	return vm, nil
+}
+
+// Release returns a partition's PEs to the pool. Releasing a VM not
+// allocated from this system (or twice) is an error.
+func (s *System) Release(vm *VM) error {
+	if vm == nil {
+		return fmt.Errorf("pasm: release of nil partition")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := vm.Base; i < vm.Base+vm.P; i++ {
+		if i < 0 || i >= len(s.inUse) || !s.inUse[i] {
+			return fmt.Errorf("pasm: release of PEs %d..%d not allocated here", vm.Base, vm.Base+vm.P-1)
+		}
+	}
+	for i := vm.Base; i < vm.Base+vm.P; i++ {
+		s.inUse[i] = false
+	}
+	vm.Base = -1
+	return nil
+}
+
+// Job is one unit of work for RunJobs: a partition size and a function
+// to execute on the allocated virtual machine.
+type Job struct {
+	// Name identifies the job in results.
+	Name string
+	// P is the partition size.
+	P int
+	// Run executes the job on its partition (loading memories,
+	// establishing circuits, and calling RunSIMD/RunMIMD as needed).
+	Run func(vm *VM) (RunResult, error)
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Name   string
+	Base   int // PE block the job ran on
+	Result RunResult
+	Err    error
+}
+
+// RunJobs allocates a partition per job and runs all jobs
+// concurrently, one goroutine per partition — independent virtual
+// machines executing simultaneously, as on the real system. It fails
+// fast at allocation time if the jobs cannot coexist; individual job
+// errors are reported per job.
+func (s *System) RunJobs(jobs []Job) ([]JobResult, error) {
+	vms := make([]*VM, len(jobs))
+	for i, job := range jobs {
+		vm, err := s.Partition(job.P)
+		if err != nil {
+			for _, v := range vms[:i] {
+				s.Release(v)
+			}
+			return nil, fmt.Errorf("pasm: job %q: %w", job.Name, err)
+		}
+		vms[i] = vm
+	}
+	results := make([]JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job, vm *VM) {
+			defer wg.Done()
+			res, err := job.Run(vm)
+			results[i] = JobResult{Name: job.Name, Base: vm.Base, Result: res, Err: err}
+		}(i, job, vms[i])
+	}
+	wg.Wait()
+	for _, vm := range vms {
+		if err := s.Release(vm); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

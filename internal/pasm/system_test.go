@@ -1,0 +1,277 @@
+package pasm
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PEMemBytes = 1 << 16
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartitionAllocationAlignment(t *testing.T) {
+	s := newTestSystem(t)
+	vm8, err := s.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm8.Base != 0 {
+		t.Errorf("first p=8 partition at base %d, want 0", vm8.Base)
+	}
+	vm4, err := s.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm4.Base != 8 {
+		t.Errorf("p=4 partition at base %d, want 8", vm4.Base)
+	}
+	vm2, err := s.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Base != 12 {
+		t.Errorf("p=2 partition at base %d, want 12", vm2.Base)
+	}
+	if s.FreePEs() != 2 {
+		t.Errorf("FreePEs = %d, want 2", s.FreePEs())
+	}
+	// A p=4 partition needs an aligned block: only 14..15 remain.
+	if _, err := s.Partition(4); err == nil {
+		t.Error("unaligned/unavailable partition accepted")
+	}
+	if err := s.Release(vm4); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreePEs() != 6 {
+		t.Errorf("FreePEs after release = %d", s.FreePEs())
+	}
+	// Now 8..11 is free and aligned again.
+	if _, err := s.Partition(4); err != nil {
+		t.Errorf("re-allocation failed: %v", err)
+	}
+	_ = vm8
+}
+
+func TestReleaseValidation(t *testing.T) {
+	s := newTestSystem(t)
+	vm, err := s.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(vm); err == nil {
+		t.Error("double release accepted")
+	}
+	if err := s.Release(nil); err == nil {
+		t.Error("nil release accepted")
+	}
+}
+
+func TestPartitionSizeValidation(t *testing.T) {
+	s := newTestSystem(t)
+	for _, bad := range []int{0, 3, 32, -4} {
+		if _, err := s.Partition(bad); err == nil {
+			t.Errorf("Partition(%d) accepted", bad)
+		}
+	}
+}
+
+func TestRunJobsConcurrently(t *testing.T) {
+	s := newTestSystem(t)
+	mkJob := func(name string, p int, value uint16) Job {
+		return Job{
+			Name: name,
+			P:    p,
+			Run: func(vm *VM) (RunResult, error) {
+				prog := m68k.MustAssemble(`
+					move.w  $100, d0
+					mulu.w  d0, d0
+					move.w  d0, $102
+					halt
+				`)
+				for _, pe := range vm.PEs {
+					if err := pe.Mem.WriteWords(0x100, []uint16{value}); err != nil {
+						return RunResult{}, err
+					}
+				}
+				if err := vm.EstablishShift(); err != nil {
+					return RunResult{}, err
+				}
+				res, err := vm.RunMIMD(prog)
+				if err != nil {
+					return RunResult{}, err
+				}
+				for _, pe := range vm.PEs {
+					v, _ := pe.Mem.Read(0x102, m68k.Word)
+					if v != uint32(value)*uint32(value)&0xFFFF {
+						return RunResult{}, errWrong
+					}
+				}
+				return res, nil
+			},
+		}
+	}
+	jobs := []Job{
+		mkJob("alpha", 8, 11),
+		mkJob("beta", 4, 22),
+		mkJob("gamma", 2, 33),
+		mkJob("delta", 2, 44),
+	}
+	results, err := s.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := map[int]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("job %s: %v", r.Name, r.Err)
+		}
+		if r.Result.Cycles == 0 {
+			t.Errorf("job %s: no cycles", r.Name)
+		}
+		if bases[r.Base] {
+			t.Errorf("job %s shares base %d", r.Name, r.Base)
+		}
+		bases[r.Base] = true
+	}
+	if s.FreePEs() != 16 {
+		t.Errorf("PEs leaked: %d free", s.FreePEs())
+	}
+}
+
+func TestRunJobsOverallocation(t *testing.T) {
+	s := newTestSystem(t)
+	jobs := []Job{
+		{Name: "a", P: 16, Run: func(vm *VM) (RunResult, error) { return RunResult{}, nil }},
+		{Name: "b", P: 2, Run: func(vm *VM) (RunResult, error) { return RunResult{}, nil }},
+	}
+	if _, err := s.RunJobs(jobs); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if s.FreePEs() != 16 {
+		t.Errorf("failed RunJobs leaked PEs: %d free", s.FreePEs())
+	}
+}
+
+var errWrong = &wrongResultError{}
+
+type wrongResultError struct{}
+
+func (*wrongResultError) Error() string { return "wrong result" }
+
+func TestConcurrentMatmulPartitions(t *testing.T) {
+	// Two independent partitions multiplying different matrices
+	// concurrently must produce exactly the same results and timings
+	// as when run alone (partitions share nothing).
+	s := newTestSystem(t)
+
+	soloVM := newTestVM(t, 4, nil)
+	prog := m68k.MustAssemble(simdSum)
+	for i, pe := range soloVM.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{uint16(i + 1)})
+	}
+	solo, err := soloVM.RunSIMD(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job := func(name string) Job {
+		return Job{Name: name, P: 4, Run: func(vm *VM) (RunResult, error) {
+			if err := vm.EstablishShift(); err != nil {
+				return RunResult{}, err
+			}
+			for i, pe := range vm.PEs {
+				if err := pe.Mem.WriteWords(0x100, []uint16{uint16(i + 1)}); err != nil {
+					return RunResult{}, err
+				}
+			}
+			return vm.RunSIMD(m68k.MustAssemble(simdSum))
+		}}
+	}
+	results, err := s.RunJobs([]Job{job("left"), job("right")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Result.Cycles != solo.Cycles {
+			t.Errorf("%s: %d cycles, solo run took %d (partitions must be independent)",
+				r.Name, r.Result.Cycles, solo.Cycles)
+		}
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	s := newTestSystem(t)
+	if s.Config().NumPEs != 16 {
+		t.Errorf("Config.NumPEs = %d", s.Config().NumPEs)
+	}
+}
+
+func TestConfigValidateBranches(t *testing.T) {
+	base := DefaultConfig()
+	muts := []func(*Config){
+		func(c *Config) { c.NumPEs = 3 },
+		func(c *Config) { c.PEsPerMC = 5 },
+		func(c *Config) { c.QueueDepthWords = 1 },
+		func(c *Config) { c.QueueWordCycles = 0 },
+		func(c *Config) { c.PEMemBytes = 16 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.MaxSteps = 0 },
+	}
+	for i, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestVMAccessorsAndPermutation(t *testing.T) {
+	vm := newTestVM(t, 4, nil)
+	// Custom permutation: reversal within the partition.
+	vm2 := newTestVM(t, 4, nil)
+	if err := vm2.EstablishPermutation([]int{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	prog := m68k.MustAssemble(`
+		movea.l #$F10000, a0
+		move.w  $100, d0
+		move.b  d0, (a0)
+		move.b  2(a0), d1
+		move.w  d1, $102
+		halt
+	`)
+	for i, pe := range vm2.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{uint16(60 + i)})
+	}
+	if _, err := vm2.RunMIMD(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, pe := range vm2.PEs {
+		v, _ := pe.Mem.Read(0x102, m68k.Word)
+		if v != uint32(60+(3-i)) {
+			t.Errorf("PE %d received %d, want %d", i, v, 60+(3-i))
+		}
+	}
+	if vm2.NetTransfers() != 4 || vm2.BarrierRounds() != 0 || vm2.NetReconfigs() != 0 {
+		t.Errorf("accessors: %d %d %d", vm2.NetTransfers(), vm2.BarrierRounds(), vm2.NetReconfigs())
+	}
+	_ = vm
+}

@@ -1,0 +1,159 @@
+// Package plot renders small ASCII line/scatter charts for the
+// experiment figures: the paper presents Figures 6-12 as plots, and
+// cmd/pasmbench -plot reproduces their shapes directly in the
+// terminal. Stdlib only, deterministic output.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot is a chart definition. The zero value is not usable; set at
+// least one series. Width/Height are the plotting area in characters
+// (sensible defaults applied when zero).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY plots log10(y) (for the paper's execution times, which span
+	// four orders of magnitude across problem sizes).
+	LogY bool
+	// Width and Height of the plot area in characters.
+	Width, Height int
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	ty := func(y float64) float64 {
+		if p.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			y := ty(s.Y[i])
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := ty(s.Y[i])
+			if math.IsNaN(s.X[i]) || math.IsNaN(y) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			if grid[row][col] == ' ' || grid[row][col] == m {
+				grid[row][col] = m
+			} else {
+				grid[row][col] = '&' // collision of different series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	yfmt := func(v float64) string {
+		if p.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			b.WriteString(yfmt(ymax))
+		case h - 1:
+			b.WriteString(yfmt(ymin))
+		case (h - 1) / 2:
+			b.WriteString(yfmt(ymin + (ymax-ymin)*float64(h-1-r)/float64(h-1)))
+		default:
+			b.WriteString(strings.Repeat(" ", 9))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", w) + "\n")
+	left := fmt.Sprintf("%-10.6g", xmin)
+	right := fmt.Sprintf("%10.6g", xmax)
+	mid := p.XLabel
+	pad := w - len(left) - len(right) - len(mid)
+	if pad < 1 {
+		pad = 1
+		mid = ""
+	}
+	b.WriteString(strings.Repeat(" ", 11) + left +
+		strings.Repeat(" ", pad/2) + mid + strings.Repeat(" ", pad-pad/2) + right + "\n")
+	// Legend.
+	var leg []string
+	for si, s := range p.Series {
+		leg = append(leg, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("           " + strings.Join(leg, "   "))
+	if p.LogY {
+		b.WriteString("   (log y")
+		if p.YLabel != "" {
+			b.WriteString(": " + p.YLabel)
+		}
+		b.WriteString(")")
+	} else if p.YLabel != "" {
+		b.WriteString("   (y: " + p.YLabel + ")")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

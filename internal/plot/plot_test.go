@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := &Plot{
+		Title:  "test chart",
+		XLabel: "n",
+		Series: []Series{
+			{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+			{Name: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"test chart", "* up", "+ down", "|", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' marker must appear above the falling one's at
+	// the right edge: find last line containing '*' vs '+'.
+	lines := strings.Split(out, "\n")
+	firstStar, firstPlus := -1, -1
+	for i, l := range lines {
+		if firstStar == -1 && strings.Contains(l, "*") && strings.Contains(l, "|") {
+			firstStar = i
+		}
+		if firstPlus == -1 && strings.Contains(l, "+") && strings.Contains(l, "|") {
+			firstPlus = i
+		}
+	}
+	if firstStar == -1 || firstPlus == -1 {
+		t.Fatalf("markers not plotted:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := &Plot{
+		LogY:   true,
+		Series: []Series{{Name: "t", X: []float64{1, 2, 3}, Y: []float64{100, 10000, 1000000}}},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "1e+06") && !strings.Contains(out, "1e+6") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "log y") {
+		t.Errorf("log note missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestCollisionsMarked(t *testing.T) {
+	p := &Plot{
+		Width: 10, Height: 5,
+		Series: []Series{
+			{Name: "a", X: []float64{1}, Y: []float64{1}},
+			{Name: "b", X: []float64{1}, Y: []float64{1}},
+		},
+	}
+	if out := p.Render(); !strings.Contains(out, "&") {
+		t.Errorf("collision marker missing:\n%s", out)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{3, 1, 2}}}}
+	if p.Render() != p.Render() {
+		t.Error("render not deterministic")
+	}
+}

@@ -1,0 +1,54 @@
+// Package prng provides the deterministic uniform random number
+// generator used to fill the B matrices of the experiments. The paper
+// used "a uniformly distributed random number generator" and reused
+// the same data sets across all algorithm versions with the same n and
+// p; a fixed-seed linear congruential generator reproduces that
+// protocol exactly while keeping every run of this repository
+// bit-identical.
+package prng
+
+// LCG is a 32-bit linear congruential generator (Numerical Recipes
+// constants). The high 16 bits are used for output, which have much
+// better statistical quality than the low bits.
+type LCG struct {
+	state uint32
+}
+
+// New returns a generator with the given seed.
+func New(seed uint32) *LCG {
+	return &LCG{state: seed}
+}
+
+// next advances the state.
+func (g *LCG) next() uint32 {
+	g.state = g.state*1664525 + 1013904223
+	return g.state
+}
+
+// Uint16 returns a uniformly distributed 16-bit value.
+func (g *LCG) Uint16() uint16 {
+	return uint16(g.next() >> 16)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value built from two
+// draws.
+func (g *LCG) Uint32() uint32 {
+	return uint32(g.Uint16())<<16 | uint32(g.Uint16())
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (g *LCG) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// 32 bits of state are plenty for the experiment sizes here; use
+	// the high bits via multiply-shift to avoid modulo bias hot spots.
+	return int(uint64(g.next()) * uint64(n) >> 32)
+}
+
+// Fill fills dst with uniform 16-bit values.
+func (g *LCG) Fill(dst []uint16) {
+	for i := range dst {
+		dst[i] = g.Uint16()
+	}
+}

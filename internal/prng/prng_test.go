@@ -1,0 +1,95 @@
+package prng
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint16() != b.Uint16() {
+			t.Fatalf("diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint16() == b.Uint16() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("seeds 1 and 2 coincide on %d of 1000 draws", same)
+	}
+}
+
+func TestUniformBitBalance(t *testing.T) {
+	// The experiments depend on the multiplier bit count being
+	// Binomial(16, 1/2)-distributed: mean 8 ones per value.
+	g := New(42)
+	const n = 100000
+	total := 0
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount16(g.Uint16())
+	}
+	mean := float64(total) / n
+	if mean < 7.9 || mean > 8.1 {
+		t.Errorf("mean ones per 16-bit draw = %.3f, want about 8", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := New(7)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn(10): value %d drawn %d/100000 times", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFill(t *testing.T) {
+	g := New(9)
+	buf := make([]uint16, 64)
+	g.Fill(buf)
+	g2 := New(9)
+	for i, v := range buf {
+		if v != g2.Uint16() {
+			t.Fatalf("Fill diverges from Uint16 at %d", i)
+		}
+	}
+}
+
+func TestUint32Property(t *testing.T) {
+	// Uint32 must equal two consecutive Uint16 draws.
+	f := func(seed uint32) bool {
+		a, b := New(seed), New(seed)
+		v := a.Uint32()
+		hi, lo := b.Uint16(), b.Uint16()
+		return v == uint32(hi)<<16|uint32(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/m68k"
+	"repro/internal/pasm"
+	"repro/internal/prng"
+)
+
+// RandomVector returns n uniform 16-bit values.
+func RandomVector(n int, seed uint32) []uint16 {
+	v := make([]uint16, n)
+	prng.New(seed).Fill(v)
+	return v
+}
+
+// Reference computes the 16-bit wraparound sum of squares on the host.
+func Reference(v []uint16) uint16 {
+	var sum uint16
+	for _, x := range v {
+		sum += x * x
+	}
+	return sum
+}
+
+// Load distributes the vector and the per-PE cube-partner tables.
+func Load(vm *pasm.VM, l Layout, v []uint16) error {
+	if len(v) != l.N {
+		return fmt.Errorf("reduce: vector has %d elements, layout wants %d", len(v), l.N)
+	}
+	if vm.P != l.P {
+		return fmt.Errorf("reduce: partition has %d PEs, layout wants %d", vm.P, l.P)
+	}
+	for i, pe := range vm.PEs {
+		pe.Mem.Reset()
+		if err := pe.Mem.WriteWords(l.VecBase, v[i*l.Local:(i+1)*l.Local]); err != nil {
+			return err
+		}
+		partners := make([]uint16, l.Steps)
+		for k := 0; k < l.Steps; k++ {
+			partners[k] = uint16(i ^ 1<<k)
+		}
+		if err := pe.Mem.WriteWords(l.Partners, partners); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResults returns every PE's copy of the all-reduced sum.
+func ReadResults(vm *pasm.VM, l Layout) ([]uint16, error) {
+	out := make([]uint16, vm.P)
+	for i, pe := range vm.PEs {
+		v, err := pe.Mem.Read(l.Result, m68k.Word)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = uint16(v)
+	}
+	return out, nil
+}
+
+// Execute builds, loads, runs and verifies one configuration,
+// returning the run result and the per-PE sums.
+func Execute(cfg pasm.Config, spec Spec, v []uint16) (pasm.RunResult, []uint16, error) {
+	prog, l, err := Build(spec)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if err := Load(vm, l, v); err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	var res pasm.RunResult
+	if spec.Mode == SIMD {
+		res, err = vm.RunSIMD(prog)
+	} else {
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	sums, err := ReadResults(vm, l)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	return res, sums, nil
+}

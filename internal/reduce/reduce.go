@@ -1,0 +1,321 @@
+// Package reduce implements the third workload: a global
+// sum-of-squares all-reduce by recursive doubling — the classic
+// cube-network algorithm (Stone's "parallel computers" chapter the
+// paper cites for standard algorithms). Each PE squares and sums its
+// n/p local elements (MULU: data-dependent, so SIMD lockstep pays the
+// per-element maximum again), then log2(p) exchange steps combine the
+// partial sums: at step k every PE swaps its partial with PE i XOR 2^k
+// and adds. The cube_k permutations are exactly the interconnection
+// patterns a single pass of the Extra-Stage Cube realizes, and each
+// step reconfigures the circuits at run time — a different permutation
+// per step, unlike the matrix multiplication's single static shift.
+//
+// When the reduction finishes, every PE holds the global sum (an
+// all-reduce), which the host verifies against all per-PE copies.
+package reduce
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/m68k"
+	"repro/internal/pasm"
+)
+
+// Mode mirrors the program variants.
+type Mode int
+
+// Program variants.
+const (
+	Serial Mode = iota
+	SIMD
+	MIMD
+	SMIMD
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "SISD"
+	case SIMD:
+		return "SIMD"
+	case MIMD:
+		return "MIMD"
+	case SMIMD:
+		return "S/MIMD"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Spec describes one reduction configuration.
+type Spec struct {
+	// N is the total element count, divisible by P.
+	N int
+	// P is the PE count (power of two; ignored for Serial).
+	P int
+	// Mode selects the program variant.
+	Mode Mode
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	p := s.p()
+	switch {
+	case s.N < 1:
+		return fmt.Errorf("reduce: n=%d < 1", s.N)
+	case p < 1 || p&(p-1) != 0:
+		return fmt.Errorf("reduce: p=%d must be a power of two", p)
+	case s.N%p != 0:
+		return fmt.Errorf("reduce: n=%d not divisible by p=%d", s.N, p)
+	case s.N/p > 32767:
+		return fmt.Errorf("reduce: n/p=%d exceeds the loop counter", s.N/p)
+	}
+	return nil
+}
+
+func (s Spec) p() int {
+	if s.Mode == Serial {
+		return 1
+	}
+	return s.P
+}
+
+// steps returns log2(p).
+func (s Spec) steps() int {
+	k := 0
+	for q := s.p(); q > 1; q >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Layout is the per-PE memory map.
+type Layout struct {
+	N, P     int
+	Local    int    // elements per PE
+	Steps    int    // log2(p)
+	VecBase  uint32 // Local words of input
+	Partners uint32 // Steps words: partner line per exchange step
+	Result   uint32 // word: the all-reduced sum
+	End      uint32
+}
+
+// NewLayout computes the map.
+func NewLayout(n, p int) (Layout, error) {
+	if p < 1 || n%p != 0 {
+		return Layout{}, fmt.Errorf("reduce: bad layout n=%d p=%d", n, p)
+	}
+	l := Layout{N: n, P: p, Local: n / p}
+	for q := p; q > 1; q >>= 1 {
+		l.Steps++
+	}
+	l.VecBase = 0x1000
+	l.Partners = l.VecBase + uint32(2*l.Local)
+	l.Result = l.Partners + uint32(2*maxInt(l.Steps, 1))
+	l.End = l.Result + 2
+	return l, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MemBytes returns the PE memory size needed.
+func (l Layout) MemBytes() uint32 {
+	need := l.End + 4096
+	size := uint32(1 << 12)
+	for size < need {
+		size <<= 1
+	}
+	return size
+}
+
+func (l Layout) equs() string {
+	return fmt.Sprintf(`	.equ LOCAL, %d
+	.equ STEPS, %d
+	.equ VEC, $%X
+	.equ PARTNERS, $%X
+	.equ RESULT, $%X
+	.equ NETX, $%X
+	.equ SIMDSPACE, $%X
+	.equ RELEASE, %d
+`, l.Local, l.Steps, l.VecBase, l.Partners, l.Result,
+		pasm.AddrNetXmit, pasm.AddrSIMDSpace, pasm.NetCtrlRelease)
+}
+
+// Generate emits the assembly for a spec.
+func Generate(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	l, err := NewLayout(spec.N, spec.p())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; reduce %s n=%d p=%d (generated)\n", spec.Mode, spec.N, spec.p())
+	b.WriteString(l.equs())
+	if spec.Mode == SIMD {
+		genSIMD(&b, spec)
+	} else {
+		genMIMD(&b, spec)
+	}
+	return b.String(), nil
+}
+
+// Build generates and assembles.
+func Build(spec Spec) (*m68k.Program, Layout, error) {
+	src, err := Generate(spec)
+	if err != nil {
+		return nil, Layout{}, err
+	}
+	l, err := NewLayout(spec.N, spec.p())
+	if err != nil {
+		return nil, Layout{}, err
+	}
+	prog, err := m68k.Assemble(src)
+	if err != nil {
+		return nil, Layout{}, fmt.Errorf("reduce: generated program does not assemble: %w", err)
+	}
+	return prog, l, nil
+}
+
+// genMIMD emits the Serial/MIMD/SMIMD program. Registers: d2 holds the
+// running partial sum, a5 the network base, a6 walks the partner
+// table. MIMD phase ordering between exchange steps rides on the
+// network's destination-in-use establishment blocking, exactly as in
+// the smoothing workload.
+func genMIMD(b *strings.Builder, spec Spec) {
+	b.WriteString(`	.region other
+	lea	NETX, a5
+	clr.w	d2
+	.region mult
+	; local sum of squares (MULU: data-dependent time)
+	lea	VEC, a0
+	move.w	#LOCAL-1, d6
+local:	move.w	(a0)+, d0
+	mulu.w	d0, d0
+	add.w	d0, d2
+	dbra	d6, local
+`)
+	if spec.p() > 1 {
+		b.WriteString(`	.region comm
+	lea	PARTNERS, a6
+	move.w	#STEPS-1, d5
+step:	move.w	(a6)+, d0
+	move.w	d0, 8(a5)	; establish circuit to cube-k partner
+`)
+		if spec.Mode == SMIMD {
+			b.WriteString("\tmove.w\tSIMDSPACE, d3\t; everyone connected and drained\n")
+		}
+		b.WriteString("\tmove.w\td2, d0\n")
+		if spec.Mode == MIMD {
+			b.WriteString(`tx1:	tst.w	4(a5)
+	beq	tx1
+	move.b	d0, (a5)
+rx1:	tst.w	6(a5)
+	beq	rx1
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+tx2:	tst.w	4(a5)
+	beq	tx2
+	move.b	d0, (a5)
+rx2:	tst.w	6(a5)
+	beq	rx2
+	move.b	2(a5), d0
+`)
+		} else {
+			b.WriteString(`	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d0
+`)
+		}
+		b.WriteString(`	lsl.w	#8, d0
+	move.b	d1, d0
+	add.w	d0, d2		; combine the partner's partial
+	dbra	d5, step
+	move.w	#RELEASE, 8(a5)
+`)
+	}
+	b.WriteString(`	.region other
+	move.w	d2, RESULT
+	halt
+`)
+}
+
+// genSIMD emits the MC program plus PE blocks. The per-step circuit
+// establishment is split into a release-all block and a connect block
+// so cross-group conflicts cannot arise in lockstep.
+func genSIMD(b *strings.Builder, spec Spec) {
+	b.WriteString(`	.region control
+	bcast	init
+	move.w	#LOCAL-1, d0
+mloc:	bcast	elem
+	dbra	d0, mloc
+`)
+	if spec.p() > 1 {
+		b.WriteString(`	move.w	#STEPS-1, d5
+mstep:	bcast	rel
+	bcast	conn
+	bcast	xchg
+	dbra	d5, mstep
+	bcast	rel
+`)
+	}
+	b.WriteString(`	bcast	fini
+	halt
+
+	.region other
+	.block	init
+	lea	NETX, a5
+	clr.w	d2
+	lea	VEC, a0
+	lea	PARTNERS, a6
+	.endblock
+
+	.region mult
+	.block	elem
+	move.w	(a0)+, d0
+	mulu.w	d0, d0
+	add.w	d0, d2
+	.endblock
+`)
+	if spec.p() > 1 {
+		b.WriteString(`
+	.region comm
+	.block	rel
+	move.w	#RELEASE, 8(a5)
+	.endblock
+	.block	conn
+	move.w	(a6)+, d0
+	move.w	d0, 8(a5)
+	.endblock
+	.block	xchg
+	move.w	d2, d0
+	move.b	d0, (a5)
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.b	d0, (a5)
+	move.b	2(a5), d0
+	lsl.w	#8, d0
+	move.b	d1, d0
+	add.w	d0, d2
+	.endblock
+`)
+	}
+	b.WriteString(`
+	.region other
+	.block	fini
+	move.w	d2, RESULT
+	.endblock
+`)
+}

@@ -1,0 +1,165 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pasm"
+	"repro/internal/prng"
+)
+
+func testConfig() pasm.Config {
+	cfg := pasm.DefaultConfig()
+	cfg.PEMemBytes = 1 << 16
+	return cfg
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{N: 0, P: 4, Mode: MIMD},
+		{N: 8, P: 3, Mode: MIMD},
+		{N: 10, P: 4, Mode: MIMD},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+	if err := (Spec{N: 64, P: 8, Mode: SIMD}).Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestReference(t *testing.T) {
+	if got := Reference([]uint16{3, 4}); got != 25 {
+		t.Errorf("3^2+4^2 = %d, want 25", got)
+	}
+	// Wraparound: 256^2 = 65536 = 0 mod 2^16.
+	if got := Reference([]uint16{256, 256}); got != 0 {
+		t.Errorf("wraparound sum = %d, want 0", got)
+	}
+}
+
+func TestGenerateAssembles(t *testing.T) {
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		for _, tc := range []struct{ n, p int }{{16, 4}, {64, 16}, {8, 1}, {32, 2}} {
+			if _, _, err := Build(Spec{N: tc.n, P: tc.p, Mode: mode}); err != nil {
+				t.Errorf("%s n=%d p=%d: %v", mode, tc.n, tc.p, err)
+			}
+		}
+	}
+}
+
+// verify runs a spec and checks every PE agrees with the host.
+func verify(t *testing.T, spec Spec, seed uint32) pasm.RunResult {
+	t.Helper()
+	v := RandomVector(spec.N, seed)
+	res, sums, err := Execute(testConfig(), spec, v)
+	if err != nil {
+		t.Fatalf("%s n=%d p=%d: %v", spec.Mode, spec.N, spec.P, err)
+	}
+	want := Reference(v)
+	for i, s := range sums {
+		if s != want {
+			t.Fatalf("%s n=%d p=%d: PE %d sum %d, want %d", spec.Mode, spec.N, spec.P, i, s, want)
+		}
+	}
+	return res
+}
+
+func TestAllModesAllSizes(t *testing.T) {
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		for _, tc := range []struct{ n, p int }{{16, 2}, {16, 4}, {64, 8}, {64, 16}, {32, 1}} {
+			verify(t, Spec{N: tc.n, P: tc.p, Mode: mode}, uint32(tc.n*tc.p)+uint32(mode))
+		}
+	}
+}
+
+func TestCubeExchangeTraffic(t *testing.T) {
+	// log2(p) steps, one 2-byte exchange per PE per step, plus one
+	// reconfiguration per step per PE.
+	res := verify(t, Spec{N: 64, P: 8, Mode: MIMD}, 7)
+	if want := int64(8 * 3 * 2); res.NetTransfers != want {
+		t.Errorf("bytes = %d, want %d", res.NetTransfers, want)
+	}
+	if want := int64(8 * 3); res.NetReconfigs != want {
+		t.Errorf("reconfigs = %d, want %d", res.NetReconfigs, want)
+	}
+}
+
+func TestSMIMDBarriersPerStep(t *testing.T) {
+	// One connect barrier plus four byte barriers per step.
+	res := verify(t, Spec{N: 64, P: 8, Mode: SMIMD}, 8)
+	if want := 3 * 5; res.BarrierRounds != want {
+		t.Errorf("barrier rounds = %d, want %d", res.BarrierRounds, want)
+	}
+}
+
+func TestSIMDFasterThanMIMDOnReduce(t *testing.T) {
+	// The local phase dominates (n/p elements); SIMD's hidden control
+	// and fast fetch beat the lockstep MULU penalty at this size.
+	v := RandomVector(256, 5)
+	rs, _, err := Execute(testConfig(), Spec{N: 256, P: 4, Mode: SIMD}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, _, err := Execute(testConfig(), Spec{N: 256, P: 4, Mode: MIMD}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles >= rm.Cycles {
+		t.Errorf("SIMD %d !< MIMD %d", rs.Cycles, rm.Cycles)
+	}
+}
+
+func TestSpeedupScalesWithP(t *testing.T) {
+	const n = 1024
+	v := RandomVector(n, 6)
+	serial, _, err := Execute(testConfig(), Spec{N: n, Mode: Serial}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := serial.Cycles
+	for _, p := range []int{2, 4, 8, 16} {
+		res, _, err := Execute(testConfig(), Spec{N: n, P: p, Mode: MIMD}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles >= prev {
+			t.Errorf("p=%d (%d cycles) not faster than p/2 (%d)", p, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+	// Near-linear at n/p = 64: speedup within 25% of p.
+	speedup := float64(serial.Cycles) / float64(prev)
+	if speedup < 12 {
+		t.Errorf("speedup at p=16: %.1f, want > 12", speedup)
+	}
+}
+
+// Property: any vector, any valid (n, p, mode) combination reduces to
+// the host reference on every PE.
+func TestReduceProperty(t *testing.T) {
+	modes := []Mode{SIMD, MIMD, SMIMD}
+	f := func(seed uint32) bool {
+		g := prng.New(seed)
+		p := 1 << g.Intn(4)               // 1,2,4,8
+		n := p * (1 + g.Intn(8))          // up to 8 elements per PE
+		mode := modes[g.Intn(len(modes))] // serial covered elsewhere
+		v := RandomVector(n, seed+1)
+		_, sums, err := Execute(testConfig(), Spec{N: n, P: p, Mode: mode}, v)
+		if err != nil {
+			return false
+		}
+		want := Reference(v)
+		for _, s := range sums {
+			if s != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

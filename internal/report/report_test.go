@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestGenerateQuickReportAllClaimsPass(t *testing.T) {
+	var sb strings.Builder
+	claims, err := Generate(experiments.DefaultOptions(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 20 {
+		t.Fatalf("only %d claims evaluated", len(claims))
+	}
+	ids := map[string]bool{}
+	for _, c := range claims {
+		ids[c.ID] = true
+	}
+	for _, want := range []string{"T1", "F7c", "F11a", "M1", "X1", "X2", "X3", "X4"} {
+		if !ids[want] {
+			t.Errorf("claim %s missing", want)
+		}
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s FAILED: %s (%s)", c.ID, c.Description, c.Detail)
+		}
+	}
+	if !AllPass(claims) {
+		t.Error("AllPass false with all claims passing?")
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# PASM reproduction report",
+		"## Table 1",
+		"## Figure 6", "## Figure 7", "## Figure 8",
+		"## Figure 11", "## Figure 12",
+		"## Claim checklist",
+		"| T1 | PASS |",
+		"| F7c | PASS |",
+		"superlinear",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "**FAIL**") {
+		t.Error("report contains failures")
+	}
+}
+
+func TestAllPass(t *testing.T) {
+	if !AllPass(nil) {
+		t.Error("empty claim set should pass")
+	}
+	if AllPass([]Claim{{Pass: true}, {Pass: false}}) {
+		t.Error("failing claim not detected")
+	}
+}

@@ -1,0 +1,153 @@
+package smoothing
+
+import (
+	"fmt"
+
+	"repro/internal/pasm"
+	"repro/internal/prng"
+)
+
+// Image is an H x W image in row-major order; pixel values are 8-bit
+// (0..255) held in 16-bit words, matching the machine layout.
+type Image [][]uint16
+
+// NewImage returns a zero H x W image.
+func NewImage(h, w int) Image {
+	img := make(Image, h)
+	backing := make([]uint16, h*w)
+	for r := range img {
+		img[r], backing = backing[:w], backing[w:]
+	}
+	return img
+}
+
+// RandomImage returns an image of uniform 8-bit pixels.
+func RandomImage(h, w int, seed uint32) Image {
+	img := NewImage(h, w)
+	g := prng.New(seed)
+	for r := range img {
+		for c := range img[r] {
+			img[r][c] = g.Uint16() & 0xFF
+		}
+	}
+	return img
+}
+
+// Equal reports whether two images are identical.
+func Equal(a, b Image) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			return false
+		}
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reference computes the 3x3 mean filter on the host with the machine
+// semantics: vertical wrap-around (torus), horizontal edge columns
+// copied through, truncating integer division by 9.
+func Reference(img Image) Image {
+	h := len(img)
+	if h == 0 {
+		return nil
+	}
+	w := len(img[0])
+	out := NewImage(h, w)
+	for r := 0; r < h; r++ {
+		up := img[(r-1+h)%h]
+		mid := img[r]
+		dn := img[(r+1)%h]
+		out[r][0] = mid[0]
+		out[r][w-1] = mid[w-1]
+		for c := 1; c < w-1; c++ {
+			sum := uint32(up[c-1]) + uint32(up[c]) + uint32(up[c+1]) +
+				uint32(mid[c-1]) + uint32(mid[c]) + uint32(mid[c+1]) +
+				uint32(dn[c-1]) + uint32(dn[c]) + uint32(dn[c+1])
+			out[r][c] = uint16(sum / 9)
+		}
+	}
+	return out
+}
+
+// Load writes the image strips and neighbour line numbers into the
+// partition's PE memories.
+func Load(vm *pasm.VM, l Layout, img Image) error {
+	if len(img) != l.H || l.H == 0 || len(img[0]) != l.W {
+		return fmt.Errorf("smoothing: image is %dx%d, layout wants %dx%d", len(img), len(img[0]), l.H, l.W)
+	}
+	if vm.P != l.P {
+		return fmt.Errorf("smoothing: partition has %d PEs, layout wants %d", vm.P, l.P)
+	}
+	for i, pe := range vm.PEs {
+		pe.Mem.Reset()
+		for r := 0; r < l.Rows; r++ {
+			addr := l.ImgBase + uint32(r+1)*l.RowBytes // +1: halo-above first
+			if err := pe.Mem.WriteWords(addr, img[i*l.Rows+r]); err != nil {
+				return err
+			}
+		}
+		up := uint16((i + 1) % l.P)
+		dn := uint16((i - 1 + l.P) % l.P)
+		if err := pe.Mem.WriteWords(l.DestUp, []uint16{up, dn}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOut extracts the smoothed image.
+func ReadOut(vm *pasm.VM, l Layout) (Image, error) {
+	out := NewImage(l.H, l.W)
+	for i, pe := range vm.PEs {
+		for r := 0; r < l.Rows; r++ {
+			row, err := pe.Mem.ReadWords(l.OutBase+uint32(r)*l.RowBytes, l.W)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[i*l.Rows+r], row)
+		}
+	}
+	return out, nil
+}
+
+// Execute builds, loads, runs and reads back one configuration.
+func Execute(cfg pasm.Config, spec Spec, img Image) (pasm.RunResult, Image, error) {
+	prog, l, err := Build(spec)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	// No host-side circuits: the programs establish their own paths at
+	// run time through the network control register.
+	if err := Load(vm, l, img); err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	var res pasm.RunResult
+	if spec.Mode == SIMD {
+		res, err = vm.RunSIMD(prog)
+	} else {
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	out, err := ReadOut(vm, l)
+	if err != nil {
+		return pasm.RunResult{}, nil, err
+	}
+	return res, out, nil
+}

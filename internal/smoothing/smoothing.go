@@ -1,0 +1,451 @@
+// Package smoothing implements the second workload domain — image
+// processing, the application area PASM was designed for ("PASM: a
+// partitionable SIMD/MIMD system for image processing and pattern
+// recognition"). It runs a 3x3 mean filter over an image of 8-bit
+// pixels distributed across the PEs as horizontal strips:
+//
+//   - each PE holds H/p consecutive image rows plus two halo rows,
+//     laid out contiguously so every strip row sees its neighbours at
+//     uniform offsets;
+//   - before computing, PEs exchange boundary rows with both vertical
+//     neighbours (cyclic), which requires *run-time circuit
+//     reconfiguration*: the PE i -> i+1 permutation for one phase and
+//     PE i -> i-1 for the other, established through the network
+//     control register at the circuit-switched set-up cost;
+//   - the kernel divides the 9-pixel sum with DIVU, whose time depends
+//     on the quotient's bit pattern — a second data-dependent
+//     instruction, so the paper's SIMD/MIMD decoupling question
+//     reappears in this domain too.
+//
+// The two exchange phases could race in pure MIMD — PE i's phase-b
+// bytes must not reach PE i-1's single receive register before PE i-1
+// has drained PE i-2's phase-a bytes — but the circuit-switched
+// network itself serializes them: PE i cannot establish its phase-b
+// circuit to line i-1 while PE i-2 still holds its phase-a circuit to
+// the same destination, and PE i-2 releases only after all its sends
+// were accepted. The destination-in-use blocking of path establishment
+// is the handshake. SIMD gets the same guarantee from lockstep and
+// S/MIMD from one barrier — an instance of the paper's observation
+// that implicit hardware synchronization "reduces the complexity of
+// message passing protocols".
+//
+// Horizontal image edges are copied through unfiltered; vertical
+// wrap-around is cyclic (torus), matching the ring exchange.
+package smoothing
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/m68k"
+	"repro/internal/pasm"
+)
+
+// Mode mirrors the four program variants (kept separate from matmul's
+// type so the packages stay independent).
+type Mode int
+
+// Program variants.
+const (
+	Serial Mode = iota
+	SIMD
+	MIMD
+	SMIMD
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "SISD"
+	case SIMD:
+		return "SIMD"
+	case MIMD:
+		return "MIMD"
+	case SMIMD:
+		return "S/MIMD"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Spec describes one smoothing configuration.
+type Spec struct {
+	// H, W are the image dimensions in pixels. H must be divisible by
+	// the PE count; W must be in [4, 8192].
+	H, W int
+	// P is the number of PEs (ignored for Serial).
+	P int
+	// Mode selects the program variant.
+	Mode Mode
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	p := s.p()
+	switch {
+	case s.W < 4:
+		return fmt.Errorf("smoothing: width %d < 4", s.W)
+	case s.W > 8192:
+		return fmt.Errorf("smoothing: width %d too large for displacement addressing", s.W)
+	case s.H < 1:
+		return fmt.Errorf("smoothing: height %d < 1", s.H)
+	case s.Mode != Serial && (p < 1 || p&(p-1) != 0):
+		return fmt.Errorf("smoothing: p=%d must be a power of two", p)
+	case s.H%p != 0:
+		return fmt.Errorf("smoothing: height %d not divisible by p=%d", s.H, p)
+	case s.Mode != Serial && p > 2 && s.H/p < 1:
+		return fmt.Errorf("smoothing: empty strips")
+	}
+	return nil
+}
+
+func (s Spec) p() int {
+	if s.Mode == Serial {
+		return 1
+	}
+	return s.P
+}
+
+// Layout is the per-PE memory map: the input strip with its two halo
+// rows contiguous above and below it, then the output strip, then the
+// per-PE neighbour line numbers.
+type Layout struct {
+	H, W, P  int
+	Rows     int    // strip rows per PE (H/p)
+	RowBytes uint32 // 2*W
+	ImgBase  uint32 // (Rows+2) rows: halo-above, strip, halo-below
+	OutBase  uint32 // Rows rows
+	DestUp   uint32 // word: network line of PE i+1 (mod p)
+	DestDown uint32 // word: network line of PE i-1 (mod p)
+	End      uint32
+}
+
+// NewLayout computes the map.
+func NewLayout(h, w, p int) (Layout, error) {
+	if p < 1 || h%p != 0 {
+		return Layout{}, fmt.Errorf("smoothing: bad layout h=%d p=%d", h, p)
+	}
+	l := Layout{H: h, W: w, P: p, Rows: h / p, RowBytes: uint32(2 * w)}
+	l.ImgBase = 0x1000
+	l.OutBase = l.ImgBase + uint32(l.Rows+2)*l.RowBytes
+	l.DestUp = l.OutBase + uint32(l.Rows)*l.RowBytes
+	l.DestDown = l.DestUp + 2
+	l.End = l.DestDown + 2
+	return l, nil
+}
+
+// MemBytes returns the PE memory size needed.
+func (l Layout) MemBytes() uint32 {
+	need := l.End + 4096
+	size := uint32(1 << 12)
+	for size < need {
+		size <<= 1
+	}
+	return size
+}
+
+func (l Layout) equs() string {
+	return fmt.Sprintf(`	.equ W, %d
+	.equ ROWS, %d
+	.equ ROWBYTES, %d
+	.equ IMG, $%X
+	.equ STRIP, $%X
+	.equ LASTROW, $%X
+	.equ HALOBOT, $%X
+	.equ OUT, $%X
+	.equ DESTUP, $%X
+	.equ DESTDN, $%X
+	.equ NETX, $%X
+	.equ SIMDSPACE, $%X
+	.equ RELEASE, %d
+`, l.W, l.Rows, l.RowBytes,
+		l.ImgBase,
+		l.ImgBase+l.RowBytes,
+		l.ImgBase+uint32(l.Rows)*l.RowBytes,
+		l.ImgBase+uint32(l.Rows+1)*l.RowBytes,
+		l.OutBase, l.DestUp, l.DestDown,
+		pasm.AddrNetXmit, pasm.AddrSIMDSpace, pasm.NetCtrlRelease)
+}
+
+// Generate emits the assembly for a spec.
+func Generate(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	l, err := NewLayout(spec.H, spec.W, spec.p())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; smoothing %s %dx%d p=%d (generated)\n", spec.Mode, spec.H, spec.W, spec.p())
+	b.WriteString(l.equs())
+	if spec.Mode == SIMD {
+		genSIMD(&b, spec)
+	} else {
+		genMIMD(&b, spec)
+	}
+	return b.String(), nil
+}
+
+// Build generates and assembles.
+func Build(spec Spec) (*m68k.Program, Layout, error) {
+	src, err := Generate(spec)
+	if err != nil {
+		return nil, Layout{}, err
+	}
+	l, err := NewLayout(spec.H, spec.W, spec.p())
+	if err != nil {
+		return nil, Layout{}, err
+	}
+	prog, err := m68k.Assemble(src)
+	if err != nil {
+		return nil, Layout{}, fmt.Errorf("smoothing: generated program does not assemble: %w", err)
+	}
+	return prog, l, nil
+}
+
+// localHalo emits the p=1 halo fill: cyclic wrap within the PE.
+func localHalo(b *strings.Builder) {
+	b.WriteString(`	; p=1: halos wrap locally (torus)
+	lea	LASTROW, a0
+	lea	IMG, a1
+	move.w	#W-1, d6
+hup:	move.w	(a0)+, (a1)+
+	dbra	d6, hup
+	lea	STRIP, a0
+	lea	HALOBOT, a1
+	move.w	#W-1, d6
+hdn:	move.w	(a0)+, (a1)+
+	dbra	d6, hdn
+`)
+}
+
+// xferRow emits one exchange phase for the MIMD variants: release the
+// held circuit, establish the phase's circuit (which blocks while the
+// destination line is claimed by the previous phase — the
+// phase-ordering handshake described in the package comment), then
+// stream W pixels with the byte-pair protocol.
+func xferRow(b *strings.Builder, spec Spec, ph, destVar, srcAddr, dstAddr string) {
+	fmt.Fprintf(b, "\t; exchange phase %s\n\tmove.w\t#RELEASE, 8(a5)\n", ph)
+	if spec.Mode == SMIMD {
+		b.WriteString("\tmove.w\tSIMDSPACE, d3\t; all released, all phase data drained\n")
+	}
+	fmt.Fprintf(b, `	move.w	%s, d0
+	move.w	d0, 8(a5)	; establish circuit (blocks on transient conflicts)
+	lea	%s, a0
+	lea	%s, a1
+	move.w	#W-1, d6
+x%s:	move.w	(a0)+, d0
+`, destVar, srcAddr, dstAddr, ph)
+	if spec.Mode == MIMD {
+		fmt.Fprintf(b, `t%s1:	tst.w	4(a5)
+	beq	t%s1
+	move.b	d0, (a5)
+r%s1:	tst.w	6(a5)
+	beq	r%s1
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+t%s2:	tst.w	4(a5)
+	beq	t%s2
+	move.b	d0, (a5)
+r%s2:	tst.w	6(a5)
+	beq	r%s2
+	move.b	2(a5), d0
+`, ph, ph, ph, ph, ph, ph, ph, ph)
+	} else {
+		b.WriteString(`	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.w	SIMDSPACE, d3
+	move.b	d0, (a5)
+	move.w	SIMDSPACE, d3
+	move.b	2(a5), d0
+`)
+	}
+	fmt.Fprintf(b, `	lsl.w	#8, d0
+	move.b	d1, d0
+	move.w	d0, (a1)+
+	dbra	d6, x%s
+`, ph)
+}
+
+// kernel emits the per-row 3x3 mean: copy the edge columns through,
+// compute the interior with a0/a2 trailing one column behind the
+// centre pointer a1 so all nine taps sit at small displacements.
+func kernel(b *strings.Builder) {
+	b.WriteString(`	.region mult
+	lea	IMG, a0		; above row (halo first)
+	lea	STRIP, a1	; centre row
+	lea	STRIP+ROWBYTES, a2	; below row
+	lea	OUT, a3
+	move.w	#ROWS-1, d5
+rloop:	move.w	(a1)+, (a3)+	; left edge copied through
+	move.w	#W-3, d6
+iloop:	moveq	#0, d0
+	add.w	(a0), d0
+	add.w	2(a0), d0
+	add.w	4(a0), d0
+	add.w	-2(a1), d0
+	add.w	(a1), d0
+	add.w	2(a1), d0
+	add.w	(a2), d0
+	add.w	2(a2), d0
+	add.w	4(a2), d0
+	divu.w	d7, d0		; quotient-dependent time: this domain's MULU analogue
+	move.w	d0, (a3)+
+	addq.l	#2, a0
+	addq.l	#2, a1
+	addq.l	#2, a2
+	dbra	d6, iloop
+	move.w	(a1)+, (a3)+	; right edge copied through
+	addq.l	#4, a0
+	addq.l	#4, a2
+	dbra	d5, rloop
+`)
+}
+
+// genMIMD emits the Serial/MIMD/SMIMD program (all loops on the PE).
+func genMIMD(b *strings.Builder, spec Spec) {
+	b.WriteString(`	.region other
+	lea	NETX, a5
+	moveq	#9, d7
+	.region comm
+`)
+	if spec.p() == 1 {
+		localHalo(b)
+	} else {
+		// Phase a: send my LAST strip row to PE i+1, receiving PE
+		// i-1's into my halo-above. Phase b: the reverse direction.
+		xferRow(b, spec, "a", "DESTUP", "LASTROW", "IMG")
+		xferRow(b, spec, "b", "DESTDN", "STRIP", "HALOBOT")
+		b.WriteString("\tmove.w\t#RELEASE, 8(a5)\n")
+	}
+	kernel(b)
+	b.WriteString("\t.region other\n\thalt\n")
+}
+
+// genSIMD emits the MC control program plus the PE broadcast blocks.
+// Lockstep makes the exchange phases trivially safe: every PE finishes
+// the phase-a transfer instruction before any PE reaches phase b.
+func genSIMD(b *strings.Builder, spec Spec) {
+	p := spec.p()
+	b.WriteString("\t.region control\n\tbcast\tinit\n")
+	if p == 1 {
+		b.WriteString(`	bcast	hupinit
+	move.w	#W-1, d0
+mh1:	bcast	hstep
+	dbra	d0, mh1
+	bcast	hdninit
+	move.w	#W-1, d0
+mh2:	bcast	hstep
+	dbra	d0, mh2
+`)
+	} else {
+		for _, ph := range []string{"a", "b"} {
+			fmt.Fprintf(b, `	bcast	rel
+	bcast	conn%s
+	move.w	#W-1, d0
+mx%s:	bcast	xfer
+	dbra	d0, mx%s
+`, ph, ph, ph)
+		}
+		b.WriteString("\tbcast\trel\n")
+	}
+	b.WriteString(`	bcast	rowinit
+	move.w	#ROWS-1, d5
+mrow:	bcast	ledge
+	move.w	#W-3, d6
+mpix:	bcast	pixel
+	dbra	d6, mpix
+	bcast	redge
+	dbra	d5, mrow
+	halt
+
+	.region other
+	.block	init
+	lea	NETX, a5
+	moveq	#9, d7
+	.endblock
+`)
+	if p == 1 {
+		b.WriteString(`
+	.region comm
+	.block	hupinit
+	lea	LASTROW, a0
+	lea	IMG, a1
+	.endblock
+	.block	hdninit
+	lea	STRIP, a0
+	lea	HALOBOT, a1
+	.endblock
+	.block	hstep
+	move.w	(a0)+, (a1)+
+	.endblock
+`)
+	} else {
+		b.WriteString(`
+	.region comm
+	.block	rel
+	move.w	#RELEASE, 8(a5)
+	.endblock
+	.block	conna
+	move.w	DESTUP, d0
+	move.w	d0, 8(a5)
+	lea	LASTROW, a0
+	lea	IMG, a1
+	.endblock
+	.block	connb
+	move.w	DESTDN, d0
+	move.w	d0, 8(a5)
+	lea	STRIP, a0
+	lea	HALOBOT, a1
+	.endblock
+	.block	xfer
+	move.w	(a0)+, d0
+	move.b	d0, (a5)
+	move.b	2(a5), d1
+	lsr.w	#8, d0
+	move.b	d0, (a5)
+	move.b	2(a5), d0
+	lsl.w	#8, d0
+	move.b	d1, d0
+	move.w	d0, (a1)+
+	.endblock
+`)
+	}
+	b.WriteString(`
+	.region mult
+	.block	rowinit
+	lea	IMG, a0
+	lea	STRIP, a1
+	lea	STRIP+ROWBYTES, a2
+	lea	OUT, a3
+	.endblock
+	.block	ledge
+	move.w	(a1)+, (a3)+
+	.endblock
+	.block	pixel
+	moveq	#0, d0
+	add.w	(a0), d0
+	add.w	2(a0), d0
+	add.w	4(a0), d0
+	add.w	-2(a1), d0
+	add.w	(a1), d0
+	add.w	2(a1), d0
+	add.w	(a2), d0
+	add.w	2(a2), d0
+	add.w	4(a2), d0
+	divu.w	d7, d0
+	move.w	d0, (a3)+
+	addq.l	#2, a0
+	addq.l	#2, a1
+	addq.l	#2, a2
+	.endblock
+	.block	redge
+	move.w	(a1)+, (a3)+
+	addq.l	#4, a0
+	addq.l	#4, a2
+	.endblock
+`)
+}

@@ -1,0 +1,171 @@
+package smoothing
+
+import (
+	"testing"
+
+	"repro/internal/pasm"
+)
+
+func testConfig() pasm.Config {
+	cfg := pasm.DefaultConfig()
+	cfg.PEMemBytes = 1 << 16
+	return cfg
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{H: 8, W: 2, P: 4, Mode: MIMD},
+		{H: 0, W: 8, P: 4, Mode: MIMD},
+		{H: 8, W: 8, P: 3, Mode: MIMD},
+		{H: 6, W: 8, P: 4, Mode: MIMD},
+		{H: 8, W: 9000, P: 4, Mode: MIMD},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+	if err := (Spec{H: 16, W: 16, P: 4, Mode: SIMD}).Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestReferenceProperties(t *testing.T) {
+	// A constant image smooths to itself (255*9/9 = 255).
+	img := NewImage(8, 8)
+	for r := range img {
+		for c := range img[r] {
+			img[r][c] = 200
+		}
+	}
+	out := Reference(img)
+	if !Equal(out, img) {
+		t.Error("constant image changed under mean filter")
+	}
+	// Edges are copied through.
+	img2 := RandomImage(8, 8, 3)
+	out2 := Reference(img2)
+	for r := 0; r < 8; r++ {
+		if out2[r][0] != img2[r][0] || out2[r][7] != img2[r][7] {
+			t.Fatalf("row %d: edges not copied", r)
+		}
+	}
+}
+
+func TestGenerateAssembles(t *testing.T) {
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		for _, tc := range []struct{ h, w, p int }{{8, 8, 4}, {16, 8, 8}, {4, 16, 2}, {8, 8, 1}} {
+			spec := Spec{H: tc.h, W: tc.w, P: tc.p, Mode: mode}
+			if _, _, err := Build(spec); err != nil {
+				t.Errorf("%s %dx%d p=%d: %v", mode, tc.h, tc.w, tc.p, err)
+			}
+		}
+	}
+}
+
+// verify runs a spec and compares with the host reference.
+func verify(t *testing.T, spec Spec, seed uint32) pasm.RunResult {
+	t.Helper()
+	img := RandomImage(spec.H, spec.W, seed)
+	res, out, err := Execute(testConfig(), spec, img)
+	if err != nil {
+		t.Fatalf("%s h=%d w=%d p=%d: %v", spec.Mode, spec.H, spec.W, spec.P, err)
+	}
+	if want := Reference(img); !Equal(out, want) {
+		t.Fatalf("%s h=%d w=%d p=%d: wrong image", spec.Mode, spec.H, spec.W, spec.P)
+	}
+	return res
+}
+
+func TestSerialCorrect(t *testing.T) {
+	verify(t, Spec{H: 8, W: 8, Mode: Serial}, 10)
+	verify(t, Spec{H: 4, W: 12, Mode: Serial}, 11)
+}
+
+func TestMIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ h, w, p int }{{8, 8, 2}, {8, 8, 4}, {16, 8, 8}, {16, 8, 16}, {8, 8, 1}} {
+		verify(t, Spec{H: tc.h, W: tc.w, P: tc.p, Mode: MIMD}, uint32(tc.h*tc.p))
+	}
+}
+
+func TestSMIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ h, w, p int }{{8, 8, 4}, {16, 8, 8}, {16, 16, 4}} {
+		verify(t, Spec{H: tc.h, W: tc.w, P: tc.p, Mode: SMIMD}, uint32(tc.h+tc.w))
+	}
+}
+
+func TestSIMDCorrect(t *testing.T) {
+	for _, tc := range []struct{ h, w, p int }{{8, 8, 2}, {8, 8, 4}, {16, 8, 8}, {16, 8, 16}, {8, 8, 1}} {
+		verify(t, Spec{H: tc.h, W: tc.w, P: tc.p, Mode: SIMD}, uint32(3*tc.h+tc.p))
+	}
+}
+
+func TestAllModesAgree(t *testing.T) {
+	img := RandomImage(16, 12, 99)
+	var first Image
+	for _, spec := range []Spec{
+		{H: 16, W: 12, Mode: Serial},
+		{H: 16, W: 12, P: 4, Mode: SIMD},
+		{H: 16, W: 12, P: 4, Mode: MIMD},
+		{H: 16, W: 12, P: 4, Mode: SMIMD},
+	} {
+		_, out, err := Execute(testConfig(), spec, img)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Mode, err)
+		}
+		if first == nil {
+			first = out
+		} else if !Equal(first, out) {
+			t.Errorf("%s disagrees with serial output", spec.Mode)
+		}
+	}
+}
+
+func TestReconfigurationCounts(t *testing.T) {
+	// Each PE establishes two circuits at run time (one per exchange
+	// phase).
+	res := verify(t, Spec{H: 8, W: 8, P: 4, Mode: MIMD}, 5)
+	if res.NetReconfigs != 8 {
+		t.Errorf("reconfigs = %d, want 8 (2 per PE)", res.NetReconfigs)
+	}
+	// Two rows of W pixels exchanged per PE, two bytes each.
+	if want := int64(2 * 2 * 8 * 4); res.NetTransfers != want {
+		t.Errorf("transfers = %d, want %d", res.NetTransfers, want)
+	}
+}
+
+func TestSIMDBeatsMIMDAtPlainKernel(t *testing.T) {
+	// As with one-multiply matrix multiplication, SIMD's hidden
+	// control flow and faster fetch win at this kernel size.
+	img := RandomImage(16, 16, 21)
+	spec := Spec{H: 16, W: 16, P: 4}
+	spec.Mode = SIMD
+	rs, _, err := Execute(testConfig(), spec, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Mode = MIMD
+	rm, _, err := Execute(testConfig(), spec, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles >= rm.Cycles {
+		t.Errorf("SIMD (%d) not faster than MIMD (%d)", rs.Cycles, rm.Cycles)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	img := RandomImage(8, 8, 77)
+	spec := Spec{H: 8, W: 8, P: 4, Mode: SMIMD}
+	r1, _, err := Execute(testConfig(), spec, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Execute(testConfig(), spec, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("non-deterministic: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}

@@ -1,0 +1,81 @@
+// Package stats provides the performance metrics the paper reports:
+// speed-up, efficiency (speed-up over PE count, which exceeds 1 under
+// the paper's "superlinear" SIMD conditions), MIPS, and simple series
+// helpers used by the experiment tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Speedup is T_serial / T_parallel.
+func Speedup(serialCycles, parallelCycles int64) float64 {
+	if parallelCycles <= 0 {
+		return math.NaN()
+	}
+	return float64(serialCycles) / float64(parallelCycles)
+}
+
+// Efficiency is the paper's Section 10 definition: speed-up divided by
+// the number of PEs employed. SIMD mode can exceed 1 because the MCs'
+// control-flow work and the Fetch Unit's faster instruction delivery
+// are not counted in p.
+func Efficiency(serialCycles, parallelCycles int64, p int) float64 {
+	if p <= 0 {
+		return math.NaN()
+	}
+	return Speedup(serialCycles, parallelCycles) / float64(p)
+}
+
+// MIPS converts cycles-per-instruction at a clock rate into millions
+// of instructions per second (paper Table 1).
+func MIPS(cycles, instrs int64, clockHz float64) float64 {
+	if cycles <= 0 || instrs <= 0 {
+		return math.NaN()
+	}
+	cyclesPerInstr := float64(cycles) / float64(instrs)
+	return clockHz / cyclesPerInstr / 1e6
+}
+
+// Seconds converts cycles to seconds.
+func Seconds(cycles int64, clockHz float64) float64 {
+	return float64(cycles) / clockHz
+}
+
+// Ratio returns a/b, guarding zero.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(a) / float64(b)
+}
+
+// Crossover locates, by linear interpolation, the x at which series y1
+// and y2 cross (y1-y2 changes sign). It returns NaN if they never
+// cross. The series must share the x grid and be ordered by x.
+func Crossover(xs []int, y1, y2 []int64) float64 {
+	if len(xs) != len(y1) || len(xs) != len(y2) {
+		return math.NaN()
+	}
+	for i := 1; i < len(xs); i++ {
+		d0 := float64(y1[i-1] - y2[i-1])
+		d1 := float64(y1[i] - y2[i])
+		if d0 == 0 {
+			return float64(xs[i-1])
+		}
+		if d0*d1 < 0 {
+			t := d0 / (d0 - d1)
+			return float64(xs[i-1]) + t*float64(xs[i]-xs[i-1])
+		}
+	}
+	if len(xs) > 0 && y1[len(xs)-1] == y2[len(xs)-1] {
+		return float64(xs[len(xs)-1])
+	}
+	return math.NaN()
+}
+
+// FormatCycles renders a cycle count with its time at the given clock.
+func FormatCycles(cycles int64, clockHz float64) string {
+	return fmt.Sprintf("%d (%.4fs)", cycles, Seconds(cycles, clockHz))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if got := Speedup(800, 100); got != 8 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Efficiency(800, 100, 8); got != 1 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if got := Efficiency(900, 100, 8); got <= 1 {
+		t.Errorf("superlinear efficiency = %v, want > 1", got)
+	}
+	if !math.IsNaN(Speedup(100, 0)) {
+		t.Error("Speedup with zero parallel time not NaN")
+	}
+	if !math.IsNaN(Efficiency(1, 1, 0)) {
+		t.Error("Efficiency with zero PEs not NaN")
+	}
+}
+
+func TestMIPS(t *testing.T) {
+	// 4 cycles/instruction at 8 MHz = 2 MIPS.
+	if got := MIPS(400, 100, 8e6); got != 2 {
+		t.Errorf("MIPS = %v, want 2", got)
+	}
+	if !math.IsNaN(MIPS(0, 5, 8e6)) || !math.IsNaN(MIPS(5, 0, 8e6)) {
+		t.Error("degenerate MIPS not NaN")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(8e6, 8e6); got != 1 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	xs := []int{1, 5, 10, 20}
+	y1 := []int64{100, 220, 370, 670} // grows 30/x
+	y2 := []int64{160, 240, 340, 540} // grows 20/x
+	x := Crossover(xs, y1, y2)
+	if x < 5 || x > 10 {
+		t.Errorf("crossover at %v, want within (5,10)", x)
+	}
+	// No crossing.
+	if !math.IsNaN(Crossover(xs, y1, y1)) {
+		// equal series cross at the first point by convention
+		t.Skip()
+	}
+}
+
+func TestCrossoverNone(t *testing.T) {
+	xs := []int{1, 2, 3}
+	y1 := []int64{10, 20, 30}
+	y2 := []int64{5, 15, 25}
+	if !math.IsNaN(Crossover(xs, y1, y2)) {
+		t.Error("non-crossing series returned a crossover")
+	}
+}
+
+func TestCrossoverExactEndpoint(t *testing.T) {
+	xs := []int{1, 2}
+	y1 := []int64{10, 30}
+	y2 := []int64{20, 30}
+	if got := Crossover(xs, y1, y2); got != 2 {
+		t.Errorf("crossover = %v, want 2", got)
+	}
+}
+
+func TestCrossoverMismatchedLengths(t *testing.T) {
+	if !math.IsNaN(Crossover([]int{1}, []int64{1, 2}, []int64{1})) {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+// Property: efficiency times p equals speed-up.
+func TestEfficiencyProperty(t *testing.T) {
+	f := func(s, par uint32, p uint8) bool {
+		if par == 0 || p == 0 {
+			return true
+		}
+		e := Efficiency(int64(s), int64(par), int(p))
+		sp := Speedup(int64(s), int64(par))
+		return math.Abs(e*float64(p)-sp) < 1e-9*math.Max(1, sp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package trace provides a lightweight execution tracer for the
+// simulated machine: a fixed-capacity ring buffer of per-instruction
+// events that CPUs publish through a nil-checked hook, so tracing
+// costs nothing unless attached. Intended for debugging generated
+// programs and for the verbose mode of cmd/pasmrun.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/m68k"
+)
+
+// Event is one executed instruction.
+type Event struct {
+	Unit   string // "PE3", "MC0", ...
+	Seq    int64  // global arrival order in the buffer
+	Clock  int64  // unit-local cycle count after the instruction
+	Cycles int64  // cycles the instruction took
+	PC     int    // instruction index executed
+	Text   string // disassembly
+}
+
+// Buffer is a ring of the most recent events. The zero value is not
+// usable; construct with New. Buffers are not safe for concurrent use;
+// attach one buffer per independently running simulation.
+type Buffer struct {
+	events []Event
+	next   int
+	total  int64
+}
+
+// New returns a buffer retaining the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{events: make([]Event, 0, capacity)}
+}
+
+// Add records an event.
+func (b *Buffer) Add(ev Event) {
+	ev.Seq = b.total
+	b.total++
+	if len(b.events) < cap(b.events) {
+		b.events = append(b.events, ev)
+		return
+	}
+	b.events[b.next] = ev
+	b.next = (b.next + 1) % cap(b.events)
+}
+
+// Total returns the number of events ever added.
+func (b *Buffer) Total() int64 { return b.total }
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// String renders the retained events as a listing.
+func (b *Buffer) String() string {
+	var sb strings.Builder
+	if dropped := b.total - int64(len(b.events)); dropped > 0 {
+		fmt.Fprintf(&sb, "... %d earlier events dropped ...\n", dropped)
+	}
+	for _, ev := range b.Events() {
+		fmt.Fprintf(&sb, "%-5s %10d  +%-4d pc=%-6d %s\n",
+			ev.Unit, ev.Clock, ev.Cycles, ev.PC, ev.Text)
+	}
+	return sb.String()
+}
+
+// Attach hooks a CPU's per-instruction trace callback to this buffer
+// under the given unit name. Pass prog so events carry disassembly.
+func (b *Buffer) Attach(unit string, cpu *m68k.CPU) {
+	cpu.Trace = func(in *m68k.Instr, pc int, clock, cycles int64) {
+		b.Add(Event{
+			Unit:   unit,
+			Clock:  clock,
+			Cycles: cycles,
+			PC:     pc,
+			Text:   in.String(),
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+func TestRingBuffer(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{Unit: "PE0", PC: i})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].PC != 2 || evs[2].PC != 4 {
+		t.Errorf("wrong window: %+v", evs)
+	}
+	if b.Total() != 5 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if evs[0].Seq != 2 {
+		t.Errorf("Seq = %d, want 2", evs[0].Seq)
+	}
+}
+
+func TestBufferCapacityFloor(t *testing.T) {
+	b := New(0)
+	b.Add(Event{PC: 1})
+	b.Add(Event{PC: 2})
+	if got := b.Events(); len(got) != 1 || got[0].PC != 2 {
+		t.Errorf("capacity floor broken: %+v", got)
+	}
+}
+
+func TestAttachCapturesExecution(t *testing.T) {
+	prog := m68k.MustAssemble(`
+		moveq   #3, d0
+l:	add.w   d0, d1
+	dbra    d0, l
+		halt
+	`)
+	cpu := m68k.NewCPU(prog, m68k.NewMemory(1024))
+	b := New(64)
+	b.Attach("PE7", cpu)
+	if st := cpu.Run(100); st != m68k.StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	evs := b.Events()
+	if int64(len(evs)) != cpu.InstrCount {
+		t.Fatalf("traced %d events, executed %d instructions", len(evs), cpu.InstrCount)
+	}
+	if evs[0].Unit != "PE7" {
+		t.Errorf("unit = %q", evs[0].Unit)
+	}
+	// Clocks are monotone and the last matches the CPU.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Clock < evs[i-1].Clock {
+			t.Errorf("clock went backwards at %d", i)
+		}
+	}
+	if evs[len(evs)-1].Clock != cpu.Clock {
+		t.Errorf("final clock %d != cpu clock %d", evs[len(evs)-1].Clock, cpu.Clock)
+	}
+	out := b.String()
+	for _, want := range []string{"moveq", "add.w", "db", "halt", "PE7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStringReportsDropped(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{PC: i})
+	}
+	if !strings.Contains(b.String(), "8 earlier events dropped") {
+		t.Errorf("drop notice missing:\n%s", b.String())
+	}
+}
