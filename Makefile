@@ -1,0 +1,35 @@
+# Build, verification, and benchmark entry points. `make ci` is the
+# gate: build, vet, tests, and the race detector over every package.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench bench-json report
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism tests run every experiment twice; under the race
+# detector on a small host that exceeds go test's default 10m timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+ci: build vet test race
+
+# Quick wall-clock + simulated-cycle baseline (writes BENCH_baseline.json).
+bench-json:
+	scripts/bench.sh
+
+# Go benchmarks (simulated metrics + interpreter allocation check).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+report:
+	$(GO) run ./cmd/pasmreport -o report.md

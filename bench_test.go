@@ -14,9 +14,12 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/m68k"
 	"repro/internal/matmul"
 	"repro/internal/pasm"
 	"repro/internal/reduce"
@@ -353,6 +356,89 @@ func BenchmarkMixedMode(b *testing.B) {
 	for _, mode := range []matmul.Mode{matmul.SIMD, matmul.Mixed} {
 		b.Run(mode.String(), func(sb *testing.B) {
 			benchExec(sb, cfg, matmul.Spec{N: 32, P: 4, Muls: 14, Mode: mode})
+		})
+	}
+}
+
+// BenchmarkInterpreterSteadyState measures the bare interpreter inner
+// loop — execution-table dispatch on an infinite data-processing loop,
+// DRAM fetch timing enabled. The steady state must not allocate: the
+// per-program execution table is built once on the first step and the
+// hot path is an index, a function call, and a cycle add.
+func BenchmarkInterpreterSteadyState(b *testing.B) {
+	prog := m68k.MustAssemble(`
+l:	mulu.w  d1, d0
+	add.w   d2, d0
+	bra     l
+	`)
+	c := m68k.NewCPU(prog, m68k.NewMemory(1<<16))
+	c.FetchFromMem = true
+	c.Mem.WaitStates = 1
+	c.Mem.RefreshPeriod = 256
+	c.Mem.RefreshStall = 2
+	c.D[1] = 0xA5A5
+	c.D[2] = 3
+	if st := c.Run(16); st != m68k.StatusOK { // warm up: builds the table
+		b.Fatalf("warmup status %v", st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if st := c.Run(int64(b.N)); st != m68k.StatusOK {
+		b.Fatalf("status %v (err=%v)", st, c.Err)
+	}
+}
+
+// BenchmarkInterpreterDynamicPath is the same loop through the dynamic
+// reference path (per-step handler resolution and cycle recomputation),
+// quantifying what the execution table saves.
+func BenchmarkInterpreterDynamicPath(b *testing.B) {
+	prog := m68k.MustAssemble(`
+l:	mulu.w  d1, d0
+	add.w   d2, d0
+	bra     l
+	`)
+	c := m68k.NewCPU(prog, m68k.NewMemory(1<<16))
+	c.FetchFromMem = true
+	c.Mem.WaitStates = 1
+	c.Mem.RefreshPeriod = 256
+	c.Mem.RefreshStall = 2
+	c.DisableExecTable = true
+	c.D[1] = 0xA5A5
+	c.D[2] = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	if st := c.Run(int64(b.N)); st != m68k.StatusOK {
+		b.Fatalf("status %v (err=%v)", st, c.Err)
+	}
+}
+
+// BenchmarkExperimentParallelism runs the Figure 7 sweep with the cell
+// fan-out at one worker and at one worker per CPU; on a multi-core
+// host the parallel variant's wall clock drops near-linearly while the
+// rendered table stays byte-identical.
+func BenchmarkExperimentParallelism(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(sb *testing.B) {
+			opts := experiments.DefaultOptions()
+			opts.Parallelism = workers
+			for i := 0; i < sb.N; i++ {
+				if _, err := experiments.Fig7(opts); err != nil {
+					sb.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMIMDEngine runs one large MIMD matmul with the
+// discrete-event engine advancing PE segments serially and with one
+// host goroutine per CPU (simulated result identical in both).
+func BenchmarkParallelMIMDEngine(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(sb *testing.B) {
+			cfg := pasm.DefaultConfig()
+			cfg.HostWorkers = workers
+			benchExec(sb, cfg, matmul.Spec{N: 64, P: 16, Muls: 1, Mode: matmul.MIMD})
 		})
 	}
 }

@@ -4,17 +4,27 @@
 // Usage:
 //
 //	pasmbench [-exp all|table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12]
-//	          [-full] [-seed N]
+//	          [-full] [-seed N] [-parallel N] [-json FILE]
 //
 // -full runs the paper's complete problem-size set (n up to 256),
 // which takes a few minutes of host time; the default quick set caps n
 // at 64 and reproduces every qualitative result.
+//
+// -parallel sets the number of host goroutines running independent
+// experiment cells; the default is one per CPU. The tables are
+// byte-identical for any value — per-experiment host timings go to
+// stderr so stdout can be diffed across parallelism levels.
+//
+// -json additionally writes every selected experiment's simulated
+// metrics and host wall-clock time to FILE.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,16 +35,41 @@ type renderer interface{ Render() string }
 
 type plotter interface{ Plot() string }
 
+// summarizer exposes an experiment's simulated metrics for -json.
+type summarizer interface {
+	Summary() map[string]float64
+}
+
+// jsonExperiment is one experiment's entry in the -json report.
+type jsonExperiment struct {
+	Name        string             `json:"name"`
+	HostSeconds float64            `json:"host_seconds"`
+	Summary     map[string]float64 `json:"summary,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Full        bool             `json:"full"`
+	Seed        uint32           `json:"seed"`
+	Parallel    int              `json:"parallel"`
+	HostSeconds float64          `json:"host_seconds"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
 	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
 	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
 	plots := flag.Bool("plot", false, "also render ASCII charts of the figure shapes")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (results are identical for any value)")
+	jsonPath := flag.String("json", "", "write simulated metrics and host timings to this file as JSON")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Full = *full
 	opts.Seed = uint32(*seed)
+	opts.Parallelism = *parallel
 
 	runners := map[string]func() (renderer, error){
 		"table1": func() (renderer, error) { return experiments.Table1(opts) },
@@ -53,17 +88,17 @@ func main() {
 		"ext-mixed":     func() (renderer, error) { return experiments.MixedMode(opts) },
 	}
 	order := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
-	if *exp == "ext" {
-		*exp = "ext-crossover,ext-model,ext-fault,ext-workloads,ext-mixed"
-	}
+	ext := []string{"ext-crossover", "ext-model", "ext-fault", "ext-workloads", "ext-mixed"}
 
 	var selected []string
-	switch *exp {
-	case "all":
-		selected = order
-	default:
-		for _, name := range strings.Split(*exp, ",") {
-			name = strings.TrimSpace(name)
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "all":
+			selected = append(selected, order...)
+		case "ext":
+			selected = append(selected, ext...)
+		default:
 			if _, ok := runners[name]; !ok {
 				fmt.Fprintf(os.Stderr, "pasmbench: unknown experiment %q\n", name)
 				flag.Usage()
@@ -73,6 +108,13 @@ func main() {
 		}
 	}
 
+	report := jsonReport{
+		Schema:   "pasmbench/v1",
+		Full:     *full,
+		Seed:     uint32(*seed),
+		Parallel: *parallel,
+	}
+	suiteStart := time.Now()
 	for _, name := range selected {
 		start := time.Now()
 		res, err := runners[name]()
@@ -80,12 +122,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pasmbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
 		fmt.Println(res.Render())
 		if *plots {
 			if p, ok := res.(plotter); ok {
 				fmt.Println(p.Plot())
 			}
 		}
-		fmt.Printf("[%s completed in %.1fs host time]\n\n", name, time.Since(start).Seconds())
+		// Host timing is non-deterministic; keep it off stdout so the
+		// rendered tables can be byte-compared across runs.
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs host time]\n", name, elapsed)
+
+		entry := jsonExperiment{Name: name, HostSeconds: elapsed}
+		if s, ok := res.(summarizer); ok {
+			entry.Summary = s.Summary()
+		}
+		report.Experiments = append(report.Experiments, entry)
+	}
+	report.HostSeconds = time.Since(suiteStart).Seconds()
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *jsonPath)
 	}
 }

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	pasmreport [-full] [-seed N] [-o report.md]
+//	pasmreport [-full] [-seed N] [-o report.md] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -21,11 +22,13 @@ func main() {
 	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
 	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (report is identical for any value)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Full = *full
 	opts.Seed = uint32(*seed)
+	opts.Parallelism = *parallel
 
 	w := os.Stdout
 	if *out != "" {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pasmrun [-n 64] [-p 4] [-muls 1] [-mode simd|mimd|smimd|mixed|sisd]
-//	        [-seed N] [-verify] [-asm] [-trace N]
+//	        [-seed N] [-verify] [-asm] [-trace N] [-workers N]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 	verify := flag.Bool("verify", true, "check the product against the host reference")
 	asm := flag.Bool("asm", false, "print the generated assembly and exit")
 	traceN := flag.Int("trace", 0, "print the last N executed instructions of every unit")
+	workers := flag.Int("workers", 1, "host goroutines advancing PE segments in MIMD execution (simulation is identical for any value)")
 	flag.Parse()
 
 	var m matmul.Mode
@@ -66,6 +67,7 @@ func main() {
 	}
 
 	cfg := pasm.DefaultConfig()
+	cfg.HostWorkers = *workers
 	a := matmul.Identity(*n)
 	b := matmul.Random(*n, uint32(*seed))
 

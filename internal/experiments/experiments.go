@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/matmul"
 	"repro/internal/pasm"
@@ -27,6 +28,11 @@ type Options struct {
 	// Seed drives the random B matrices; the same B is used for every
 	// program variant at the same n, following the paper's protocol.
 	Seed uint32
+	// Parallelism is the number of host goroutines running independent
+	// experiment cells concurrently. 0 means one per CPU; 1 means
+	// serial. Every cell simulates its own virtual machine, so results
+	// are identical for any value — only host wall-clock changes.
+	Parallelism int
 }
 
 // DefaultOptions returns quick-set options with the prototype config.
@@ -42,9 +48,13 @@ func (o Options) sizes() []int {
 	return []int{4, 8, 16, 32, 64}
 }
 
-// runner caches operand matrices per n and executes specs.
+// runner caches operand matrices per n and executes specs. The cache
+// is mutex-guarded so cells running on parallel host workers can
+// share it; execAll additionally pre-warms it so the hot path is
+// read-only.
 type runner struct {
 	opts Options
+	mu   sync.Mutex
 	as   map[int]matmul.Matrix
 	bs   map[int]matmul.Matrix
 }
@@ -57,6 +67,8 @@ func newRunner(opts Options) *runner {
 // (multiplicand data does not affect MULU timing, and makes results
 // trivially checkable) and seeded-random B.
 func (r *runner) operands(n int) (matmul.Matrix, matmul.Matrix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	a, ok := r.as[n]
 	if !ok {
 		a = matmul.Identity(n)

@@ -41,28 +41,35 @@ type CrossoverVsPResult struct {
 	Rows []CrossoverVsPRow
 }
 
-// CrossoverVsP runs the sweep and the model side by side.
+// CrossoverVsP runs the sweep and the model side by side; the whole
+// (p, muls, mode) grid fans out across the host workers.
 func CrossoverVsP(opts Options) (*CrossoverVsPResult, error) {
 	const n = 64
 	r := newRunner(opts)
 	m := machineModel(opts.Config)
 	out := &CrossoverVsPResult{N: n}
 	muls := []int{1, 4, 8, 12, 16, 20, 26, 32}
-	for _, p := range []int{4, 8, 16} {
+	ps := []int{4, 8, 16}
+	var specs []matmul.Spec
+	for _, p := range ps {
+		for _, mm := range muls {
+			specs = append(specs,
+				matmul.Spec{N: n, P: p, Muls: mm, Mode: matmul.SIMD},
+				matmul.Spec{N: n, P: p, Muls: mm, Mode: matmul.SMIMD})
+		}
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for j, p := range ps {
 		var xs []int
 		var ys, yh []int64
-		for _, mm := range muls {
-			rs, err := r.exec(matmul.Spec{N: n, P: p, Muls: mm, Mode: matmul.SIMD})
-			if err != nil {
-				return nil, err
-			}
-			rh, err := r.exec(matmul.Spec{N: n, P: p, Muls: mm, Mode: matmul.SMIMD})
-			if err != nil {
-				return nil, err
-			}
+		base := j * 2 * len(muls)
+		for k, mm := range muls {
 			xs = append(xs, mm)
-			ys = append(ys, rs.Cycles)
-			yh = append(yh, rh.Cycles)
+			ys = append(ys, results[base+2*k].Cycles)
+			yh = append(yh, results[base+2*k+1].Cycles)
 		}
 		out.Rows = append(out.Rows, CrossoverVsPRow{
 			P:         p,
@@ -113,26 +120,20 @@ func ModelValidation(opts Options) (*ModelResult, error) {
 	cols := n / p
 	elems := float64(model.Multiplies(n, p)) // inner-loop iterations
 
-	perMul := func(mode matmul.Mode) (float64, error) {
-		a, err := r.exec(matmul.Spec{N: n, P: p, Muls: m1, Mode: mode})
-		if err != nil {
-			return 0, err
-		}
-		b, err := r.exec(matmul.Spec{N: n, P: p, Muls: m2, Mode: mode})
-		if err != nil {
-			return 0, err
-		}
-		return float64(b.Cycles-a.Cycles) / float64(m2-m1) / elems, nil
-	}
-
-	simdMul, err := perMul(matmul.SIMD)
+	results, err := r.execAll([]matmul.Spec{
+		{N: n, P: p, Muls: m1, Mode: matmul.SIMD},
+		{N: n, P: p, Muls: m2, Mode: matmul.SIMD},
+		{N: n, P: p, Muls: m1, Mode: matmul.SMIMD},
+		{N: n, P: p, Muls: m2, Mode: matmul.SMIMD},
+	})
 	if err != nil {
 		return nil, err
 	}
-	smimdMul, err := perMul(matmul.SMIMD)
-	if err != nil {
-		return nil, err
+	perMul := func(a, b pasm.RunResult) float64 {
+		return float64(b.Cycles-a.Cycles) / float64(m2-m1) / elems
 	}
+	simdMul := perMul(results[0], results[1])
+	smimdMul := perMul(results[2], results[3])
 
 	predSIMD := m.SIMDPerMul(p, cols)
 	predSMIMD := m.SMIMDPerMul(p, cols)
@@ -191,7 +192,9 @@ type FaultResult struct {
 	Rows []FaultRow
 }
 
-// FaultTolerance runs the scenario matrix.
+// FaultTolerance runs the scenario matrix. The scenarios build on one
+// another narratively (baseline, then faults), so this experiment
+// intentionally stays serial regardless of Options.Parallelism.
 func FaultTolerance(opts Options) (*FaultResult, error) {
 	const n, p = 16, 8
 	out := &FaultResult{N: n, P: p}
@@ -345,24 +348,25 @@ type MixedResult struct {
 	Rows []MixedRow
 }
 
-// MixedMode runs the comparison.
+// MixedMode runs the comparison across the host workers.
 func MixedMode(opts Options) (*MixedResult, error) {
 	r := newRunner(opts)
 	out := &MixedResult{N: 64, P: 4}
-	for _, m := range []int{1, 5, 14, 30} {
-		rs, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SIMD})
-		if err != nil {
-			return nil, err
-		}
-		rx, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.Mixed})
-		if err != nil {
-			return nil, err
-		}
-		rh, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SMIMD})
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, MixedRow{Muls: m, SIMD: rs.Cycles, Mixed: rx.Cycles, SMIMD: rh.Cycles})
+	muls := []int{1, 5, 14, 30}
+	var specs []matmul.Spec
+	for _, m := range muls {
+		specs = append(specs,
+			matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SIMD},
+			matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.Mixed},
+			matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SMIMD})
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range muls {
+		out.Rows = append(out.Rows, MixedRow{Muls: m,
+			SIMD: results[3*i].Cycles, Mixed: results[3*i+1].Cycles, SMIMD: results[3*i+2].Cycles})
 	}
 	return out, nil
 }

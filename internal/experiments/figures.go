@@ -28,22 +28,30 @@ type Fig6Result struct {
 	Rows    []Fig6Row
 }
 
-// Fig6 runs the sweep.
+// Fig6 runs the sweep: every (n, mode) cell is independent, so the
+// full grid fans out across the host workers.
 func Fig6(opts Options) (*Fig6Result, error) {
 	const p = 8
 	r := newRunner(opts)
 	out := &Fig6Result{P: p, ClockHz: opts.Config.ClockHz}
+	modes := []matmul.Mode{matmul.Serial, matmul.SIMD, matmul.MIMD, matmul.SMIMD}
+	var specs []matmul.Spec
 	for _, n := range opts.sizes() {
 		if n < p {
 			continue
 		}
-		row := Fig6Row{N: n, Cycles: map[string]int64{}}
-		for _, mode := range []matmul.Mode{matmul.Serial, matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
-			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			row.Cycles[mode.String()] = res.Cycles
+		for _, mode := range modes {
+			specs = append(specs, matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
+		}
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(specs); i += len(modes) {
+		row := Fig6Row{N: specs[i].N, Cycles: map[string]int64{}}
+		for k, mode := range modes {
+			row.Cycles[mode.String()] = results[i+k].Cycles
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -89,22 +97,26 @@ type Fig7Result struct {
 	Crossover float64
 }
 
-// Fig7 runs the sweep.
+// Fig7 runs the sweep, fanning the (muls, mode) grid across the host
+// workers.
 func Fig7(opts Options) (*Fig7Result, error) {
 	r := newRunner(opts)
 	out := &Fig7Result{N: 64, P: 4}
 	muls := []int{1, 5, 10, 13, 14, 15, 20, 25, 30}
+	var specs []matmul.Spec
+	for _, m := range muls {
+		specs = append(specs,
+			matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SIMD},
+			matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SMIMD})
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
 	var xs []int
 	var y1, y2 []int64
-	for _, m := range muls {
-		rs, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SIMD})
-		if err != nil {
-			return nil, err
-		}
-		rh, err := r.exec(matmul.Spec{N: out.N, P: out.P, Muls: m, Mode: matmul.SMIMD})
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range muls {
+		rs, rh := results[2*i], results[2*i+1]
 		row := Fig7Row{Muls: m, SIMD: rs.Cycles, SMIMD: rh.Cycles,
 			Ratio: stats.Ratio(rs.Cycles, rh.Cycles)}
 		if rs.Cycles <= rh.Cycles {
@@ -162,24 +174,29 @@ type BreakdownResult struct {
 func Breakdown(opts Options, muls int) (*BreakdownResult, error) {
 	r := newRunner(opts)
 	out := &BreakdownResult{Muls: muls, P: 4}
+	var specs []matmul.Spec
 	for _, n := range opts.sizes() {
 		if n < out.P {
 			continue
 		}
 		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.SMIMD} {
-			res, err := r.exec(matmul.Spec{N: n, P: out.P, Muls: muls, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, BreakdownRow{
-				N:     n,
-				Mode:  mode.String(),
-				Mult:  res.Regions[m68k.RegionMult],
-				Comm:  res.Regions[m68k.RegionComm],
-				Other: res.Regions[m68k.RegionOther] + res.Regions[m68k.RegionControl],
-				Total: res.Cycles,
-			})
+			specs = append(specs, matmul.Spec{N: n, P: out.P, Muls: muls, Mode: mode})
 		}
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		res := results[i]
+		out.Rows = append(out.Rows, BreakdownRow{
+			N:     spec.N,
+			Mode:  spec.Mode.String(),
+			Mult:  res.Regions[m68k.RegionMult],
+			Comm:  res.Regions[m68k.RegionComm],
+			Other: res.Regions[m68k.RegionOther] + res.Regions[m68k.RegionControl],
+			Total: res.Cycles,
+		})
 	}
 	return out, nil
 }
@@ -222,26 +239,32 @@ type Fig11Result struct {
 	Rows []EffRow
 }
 
-// Fig11 runs the sweep.
+// Fig11 runs the sweep. The serial baseline at each n is just another
+// independent cell, so it joins the same fan-out; efficiencies are
+// computed after the join.
 func Fig11(opts Options) (*Fig11Result, error) {
 	const p = 4
 	r := newRunner(opts)
 	out := &Fig11Result{P: p}
+	modes := []matmul.Mode{matmul.Serial, matmul.SIMD, matmul.MIMD, matmul.SMIMD}
+	var specs []matmul.Spec
 	for _, n := range opts.sizes() {
 		if n < p {
 			continue
 		}
-		serial, err := r.exec(matmul.Spec{N: n, Muls: 1, Mode: matmul.Serial})
-		if err != nil {
-			return nil, err
+		for _, mode := range modes {
+			specs = append(specs, matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
 		}
-		row := EffRow{X: n, Efficiency: map[string]float64{}}
-		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
-			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			row.Efficiency[mode.String()] = stats.Efficiency(serial.Cycles, res.Cycles, p)
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(specs); i += len(modes) {
+		serial := results[i] // modes[0] is Serial
+		row := EffRow{X: specs[i].N, Efficiency: map[string]float64{}}
+		for k := 1; k < len(modes); k++ {
+			row.Efficiency[modes[k].String()] = stats.Efficiency(serial.Cycles, results[i+k].Cycles, p)
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -273,22 +296,28 @@ type Fig12Result struct {
 	Rows []EffRow
 }
 
-// Fig12 runs the sweep.
+// Fig12 runs the sweep across the host workers.
 func Fig12(opts Options) (*Fig12Result, error) {
 	const n = 64
 	r := newRunner(opts)
 	out := &Fig12Result{N: n}
-	serial, err := r.exec(matmul.Spec{N: n, Muls: 1, Mode: matmul.Serial})
+	ps := []int{4, 8, 16}
+	modes := []matmul.Mode{matmul.SIMD, matmul.MIMD, matmul.SMIMD}
+	specs := []matmul.Spec{{N: n, Muls: 1, Mode: matmul.Serial}}
+	for _, p := range ps {
+		for _, mode := range modes {
+			specs = append(specs, matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
+		}
+	}
+	results, err := r.execAll(specs)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range []int{4, 8, 16} {
+	serial := results[0]
+	for j, p := range ps {
 		row := EffRow{X: p, Efficiency: map[string]float64{}}
-		for _, mode := range []matmul.Mode{matmul.SIMD, matmul.MIMD, matmul.SMIMD} {
-			res, err := r.exec(matmul.Spec{N: n, P: p, Muls: 1, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
+		for k, mode := range modes {
+			res := results[1+j*len(modes)+k]
 			row.Efficiency[mode.String()] = stats.Efficiency(serial.Cycles, res.Cycles, p)
 		}
 		out.Rows = append(out.Rows, row)

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// render adapts each experiment to a common (Options) -> string shape.
+type renderCase struct {
+	name string
+	run  func(Options) (string, error)
+}
+
+func renderCases() []renderCase {
+	return []renderCase{
+		{"table1", func(o Options) (string, error) {
+			r, err := Table1(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig6", func(o Options) (string, error) {
+			r, err := Fig6(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + r.Plot(), nil
+		}},
+		{"fig7", func(o Options) (string, error) {
+			r, err := Fig7(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + r.Plot(), nil
+		}},
+		{"breakdown1", func(o Options) (string, error) {
+			r, err := Breakdown(o, 1)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"breakdown30", func(o Options) (string, error) {
+			r, err := Breakdown(o, 30)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig11", func(o Options) (string, error) {
+			r, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + r.Plot(), nil
+		}},
+		{"fig12", func(o Options) (string, error) {
+			r, err := Fig12(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + r.Plot(), nil
+		}},
+		{"ext-crossover", func(o Options) (string, error) {
+			r, err := CrossoverVsP(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-model", func(o Options) (string, error) {
+			r, err := ModelValidation(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-fault", func(o Options) (string, error) {
+			r, err := FaultTolerance(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-mixed", func(o Options) (string, error) {
+			r, err := MixedMode(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-workloads", func(o Options) (string, error) {
+			r, err := Workloads(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+}
+
+// TestParallelismDeterminism: every experiment must render
+// byte-identical output whether its cells run serially or fanned out
+// across parallel host workers — the paper's tables are simulated
+// measurements, and host-level concurrency must not perturb them.
+func TestParallelismDeterminism(t *testing.T) {
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 4 // still exercises the concurrent code path
+	}
+	for _, tc := range renderCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			serialOpts := DefaultOptions()
+			serialOpts.Parallelism = 1
+			parOpts := DefaultOptions()
+			parOpts.Parallelism = par
+
+			serial, err := tc.run(serialOpts)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			parallel, err := tc.run(parOpts)
+			if err != nil {
+				t.Fatalf("parallel (%d workers): %v", par, err)
+			}
+			if serial != parallel {
+				t.Errorf("output differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					par, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestForEachCellErrorsDeterministic: when several cells fail, the
+// lowest-indexed cell's error is reported regardless of worker count.
+func TestForEachCellErrorsDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := forEachCell(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: got %v, want cell 3 failed", workers, err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matmul"
+	"repro/internal/pasm"
+)
+
+// workers resolves the effective host worker count for cell fan-out.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forEachCell runs fn(0), ..., fn(n-1) on up to workers host
+// goroutines. Cells must be independent. The call returns the error of
+// the lowest-indexed failing cell (regardless of which goroutine hit
+// it first), so error reporting is as deterministic as the results.
+func forEachCell(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for j := 0; j < workers; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execAll runs every spec across the option's host workers and returns
+// the results in spec order. Each cell builds and simulates its own
+// virtual machine, so the cells are embarrassingly parallel; the
+// shared operand cache is pre-warmed serially so the concurrent phase
+// only reads it.
+func (r *runner) execAll(specs []matmul.Spec) ([]pasm.RunResult, error) {
+	for _, s := range specs {
+		r.operands(s.N)
+	}
+	out := make([]pasm.RunResult, len(specs))
+	err := forEachCell(r.opts.workers(), len(specs), func(i int) error {
+		res, err := r.exec(specs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

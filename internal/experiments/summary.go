@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary methods flatten each result into stable scalar metrics for
+// machine-readable output (cmd/pasmbench -json). Keys are
+// slash-separated paths; values are simulated quantities (cycles,
+// efficiencies, MIPS), never host timings, so two runs with the same
+// options produce identical summaries.
+
+// put records a metric, dropping non-finite values (a NaN crossover
+// means "no crossover in range", which JSON cannot carry — absence of
+// the key encodes it instead).
+func put(m map[string]float64, key string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	m[key] = v
+}
+
+// Summary flattens Table 1 into MIPS per (instruction, mode).
+func (r *Table1Result) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("mips/%s/%s", row.Instruction, row.Mode)] = row.MIPS
+		m[fmt.Sprintf("cycles/%s/%s", row.Instruction, row.Mode)] = float64(row.Cycles)
+	}
+	return m
+}
+
+// Summary flattens Figure 6 into cycles per (n, mode).
+func (r *Fig6Result) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		for mode, cycles := range row.Cycles {
+			m[fmt.Sprintf("cycles/n=%d/%s", row.N, mode)] = float64(cycles)
+		}
+	}
+	return m
+}
+
+// Summary flattens Figure 7 into cycles per (muls, mode) plus the
+// crossover point.
+func (r *Fig7Result) Summary() map[string]float64 {
+	m := map[string]float64{}
+	put(m, "crossover_muls", r.Crossover)
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("cycles/muls=%d/SIMD", row.Muls)] = float64(row.SIMD)
+		m[fmt.Sprintf("cycles/muls=%d/SMIMD", row.Muls)] = float64(row.SMIMD)
+	}
+	return m
+}
+
+// Summary flattens a breakdown into per-(n, mode) component cycles.
+func (r *BreakdownResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		prefix := fmt.Sprintf("n=%d/%s", row.N, row.Mode)
+		m["mult/"+prefix] = float64(row.Mult)
+		m["comm/"+prefix] = float64(row.Comm)
+		m["other/"+prefix] = float64(row.Other)
+		m["total/"+prefix] = float64(row.Total)
+	}
+	return m
+}
+
+// Summary flattens Figure 11 into efficiency per (n, mode).
+func (r *Fig11Result) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		for mode, eff := range row.Efficiency {
+			m[fmt.Sprintf("efficiency/n=%d/%s", row.X, mode)] = eff
+		}
+	}
+	return m
+}
+
+// Summary flattens Figure 12 into efficiency per (p, mode).
+func (r *Fig12Result) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		for mode, eff := range row.Efficiency {
+			m[fmt.Sprintf("efficiency/p=%d/%s", row.X, mode)] = eff
+		}
+	}
+	return m
+}
+
+// Summary flattens the crossover extension into measured and predicted
+// crossover points per p.
+func (r *CrossoverVsPResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		put(m, fmt.Sprintf("measured/p=%d", row.P), row.Measured)
+		put(m, fmt.Sprintf("predicted/p=%d", row.P), row.Predicted)
+	}
+	return m
+}
+
+// Summary flattens the model validation into per-quantity values.
+func (r *ModelResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		put(m, "simulated/"+row.Name, row.Simulated)
+		put(m, "predicted/"+row.Name, row.Predicted)
+		put(m, "relerr/"+row.Name, row.RelErr)
+	}
+	return m
+}
+
+// Summary flattens the fault-tolerance scenarios into pass flags and
+// cycle counts.
+func (r *FaultResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		ok := 0.0
+		if row.OK {
+			ok = 1.0
+		}
+		m["ok/"+row.Scenario] = ok
+		if row.Cycles > 0 {
+			m["cycles/"+row.Scenario] = float64(row.Cycles)
+		}
+	}
+	return m
+}
+
+// Summary flattens the mixed-mode extension into cycles per
+// (muls, mode).
+func (r *MixedResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("cycles/muls=%d/SIMD", row.Muls)] = float64(row.SIMD)
+		m[fmt.Sprintf("cycles/muls=%d/Mixed", row.Muls)] = float64(row.Mixed)
+		m[fmt.Sprintf("cycles/muls=%d/SMIMD", row.Muls)] = float64(row.SMIMD)
+	}
+	return m
+}
+
+// Summary flattens the workload comparison into cycles and speedups
+// per (workload, mode).
+func (r *WorkloadsResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[fmt.Sprintf("cycles/%s/%s", row.Workload, row.Mode)] = float64(row.Cycles)
+		m[fmt.Sprintf("speedup/%s/%s", row.Workload, row.Mode)] = row.Speedup
+	}
+	return m
+}

@@ -33,9 +33,12 @@ const (
 	table1Loops = 256 // block repetitions
 )
 
-// Table1 measures the raw instruction rates.
+// Table1 measures the raw instruction rates; the four (instruction,
+// mode) cells each simulate their own machine and fan out across the
+// host workers.
 func Table1(opts Options) (*Table1Result, error) {
-	res := &Table1Result{}
+	type cell struct{ name, text, mode string }
+	var cells []cell
 	for _, instr := range []struct{ name, text string }{
 		// Register-to-register: the fetch path dominates entirely, so
 		// the SIMD (queue SRAM) vs MIMD (PE DRAM) gap is largest.
@@ -45,20 +48,28 @@ func Table1(opts Options) (*Table1Result, error) {
 		{"move.w (an),dn", "\tmove.w\t(a0), d2\n"},
 	} {
 		for _, mode := range []string{"SIMD", "MIMD"} {
-			cycles, instrs, err := rawRate(opts.Config, instr.text, mode)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Table1Row{
-				Instruction: instr.name,
-				Mode:        mode,
-				Cycles:      cycles,
-				Instrs:      instrs,
-				MIPS:        stats.MIPS(cycles, instrs, opts.Config.ClockHz),
-			})
+			cells = append(cells, cell{instr.name, instr.text, mode})
 		}
 	}
-	return res, nil
+	rows := make([]Table1Row, len(cells))
+	err := forEachCell(opts.workers(), len(cells), func(i int) error {
+		cycles, instrs, err := rawRate(opts.Config, cells[i].text, cells[i].mode)
+		if err != nil {
+			return err
+		}
+		rows[i] = Table1Row{
+			Instruction: cells[i].name,
+			Mode:        cells[i].mode,
+			Cycles:      cycles,
+			Instrs:      instrs,
+			MIPS:        stats.MIPS(cycles, instrs, opts.Config.ClockHz),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Rows: rows}, nil
 }
 
 // rawRate runs a straight-line block of one instruction repeatedly and

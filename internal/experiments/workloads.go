@@ -30,69 +30,93 @@ type WorkloadsResult struct {
 	Rows []WorkloadRow
 }
 
-// Workloads runs the comparison.
+// Workloads runs the comparison. Every (workload, mode) cell simulates
+// an independent machine, so all eight fan out across the host
+// workers; speedups against each workload's serial run are computed
+// after the join.
 func Workloads(opts Options) (*WorkloadsResult, error) {
-	out := &WorkloadsResult{}
 	cfg := opts.Config
 
-	// Image smoothing, 32x32, p=4.
+	// Inputs and host references are computed up front and only read by
+	// the cells.
 	img := smoothing.RandomImage(32, 32, opts.Seed)
 	wantImg := smoothing.Reference(img)
-	var smoothSerial int64
+	vec := reduce.RandomVector(4096, opts.Seed+1)
+	wantSum := reduce.Reference(vec)
+
+	type cell func() (WorkloadRow, error)
+	var cells []cell
 	for _, mode := range []smoothing.Mode{smoothing.Serial, smoothing.SIMD, smoothing.MIMD, smoothing.SMIMD} {
+		mode := mode
 		p := 4
 		if mode == smoothing.Serial {
 			p = 1
 		}
-		res, got, err := smoothing.Execute(cfg, smoothing.Spec{H: 32, W: 32, P: p, Mode: mode}, img)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: smoothing %s: %w", mode, err)
-		}
-		if !smoothing.Equal(got, wantImg) {
-			return nil, fmt.Errorf("experiments: smoothing %s produced a wrong image", mode)
-		}
-		if mode == smoothing.Serial {
-			smoothSerial = res.Cycles
-		}
-		out.Rows = append(out.Rows, WorkloadRow{
-			Workload: "smoothing 32x32", Mode: mode.String(), P: p,
-			Cycles:   res.Cycles,
-			Speedup:  stats.Speedup(smoothSerial, res.Cycles),
-			NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
-			Barriers: res.BarrierRounds,
+		cells = append(cells, func() (WorkloadRow, error) {
+			res, got, err := smoothing.Execute(cfg, smoothing.Spec{H: 32, W: 32, P: p, Mode: mode}, img)
+			if err != nil {
+				return WorkloadRow{}, fmt.Errorf("experiments: smoothing %s: %w", mode, err)
+			}
+			if !smoothing.Equal(got, wantImg) {
+				return WorkloadRow{}, fmt.Errorf("experiments: smoothing %s produced a wrong image", mode)
+			}
+			return WorkloadRow{
+				Workload: "smoothing 32x32", Mode: mode.String(), P: p,
+				Cycles:   res.Cycles,
+				NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
+				Barriers: res.BarrierRounds,
+			}, nil
 		})
 	}
-
-	// All-reduce, n=4096, p=8.
-	vec := reduce.RandomVector(4096, opts.Seed+1)
-	wantSum := reduce.Reference(vec)
-	var reduceSerial int64
 	for _, mode := range []reduce.Mode{reduce.Serial, reduce.SIMD, reduce.MIMD, reduce.SMIMD} {
+		mode := mode
 		p := 8
 		if mode == reduce.Serial {
 			p = 1
 		}
-		res, sums, err := reduce.Execute(cfg, reduce.Spec{N: 4096, P: p, Mode: mode}, vec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: reduce %s: %w", mode, err)
-		}
-		for i, s := range sums {
-			if s != wantSum {
-				return nil, fmt.Errorf("experiments: reduce %s: PE %d sum %d != %d", mode, i, s, wantSum)
+		cells = append(cells, func() (WorkloadRow, error) {
+			res, sums, err := reduce.Execute(cfg, reduce.Spec{N: 4096, P: p, Mode: mode}, vec)
+			if err != nil {
+				return WorkloadRow{}, fmt.Errorf("experiments: reduce %s: %w", mode, err)
 			}
-		}
-		if mode == reduce.Serial {
-			reduceSerial = res.Cycles
-		}
-		out.Rows = append(out.Rows, WorkloadRow{
-			Workload: "reduce n=4096", Mode: mode.String(), P: p,
-			Cycles:   res.Cycles,
-			Speedup:  stats.Speedup(reduceSerial, res.Cycles),
-			NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
-			Barriers: res.BarrierRounds,
+			for i, s := range sums {
+				if s != wantSum {
+					return WorkloadRow{}, fmt.Errorf("experiments: reduce %s: PE %d sum %d != %d", mode, i, s, wantSum)
+				}
+			}
+			return WorkloadRow{
+				Workload: "reduce n=4096", Mode: mode.String(), P: p,
+				Cycles:   res.Cycles,
+				NetBytes: res.NetTransfers, Reconfig: res.NetReconfigs,
+				Barriers: res.BarrierRounds,
+			}, nil
 		})
 	}
-	return out, nil
+
+	rows := make([]WorkloadRow, len(cells))
+	err := forEachCell(opts.workers(), len(cells), func(i int) error {
+		row, err := cells[i]()
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Post-pass: speedups vs each workload's own serial run (the first
+	// row of each group of four).
+	serial := map[string]int64{}
+	for _, row := range rows {
+		if _, ok := serial[row.Workload]; !ok {
+			serial[row.Workload] = row.Cycles // serial is listed first
+		}
+	}
+	for i := range rows {
+		rows[i].Speedup = stats.Speedup(serial[rows[i].Workload], rows[i].Cycles)
+	}
+	return &WorkloadsResult{Rows: rows}, nil
 }
 
 // Render prints the comparison.

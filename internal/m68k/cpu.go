@@ -83,6 +83,13 @@ type CPU struct {
 	// effect can be isolated. Zero means faithful behaviour.
 	FixedMulCycles int64
 
+	// DisableExecTable forces the dynamic reference path: dispatch
+	// function and static cycle cost are recomputed on every step
+	// instead of read from the program's pre-resolved execution table.
+	// A verification knob — the equivalence tests run both paths
+	// against each other; production callers leave it false.
+	DisableExecTable bool
+
 	// Trace, when non-nil, is called after every committed instruction
 	// with the instruction, the PC it executed at, the clock after it,
 	// and its cycle cost. Used by the trace package; nil costs nothing.
@@ -107,6 +114,9 @@ type CPU struct {
 
 	pend  [2]pendInc
 	npend int
+
+	// tab is the program's execution table, cached on first Step.
+	tab []execEntry
 }
 
 type pendInc struct {
@@ -135,7 +145,10 @@ func (c *CPU) Reset() {
 }
 
 // Step executes one instruction, fetching it at the current PC and
-// charging DRAM fetch penalties if FetchFromMem is set.
+// charging DRAM fetch penalties if FetchFromMem is set. The hot path
+// reads the instruction's pre-resolved dispatch function, static cycle
+// cost, and fetch word count from the program's execution table; the
+// inner loop is an index, a function call, and a cycle add.
 func (c *CPU) Step() Status {
 	if c.Halted {
 		return StatusHalted
@@ -148,11 +161,23 @@ func (c *CPU) Step() Status {
 		return StatusError
 	}
 	in := &c.Prog.Instrs[c.PC]
+	if c.DisableExecTable {
+		fetch := int64(0)
+		if c.FetchFromMem {
+			fetch = c.Mem.Penalty(c.Clock, int64(in.Words))
+		}
+		return c.exec(in, fetch)
+	}
+	if c.tab == nil {
+		c.tab = c.Prog.table()
+	}
+	e := &c.tab[c.PC]
 	fetch := int64(0)
 	if c.FetchFromMem {
-		fetch = c.Mem.Penalty(c.Clock, int64(in.Words))
+		fetch = c.Mem.Penalty(c.Clock, e.words)
 	}
-	return c.exec(in, fetch)
+	c.lastLoadWasDev = false
+	return e.fn(c, in, e.base+fetch, fetch, c.PC+1)
 }
 
 // ExecBroadcast executes a single broadcast instruction delivered by
@@ -168,6 +193,29 @@ func (c *CPU) ExecBroadcast(in *Instr) Status {
 		return StatusError
 	}
 	return c.exec(in, 0)
+}
+
+// ExecBroadcastAt is ExecBroadcast through the execution-table fast
+// path: idx is the instruction's index in the program, so its
+// pre-resolved dispatch function and static cycle cost are used
+// directly. The PASM lockstep executor calls this in its inner loop.
+func (c *CPU) ExecBroadcastAt(idx int) Status {
+	if c.Halted {
+		return StatusHalted
+	}
+	if c.Err != nil {
+		return StatusError
+	}
+	in := &c.Prog.Instrs[idx]
+	if c.DisableExecTable {
+		return c.exec(in, 0)
+	}
+	if c.tab == nil {
+		c.tab = c.Prog.table()
+	}
+	e := &c.tab[idx]
+	c.lastLoadWasDev = false
+	return e.fn(c, in, e.base, 0, c.PC+1)
 }
 
 // Run executes up to maxSteps instructions, stopping early on any

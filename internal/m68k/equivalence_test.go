@@ -111,6 +111,123 @@ l:	mulu.w  d0, d1
 	}
 }
 
+// TestExecTableMatchesDynamicResolution: the pre-resolved execution
+// table must cache exactly what the dynamic path recomputes per step —
+// static cycle cost and fetch word count for every instruction.
+func TestExecTableMatchesDynamicResolution(t *testing.T) {
+	src := `
+	.equ BUF, $1000
+	movea.l #BUF, a0
+	moveq   #15, d1
+l:	move.w  d1, (a0)+
+	mulu.w  d1, d2
+	muls.w  d1, d3
+	add.w   d1, d4
+	addq.l  #2, a1
+	subq.w  #1, d5
+	lsl.w   #3, d6
+	ror.w   #1, d6
+	btst    #3, d6
+	tst.w   d4
+	cmp.w   d1, d4
+	dbra    d1, l
+	divu.w  #3, d2
+	swap    d2
+	exg     d2, d3
+	ext.l   d7
+	clr.w   $2000
+	not.w   $2000
+	neg.w   d7
+	jsr     sub
+	halt
+sub:	nop
+	rts
+	`
+	p := MustAssemble(src)
+	tab := p.table()
+	if len(tab) != len(p.Instrs) {
+		t.Fatalf("table has %d entries for %d instructions", len(tab), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if got, want := tab[i].base, baseCycles(in); got != want {
+			t.Errorf("instr %d (%s): table base %d != baseCycles %d", i, in.Op, got, want)
+		}
+		if got, want := tab[i].words, int64(in.Words); got != want {
+			t.Errorf("instr %d (%s): table words %d != %d", i, in.Op, got, want)
+		}
+		if tab[i].fn == nil {
+			t.Errorf("instr %d (%s): nil handler", i, in.Op)
+		}
+	}
+}
+
+// TestExecTableRunEquivalence: executing through the table fast path
+// and through the dynamic reference path (DisableExecTable) must agree
+// on cycles, instruction counts, registers, flags, and memory.
+func TestExecTableRunEquivalence(t *testing.T) {
+	src := `
+	.equ BUF, $1000
+	movea.l #BUF, a0
+	moveq   #63, d1
+fill:	move.w  d1, (a0)+
+	mulu.w  d1, d2
+	dbra    d1, fill
+	movea.l #BUF, a0
+	moveq   #0, d3
+	moveq   #63, d1
+sum:	add.w   (a0)+, d3
+	lsr.w   #1, d3
+	bne     noinc
+	addq.w  #1, d4
+noinc:	dbra    d1, sum
+	jsr     square
+	halt
+square:	mulu.w  d3, d3
+	rts
+	`
+	prog := MustAssemble(src)
+	runOne := func(dynamic bool) *CPU {
+		c := NewCPU(prog, NewMemory(1<<16))
+		c.Mem.WaitStates = 1
+		c.Mem.RefreshPeriod = 256
+		c.Mem.RefreshStall = 2
+		c.FetchFromMem = true
+		c.DisableExecTable = dynamic
+		c.A[7] = 0x8000
+		if st := c.Run(1 << 20); st != StatusHalted {
+			t.Fatalf("status %v (err=%v)", st, c.Err)
+		}
+		return c
+	}
+	table := runOne(false)
+	dynamic := runOne(true)
+
+	if table.Clock != dynamic.Clock {
+		t.Errorf("cycles differ: table %d vs dynamic %d", table.Clock, dynamic.Clock)
+	}
+	if table.InstrCount != dynamic.InstrCount {
+		t.Errorf("instruction counts differ: %d vs %d", table.InstrCount, dynamic.InstrCount)
+	}
+	if table.Regions != dynamic.Regions {
+		t.Errorf("region accounting differs: %v vs %v", table.Regions, dynamic.Regions)
+	}
+	if table.D != dynamic.D || table.A != dynamic.A {
+		t.Errorf("registers differ:\n%v %v\n%v %v", table.D, table.A, dynamic.D, dynamic.A)
+	}
+	if table.N != dynamic.N || table.Z != dynamic.Z || table.V != dynamic.V ||
+		table.C != dynamic.C || table.X != dynamic.X {
+		t.Error("flags differ")
+	}
+	for addr := uint32(0x1000); addr < 0x1100; addr += 2 {
+		va, _ := table.Mem.Read(addr, Word)
+		vb, _ := dynamic.Mem.Read(addr, Word)
+		if va != vb {
+			t.Errorf("memory differs at $%X: %d vs %d", addr, va, vb)
+		}
+	}
+}
+
 // TestDecodeRejectsGarbage: unsupported opcodes are reported, not
 // silently misdecoded.
 func TestDecodeRejectsGarbage(t *testing.T) {

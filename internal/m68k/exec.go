@@ -1,291 +1,13 @@
 package m68k
 
-// exec executes one instruction. It must be free of side effects until
-// it is certain the instruction completes (device accesses may refuse,
-// after which the engine retries the same instruction); staged flag
-// and pending address-register updates implement that.
+// exec executes one instruction through the dynamic reference path:
+// the dispatch function and static cycle cost are recomputed from the
+// instruction instead of read from the program's execution table. The
+// table path in Step/ExecBroadcastAt caches exactly these two results,
+// and the equivalence tests run both paths against each other.
 func (c *CPU) exec(in *Instr, fetchPenalty int64) Status {
-	cycles := baseCycles(in) + fetchPenalty
-	next := c.PC + 1
-	sz := in.Size
 	c.lastLoadWasDev = false
-
-	switch in.Op {
-	case NOP:
-		return c.commit(in, cycles, next)
-
-	case HALT:
-		c.Halted = true
-		c.commit(in, cycles, next)
-		return StatusHalted
-
-	case MOVE:
-		v, blocked, err := c.opRead(in.Src, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		f := nzFlags(v, sz)
-		blocked, err = c.opWrite(in.Dst, sz, v, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		c.applyFlags(f)
-		return c.commit(in, cycles, next)
-
-	case MOVEA:
-		v, blocked, err := c.opRead(in.Src, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		c.A[in.Dst.Reg] = signExtTo32(v, sz)
-		return c.commit(in, cycles, next)
-
-	case MOVEQ:
-		v := uint32(in.Src.Val) // sign-extended by the assembler range check
-		c.D[in.Dst.Reg] = v
-		c.applyFlags(nzFlags(v, Long))
-		return c.commit(in, cycles, next)
-
-	case LEA:
-		c.A[in.Dst.Reg] = c.ea(in.Src, Long)
-		c.npend = 0 // LEA computes the address only
-		return c.commit(in, cycles, next)
-
-	case CLR:
-		blocked, err := c.opWrite(in.Dst, sz, 0, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		c.applyFlags(flags{z: true})
-		return c.commit(in, cycles, next)
-
-	case ADD, SUB, AND, OR, EOR:
-		return c.alu2(in, cycles, next)
-
-	case ADDI, SUBI, ANDI, ORI, EORI:
-		return c.alu2(in, cycles, next)
-
-	case ADDQ, SUBQ:
-		if in.Dst.Mode == ModeAddrReg {
-			// Address-register quick forms act on all 32 bits and do
-			// not affect flags.
-			d := uint32(in.Src.Val)
-			if in.Op == ADDQ {
-				c.A[in.Dst.Reg] += d
-			} else {
-				c.A[in.Dst.Reg] -= d
-			}
-			return c.commit(in, cycles, next)
-		}
-		return c.alu2(in, cycles, next)
-
-	case CMP, CMPI:
-		src, blocked, err := c.opRead(in.Src, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		dst, blocked, err := c.opRead(in.Dst, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		r := dst - src
-		f := subFlags(dst, src, r, sz)
-		f.setX = false // CMP does not touch X
-		c.applyFlags(f)
-		return c.commit(in, cycles, next)
-
-	case CMPA:
-		src, blocked, err := c.opRead(in.Src, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		s32 := signExtTo32(src, sz)
-		d32 := c.A[in.Dst.Reg]
-		r := d32 - s32
-		f := subFlags(d32, s32, r, Long)
-		f.setX = false
-		c.applyFlags(f)
-		return c.commit(in, cycles, next)
-
-	case ADDA, SUBA:
-		src, blocked, err := c.opRead(in.Src, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		s32 := signExtTo32(src, sz)
-		if in.Op == ADDA {
-			c.A[in.Dst.Reg] += s32
-		} else {
-			c.A[in.Dst.Reg] -= s32
-		}
-		return c.commit(in, cycles, next)
-
-	case NOT, NEG:
-		return c.alu1(in, cycles, next)
-
-	case TST:
-		v, blocked, err := c.opRead(in.Dst, sz, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		c.applyFlags(nzFlags(v, sz))
-		return c.commit(in, cycles, next)
-
-	case MULU:
-		src, blocked, err := c.opRead(in.Src, Word, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		if c.FixedMulCycles > 0 {
-			cycles += c.FixedMulCycles
-		} else {
-			cycles += MuluCycles(uint16(src))
-		}
-		r := mask(c.D[in.Dst.Reg], Word) * src
-		c.D[in.Dst.Reg] = r
-		c.applyFlags(nzFlags(r, Long))
-		return c.commit(in, cycles, next)
-
-	case MULS:
-		src, blocked, err := c.opRead(in.Src, Word, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		cycles += MulsCycles(uint16(src))
-		r := uint32(int32(int16(src)) * int32(int16(c.D[in.Dst.Reg])))
-		c.D[in.Dst.Reg] = r
-		c.applyFlags(nzFlags(r, Long))
-		return c.commit(in, cycles, next)
-
-	case DIVU:
-		src, blocked, err := c.opRead(in.Src, Word, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		if src == 0 {
-			return c.errf(in, "divide by zero")
-		}
-		dividend := c.D[in.Dst.Reg]
-		q := dividend / src
-		if q > 0xFFFF {
-			// Overflow: destination unchanged, V set.
-			cycles += 10
-			c.applyFlags(flags{v: true, n: c.N, z: c.Z})
-			return c.commit(in, cycles, next)
-		}
-		cycles += DivuCycles(uint16(q))
-		rem := dividend % src
-		c.D[in.Dst.Reg] = rem<<16 | q
-		c.applyFlags(nzFlags(q, Word))
-		return c.commit(in, cycles, next)
-
-	case LSL, LSR, ASL, ASR, ROL, ROR:
-		return c.shift(in, cycles, next)
-
-	case SWAP:
-		v := c.D[in.Dst.Reg]
-		v = v>>16 | v<<16
-		c.D[in.Dst.Reg] = v
-		c.applyFlags(nzFlags(v, Long))
-		return c.commit(in, cycles, next)
-
-	case EXG:
-		a := c.regPtr(in.Src)
-		b := c.regPtr(in.Dst)
-		*a, *b = *b, *a
-		return c.commit(in, cycles, next)
-
-	case EXT:
-		v := c.D[in.Dst.Reg]
-		if sz == Word {
-			v = merge(v, uint32(int32(int8(v)))&0xFFFF, Word)
-			c.applyFlags(nzFlags(v, Word))
-		} else {
-			v = uint32(int32(int16(v)))
-			c.applyFlags(nzFlags(v, Long))
-		}
-		c.D[in.Dst.Reg] = v
-		return c.commit(in, cycles, next)
-
-	case BCC:
-		if in.Dst.Mode != ModeLabel {
-			return c.errf(in, "branch target must be a label")
-		}
-		if c.condTrue(in.Cond) {
-			return c.commit(in, cycles, int(in.Dst.Val)) // taken: 10 either form
-		}
-		if in.Words == 2 {
-			return c.commit(in, cycles+2, next) // word form not-taken: 12
-		}
-		return c.commit(in, cycles-2, next) // byte form not-taken: 8
-
-	case DBCC:
-		if in.Dst.Mode != ModeLabel {
-			return c.errf(in, "branch target must be a label")
-		}
-		if c.condTrue(in.Cond) {
-			return c.commit(in, 12+fetchPenalty, next)
-		}
-		cnt := uint16(c.D[in.Src.Reg]) - 1
-		c.D[in.Src.Reg] = merge(c.D[in.Src.Reg], uint32(cnt), Word)
-		if cnt == 0xFFFF {
-			return c.commit(in, 14+fetchPenalty, next)
-		}
-		return c.commit(in, 10+fetchPenalty, int(in.Dst.Val))
-
-	case JMP:
-		if in.Dst.Mode == ModeAbs && uint32(in.Dst.Val) >= DeviceBase {
-			// Jump into the SIMD instruction space: the PASM
-			// MIMD-to-SIMD mode switch (paper Section 3). The PE
-			// starts requesting broadcast instructions; the executor
-			// takes over.
-			c.commit(in, cycles, c.PC)
-			return StatusSIMDJump
-		}
-		if in.Dst.Mode != ModeLabel {
-			return c.errf(in, "jump target must be a label")
-		}
-		return c.commit(in, cycles, int(in.Dst.Val))
-
-	case JSR:
-		if in.Dst.Mode != ModeLabel {
-			return c.errf(in, "call target must be a label")
-		}
-		sp := c.A[7] - 4
-		if err := c.Mem.Write(sp, Long, uint32(next)); err != nil {
-			return c.errf(in, "stack push: %v", err)
-		}
-		cycles += c.Mem.Penalty(c.Clock, 2)
-		c.A[7] = sp
-		return c.commit(in, cycles, int(in.Dst.Val))
-
-	case RTS:
-		v, err := c.Mem.Read(c.A[7], Long)
-		if err != nil {
-			return c.errf(in, "stack pop: %v", err)
-		}
-		cycles += c.Mem.Penalty(c.Clock, 2)
-		c.A[7] += 4
-		return c.commit(in, cycles, int(v))
-
-	case BTST, BSET, BCLR, BCHG:
-		return c.bitOp(in, cycles, next)
-
-	case BCAST:
-		c.LastBcast = BlockRange{Start: int(in.Src.Val), End: int(in.Dst.Val)}
-		c.commit(in, cycles, next)
-		return StatusBcast
-
-	case SETMASK:
-		v, blocked, err := c.opRead(in.Src, Word, &cycles)
-		if blocked || err != nil {
-			return c.bail(in, blocked, err)
-		}
-		c.LastMask = v
-		c.commit(in, cycles, next)
-		return StatusSetMask
-	}
-	return c.errf(in, "unimplemented operation")
+	return resolveHandler(in)(c, in, baseCycles(in)+fetchPenalty, fetchPenalty, c.PC+1)
 }
 
 // bail aborts a partially evaluated instruction, either blocked on a

@@ -11,7 +11,10 @@
 // difference central to the paper) depends on them.
 package m68k
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Op identifies an operation. The set covers every instruction used by
 // the four matrix-multiplication programs plus general-purpose
@@ -244,7 +247,9 @@ type Instr struct {
 // Program is an assembled program: a flat instruction list plus the
 // label table. Branch targets are instruction indices, not byte
 // addresses; Words is retained per instruction so fetch timing remains
-// faithful.
+// faithful. Programs are immutable after assembly; the execution table
+// (dispatch functions and static cycle costs, built lazily on first
+// execution) is shared read-only by every CPU running the program.
 type Program struct {
 	Instrs []Instr
 	Labels map[string]int
@@ -252,6 +257,9 @@ type Program struct {
 	// index range holding the block body (used by BCAST).
 	Blocks map[string]BlockRange
 	Source string
+
+	tabOnce sync.Once
+	tab     []execEntry
 }
 
 // BlockRange is a [Start,End) range of instruction indices forming a

@@ -1,0 +1,93 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+	"repro/internal/pasm"
+)
+
+// executeWith runs one spec end to end, optionally forcing every CPU
+// the VM creates onto the dynamic reference interpreter path instead of
+// the pre-resolved execution table.
+func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunResult, Matrix) {
+	t.Helper()
+	prog, l, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pasm.DefaultConfig()
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.TraceHook = func(unit string, cpu *m68k.CPU) {
+		cpu.DisableExecTable = dynamic
+	}
+	if err := vm.EstablishShift(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(vm, l, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var res pasm.RunResult
+	switch spec.Mode {
+	case SIMD, Mixed:
+		res, err = vm.RunSIMD(prog)
+	default:
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		t.Fatalf("%v run: %v", spec.Mode, err)
+	}
+	c, err := ReadC(vm, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, c
+}
+
+// TestExecTableEquivalenceAllPrograms runs all four generated
+// matrix-multiplication programs through both interpreter paths — the
+// pre-resolved execution table and the per-step dynamic reference —
+// and requires identical cycle counts, per-PE clocks, region
+// breakdowns, instruction counts, and results.
+func TestExecTableEquivalenceAllPrograms(t *testing.T) {
+	const n, p = 8, 4
+	a := Identity(n)
+	b := Random(n, 0xC0FFEE)
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		spec := Spec{N: n, P: p, Muls: 1, Mode: mode}
+		resTab, cTab := executeWith(t, spec, a, b, false)
+		resDyn, cDyn := executeWith(t, spec, a, b, true)
+
+		if resTab.Cycles != resDyn.Cycles {
+			t.Errorf("%v: cycles differ: table %d vs dynamic %d", mode, resTab.Cycles, resDyn.Cycles)
+		}
+		if resTab.Instrs != resDyn.Instrs || resTab.MCInstrs != resDyn.MCInstrs {
+			t.Errorf("%v: instruction counts differ: PE %d/%d, MC %d/%d",
+				mode, resTab.Instrs, resDyn.Instrs, resTab.MCInstrs, resDyn.MCInstrs)
+		}
+		if resTab.Regions != resDyn.Regions {
+			t.Errorf("%v: region breakdown differs: %v vs %v", mode, resTab.Regions, resDyn.Regions)
+		}
+		if len(resTab.PEClocks) != len(resDyn.PEClocks) {
+			t.Fatalf("%v: PE count differs", mode)
+		}
+		for i := range resTab.PEClocks {
+			if resTab.PEClocks[i] != resDyn.PEClocks[i] {
+				t.Errorf("%v: PE %d clock differs: %d vs %d", mode, i, resTab.PEClocks[i], resDyn.PEClocks[i])
+			}
+		}
+		if !Equal(cTab, cDyn) {
+			t.Errorf("%v: result matrices differ", mode)
+		}
+		want := Reference(a, b)
+		if !Equal(cTab, want) {
+			t.Errorf("%v: table-path result is wrong", mode)
+		}
+	}
+}

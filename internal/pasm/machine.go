@@ -61,6 +61,12 @@ type Config struct {
 
 	// MaxSteps bounds per-CPU instruction counts as a runaway guard.
 	MaxSteps int64
+
+	// HostWorkers is the number of host goroutines used to advance PEs
+	// between synchronization points in MIMD execution. This is host
+	// parallelism only — the simulated timeline is byte-identical for
+	// any value. 0 or 1 means serial.
+	HostWorkers int
 }
 
 // DefaultConfig returns the prototype-like configuration used by all
@@ -102,6 +108,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pasm: ClockHz must be positive")
 	case c.MaxSteps < 1:
 		return fmt.Errorf("pasm: MaxSteps must be positive")
+	case c.HostWorkers < 0:
+		return fmt.Errorf("pasm: HostWorkers %d < 0", c.HostWorkers)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package pasm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/m68k"
 )
@@ -119,32 +121,79 @@ func (vm *VM) runDES(cpus []*m68k.CPU, stopOnJump bool) error {
 
 	var total int64
 	const sliceSteps = 1 << 16
+	// advance runs one PE's computation segment to its next device
+	// operation (or halt/park/error). The shared step budget is
+	// consumed atomically so parallel segments observe the same
+	// runaway guard as serial execution.
+	advance := func(cpu *m68k.CPU) (m68k.Status, bool) {
+		for {
+			st := cpu.Run(sliceSteps)
+			if atomic.AddInt64(&total, sliceSteps) > vm.Cfg.MaxSteps {
+				return st, true
+			}
+			if st != m68k.StatusOK {
+				return st, false
+			}
+			// Budget slice exhausted; keep running.
+		}
+	}
+	var runIdx []int
 	for {
 		// Phase 1: advance every running PE to its next device
 		// operation (devices disarmed: active == -1 matches no PE).
+		// The segments are independent — PEs share no memory and a
+		// disarmed device bus refuses access before touching any
+		// shared network or barrier state — so they may execute on
+		// separate host goroutines. All engine state (state[], total
+		// overrun, classification order) is updated serially after the
+		// join, in PE index order, keeping the simulation
+		// byte-identical to serial execution.
+		runIdx = runIdx[:0]
+		for i := range cpus {
+			if state[i] == stRun {
+				runIdx = append(runIdx, i)
+			}
+		}
+		sts := make([]m68k.Status, len(runIdx))
+		overrun := make([]bool, len(runIdx))
+		if w := vm.Cfg.HostWorkers; w > 1 && len(runIdx) > 1 {
+			if w > len(runIdx) {
+				w = len(runIdx)
+			}
+			var next int64 = -1
+			var wg sync.WaitGroup
+			for j := 0; j < w; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						k := int(atomic.AddInt64(&next, 1))
+						if k >= len(runIdx) {
+							return
+						}
+						sts[k], overrun[k] = advance(cpus[runIdx[k]])
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for k, i := range runIdx {
+				sts[k], overrun[k] = advance(cpus[i])
+			}
+		}
 		live := false
-		for i, cpu := range cpus {
-			if state[i] != stRun {
-				if !terminal(state[i]) {
-					live = true
-				}
-				continue
+		for k, i := range runIdx {
+			if overrun[k] {
+				return fmt.Errorf("pasm: MIMD run exceeded %d steps", vm.Cfg.MaxSteps)
 			}
-			for state[i] == stRun {
-				st := cpu.Run(sliceSteps)
-				total += sliceSteps
-				if total > vm.Cfg.MaxSteps {
-					return fmt.Errorf("pasm: MIMD run exceeded %d steps", vm.Cfg.MaxSteps)
-				}
-				if st == m68k.StatusOK {
-					continue // budget slice exhausted; keep running
-				}
-				if err := classify(i, st); err != nil {
-					return err
-				}
+			if err := classify(i, sts[k]); err != nil {
+				return err
 			}
+		}
+		for i := range cpus {
 			if !terminal(state[i]) {
 				live = true
+				break
 			}
 		}
 		if !live {

@@ -1,0 +1,166 @@
+package pasm
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+// Programs with data-dependent compute segments between device
+// operations: each PE's segment length differs (keyed by the PE-unique
+// word at $100), so with parallel host workers the segments genuinely
+// race on the host while the simulated timeline must stay identical.
+
+const skewedRing = `
+	; several rounds of: skewed compute, then polling ring transfer.
+	movea.l #$F10000, a0    ; xmit
+	movea.l #$F10002, a1    ; recv
+	movea.l #$F10004, a2    ; tx ready
+	movea.l #$F10006, a3    ; rx valid
+	move.w  $100, d0        ; PE-unique seed
+	moveq   #5, d5          ; rounds
+round:	move.w  d0, d2
+	mulu.w  d2, d2          ; data-dependent multiply time
+work:	mulu.w  d0, d3
+	dbra    d2, work        ; skewed segment: seed^2 iterations
+txw:	tst.w   (a2)
+	beq     txw
+	move.b  d0, (a0)
+rxw:	tst.w   (a3)
+	beq     rxw
+	move.b  (a1), d0        ; pass the received value onward
+	dbra    d5, round
+	move.w  d0, $102
+	halt
+`
+
+const skewedBarrier = `
+	; S/MIMD flavor: skewed compute, then barrier-protected transfer.
+	movea.l #$F10000, a0    ; xmit
+	movea.l #$F10002, a1    ; recv
+	movea.l #$F00000, a4    ; barrier
+	move.w  $100, d0
+	moveq   #3, d5
+round:	move.w  d0, d2
+	mulu.w  d2, d2
+work:	mulu.w  d0, d3
+	dbra    d2, work
+	move.w  (a4), d7
+	move.b  d0, (a0)
+	move.w  (a4), d7
+	move.b  (a1), d0
+	dbra    d5, round
+	move.w  d0, $102
+	halt
+`
+
+const pureCompute = `
+	; no device operations at all: one long phase-1 segment per PE.
+	move.w  $100, d0
+	move.w  #999, d2
+work:	mulu.w  d0, d3
+	add.w   d3, d4
+	dbra    d2, work
+	move.w  d4, $102
+	halt
+`
+
+// runMIMDWith runs src on a fresh p-PE partition with the given host
+// worker count and returns the result plus each PE's output word.
+func runMIMDWith(t *testing.T, src string, p, workers int) (RunResult, []uint32) {
+	t.Helper()
+	vm := newTestVM(t, p, func(c *Config) { c.HostWorkers = workers })
+	prog := m68k.MustAssemble(src)
+	for i, pe := range vm.PEs {
+		if err := pe.Mem.WriteWords(0x100, []uint16{uint16(3 + 2*i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := vm.RunMIMD(prog)
+	if err != nil {
+		t.Fatalf("p=%d workers=%d: %v", p, workers, err)
+	}
+	out := make([]uint32, p)
+	for i, pe := range vm.PEs {
+		out[i], _ = pe.Mem.Read(0x102, m68k.Word)
+	}
+	return res, out
+}
+
+// TestParallelMIMDDeterminism: the simulated machine must be
+// byte-identical whether PE segments are advanced serially or on
+// parallel host goroutines — same cycles, per-PE clocks, region
+// breakdowns, event counts, and memory contents.
+func TestParallelMIMDDeterminism(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	progs := map[string]string{
+		"skewedRing":    skewedRing,
+		"skewedBarrier": skewedBarrier,
+		"pureCompute":   pureCompute,
+	}
+	for name, src := range progs {
+		for _, p := range []int{2, 4, 16} {
+			serial, serialOut := runMIMDWith(t, src, p, 1)
+			par, parOut := runMIMDWith(t, src, p, workers)
+
+			if serial.Cycles != par.Cycles {
+				t.Errorf("%s p=%d: cycles %d (serial) vs %d (parallel)", name, p, serial.Cycles, par.Cycles)
+			}
+			for i := range serial.PEClocks {
+				if serial.PEClocks[i] != par.PEClocks[i] {
+					t.Errorf("%s p=%d: PE %d clock %d vs %d", name, p, i, serial.PEClocks[i], par.PEClocks[i])
+				}
+			}
+			if serial.Regions != par.Regions {
+				t.Errorf("%s p=%d: regions %v vs %v", name, p, serial.Regions, par.Regions)
+			}
+			if serial.Instrs != par.Instrs {
+				t.Errorf("%s p=%d: instrs %d vs %d", name, p, serial.Instrs, par.Instrs)
+			}
+			if serial.BarrierRounds != par.BarrierRounds || serial.NetTransfers != par.NetTransfers ||
+				serial.NetReconfigs != par.NetReconfigs {
+				t.Errorf("%s p=%d: event counts differ: %+v vs %+v", name, p, serial, par)
+			}
+			for i := range serialOut {
+				if serialOut[i] != parOut[i] {
+					t.Errorf("%s p=%d: PE %d output %d vs %d", name, p, i, serialOut[i], parOut[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMIMDRepeatable: repeated parallel runs of the same
+// program agree with each other (guards against scheduling-dependent
+// flakiness that a single serial-vs-parallel comparison might miss).
+func TestParallelMIMDRepeatable(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	base, baseOut := runMIMDWith(t, skewedRing, 16, workers)
+	for rep := 0; rep < 3; rep++ {
+		res, out := runMIMDWith(t, skewedRing, 16, workers)
+		if res.Cycles != base.Cycles || res.Instrs != base.Instrs {
+			t.Fatalf("rep %d: result drifted: %+v vs %+v", rep, res, base)
+		}
+		for i := range out {
+			if out[i] != baseOut[i] {
+				t.Fatalf("rep %d: PE %d output %d vs %d", rep, i, out[i], baseOut[i])
+			}
+		}
+	}
+}
+
+// TestHostWorkersValidation: negative worker counts are rejected.
+func TestHostWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HostWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative HostWorkers accepted")
+	}
+}

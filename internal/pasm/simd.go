@@ -166,7 +166,7 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 					// they starve on the controller/MC.
 					peStarve += ready - maxReq
 				}
-				if err := vm.execLockstep(mcg, pes, in, release); err != nil {
+				if err := vm.execLockstep(mcg, pes, in, idx, release); err != nil {
 					return RunResult{}, err
 				}
 				if err := mcg.Queue.Consume(int(in.Words), release); err != nil {
@@ -235,7 +235,7 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 // whole group completes (a barrier read inside a broadcast block
 // resolves this way; anything else that stays blocked is a program
 // structure error).
-func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, release int64) error {
+func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, idx int, release int64) error {
 	var blocked []int
 	for k, pe := range mcg.PEs {
 		if !mcg.Mask.Enabled(k) {
@@ -248,7 +248,7 @@ func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, release int
 			cpu.Regions[in.Region] += wait
 			cpu.Clock = release
 		}
-		switch st := cpu.ExecBroadcast(in); st {
+		switch st := cpu.ExecBroadcastAt(idx); st {
 		case m68k.StatusOK, m68k.StatusHalted:
 		case m68k.StatusBlocked:
 			blocked = append(blocked, pe.Index)
@@ -262,13 +262,13 @@ func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, release int
 			return fmt.Errorf("pasm: PEs %v deadlocked in broadcast instruction %q", blocked, in)
 		}
 		var still []int
-		for _, idx := range blocked {
-			switch st := pes[idx].ExecBroadcast(in); st {
+		for _, pi := range blocked {
+			switch st := pes[pi].ExecBroadcastAt(idx); st {
 			case m68k.StatusOK, m68k.StatusHalted:
 			case m68k.StatusBlocked:
-				still = append(still, idx)
+				still = append(still, pi)
 			default:
-				return fmt.Errorf("pasm: PE %d error in broadcast retry: %w", idx, pes[idx].Err)
+				return fmt.Errorf("pasm: PE %d error in broadcast retry: %w", pi, pes[pi].Err)
 			}
 		}
 		if len(still) == len(blocked) {

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Record a host-performance baseline: runs the full quick experiment
+# suite (paper tables/figures plus extensions) through the parallel
+# cell fan-out and writes wall-clock plus simulated-cycle results to
+# BENCH_baseline.json. Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_baseline.json}"
+
+go build ./...
+go run ./cmd/pasmbench -exp all,ext -json "$out" >/dev/null
+echo "baseline written to $out:"
+grep -E '"(name|host_seconds)"' "$out" | sed 's/^ *//' | head -40
