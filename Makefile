@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-json report
+.PHONY: all build vet test race ci bench bench-json trace-smoke report
 
 all: ci
 
@@ -21,7 +21,14 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race
+ci: build vet test race trace-smoke
+
+# End-to-end exporter check: run a small S/MIMD job with -trace-out and
+# validate the emitted Chrome trace against the exporter's schema.
+trace-smoke:
+	$(GO) run ./cmd/pasmrun -n 8 -p 2 -mode smimd -trace-out pasmrun.trace.json >/dev/null
+	$(GO) run ./scripts/tracecheck pasmrun.trace.json
+	rm -f pasmrun.trace.json
 
 # Quick wall-clock + simulated-cycle baseline (writes BENCH_baseline.json).
 bench-json:

@@ -1,0 +1,37 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+// TestInterpreterSteadyStateZeroAlloc guards the property that
+// BenchmarkInterpreterSteadyState measures: with no observability hooks
+// attached, the interpreter's steady-state hot path allocates nothing.
+// The detached obs layer must stay one nil pointer test per site.
+func TestInterpreterSteadyStateZeroAlloc(t *testing.T) {
+	prog := m68k.MustAssemble(`
+l:	mulu.w  d1, d0
+	add.w   d2, d0
+	bra     l
+	`)
+	c := m68k.NewCPU(prog, m68k.NewMemory(1<<16))
+	c.FetchFromMem = true
+	c.Mem.WaitStates = 1
+	c.Mem.RefreshPeriod = 256
+	c.Mem.RefreshStall = 2
+	c.D[1] = 0xA5A5
+	c.D[2] = 3
+	if st := c.Run(16); st != m68k.StatusOK { // warm up: builds the table
+		t.Fatalf("warmup status %v", st)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if st := c.Run(4096); st != m68k.StatusOK {
+			t.Fatalf("status %v (err=%v)", st, c.Err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state interpreter allocated %.1f objects per run, want 0", allocs)
+	}
+}

@@ -5,6 +5,8 @@
 //
 //	pasmbench [-exp all|table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12]
 //	          [-full] [-seed N] [-parallel N] [-json FILE]
+//	          [-metrics] [-trace-out FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -full runs the paper's complete problem-size set (n up to 256),
 // which takes a few minutes of host time; the default quick set caps n
@@ -16,7 +18,16 @@
 // stderr so stdout can be diffed across parallelism levels.
 //
 // -json additionally writes every selected experiment's simulated
-// metrics and host wall-clock time to FILE.
+// metrics and host wall-clock time to FILE (schema pasmbench/v2; the
+// v1 fields are unchanged, -metrics adds "obs/" summary keys).
+//
+// -metrics attaches the observability layer to every experiment cell
+// and aggregates per-cell counters and histograms (MULU cycle
+// distribution, barrier waits, queue occupancy) into the summaries; a
+// machine-wide registry dump goes to stderr. -trace-out records one
+// representative S/MIMD cell with full event capture and writes it as
+// Chrome trace-event JSON for ui.perfetto.dev. -cpuprofile and
+// -memprofile write host pprof profiles of the simulator itself.
 package main
 
 import (
@@ -25,10 +36,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/matmul"
+	"repro/internal/obs"
 )
 
 type renderer interface{ Render() string }
@@ -47,29 +61,58 @@ type jsonExperiment struct {
 	Summary     map[string]float64 `json:"summary,omitempty"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonReport is the top-level -json document. Schema pasmbench/v2
+// extends v1 with the "observe" flag; all v1 fields are unchanged, and
+// with -metrics the per-experiment summaries additionally carry
+// "obs/"-prefixed keys.
 type jsonReport struct {
 	Schema      string           `json:"schema"`
 	Full        bool             `json:"full"`
 	Seed        uint32           `json:"seed"`
 	Parallel    int              `json:"parallel"`
+	Observe     bool             `json:"observe"`
 	HostSeconds float64          `json:"host_seconds"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so profile-flushing defers execute.
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
 	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
 	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
 	plots := flag.Bool("plot", false, "also render ASCII charts of the figure shapes")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (results are identical for any value)")
 	jsonPath := flag.String("json", "", "write simulated metrics and host timings to this file as JSON")
+	metrics := flag.Bool("metrics", false, "aggregate observability metrics per experiment (adds obs/ keys to -json summaries; registry dump on stderr)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of one representative S/MIMD cell to `file` (load in ui.perfetto.dev)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a host heap profile to `file`")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "[cpu profile -> %s]\n", *cpuprofile)
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Full = *full
 	opts.Seed = uint32(*seed)
 	opts.Parallelism = *parallel
+	opts.Observe = *metrics
 
 	runners := map[string]func() (renderer, error){
 		"table1": func() (renderer, error) { return experiments.Table1(opts) },
@@ -102,17 +145,18 @@ func main() {
 			if _, ok := runners[name]; !ok {
 				fmt.Fprintf(os.Stderr, "pasmbench: unknown experiment %q\n", name)
 				flag.Usage()
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, name)
 		}
 	}
 
 	report := jsonReport{
-		Schema:   "pasmbench/v1",
+		Schema:   "pasmbench/v2",
 		Full:     *full,
 		Seed:     uint32(*seed),
 		Parallel: *parallel,
+		Observe:  *metrics,
 	}
 	suiteStart := time.Now()
 	for _, name := range selected {
@@ -120,7 +164,7 @@ func main() {
 		res, err := runners[name]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pasmbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		elapsed := time.Since(start).Seconds()
 		fmt.Println(res.Render())
@@ -141,17 +185,112 @@ func main() {
 	}
 	report.HostSeconds = time.Since(suiteStart).Seconds()
 
+	if *metrics {
+		// Machine-wide registry dump: merged across every selected
+		// experiment's cells. Diagnostics only, so stderr.
+		if err := writeMetricsDump(os.Stderr, report.Experiments); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: metrics dump: %v\n", err)
+			return 1
+		}
+	}
+
+	if *traceOut != "" {
+		if err := writeRepresentativeTrace(*traceOut, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[wrote Chrome trace of S/MIMD n=16 p=4 muls=14 to %s]\n", *traceOut)
+	}
+
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pasmbench: encoding json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "pasmbench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *jsonPath)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmbench: writing heap profile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[heap profile -> %s]\n", *memprofile)
+	}
+	return 0
+}
+
+// writeMetricsDump prints the "obs/" summary keys of every experiment,
+// sorted, as the suite's aggregated metrics view.
+func writeMetricsDump(w *os.File, exps []jsonExperiment) error {
+	for _, e := range exps {
+		keys := make([]string, 0, len(e.Summary))
+		for k := range e.Summary {
+			if strings.HasPrefix(k, "obs/") {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		sortStrings(keys)
+		if _, err := fmt.Fprintf(w, "[observability: %s]\n", e.Name); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %-44s %g\n", k, e.Summary[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// writeRepresentativeTrace runs one deterministic S/MIMD cell near the
+// paper's Figure 7 crossover (n=16, p=4, 14 multiplies) with full
+// event capture and exports it as Chrome trace-event JSON.
+func writeRepresentativeTrace(path string, opts experiments.Options) error {
+	spec := matmul.Spec{N: 16, P: 4, Muls: 14, Mode: matmul.SMIMD}
+	rec := obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
+	cfg := opts.Config
+	cfg.Obs = rec
+	a := matmul.Identity(spec.N)
+	b := matmul.Random(spec.N, opts.Seed+uint32(spec.N))
+	if _, _, err := matmul.Execute(cfg, spec, a, b); err != nil {
+		return err
+	}
+	prog, _, err := matmul.Build(spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec, func(pc int) string { return prog.Instrs[pc].String() }); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,12 +2,16 @@
 // the simulated PASM prototype and reports its timing in detail:
 // cycles, seconds at 8 MHz, the execution-time component breakdown,
 // instruction counts, network traffic, barrier rounds, and Fetch Unit
-// queue occupancy.
+// queue occupancy. The observability flags expose the run's event
+// stream: -trace prints an interleaved per-unit listing, -trace-out
+// writes Chrome trace-event JSON for Perfetto, and -metrics prints the
+// per-unit utilization table (to stderr, keeping stdout identical).
 //
 // Usage:
 //
 //	pasmrun [-n 64] [-p 4] [-muls 1] [-mode simd|mimd|smimd|mixed|sisd]
-//	        [-seed N] [-verify] [-asm] [-trace N] [-workers N]
+//	        [-seed N] [-verify] [-asm] [-trace N] [-trace-out FILE]
+//	        [-metrics] [-workers N]
 package main
 
 import (
@@ -17,9 +21,9 @@ import (
 
 	"repro/internal/m68k"
 	"repro/internal/matmul"
+	"repro/internal/obs"
 	"repro/internal/pasm"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -30,7 +34,9 @@ func main() {
 	seed := flag.Uint("seed", 1988, "seed for the random B matrix")
 	verify := flag.Bool("verify", true, "check the product against the host reference")
 	asm := flag.Bool("asm", false, "print the generated assembly and exit")
-	traceN := flag.Int("trace", 0, "print the last N executed instructions of every unit")
+	traceN := flag.Int("trace", 0, "print the last N events of every unit as one interleaved listing")
+	traceOut := flag.String("trace-out", "", "write the full event stream as Chrome trace-event JSON to `file` (load in ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print the per-unit utilization/wait table to stderr")
 	workers := flag.Int("workers", 1, "host goroutines advancing PE segments in MIMD execution (simulation is identical for any value)")
 	flag.Parse()
 
@@ -68,6 +74,20 @@ func main() {
 
 	cfg := pasm.DefaultConfig()
 	cfg.HostWorkers = *workers
+	var rec *obs.Recorder
+	if *traceN > 0 || *traceOut != "" || *metrics {
+		ocfg := obs.Config{Metrics: true}
+		if *traceN > 0 || *traceOut != "" {
+			ocfg.Events = obs.AllKinds
+		}
+		if *traceN > 0 && *traceOut == "" {
+			// Listing only: a ring of the last N events per unit is
+			// enough. A Chrome trace needs the whole stream.
+			ocfg.Limit = *traceN
+		}
+		rec = obs.New(ocfg)
+		cfg.Obs = rec
+	}
 	a := matmul.Identity(*n)
 	b := matmul.Random(*n, uint32(*seed))
 
@@ -83,14 +103,6 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pasmrun:", err)
 		os.Exit(1)
-	}
-	buffers := map[string]*trace.Buffer{}
-	if *traceN > 0 {
-		vm.TraceHook = func(unit string, cpu *m68k.CPU) {
-			buf := trace.New(*traceN)
-			buffers[unit] = buf
-			buf.Attach(unit, cpu)
-		}
 	}
 	if err := vm.EstablishShift(); err != nil {
 		fmt.Fprintln(os.Stderr, "pasmrun:", err)
@@ -148,26 +160,37 @@ func main() {
 	if *verify {
 		fmt.Println("  result verified against host reference")
 	}
+	disasm := func(pc int) string { return prog.Instrs[pc].String() }
 	if *traceN > 0 {
-		fmt.Printf("\nlast %d instructions per unit:\n", *traceN)
-		for _, unit := range sortedKeys(buffers) {
-			fmt.Printf("--- %s (%d instructions executed) ---\n", unit, buffers[unit].Total())
-			fmt.Print(buffers[unit].String())
+		fmt.Printf("\nlast %d events per unit (interleaved, simulated-time order):\n", *traceN)
+		if err := obs.WriteListing(os.Stdout, rec, disasm); err != nil {
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
 		}
 	}
-}
-
-func sortedKeys(m map[string]*trace.Buffer) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
+	if *metrics {
+		if err := obs.WriteUnitTable(os.Stderr, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
 		}
 	}
-	return keys
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, rec, disasm); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pasmrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pasmrun: wrote Chrome trace to %s (load in ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func pct(part, whole int64) float64 {

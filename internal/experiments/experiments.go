@@ -33,6 +33,11 @@ type Options struct {
 	// serial. Every cell simulates its own virtual machine, so results
 	// are identical for any value — only host wall-clock changes.
 	Parallelism int
+	// Observe attaches a metrics recorder (package obs) to every cell
+	// and aggregates the per-cell registries into the experiment's
+	// Summary under "obs/" keys. Purely additive: the v1 summary keys
+	// and rendered tables are unchanged.
+	Observe bool
 }
 
 // DefaultOptions returns quick-set options with the prototype config.
@@ -54,13 +59,15 @@ func (o Options) sizes() []int {
 // read-only.
 type runner struct {
 	opts Options
+	obs  *observer
 	mu   sync.Mutex
 	as   map[int]matmul.Matrix
 	bs   map[int]matmul.Matrix
 }
 
 func newRunner(opts Options) *runner {
-	return &runner{opts: opts, as: map[int]matmul.Matrix{}, bs: map[int]matmul.Matrix{}}
+	return &runner{opts: opts, obs: newObserver(opts),
+		as: map[int]matmul.Matrix{}, bs: map[int]matmul.Matrix{}}
 }
 
 // operands returns the paper's operand protocol for size n: identity A
@@ -86,10 +93,12 @@ func (r *runner) operands(n int) (matmul.Matrix, matmul.Matrix) {
 // identity, so C must equal B).
 func (r *runner) exec(spec matmul.Spec) (pasm.RunResult, error) {
 	a, b := r.operands(spec.N)
-	res, c, err := matmul.Execute(r.opts.Config, spec, a, b)
+	cfg, rec := r.obs.cell(r.opts.Config)
+	res, c, err := matmul.Execute(cfg, spec, a, b)
 	if err != nil {
 		return pasm.RunResult{}, err
 	}
+	r.obs.done(rec)
 	if !matmul.Equal(c, b) {
 		return pasm.RunResult{}, fmt.Errorf("experiments: %s n=%d p=%d muls=%d computed a wrong product",
 			spec.Mode, spec.N, spec.P, spec.Muls)

@@ -39,6 +39,8 @@ type CrossoverVsPRow struct {
 type CrossoverVsPResult struct {
 	N    int
 	Rows []CrossoverVsPRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // CrossoverVsP runs the sweep and the model side by side; the whole
@@ -77,6 +79,7 @@ func CrossoverVsP(opts Options) (*CrossoverVsPResult, error) {
 			Predicted: m.PredictCrossover(n, p),
 		})
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -109,6 +112,8 @@ type ModelRow struct {
 // component the paper's equations describe.
 type ModelResult struct {
 	Rows []ModelRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // ModelValidation measures per-multiply marginal costs by differencing
@@ -148,6 +153,7 @@ func ModelValidation(opts Options) (*ModelResult, error) {
 	add("SIMD cycles/multiply", simdMul, predSIMD)
 	add("S/MIMD cycles/multiply", smimdMul, predSMIMD)
 	add("net decoupling gain/multiply", simdMul-smimdMul, m.NetGainPerMul(p, cols))
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -190,6 +196,8 @@ type FaultRow struct {
 type FaultResult struct {
 	N, P int
 	Rows []FaultRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // FaultTolerance runs the scenario matrix. The scenarios build on one
@@ -209,8 +217,10 @@ func FaultTolerance(opts Options) (*FaultResult, error) {
 		cfg.PEMemBytes = need
 	}
 
+	o := newObserver(opts)
 	runMatmul := func(name, detail string, stage, box int) error {
-		vm, err := pasm.NewVM(cfg, p)
+		ccfg, rec := o.cell(cfg)
+		vm, err := pasm.NewVM(ccfg, p)
 		if err != nil {
 			return err
 		}
@@ -233,6 +243,7 @@ func FaultTolerance(opts Options) (*FaultResult, error) {
 		if err != nil {
 			return err
 		}
+		o.done(rec)
 		out.Rows = append(out.Rows, FaultRow{
 			Scenario: name, Detail: detail, Cycles: res.Cycles, OK: matmul.Equal(c, b),
 		})
@@ -274,6 +285,7 @@ func FaultTolerance(opts Options) (*FaultResult, error) {
 		Detail:   "one-pass unroutable as expected; ESC completes such permutations in two passes",
 		OK:       shiftErr != nil,
 	})
+	out.Obs = o.metrics()
 	return out, nil
 }
 
@@ -346,6 +358,8 @@ type MixedRow struct {
 type MixedResult struct {
 	N, P int
 	Rows []MixedRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // MixedMode runs the comparison across the host workers.
@@ -368,6 +382,7 @@ func MixedMode(opts Options) (*MixedResult, error) {
 		out.Rows = append(out.Rows, MixedRow{Muls: m,
 			SIMD: results[3*i].Cycles, Mixed: results[3*i+1].Cycles, SMIMD: results[3*i+2].Cycles})
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 

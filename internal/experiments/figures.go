@@ -26,6 +26,8 @@ type Fig6Result struct {
 	P       int
 	ClockHz float64
 	Rows    []Fig6Row
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Fig6 runs the sweep: every (n, mode) cell is independent, so the
@@ -55,6 +57,7 @@ func Fig6(opts Options) (*Fig6Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -95,6 +98,8 @@ type Fig7Result struct {
 	N, P      int
 	Rows      []Fig7Row
 	Crossover float64
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Fig7 runs the sweep, fanning the (muls, mode) grid across the host
@@ -130,6 +135,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		y2 = append(y2, rh.Cycles)
 	}
 	out.Crossover = stats.Crossover(xs, y1, y2)
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -167,6 +173,8 @@ type BreakdownResult struct {
 	Muls int
 	P    int
 	Rows []BreakdownRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Breakdown runs the component analysis for the given inner-loop
@@ -198,6 +206,7 @@ func Breakdown(opts Options, muls int) (*BreakdownResult, error) {
 			Total: res.Cycles,
 		})
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -237,6 +246,8 @@ type EffRow struct {
 type Fig11Result struct {
 	P    int
 	Rows []EffRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Fig11 runs the sweep. The serial baseline at each n is just another
@@ -268,6 +279,7 @@ func Fig11(opts Options) (*Fig11Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 
@@ -294,6 +306,8 @@ func (r *Fig11Result) Render() string {
 type Fig12Result struct {
 	N    int
 	Rows []EffRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Fig12 runs the sweep across the host workers.
@@ -322,6 +336,7 @@ func Fig12(opts Options) (*Fig12Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
+	out.Obs = r.obs.metrics()
 	return out, nil
 }
 

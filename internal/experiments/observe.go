@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/pasm"
+)
+
+// ObsMetrics is an experiment's flattened observability aggregate:
+// every cell's metrics registry (per-unit counters and fixed-bucket
+// histograms — MULU cycle distribution, barrier waits, queue
+// occupancy) merged across the whole sweep. nil when the experiment
+// ran without Options.Observe.
+type ObsMetrics map[string]float64
+
+// into copies the metrics into a summary map under the "obs/" prefix,
+// keeping them disjoint from the v1 result keys.
+func (o ObsMetrics) into(m map[string]float64) {
+	for k, v := range o {
+		m["obs/"+k] = v
+	}
+}
+
+// observer attaches a metrics-only recorder to every experiment cell
+// when Options.Observe is set, and merges the per-cell registries into
+// one aggregate. Counter and histogram merging is commutative, so the
+// aggregate is identical for any Options.Parallelism even though
+// parallel cells complete in host order.
+type observer struct {
+	mu  sync.Mutex
+	agg *obs.Registry // nil when not observing
+}
+
+func newObserver(opts Options) *observer {
+	if !opts.Observe {
+		return &observer{}
+	}
+	return &observer{agg: obs.NewRegistry()}
+}
+
+// cell returns the configuration one cell should simulate with: when
+// observing, a copy carrying a fresh metrics-only recorder (events
+// stay off — a sweep's full event stream would be enormous and the
+// aggregate only needs the registries).
+func (o *observer) cell(cfg pasm.Config) (pasm.Config, *obs.Recorder) {
+	if o.agg == nil {
+		return cfg, nil
+	}
+	rec := obs.New(obs.Config{Metrics: true})
+	cfg.Obs = rec
+	return cfg, rec
+}
+
+// done folds a finished cell's metrics into the aggregate.
+func (o *observer) done(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	m := rec.Metrics()
+	o.mu.Lock()
+	o.agg.Merge(m)
+	o.mu.Unlock()
+}
+
+// metrics returns the flattened aggregate, or nil when not observing.
+func (o *observer) metrics() ObsMetrics {
+	if o.agg == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return ObsMetrics(o.agg.Flatten(""))
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// obsKeys counts the "obs/"-prefixed keys in a summary.
+func obsKeys(m map[string]float64) int {
+	n := 0
+	for k := range m {
+		if strings.HasPrefix(k, "obs/") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestObserveDeterministicAcrossParallelism: with the observability
+// layer attached, both the rendered table and the full summary
+// (including the aggregated obs/ metrics) are identical no matter how
+// many host goroutines run the experiment cells — the metric merges
+// are commutative, so cell completion order cannot show through.
+func TestObserveDeterministicAcrossParallelism(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Observe = true
+
+	o1 := opts
+	o1.Parallelism = 1
+	r1, err := Table1(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4 := opts
+	o4.Parallelism = 4
+	r4, err := Table1(o4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r1.Render() != r4.Render() {
+		t.Error("rendered tables differ across parallelism")
+	}
+	if !reflect.DeepEqual(r1.Summary(), r4.Summary()) {
+		t.Error("summaries (with obs/ metrics) differ across parallelism")
+	}
+	if n := obsKeys(r1.Summary()); n == 0 {
+		t.Error("Observe produced no obs/ summary keys")
+	}
+}
+
+// TestObserveOffIsInvisible: without Options.Observe the summary must
+// carry no obs/ keys — the v1 JSON surface is untouched.
+func TestObserveOffIsInvisible(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Parallelism = 2
+	r, err := Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := obsKeys(r.Summary()); n != 0 {
+		t.Errorf("Observe off left %d obs/ keys in the summary", n)
+	}
+}

@@ -28,6 +28,7 @@ func (r *Table1Result) Summary() map[string]float64 {
 		m[fmt.Sprintf("mips/%s/%s", row.Instruction, row.Mode)] = row.MIPS
 		m[fmt.Sprintf("cycles/%s/%s", row.Instruction, row.Mode)] = float64(row.Cycles)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -39,6 +40,7 @@ func (r *Fig6Result) Summary() map[string]float64 {
 			m[fmt.Sprintf("cycles/n=%d/%s", row.N, mode)] = float64(cycles)
 		}
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -51,6 +53,7 @@ func (r *Fig7Result) Summary() map[string]float64 {
 		m[fmt.Sprintf("cycles/muls=%d/SIMD", row.Muls)] = float64(row.SIMD)
 		m[fmt.Sprintf("cycles/muls=%d/SMIMD", row.Muls)] = float64(row.SMIMD)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -64,6 +67,7 @@ func (r *BreakdownResult) Summary() map[string]float64 {
 		m["other/"+prefix] = float64(row.Other)
 		m["total/"+prefix] = float64(row.Total)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -75,6 +79,7 @@ func (r *Fig11Result) Summary() map[string]float64 {
 			m[fmt.Sprintf("efficiency/n=%d/%s", row.X, mode)] = eff
 		}
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -86,6 +91,7 @@ func (r *Fig12Result) Summary() map[string]float64 {
 			m[fmt.Sprintf("efficiency/p=%d/%s", row.X, mode)] = eff
 		}
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -97,6 +103,7 @@ func (r *CrossoverVsPResult) Summary() map[string]float64 {
 		put(m, fmt.Sprintf("measured/p=%d", row.P), row.Measured)
 		put(m, fmt.Sprintf("predicted/p=%d", row.P), row.Predicted)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -108,6 +115,7 @@ func (r *ModelResult) Summary() map[string]float64 {
 		put(m, "predicted/"+row.Name, row.Predicted)
 		put(m, "relerr/"+row.Name, row.RelErr)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -125,6 +133,7 @@ func (r *FaultResult) Summary() map[string]float64 {
 			m["cycles/"+row.Scenario] = float64(row.Cycles)
 		}
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -137,6 +146,7 @@ func (r *MixedResult) Summary() map[string]float64 {
 		m[fmt.Sprintf("cycles/muls=%d/Mixed", row.Muls)] = float64(row.Mixed)
 		m[fmt.Sprintf("cycles/muls=%d/SMIMD", row.Muls)] = float64(row.SMIMD)
 	}
+	r.Obs.into(m)
 	return m
 }
 
@@ -148,5 +158,6 @@ func (r *WorkloadsResult) Summary() map[string]float64 {
 		m[fmt.Sprintf("cycles/%s/%s", row.Workload, row.Mode)] = float64(row.Cycles)
 		m[fmt.Sprintf("speedup/%s/%s", row.Workload, row.Mode)] = row.Speedup
 	}
+	r.Obs.into(m)
 	return m
 }

@@ -26,6 +26,8 @@ type Table1Row struct {
 // fewer wait state, no refresh), so SIMD MIPS exceeds MIMD MIPS.
 type Table1Result struct {
 	Rows []Table1Row
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 const (
@@ -51,12 +53,15 @@ func Table1(opts Options) (*Table1Result, error) {
 			cells = append(cells, cell{instr.name, instr.text, mode})
 		}
 	}
+	o := newObserver(opts)
 	rows := make([]Table1Row, len(cells))
 	err := forEachCell(opts.workers(), len(cells), func(i int) error {
-		cycles, instrs, err := rawRate(opts.Config, cells[i].text, cells[i].mode)
+		cfg, rec := o.cell(opts.Config)
+		cycles, instrs, err := rawRate(cfg, cells[i].text, cells[i].mode)
 		if err != nil {
 			return err
 		}
+		o.done(rec)
 		rows[i] = Table1Row{
 			Instruction: cells[i].name,
 			Mode:        cells[i].mode,
@@ -69,7 +74,7 @@ func Table1(opts Options) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table1Result{Rows: rows}, nil
+	return &Table1Result{Rows: rows, Obs: o.metrics()}, nil
 }
 
 // rawRate runs a straight-line block of one instruction repeatedly and

@@ -28,6 +28,8 @@ type WorkloadRow struct {
 // capable — holds in both domains.
 type WorkloadsResult struct {
 	Rows []WorkloadRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
 }
 
 // Workloads runs the comparison. Every (workload, mode) cell simulates
@@ -36,6 +38,7 @@ type WorkloadsResult struct {
 // after the join.
 func Workloads(opts Options) (*WorkloadsResult, error) {
 	cfg := opts.Config
+	o := newObserver(opts)
 
 	// Inputs and host references are computed up front and only read by
 	// the cells.
@@ -53,13 +56,15 @@ func Workloads(opts Options) (*WorkloadsResult, error) {
 			p = 1
 		}
 		cells = append(cells, func() (WorkloadRow, error) {
-			res, got, err := smoothing.Execute(cfg, smoothing.Spec{H: 32, W: 32, P: p, Mode: mode}, img)
+			ccfg, rec := o.cell(cfg)
+			res, got, err := smoothing.Execute(ccfg, smoothing.Spec{H: 32, W: 32, P: p, Mode: mode}, img)
 			if err != nil {
 				return WorkloadRow{}, fmt.Errorf("experiments: smoothing %s: %w", mode, err)
 			}
 			if !smoothing.Equal(got, wantImg) {
 				return WorkloadRow{}, fmt.Errorf("experiments: smoothing %s produced a wrong image", mode)
 			}
+			o.done(rec)
 			return WorkloadRow{
 				Workload: "smoothing 32x32", Mode: mode.String(), P: p,
 				Cycles:   res.Cycles,
@@ -75,7 +80,8 @@ func Workloads(opts Options) (*WorkloadsResult, error) {
 			p = 1
 		}
 		cells = append(cells, func() (WorkloadRow, error) {
-			res, sums, err := reduce.Execute(cfg, reduce.Spec{N: 4096, P: p, Mode: mode}, vec)
+			ccfg, rec := o.cell(cfg)
+			res, sums, err := reduce.Execute(ccfg, reduce.Spec{N: 4096, P: p, Mode: mode}, vec)
 			if err != nil {
 				return WorkloadRow{}, fmt.Errorf("experiments: reduce %s: %w", mode, err)
 			}
@@ -84,6 +90,7 @@ func Workloads(opts Options) (*WorkloadsResult, error) {
 					return WorkloadRow{}, fmt.Errorf("experiments: reduce %s: PE %d sum %d != %d", mode, i, s, wantSum)
 				}
 			}
+			o.done(rec)
 			return WorkloadRow{
 				Workload: "reduce n=4096", Mode: mode.String(), P: p,
 				Cycles:   res.Cycles,
@@ -116,7 +123,7 @@ func Workloads(opts Options) (*WorkloadsResult, error) {
 	for i := range rows {
 		rows[i].Speedup = stats.Speedup(serial[rows[i].Workload], rows[i].Cycles)
 	}
-	return &WorkloadsResult{Rows: rows}, nil
+	return &WorkloadsResult{Rows: rows, Obs: o.metrics()}, nil
 }
 
 // Render prints the comparison.

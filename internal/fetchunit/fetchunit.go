@@ -40,6 +40,14 @@ type Queue struct {
 	// the back-pressure that bounds the MC's run-ahead.
 	FullStalls  int64
 	StallCycles int64
+
+	// OnEnqueue, when non-nil, observes every completed enqueue: the
+	// issue time, the time the last word entered the queue, the word
+	// count, and the resulting occupancy. OnConsume observes every
+	// dequeue with its release time, word count, and remaining
+	// occupancy. Nil hooks cost one pointer test per call.
+	OnEnqueue func(issue, ready int64, words, pending int)
+	OnConsume func(t int64, words, pending int)
 }
 
 // NewQueue returns a queue of the given capacity in words. wordCycles
@@ -116,6 +124,9 @@ func (q *Queue) Enqueue(issue int64, words int) (ready int64, err error) {
 		q.MaxOccupancy = occ
 	}
 	q.ctrlFree = t
+	if q.OnEnqueue != nil {
+		q.OnEnqueue(issue, t, words, q.Pending())
+	}
 	return t, nil
 }
 
@@ -129,6 +140,9 @@ func (q *Queue) Consume(words int, t int64) error {
 	for i := 0; i < words; i++ {
 		q.freeAt[q.consumedWord%int64(q.depth)] = t
 		q.consumedWord++
+	}
+	if q.OnConsume != nil {
+		q.OnConsume(t, words, q.Pending())
 	}
 	return nil
 }

@@ -1,0 +1,192 @@
+// Chrome trace-event exporter: renders a recorder's merged stream in
+// the trace-event "JSON object format" understood by Perfetto
+// (ui.perfetto.dev) and chrome://tracing. The whole machine is one
+// process; every simulated unit (PE/MC) is one thread track; one
+// trace-timestamp unit is one simulated clock cycle (the file declares
+// displayTimeUnit "ns" so viewers show raw cycle numbers rather than
+// inventing milliseconds).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/m68k"
+)
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Comment         string       `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the recorder's merged event stream as Chrome
+// trace-event JSON. disasm, when non-nil, names instruction slices
+// (typically prog.Instrs[pc].String()); otherwise the opcode mnemonic
+// is used. Output is fully deterministic: metadata in unit order, then
+// events in merged (Clock, Unit, Seq) order, with JSON maps marshaled
+// key-sorted by encoding/json.
+func WriteChromeTrace(w io.Writer, r *Recorder, disasm func(pc int) string) error {
+	units := r.Units()
+	evs := make([]traceEvent, 0, 2*len(units)+len(r.Merged()))
+	evs = append(evs, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "PASM VM"},
+	})
+	for _, u := range units {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: u.ID,
+			Args: map[string]any{"name": u.Name},
+		})
+		evs = append(evs, traceEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: u.ID,
+			Args: map[string]any{"sort_index": u.ID},
+		})
+	}
+	for _, ev := range r.Merged() {
+		evs = append(evs, convertEvent(ev, units[ev.Unit].Name, disasm))
+	}
+	buf, err := json.MarshalIndent(chromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ns",
+		Comment:         "timestamps are simulated PASM clock cycles",
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// convertEvent maps one simulator event onto a trace event. Slice
+// events span [Clock-Dur, Clock]; instants sit at Clock.
+func convertEvent(ev Event, unit string, disasm func(pc int) string) traceEvent {
+	out := traceEvent{Ts: ev.Clock, Pid: 0, Tid: int(ev.Unit)}
+	slice := func(cat, name string) {
+		out.Ph, out.Cat, out.Name = "X", cat, name
+		out.Ts, out.Dur = ev.Clock-ev.Dur, ev.Dur
+	}
+	instant := func(cat, name string) {
+		out.Ph, out.Cat, out.Name = "i", cat, name
+		out.S = "t"
+	}
+	switch ev.Kind {
+	case KindInstr:
+		name := m68k.Op(ev.Arg).String()
+		if disasm != nil {
+			name = disasm(int(ev.PC))
+		}
+		slice("instr", name)
+		out.Args = map[string]any{"pc": ev.PC}
+	case KindFetchEnqueue:
+		slice("fetch", "fetch-enqueue")
+		out.Args = map[string]any{"words": ev.Arg}
+	case KindFetchRelease:
+		instant("fetch", "fetch-release")
+		out.Args = map[string]any{"words": ev.Arg}
+	case KindQueueDepth:
+		out.Ph, out.Name = "C", unit+" queue depth"
+		out.Args = map[string]any{"words": ev.Arg}
+	case KindLockstepWait:
+		slice("wait", "lockstep-wait")
+	case KindBarrierArrive:
+		instant("barrier", "barrier-arrive")
+	case KindBarrierRelease:
+		slice("wait", "barrier-wait")
+		out.Args = map[string]any{"round": ev.Arg}
+	case KindNetSend:
+		instant("net", "net-send")
+		out.Args = map[string]any{"dst": ev.Arg, "wait": ev.Dur}
+	case KindNetRecv:
+		if ev.Dur > 0 {
+			slice("wait", "net-recv-wait")
+		} else {
+			instant("net", "net-recv")
+		}
+	case KindNetPoll:
+		instant("net", "net-poll")
+		out.Args = map[string]any{"ready": ev.Arg}
+	case KindNetReconfig:
+		slice("net", "net-reconfig")
+		out.Args = map[string]any{"dst": ev.Arg}
+	case KindModeSwitch:
+		if ev.Arg != 0 {
+			instant("mode", "mimd-section-begin")
+		} else {
+			instant("mode", "mimd-section-end")
+		}
+	default:
+		instant("", ev.Kind.String())
+	}
+	return out
+}
+
+// ValidateChromeTrace checks that data is a well-formed trace in the
+// exporter's schema: a JSON object whose traceEvents entries each
+// carry a name, a known phase, integer pid/tid, a timestamp on
+// non-metadata events, and a non-negative duration on complete
+// events. Used by the trace-smoke CI check and the exporter tests. It
+// returns the event count on success.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return 0, fmt.Errorf("obs: event %d has no name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return 0, fmt.Errorf("obs: event %d (%s) has no phase", i, name)
+		}
+		switch ph {
+		case "M", "X", "i", "I", "C", "B", "E":
+		default:
+			return 0, fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, name, ph)
+		}
+		for _, f := range []string{"pid", "tid"} {
+			if _, ok := ev[f].(float64); !ok {
+				return 0, fmt.Errorf("obs: event %d (%s) has no integer %s", i, name, f)
+			}
+		}
+		if ph == "M" {
+			continue
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			return 0, fmt.Errorf("obs: event %d (%s) has no timestamp", i, name)
+		}
+		if ph == "X" {
+			if dur, present := ev["dur"]; present {
+				d, ok := dur.(float64)
+				if !ok || d < 0 {
+					return 0, fmt.Errorf("obs: event %d (%s) has invalid dur %v", i, name, dur)
+				}
+			}
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/m68k"
+)
+
+// Histogram bucket bounds per metric. All fixed at construction so
+// per-unit and per-cell histograms merge bucket-by-bucket.
+var (
+	// muluBounds covers the MC68000's data-dependent MULU time,
+	// 38 + 2*ones(multiplier) = 38..70 cycles.
+	muluBounds = []int64{40, 44, 48, 52, 56, 60, 64, 70}
+	// waitBounds covers synchronization waits from "none" to
+	// pathological.
+	waitBounds = []int64{0, 4, 16, 64, 256, 1024, 4096, 16384}
+	// depthBounds covers Fetch Unit queue occupancy in words.
+	depthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// Histogram is a fixed-bucket histogram of int64 samples. Counts[i]
+// holds samples <= Bounds[i] (and > Bounds[i-1]); the final element of
+// Counts is the overflow bucket.
+type Histogram struct {
+	Bounds []int64
+	Counts []int64
+	N, Sum int64
+	Min    int64 // valid when N > 0
+	Max    int64
+}
+
+// NewHistogram returns a histogram over strictly ascending bucket
+// bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int64, len(b)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Merge folds another histogram with identical bounds into this one.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if o.Bounds[i] != b {
+			return fmt.Errorf("obs: merging histograms with different bounds at bucket %d", i)
+		}
+	}
+	if o.N == 0 {
+		return nil
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.N == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	return nil
+}
+
+// Registry is a named set of counters and histograms. It is not safe
+// for concurrent use: each unit owns one, and aggregation across units
+// or experiment cells serializes merges externally. Counter and
+// histogram merging is commutative, so aggregates built from parallel
+// cells are deterministic regardless of host completion order.
+type Registry struct {
+	counters map[string]int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]int64{}, hists: map[string]*Histogram{}}
+}
+
+// Add increments a counter.
+func (g *Registry) Add(name string, v int64) { g.counters[name] += v }
+
+// Counter returns a counter's value (0 when absent).
+func (g *Registry) Counter(name string) int64 { return g.counters[name] }
+
+// Hist returns the named histogram, creating it with the given bounds
+// on first use.
+func (g *Registry) Hist(name string, bounds []int64) *Histogram {
+	h, ok := g.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		g.hists[name] = h
+	}
+	return h
+}
+
+// Histogram returns the named histogram, or nil.
+func (g *Registry) Histogram(name string) *Histogram { return g.hists[name] }
+
+// CounterNames returns the counter names, sorted.
+func (g *Registry) CounterNames() []string {
+	names := make([]string, 0, len(g.counters))
+	for n := range g.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistNames returns the histogram names, sorted.
+func (g *Registry) HistNames() []string {
+	names := make([]string, 0, len(g.hists))
+	for n := range g.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds another registry into this one. Histograms with the same
+// name must share bounds (they do: bounds are fixed per metric).
+func (g *Registry) Merge(o *Registry) {
+	for n, v := range o.counters {
+		g.counters[n] += v
+	}
+	for n, h := range o.hists {
+		mine, ok := g.hists[n]
+		if !ok {
+			mine = NewHistogram(h.Bounds)
+			g.hists[n] = mine
+		}
+		if err := mine.Merge(h); err != nil {
+			panic(err) // fixed per-metric bounds make this unreachable
+		}
+	}
+}
+
+// Flatten renders the registry as stable scalar metrics: counters as
+// prefix+name, histograms as prefix+name+"/count", "/sum", "/mean",
+// "/min", "/max" plus per-bucket counts ("/le=N", "/overflow"). All
+// values derive from simulated quantities, so two identical runs
+// flatten identically.
+func (g *Registry) Flatten(prefix string) map[string]float64 {
+	m := map[string]float64{}
+	for n, v := range g.counters {
+		m[prefix+n] = float64(v)
+	}
+	for n, h := range g.hists {
+		if h.N == 0 {
+			continue
+		}
+		m[prefix+n+"/count"] = float64(h.N)
+		m[prefix+n+"/sum"] = float64(h.Sum)
+		m[prefix+n+"/mean"] = h.Mean()
+		m[prefix+n+"/min"] = float64(h.Min)
+		m[prefix+n+"/max"] = float64(h.Max)
+		for i, b := range h.Bounds {
+			if h.Counts[i] != 0 {
+				m[fmt.Sprintf("%s%s/le=%d", prefix, n, b)] = float64(h.Counts[i])
+			}
+		}
+		if c := h.Counts[len(h.Counts)-1]; c != 0 {
+			m[prefix+n+"/overflow"] = float64(c)
+		}
+	}
+	return m
+}
+
+// observe maps one event onto the unit's metrics.
+func (g *Registry) observe(ev Event) {
+	switch ev.Kind {
+	case KindInstr:
+		if m68k.Op(ev.Arg) == m68k.MULU {
+			g.Hist("mulu_cycles", muluBounds).Observe(ev.Dur)
+		}
+	case KindLockstepWait:
+		g.Add("wait_lockstep_cycles", ev.Dur)
+		g.Hist("lockstep_wait", waitBounds).Observe(ev.Dur)
+	case KindBarrierArrive:
+		g.Add("barrier_arrivals", 1)
+	case KindBarrierRelease:
+		g.Add("wait_barrier_cycles", ev.Dur)
+		g.Hist("barrier_wait", waitBounds).Observe(ev.Dur)
+	case KindNetSend:
+		g.Add("net_sends", 1)
+		g.Add("wait_net_cycles", ev.Dur)
+	case KindNetRecv:
+		g.Add("net_recvs", 1)
+		g.Add("wait_net_cycles", ev.Dur)
+	case KindNetPoll:
+		g.Add("net_polls", 1)
+	case KindNetReconfig:
+		g.Add("net_reconfigs", 1)
+	case KindQueueDepth:
+		g.Hist("queue_depth", depthBounds).Observe(ev.Arg)
+	case KindFetchEnqueue:
+		g.Add("fetch_enqueues", 1)
+	case KindFetchRelease:
+		g.Add("fetch_releases", 1)
+	case KindModeSwitch:
+		g.Add("mode_switches", 1)
+	}
+}

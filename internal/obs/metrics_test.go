@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	for _, v := range []int64{5, 10, 11, 20, 39, 40, 41, 1000} {
+		h.Observe(v)
+	}
+	// Counts[i] holds samples <= Bounds[i]; last bucket is overflow.
+	want := []int64{2, 2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d: count %d, want %d", i, c, want[i])
+		}
+	}
+	if h.N != 8 || h.Min != 5 || h.Max != 1000 {
+		t.Fatalf("N/Min/Max = %d/%d/%d, want 8/5/1000", h.N, h.Min, h.Max)
+	}
+	if got, want := h.Mean(), float64(5+10+11+20+39+40+41+1000)/8; got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 20})
+	b := NewHistogram([]int64{10, 20})
+	a.Observe(5)
+	b.Observe(15)
+	b.Observe(100)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 3 || a.Min != 5 || a.Max != 100 || a.Sum != 120 {
+		t.Fatalf("merged N/Min/Max/Sum = %d/%d/%d/%d", a.N, a.Min, a.Max, a.Sum)
+	}
+	// Merging an empty histogram must not disturb Min/Max.
+	if err := a.Merge(NewHistogram([]int64{10, 20})); err != nil {
+		t.Fatal(err)
+	}
+	if a.Min != 5 || a.Max != 100 {
+		t.Fatalf("empty merge disturbed min/max: %d/%d", a.Min, a.Max)
+	}
+}
+
+func TestHistogramMergeBoundMismatch(t *testing.T) {
+	a := NewHistogram([]int64{10, 20})
+	if err := a.Merge(NewHistogram([]int64{10})); err == nil {
+		t.Fatal("merging different bucket counts did not error")
+	}
+	if err := a.Merge(NewHistogram([]int64{10, 30})); err == nil {
+		t.Fatal("merging different bounds did not error")
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]int64{10, 10})
+}
+
+func TestRegistryMergeAndFlatten(t *testing.T) {
+	a := NewRegistry()
+	a.Add("net_sends", 2)
+	a.Hist("barrier_wait", waitBounds).Observe(100)
+
+	b := NewRegistry()
+	b.Add("net_sends", 3)
+	b.Add("net_polls", 1)
+	b.Hist("barrier_wait", waitBounds).Observe(5000)
+
+	a.Merge(b)
+	if c := a.Counter("net_sends"); c != 5 {
+		t.Fatalf("net_sends %d, want 5", c)
+	}
+	if c := a.Counter("net_polls"); c != 1 {
+		t.Fatalf("net_polls %d, want 1", c)
+	}
+	m := a.Flatten("obs/")
+	for _, key := range []string{
+		"obs/net_sends", "obs/net_polls",
+		"obs/barrier_wait/count", "obs/barrier_wait/mean",
+		"obs/barrier_wait/le=256", "obs/barrier_wait/le=16384",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("flattened metrics missing %q (have %v)", key, m)
+		}
+	}
+	if m["obs/barrier_wait/count"] != 2 {
+		t.Fatalf("barrier_wait/count = %v, want 2", m["obs/barrier_wait/count"])
+	}
+	for k := range m {
+		if !strings.HasPrefix(k, "obs/") {
+			t.Fatalf("key %q missing prefix", k)
+		}
+	}
+}
+
+func TestObserveMapsEventsToMetrics(t *testing.T) {
+	g := NewRegistry()
+	g.observe(Event{Kind: KindLockstepWait, Dur: 12})
+	g.observe(Event{Kind: KindNetSend, Dur: 3})
+	g.observe(Event{Kind: KindNetRecv, Dur: 4})
+	g.observe(Event{Kind: KindQueueDepth, Arg: 6})
+	g.observe(Event{Kind: KindModeSwitch, Arg: 1})
+	if c := g.Counter("wait_lockstep_cycles"); c != 12 {
+		t.Fatalf("wait_lockstep_cycles %d", c)
+	}
+	if c := g.Counter("wait_net_cycles"); c != 7 {
+		t.Fatalf("wait_net_cycles %d, want 7", c)
+	}
+	if c := g.Counter("mode_switches"); c != 1 {
+		t.Fatalf("mode_switches %d", c)
+	}
+	if h := g.Histogram("queue_depth"); h == nil || h.N != 1 {
+		t.Fatalf("queue_depth histogram not populated: %+v", h)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fetchunit"
 	"repro/internal/m68k"
+	"repro/internal/obs"
 )
 
 // Config holds the machine parameters of the simulated prototype. The
@@ -67,6 +68,13 @@ type Config struct {
 	// parallelism only — the simulated timeline is byte-identical for
 	// any value. 0 or 1 means serial.
 	HostWorkers int
+
+	// Obs, when non-nil, receives the run's event stream and metrics
+	// (see package obs). Host-side observability only: everything it
+	// records is derived from simulated quantities and a nil recorder
+	// costs one pointer test per hook, so attaching it never changes
+	// simulated results.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the prototype-like configuration used by all
@@ -157,6 +165,12 @@ type VM struct {
 	// ("PE0".."PEn", "MC0"..), so callers can attach tracers before
 	// execution starts.
 	TraceHook func(unit string, cpu *m68k.CPU)
+
+	// Obs, when non-nil, records the event stream and metrics of every
+	// run (copied from Config.Obs by NewVM; assignable directly).
+	Obs *obs.Recorder
+	// obsPE maps PE index to its recorder unit id for the current run.
+	obsPE []int
 }
 
 // NewVM builds a partition of p PEs.
@@ -175,7 +189,7 @@ func NewVM(cfg Config, p int) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	vm := &VM{Cfg: cfg, P: p, Q: q, net: net, bar: newBarrier(p)}
+	vm := &VM{Cfg: cfg, P: p, Q: q, net: net, bar: newBarrier(p), Obs: cfg.Obs}
 	for i := 0; i < p; i++ {
 		mem := m68k.NewMemory(cfg.PEMemBytes)
 		mem.WaitStates = cfg.DRAMWaitStates

@@ -44,6 +44,7 @@ func (vm *VM) RunMIMD(prog *m68k.Program) (RunResult, error) {
 		}
 		cpus[i] = cpu
 	}
+	vm.wireObsPEs(cpus)
 
 	if err := vm.runDES(cpus, false); err != nil {
 		return RunResult{}, err
@@ -65,6 +66,7 @@ func (vm *VM) RunMIMD(prog *m68k.Program) (RunResult, error) {
 	res.BarrierRounds = vm.bar.rounds
 	res.NetTransfers = vm.net.transfers
 	res.NetReconfigs = vm.net.reconfigs
+	vm.finishObsPEs(cpus)
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ package pasm
 import (
 	"repro/internal/escube"
 	"repro/internal/m68k"
+	"repro/internal/obs"
 )
 
 // Memory-mapped device addresses seen by every PE (above
@@ -177,58 +178,76 @@ func (n *netState) rxValid(dst int, t int64) bool {
 // which the prototype's partitioning unit supports). The release time
 // is the latest arrival.
 type barrier struct {
-	p       int
-	arrived []bool  // PE has arrived in the current round
-	hasRel  []bool  // PE has a completed round release to consume
-	relAt   []int64 // that release's time
-	count   int
-	latest  int64
-	rounds  int
+	p        int
+	arrived  []bool  // PE has arrived in the current round
+	arrAt    []int64 // that arrival's time (per-PE wait observability)
+	hasRel   []bool  // PE has a completed round release to consume
+	relAt    []int64 // that release's time
+	relRound []int   // that release's round number
+	count    int
+	latest   int64
+	rounds   int
 }
 
 func newBarrier(p int) *barrier {
 	return &barrier{
-		p:       p,
-		arrived: make([]bool, p),
-		hasRel:  make([]bool, p),
-		relAt:   make([]int64, p),
+		p:        p,
+		arrived:  make([]bool, p),
+		arrAt:    make([]int64, p),
+		hasRel:   make([]bool, p),
+		relAt:    make([]int64, p),
+		relRound: make([]int, p),
 	}
 }
 
+// barStatus is the outcome of one barrier read attempt.
+type barStatus uint8
+
+const (
+	barRegistered barStatus = iota // first read of the round; PE now waits
+	barWaiting                     // retried while the round is incomplete
+	barReleased                    // round complete; stored release consumed
+	barCompleted                   // registered as the last arriver: arrival and release in one call
+)
+
 // arrive registers (or retries) PE k's barrier read at time t. The
-// read is retry-safe: a first call registers the arrival; calls while
-// the round is incomplete stay blocked; once the last PE arrives the
-// round is released at the latest arrival time and each PE's next
-// call consumes its release.
-func (b *barrier) arrive(k int, t int64) (release int64, done bool) {
+// read is retry-safe: a first call registers the arrival
+// (barRegistered); calls while the round is incomplete stay blocked
+// (barWaiting); once the last PE arrives the round is released at the
+// latest arrival time and each PE's next call consumes its release
+// (barReleased, with the release time, the PE's own arrival time, and
+// the round number for wait attribution).
+func (b *barrier) arrive(k int, t int64) (release, arrivedAt int64, round int, st barStatus) {
 	if b.hasRel[k] {
 		b.hasRel[k] = false
-		return b.relAt[k], true
+		return b.relAt[k], b.arrAt[k], b.relRound[k], barReleased
 	}
 	if b.arrived[k] {
-		return 0, false // still waiting for the rest of the partition
+		return 0, 0, 0, barWaiting // still waiting for the rest of the partition
 	}
 	b.arrived[k] = true
+	b.arrAt[k] = t
 	b.count++
 	if t > b.latest {
 		b.latest = t
 	}
 	if b.count < b.p {
-		return 0, false
+		return 0, 0, 0, barRegistered
 	}
 	// Round complete: release everyone at the latest arrival.
 	rel := b.latest
+	b.rounds++
 	for i := range b.arrived {
 		b.arrived[i] = false
 		b.hasRel[i] = true
 		b.relAt[i] = rel
+		b.relRound[i] = b.rounds
 	}
 	b.count = 0
 	b.latest = 0
-	b.rounds++
 	// The caller consumes its own release immediately.
 	b.hasRel[k] = false
-	return rel, true
+	return rel, b.arrAt[k], b.rounds, barCompleted
 }
 
 // deviceBus adapts the shared netState/barrier to one PE's
@@ -243,6 +262,11 @@ type deviceBus struct {
 	bar   *barrier
 	barX  int64 // extra cycles per barrier read (mode-switch cost)
 	armed *int  // points at the engine's active-PE marker; nil = always armed
+
+	// rec/unit publish device events to the observability layer when a
+	// recorder is attached; nil rec costs one pointer test per access.
+	rec  *obs.Recorder
+	unit int
 }
 
 func (d *deviceBus) isArmed() bool { return d.armed == nil || *d.armed == d.pe }
@@ -256,27 +280,54 @@ func (d *deviceBus) Load(addr uint32, sz m68k.Size, clock int64) (uint32, int64,
 		if d.bar == nil {
 			return 0, 0, false
 		}
-		release, done := d.bar.arrive(d.pe, clock)
-		if !done {
+		release, arrivedAt, round, st := d.bar.arrive(d.pe, clock)
+		switch st {
+		case barRegistered:
+			if d.rec != nil {
+				d.rec.Emit(d.unit, obs.Event{Kind: obs.KindBarrierArrive, Clock: clock})
+			}
+			return 0, 0, false
+		case barWaiting:
 			// This PE waits for the rest of the partition; the last
 			// arriver's successful read wakes it for a retry, which
 			// consumes the release recorded for it.
 			return 0, 0, false
 		}
+		if d.rec != nil {
+			if st == barCompleted {
+				d.rec.Emit(d.unit, obs.Event{Kind: obs.KindBarrierArrive, Clock: arrivedAt})
+			}
+			d.rec.Emit(d.unit, obs.Event{
+				Kind: obs.KindBarrierRelease, Clock: release,
+				Dur: release - arrivedAt, Arg: int64(round),
+			})
+		}
 		return 0, release - clock + d.barX, true
 	case addr == AddrNetRecv:
 		v, extra, ok := d.net.recv(d.pe, clock)
+		if ok && d.rec != nil {
+			wait := extra - d.net.extra
+			d.rec.Emit(d.unit, obs.Event{Kind: obs.KindNetRecv, Clock: clock + wait, Dur: wait})
+		}
 		return uint32(v), extra, ok
 	case addr == AddrNetTxReady:
+		ready := int64(0)
 		if d.net.txReady(d.pe, clock) {
-			return 1, 0, true
+			ready = 1
 		}
-		return 0, 0, true
+		if d.rec != nil {
+			d.rec.Emit(d.unit, obs.Event{Kind: obs.KindNetPoll, Clock: clock, Arg: ready})
+		}
+		return uint32(ready), 0, true
 	case addr == AddrNetRxValid:
+		ready := int64(0)
 		if d.net.rxValid(d.pe, clock) {
-			return 1, 0, true
+			ready = 1
 		}
-		return 0, 0, true
+		if d.rec != nil {
+			d.rec.Emit(d.unit, obs.Event{Kind: obs.KindNetPoll, Clock: clock, Arg: ready})
+		}
+		return uint32(ready), 0, true
 	}
 	return 0, 0, false
 }
@@ -287,9 +338,27 @@ func (d *deviceBus) Store(addr uint32, sz m68k.Size, val uint32, clock int64) (i
 	}
 	switch addr {
 	case AddrNetXmit:
-		return d.net.send(d.pe, uint8(val), clock)
+		extra, ok := d.net.send(d.pe, uint8(val), clock)
+		if ok && d.rec != nil {
+			wait := extra - d.net.extra
+			if wait < 0 {
+				wait = 0 // no circuit: the store vanished with no register wait
+			}
+			d.rec.Emit(d.unit, obs.Event{
+				Kind: obs.KindNetSend, Clock: clock,
+				Dur: wait, Arg: int64(d.net.nw.DestOf(d.pe)),
+			})
+		}
+		return extra, ok
 	case AddrNetCtrl:
-		return d.net.reconfig(d.pe, val&0xFFFF, clock)
+		extra, ok := d.net.reconfig(d.pe, val&0xFFFF, clock)
+		if ok && extra > 0 && d.rec != nil {
+			d.rec.Emit(d.unit, obs.Event{
+				Kind: obs.KindNetReconfig, Clock: clock + extra,
+				Dur: extra, Arg: int64(val & 0xFFFF),
+			})
+		}
+		return extra, ok
 	}
 	return 0, false
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fetchunit"
 	"repro/internal/m68k"
+	"repro/internal/obs"
 )
 
 // RunSIMD executes an MC program in SIMD mode.
@@ -60,6 +61,11 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 			vm.TraceHook(fmt.Sprintf("PE%d", i), cpu)
 		}
 		pes[i] = cpu
+	}
+	obsOn := vm.wireObsPEs(pes)
+	mcUnits := make([]int, vm.Q)
+	for g := range groups {
+		mcUnits[g] = vm.wireObsMC(g, groups[g].mc)
 	}
 
 	var mcSteps int64
@@ -192,9 +198,11 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 				for _, cpu := range pes {
 					cpu.FetchFromMem = true
 				}
+				vm.emitModeSwitch(pes, true)
 				if err := vm.runDES(pes, true); err != nil {
 					return RunResult{}, err
 				}
+				vm.emitModeSwitch(pes, false)
 				for _, cpu := range pes {
 					cpu.FetchFromMem = false
 				}
@@ -227,6 +235,12 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 	res.BarrierRounds = vm.bar.rounds
 	res.NetTransfers = vm.net.transfers
 	res.NetReconfigs = vm.net.reconfigs
+	if obsOn {
+		vm.finishObsPEs(pes)
+		for g := range groups {
+			vm.Obs.Finish(mcUnits[g], groups[g].mc.Clock, groups[g].mc.InstrCount)
+		}
+	}
 	return res, nil
 }
 
@@ -247,6 +261,11 @@ func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, idx int, re
 		if wait := release - cpu.Clock; wait > 0 {
 			cpu.Regions[in.Region] += wait
 			cpu.Clock = release
+			if vm.Obs != nil {
+				vm.Obs.Emit(vm.obsPE[pe.Index], obs.Event{
+					Kind: obs.KindLockstepWait, Clock: release, Dur: wait,
+				})
+			}
 		}
 		switch st := cpu.ExecBroadcastAt(idx); st {
 		case m68k.StatusOK, m68k.StatusHalted:

@@ -2,13 +2,36 @@
 # Record a host-performance baseline: runs the full quick experiment
 # suite (paper tables/figures plus extensions) through the parallel
 # cell fan-out and writes wall-clock plus simulated-cycle results to
-# BENCH_baseline.json. Usage: scripts/bench.sh [output.json]
+# BENCH_baseline.json.
+#
+# Usage: scripts/bench.sh [output.json] [baseline-to-compare.json]
+#
+# With a second argument, the new run's simulated metrics are diffed
+# against that baseline after stripping the host-dependent fields
+# (host timings, parallelism, schema/observe markers) — proving that a
+# run with the observability hooks detached reproduces the baseline's
+# simulated numbers exactly.
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_baseline.json}"
+against="${2:-}"
 
 go build ./...
 go run ./cmd/pasmbench -exp all,ext -json "$out" >/dev/null
 echo "baseline written to $out:"
 grep -E '"(name|host_seconds)"' "$out" | sed 's/^ *//' | head -40
+
+if [ -n "$against" ]; then
+    a="$(mktemp)"; b="$(mktemp)"
+    trap 'rm -f "$a" "$b"' EXIT
+    grep -Ev '"(host_seconds|parallel|schema|observe)":' "$out" >"$a"
+    grep -Ev '"(host_seconds|parallel|schema|observe)":' "$against" >"$b"
+    if diff "$a" "$b" >/dev/null; then
+        echo "simulated metrics in $out match $against"
+    else
+        echo "simulated metrics in $out DIFFER from $against:" >&2
+        diff "$a" "$b" >&2 || true
+        exit 1
+    fi
+fi

@@ -1,0 +1,33 @@
+// Command tracecheck validates a Chrome trace-event JSON file against
+// the subset of the format the obs exporter emits (and Perfetto
+// requires): a traceEvents array whose entries carry a name, a known
+// phase, integer pid/tid, a timestamp on non-metadata events, and a
+// non-negative duration on complete events. Used by `make trace-smoke`.
+//
+// Usage: go run ./scripts/tracecheck FILE
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok (%d events)\n", os.Args[1], n)
+}
