@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-json trace-smoke report
+.PHONY: all build vet test race ci bench bench-json trace-smoke service-smoke bench-service report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race trace-smoke
+ci: build vet test race trace-smoke service-smoke
 
 # End-to-end exporter check: run a small S/MIMD job with -trace-out and
 # validate the emitted Chrome trace against the exporter's schema.
@@ -29,6 +29,23 @@ trace-smoke:
 	$(GO) run ./cmd/pasmrun -n 8 -p 2 -mode smimd -trace-out pasmrun.trace.json >/dev/null
 	$(GO) run ./scripts/tracecheck pasmrun.trace.json
 	rm -f pasmrun.trace.json
+
+# End-to-end serving check: build pasmd + pasmbench, start a daemon,
+# and assert byte-identity (cold miss, cache hit, -remote), 503 on a
+# full queue, and a graceful drain that loses no accepted job.
+service-smoke:
+	$(GO) run ./scripts/servicesmoke
+
+# Serving benchmark: throughput and latency percentiles for cold-miss
+# vs cache-hit requests (writes BENCH_service.json).
+bench-service:
+	$(GO) build -o /tmp/pasmd.bench ./cmd/pasmd
+	/tmp/pasmd.bench -addr 127.0.0.1:0 -addr-file /tmp/pasmd.bench.addr \
+		-queue 128 -workers 2 & \
+	sleep 1 && \
+	$(GO) run ./scripts/loadgen -addr "$$(cat /tmp/pasmd.bench.addr)" \
+		-c 4 -n 40 -out BENCH_service.json; \
+	status=$$?; kill %1 2>/dev/null; rm -f /tmp/pasmd.bench /tmp/pasmd.bench.addr; exit $$status
 
 # Quick wall-clock + simulated-cycle baseline (writes BENCH_baseline.json).
 bench-json:

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	pasmbench [-exp all|table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12]
-//	          [-full] [-seed N] [-parallel N] [-json FILE]
+//	pasmbench [-exp all|table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ext|...]
+//	          [-full] [-seed N] [-parallel N] [-json FILE|-]
+//	          [-host-timings=false] [-remote ADDR]
 //	          [-metrics] [-trace-out FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -19,7 +20,19 @@
 //
 // -json additionally writes every selected experiment's simulated
 // metrics and host wall-clock time to FILE (schema pasmbench/v2; the
-// v1 fields are unchanged, -metrics adds "obs/" summary keys).
+// v1 fields are unchanged, -metrics adds "obs/" summary keys). With
+// "-json -" the document goes to stdout instead, the rendered tables
+// are suppressed, and stdout is pure JSON — pipe-safe for jq.
+//
+// -host-timings=false omits the non-deterministic host wall-clock and
+// parallelism fields from the -json document, making it a pure
+// function of the experiment spec (the form the pasmd service caches
+// and serves).
+//
+// -remote ADDR submits the spec to a pasmd daemon instead of
+// simulating locally, and writes the returned document to the -json
+// target (stdout when "-" or unset). The daemon's bytes are identical
+// to a local run with -host-timings=false.
 //
 // -metrics attaches the observability layer to every experiment cell
 // and aggregates per-cell counters and histograms (MULU cycle
@@ -31,211 +44,194 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/matmul"
 	"repro/internal/obs"
 )
 
-type renderer interface{ Render() string }
-
-type plotter interface{ Plot() string }
-
-// summarizer exposes an experiment's simulated metrics for -json.
-type summarizer interface {
-	Summary() map[string]float64
-}
-
-// jsonExperiment is one experiment's entry in the -json report.
-type jsonExperiment struct {
-	Name        string             `json:"name"`
-	HostSeconds float64            `json:"host_seconds"`
-	Summary     map[string]float64 `json:"summary,omitempty"`
-}
-
-// jsonReport is the top-level -json document. Schema pasmbench/v2
-// extends v1 with the "observe" flag; all v1 fields are unchanged, and
-// with -metrics the per-experiment summaries additionally carry
-// "obs/"-prefixed keys.
-type jsonReport struct {
-	Schema      string           `json:"schema"`
-	Full        bool             `json:"full"`
-	Seed        uint32           `json:"seed"`
-	Parallel    int              `json:"parallel"`
-	Observe     bool             `json:"observe"`
-	HostSeconds float64          `json:"host_seconds"`
-	Experiments []jsonExperiment `json:"experiments"`
-}
-
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is main with an exit code, so profile-flushing defers execute.
-func run() int {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
-	full := flag.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
-	seed := flag.Uint("seed", 1988, "seed for the random B matrices")
-	plots := flag.Bool("plot", false, "also render ASCII charts of the figure shapes")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (results are identical for any value)")
-	jsonPath := flag.String("json", "", "write simulated metrics and host timings to this file as JSON")
-	metrics := flag.Bool("metrics", false, "aggregate observability metrics per experiment (adds obs/ keys to -json summaries; registry dump on stderr)")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace of one representative S/MIMD cell to `file` (load in ui.perfetto.dev)")
-	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to `file`")
-	memprofile := flag.String("memprofile", "", "write a host heap profile to `file`")
-	flag.Parse()
+// run is main with injected streams and an exit code: testable, and
+// profile-flushing defers execute before the process exits.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pasmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
+	full := fs.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
+	seed := fs.Uint("seed", 1988, "seed for the random B matrices")
+	plots := fs.Bool("plot", false, "also render ASCII charts of the figure shapes")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (results are identical for any value)")
+	jsonPath := fs.String("json", "", "write simulated metrics and host timings to this file as JSON (\"-\" for stdout, suppressing tables)")
+	hostTimings := fs.Bool("host-timings", true, "include host wall-clock and parallelism in the -json document (disable for byte-reproducible output)")
+	remote := fs.String("remote", "", "submit the spec to a pasmd daemon at `addr` instead of simulating locally")
+	metrics := fs.Bool("metrics", false, "aggregate observability metrics per experiment (adds obs/ keys to -json summaries; registry dump on stderr)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace of one representative S/MIMD cell to `file` (load in ui.perfetto.dev)")
+	cpuprofile := fs.String("cpuprofile", "", "write a host CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write a host heap profile to `file`")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := experiments.Spec{
+		Exps:    experiments.ParseExpList(*exp),
+		Full:    *full,
+		Seed:    uint32(*seed),
+		Observe: *metrics,
+	}
+	if _, err := spec.Normalize(); err != nil {
+		fmt.Fprintf(stderr, "pasmbench: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+
+	if *remote != "" {
+		return runRemote(*remote, spec, *jsonPath, stdout, stderr)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: %v\n", err)
 			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: starting CPU profile: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: starting CPU profile: %v\n", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
-		fmt.Fprintf(os.Stderr, "[cpu profile -> %s]\n", *cpuprofile)
+		fmt.Fprintf(stderr, "[cpu profile -> %s]\n", *cpuprofile)
 	}
 
 	opts := experiments.DefaultOptions()
-	opts.Full = *full
-	opts.Seed = uint32(*seed)
 	opts.Parallelism = *parallel
-	opts.Observe = *metrics
+	opts.Seed = uint32(*seed) // RunSpec re-derives this from the spec; writeRepresentativeTrace reads it directly
+	jsonToStdout := *jsonPath == "-"
 
-	runners := map[string]func() (renderer, error){
-		"table1": func() (renderer, error) { return experiments.Table1(opts) },
-		"fig6":   func() (renderer, error) { return experiments.Fig6(opts) },
-		"fig7":   func() (renderer, error) { return experiments.Fig7(opts) },
-		"fig8":   func() (renderer, error) { return experiments.Breakdown(opts, 1) },
-		"fig9":   func() (renderer, error) { return experiments.Breakdown(opts, 14) },
-		"fig10":  func() (renderer, error) { return experiments.Breakdown(opts, 30) },
-		"fig11":  func() (renderer, error) { return experiments.Fig11(opts) },
-		"fig12":  func() (renderer, error) { return experiments.Fig12(opts) },
-		// Extensions beyond the paper (see DESIGN.md §6):
-		"ext-crossover": func() (renderer, error) { return experiments.CrossoverVsP(opts) },
-		"ext-model":     func() (renderer, error) { return experiments.ModelValidation(opts) },
-		"ext-fault":     func() (renderer, error) { return experiments.FaultTolerance(opts) },
-		"ext-workloads": func() (renderer, error) { return experiments.Workloads(opts) },
-		"ext-mixed":     func() (renderer, error) { return experiments.MixedMode(opts) },
-	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
-	ext := []string{"ext-crossover", "ext-model", "ext-fault", "ext-workloads", "ext-mixed"}
-
-	var selected []string
-	for _, name := range strings.Split(*exp, ",") {
-		name = strings.TrimSpace(name)
-		switch name {
-		case "all":
-			selected = append(selected, order...)
-		case "ext":
-			selected = append(selected, ext...)
-		default:
-			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "pasmbench: unknown experiment %q\n", name)
-				flag.Usage()
-				return 2
-			}
-			selected = append(selected, name)
-		}
-	}
-
-	report := jsonReport{
-		Schema:   "pasmbench/v2",
-		Full:     *full,
-		Seed:     uint32(*seed),
-		Parallel: *parallel,
-		Observe:  *metrics,
-	}
-	suiteStart := time.Now()
-	for _, name := range selected {
-		start := time.Now()
-		res, err := runners[name]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: %s: %v\n", name, err)
-			return 1
-		}
-		elapsed := time.Since(start).Seconds()
-		fmt.Println(res.Render())
-		if *plots {
-			if p, ok := res.(plotter); ok {
-				fmt.Println(p.Plot())
+	hook := func(name string, res experiments.Result, hostSeconds float64) {
+		if !jsonToStdout {
+			fmt.Fprintln(stdout, res.Render())
+			if *plots {
+				if p, ok := res.(experiments.Plotter); ok {
+					fmt.Fprintln(stdout, p.Plot())
+				}
 			}
 		}
 		// Host timing is non-deterministic; keep it off stdout so the
 		// rendered tables can be byte-compared across runs.
-		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs host time]\n", name, elapsed)
-
-		entry := jsonExperiment{Name: name, HostSeconds: elapsed}
-		if s, ok := res.(summarizer); ok {
-			entry.Summary = s.Summary()
+		if *hostTimings {
+			fmt.Fprintf(stderr, "[%s completed in %.1fs host time]\n", name, hostSeconds)
 		}
-		report.Experiments = append(report.Experiments, entry)
 	}
-	report.HostSeconds = time.Since(suiteStart).Seconds()
+	report, err := experiments.RunSpec(spec, experiments.RunConfig{
+		Options: opts,
+		Timings: *hostTimings,
+		Hook:    hook,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pasmbench: %v\n", err)
+		return 1
+	}
 
 	if *metrics {
 		// Machine-wide registry dump: merged across every selected
 		// experiment's cells. Diagnostics only, so stderr.
-		if err := writeMetricsDump(os.Stderr, report.Experiments); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: metrics dump: %v\n", err)
+		if err := writeMetricsDump(stderr, report.Experiments); err != nil {
+			fmt.Fprintf(stderr, "pasmbench: metrics dump: %v\n", err)
 			return 1
 		}
 	}
 
 	if *traceOut != "" {
 		if err := writeRepresentativeTrace(*traceOut, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: trace: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: trace: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "[wrote Chrome trace of S/MIMD n=16 p=4 muls=14 to %s]\n", *traceOut)
+		fmt.Fprintf(stderr, "[wrote Chrome trace of S/MIMD n=16 p=4 muls=14 to %s]\n", *traceOut)
 	}
 
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
+		buf, err := report.Marshal()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: encoding json: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: encoding json: %v\n", err)
 			return 1
 		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: writing %s: %v\n", *jsonPath, err)
-			return 1
+		if jsonToStdout {
+			if _, err := stdout.Write(buf); err != nil {
+				fmt.Fprintf(stderr, "pasmbench: %v\n", err)
+				return 1
+			}
+		} else {
+			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+				fmt.Fprintf(stderr, "pasmbench: writing %s: %v\n", *jsonPath, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "[wrote %s]\n", *jsonPath)
 		}
-		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *jsonPath)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: %v\n", err)
 			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmbench: writing heap profile: %v\n", err)
+			fmt.Fprintf(stderr, "pasmbench: writing heap profile: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "[heap profile -> %s]\n", *memprofile)
+		fmt.Fprintf(stderr, "[heap profile -> %s]\n", *memprofile)
 	}
+	return 0
+}
+
+// runRemote submits the spec to a pasmd daemon and writes the served
+// document (byte-identical to a local -host-timings=false run) to the
+// -json target, defaulting to stdout.
+func runRemote(addr string, spec experiments.Spec, jsonPath string, stdout, stderr io.Writer) int {
+	cl := client.New(addr)
+	start := time.Now()
+	raw, st, err := cl.Run(context.Background(), spec, client.SubmitOptions{Wait: 30 * time.Second})
+	if err != nil {
+		fmt.Fprintf(stderr, "pasmbench: remote: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "[remote job %s done in %.1fs round trip, cached=%t]\n",
+		st.ID, time.Since(start).Seconds(), st.Cached)
+	if jsonPath == "" || jsonPath == "-" {
+		if _, err := stdout.Write(raw); err != nil {
+			fmt.Fprintf(stderr, "pasmbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		fmt.Fprintf(stderr, "pasmbench: writing %s: %v\n", jsonPath, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "[wrote %s]\n", jsonPath)
 	return 0
 }
 
 // writeMetricsDump prints the "obs/" summary keys of every experiment,
 // sorted, as the suite's aggregated metrics view.
-func writeMetricsDump(w *os.File, exps []jsonExperiment) error {
+func writeMetricsDump(w io.Writer, exps []experiments.ReportExperiment) error {
 	for _, e := range exps {
 		keys := make([]string, 0, len(e.Summary))
 		for k := range e.Summary {
@@ -246,7 +242,7 @@ func writeMetricsDump(w *os.File, exps []jsonExperiment) error {
 		if len(keys) == 0 {
 			continue
 		}
-		sortStrings(keys)
+		sort.Strings(keys)
 		if _, err := fmt.Fprintf(w, "[observability: %s]\n", e.Name); err != nil {
 			return err
 		}
@@ -257,14 +253,6 @@ func writeMetricsDump(w *os.File, exps []jsonExperiment) error {
 		}
 	}
 	return nil
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // writeRepresentativeTrace runs one deterministic S/MIMD cell near the

@@ -1,0 +1,122 @@
+// Command pasmd serves the PASM experiment engine over HTTP: submit
+// experiment specs (any named sweep or custom matmul cells), poll or
+// long-poll job status, and fetch result documents byte-identical to
+// `pasmbench -json` output with host timings off. Identical in-flight
+// specs coalesce into one execution; finished results are served from
+// a content-addressed LRU cache; a bounded queue with deadline-aware
+// admission control rejects overload with 503 + Retry-After instead
+// of growing without bound.
+//
+// Usage:
+//
+//	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE]
+//	      [-queue 64] [-workers 2] [-parallel N]
+//	      [-cache-entries 256] [-cache-bytes N]
+//	      [-drain-timeout 5m] [-linger 2s]
+//
+// -workers is the number of jobs executing concurrently; each job
+// additionally fans its experiment cells across -parallel host
+// goroutines (the same engine as `pasmbench -parallel`), so
+// workers*parallel should track the host CPU count.
+//
+// -addr-file writes the actually-bound address (useful with ":0") so
+// wrappers and the smoke test can find the server.
+//
+// On SIGINT/SIGTERM the server drains: new submissions get 503 +
+// Retry-After, every accepted job still executes, status and result
+// endpoints keep answering until the queue is empty plus -linger, then
+// the process exits. No accepted job is lost.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8037", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to `file` after listening")
+	queue := flag.Int("queue", 64, "max queued (admitted but unstarted) jobs; overload beyond this gets 503")
+	workers := flag.Int("workers", 2, "jobs executing concurrently")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines per job for experiment cell fan-out")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache bound, total value bytes (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs on shutdown")
+	linger := flag.Duration("linger", 2*time.Second, "after the queue drains, keep serving status/result reads this long so waiting clients can collect")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Parallelism = *parallel
+	svc := service.New(service.Config{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		Options:    opts,
+		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmd: writing %s: %v\n", *addrFile, err)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pasmd: listening on %s (queue=%d workers=%d parallel=%d cache=%d entries, code %s)\n",
+		bound, *queue, *workers, *parallel, *cacheEntries, experiments.CodeVersion)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "pasmd: serve: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "pasmd: %v: draining (%d queued)\n", s, svc.QueueLen())
+	}
+
+	// Drain order matters: first the job queue (submissions now 503,
+	// status/result GETs still served), then the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	// Clients long-polling the final job learn of completion exactly
+	// when the drain finishes; give them a window to fetch results
+	// before the listener goes away.
+	time.Sleep(*linger)
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pasmd: http shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "pasmd: drained, bye")
+	return 0
+}

@@ -25,10 +25,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (report is identical for any value)")
 	flag.Parse()
 
-	opts := experiments.DefaultOptions()
-	opts.Full = *full
-	opts.Seed = uint32(*seed)
-	opts.Parallelism = *parallel
+	// The report runs every experiment; the shared spec type supplies
+	// the same option mapping pasmbench and pasmd use.
+	spec := experiments.Spec{Exps: []string{"all", "ext"}, Full: *full, Seed: uint32(*seed)}
+	opts, err := experiments.OptionsFor(spec, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasmreport:", err)
+		os.Exit(2)
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/experiments"
 	"repro/internal/m68k"
 	"repro/internal/matmul"
 	"repro/internal/obs"
@@ -40,27 +41,16 @@ func main() {
 	workers := flag.Int("workers", 1, "host goroutines advancing PE segments in MIMD execution (simulation is identical for any value)")
 	flag.Parse()
 
-	var m matmul.Mode
-	switch *mode {
-	case "sisd", "serial":
-		m = matmul.Serial
-	case "simd":
-		m = matmul.SIMD
-	case "mimd":
-		m = matmul.MIMD
-	case "smimd":
-		m = matmul.SMIMD
-	case "mixed":
-		m = matmul.Mixed
-	default:
-		fmt.Fprintf(os.Stderr, "pasmrun: unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
-	spec := matmul.Spec{N: *n, P: *p, Muls: *muls, Mode: m}
-	if err := spec.Validate(); err != nil {
+	// The shared spec type (internal/experiments) owns mode parsing and
+	// validation — the same construction pasmbench, pasmd, and the
+	// service client use.
+	cell := experiments.CellSpec{N: *n, P: *p, Muls: *muls, Mode: *mode}
+	spec, err := cell.MatmulSpec()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pasmrun:", err)
 		os.Exit(2)
 	}
+	m := spec.Mode
 
 	if *asm {
 		src, err := matmul.Generate(spec)

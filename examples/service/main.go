@@ -1,0 +1,91 @@
+// Service example: start an in-process pasmd (the same service the
+// daemon wraps), submit experiment specs through the Go client, and
+// show the three serving regimes — cold miss, request coalescing, and
+// cache hit — plus the metrics that expose them.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	// An in-process server; in production this is `pasmd -addr ...`.
+	opts := experiments.DefaultOptions()
+	opts.Parallelism = 2
+	svc := service.New(service.Config{QueueDepth: 16, Workers: 1, Options: opts})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cl := client.New(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// 1. Cold miss: the spec has never been seen, so a worker runs the
+	// full Table-1 simulation.
+	spec := experiments.Spec{Exps: []string{"table1"}, Seed: 1988}
+	t0 := time.Now()
+	raw, st, err := cl.Run(ctx, spec, client.SubmitOptions{Wait: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold miss:  job %s %s in %v (%d bytes)\n", st.ID, st.State, time.Since(t0).Round(time.Millisecond), len(raw))
+
+	// The document is the same v2 schema pasmbench -json writes.
+	var rep experiments.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("            schema %s, %d experiment(s), %d summary keys\n",
+		rep.Schema, len(rep.Experiments), len(rep.Experiments[0].Summary))
+
+	// 2. Coalescing: identical specs submitted while one is in flight
+	// share a single execution — all goroutines get the same job ID.
+	slow := experiments.Spec{
+		Cells: []experiments.CellSpec{{N: 128, P: 4, Muls: 2, Mode: "mimd"}},
+		Seed:  7,
+	}
+	var wg sync.WaitGroup
+	ids := make([]string, 4)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, st, err := cl.Run(ctx, slow, client.SubmitOptions{Wait: 60 * time.Second})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("coalesced:  4 concurrent submits -> job IDs %v\n", ids)
+
+	// 3. Cache hit: resubmitting a finished spec never re-simulates.
+	t0 = time.Now()
+	_, st, err = cl.Run(ctx, spec, client.SubmitOptions{Wait: time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache hit:  job %s cached=%v in %v\n", st.ID, st.Cached, time.Since(t0).Round(time.Microsecond))
+
+	// The counters tell the same story.
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics:    submitted=%v coalesced=%v served_from_cache=%v cache hits=%v misses=%v\n",
+		m["service/submitted"], m["service/coalesced"], m["service/served_from_cache"],
+		m["cache/hits"], m["cache/misses"])
+}

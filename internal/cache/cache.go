@@ -1,0 +1,173 @@
+// Package cache is the content-addressed result cache behind the
+// experiment service (internal/service, cmd/pasmd). Values are
+// immutable byte slices — finished report documents — addressed by the
+// SHA-256 of their spec's canonical encoding plus the code version
+// (experiments.Spec.Key), so a hit can be served byte-identical
+// without re-running anything, and a simulator change can never serve
+// stale bytes.
+//
+// The cache is LRU-bounded by entry count and total value bytes, and
+// exposes hit/miss/eviction counters through an internal/obs registry
+// so the service's /metrics endpoint reports cache effectiveness
+// alongside queue behavior.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Key is a content address: SHA-256 of canonical spec + code version.
+type Key [sha256.Size]byte
+
+// Config bounds the cache. Zero values mean "no bound" on that axis;
+// a cache with no bounds never evicts.
+type Config struct {
+	// MaxEntries bounds the number of cached results.
+	MaxEntries int
+	// MaxBytes bounds the sum of value lengths.
+	MaxBytes int64
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// Cache is a mutex-guarded LRU map from Key to immutable bytes. Safe
+// for concurrent use. Callers must not mutate returned values.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	bytes int64
+	reg   *obs.Registry
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:   cfg,
+		ll:    list.New(),
+		items: map[Key]*list.Element{},
+		reg:   obs.NewRegistry(),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.reg.Add("misses", 1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.reg.Add("hits", 1)
+	return el.Value.(*entry).val, true
+}
+
+// Contains reports whether a key is cached without touching recency or
+// the hit/miss counters (for admission decisions and tests).
+func (c *Cache) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// Put stores a value, replacing any previous value for the key, and
+// evicts least-recently-used entries until the configured bounds hold.
+// A value larger than MaxBytes by itself is stored and then evicted on
+// the next Put (the cache never rejects a store outright — the fresh
+// result is the one most likely to be fetched next).
+func (c *Cache) Put(k Key, v []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(v)) - int64(len(e.val))
+		e.val = v
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+		c.bytes += int64(len(v))
+		c.reg.Add("puts", 1)
+	}
+	for c.over() && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+// over reports whether a configured bound is exceeded.
+func (c *Cache) over() bool {
+	if c.cfg.MaxEntries > 0 && c.ll.Len() > c.cfg.MaxEntries {
+		return true
+	}
+	if c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes {
+		return true
+	}
+	return false
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.val))
+	c.reg.Add("evictions", 1)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total cached value bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Keys returns the cached keys from most to least recently used (test
+// and introspection helper).
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Metrics flattens the cache counters plus current occupancy gauges,
+// all under the given prefix (the service merges them into /metrics).
+func (c *Cache) Metrics(prefix string) map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.reg.Flatten(prefix)
+	// Flatten omits never-incremented counters; pin the core ones so
+	// the metrics surface is stable from the first scrape.
+	for _, name := range []string{"hits", "misses", "evictions", "puts"} {
+		if _, ok := m[prefix+name]; !ok {
+			m[prefix+name] = 0
+		}
+	}
+	m[prefix+"entries"] = float64(c.ll.Len())
+	m[prefix+"bytes"] = float64(c.bytes)
+	return m
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestHitAfterPut(t *testing.T) {
+	c := New(Config{MaxEntries: 4})
+	k := key(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("result"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "result" {
+		t.Fatalf("Get = %q, %v; want result, true", v, ok)
+	}
+	m := c.Metrics("")
+	if m["hits"] != 1 || m["misses"] != 1 || m["puts"] != 1 || m["entries"] != 1 {
+		t.Errorf("metrics = %v; want 1 hit, 1 miss, 1 put, 1 entry", m)
+	}
+}
+
+// TestLRUEvictionOrder: the least recently *used* entry goes first,
+// and a Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(Config{MaxEntries: 3})
+	for i := byte(1); i <= 3; i++ {
+		c.Put(key(i), []byte{i})
+	}
+	// Touch 1 so 2 becomes the oldest.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("expected hit on 1")
+	}
+	c.Put(key(4), []byte{4})
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("2 should have been evicted (least recently used)")
+	}
+	for _, b := range []byte{1, 3, 4} {
+		if !c.Contains(key(b)) {
+			t.Errorf("%d should have survived", b)
+		}
+	}
+	c.Put(key(5), []byte{5})
+	c.Put(key(6), []byte{6})
+	// Eviction order after the state above: 3, then 1 (refreshed), ...
+	if c.Contains(key(3)) {
+		t.Error("3 should have been evicted before refreshed 1")
+	}
+	if m := c.Metrics(""); m["evictions"] != 3 || m["entries"] != 3 {
+		t.Errorf("metrics = %v; want 3 evictions, 3 entries", m)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	c := New(Config{MaxBytes: 10})
+	c.Put(key(1), make([]byte, 4))
+	c.Put(key(2), make([]byte, 4))
+	c.Put(key(3), make([]byte, 4)) // 12 bytes > 10: evict 1
+	if c.Contains(key(1)) {
+		t.Error("1 should have been evicted by the byte bound")
+	}
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Errorf("bytes=%d len=%d; want 8, 2", c.Bytes(), c.Len())
+	}
+	// An oversized value is stored (never rejected) but is alone.
+	c.Put(key(4), make([]byte, 64))
+	if !c.Contains(key(4)) || c.Len() != 1 {
+		t.Errorf("oversized value handling: len=%d contains4=%v", c.Len(), c.Contains(key(4)))
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	c.Put(key(1), []byte("aa"))
+	c.Put(key(1), []byte("bbbb"))
+	if v, _ := c.Get(key(1)); string(v) != "bbbb" {
+		t.Errorf("replacement not visible: %q", v)
+	}
+	if c.Bytes() != 4 || c.Len() != 1 {
+		t.Errorf("bytes=%d len=%d after replace; want 4, 1", c.Bytes(), c.Len())
+	}
+}
+
+// TestSpecKeySensitivity drives the cache with real experiment-spec
+// keys: every field change must land on a different cache entry, and
+// a code-version change is part of the key derivation (pinned by the
+// experiments golden test), so same-spec lookups only hit same-code
+// entries.
+func TestSpecKeySensitivity(t *testing.T) {
+	specKey := func(s experiments.Spec) Key {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Key(k)
+	}
+	c := New(Config{})
+	base := experiments.Spec{Exps: []string{"table1"}, Seed: 1988}
+	c.Put(specKey(base), []byte("base"))
+
+	for name, s := range map[string]experiments.Spec{
+		"exp":     {Exps: []string{"fig6"}, Seed: 1988},
+		"seed":    {Exps: []string{"table1"}, Seed: 1989},
+		"full":    {Exps: []string{"table1"}, Seed: 1988, Full: true},
+		"observe": {Exps: []string{"table1"}, Seed: 1988, Observe: true},
+		"cells":   {Exps: []string{"table1"}, Cells: []experiments.CellSpec{{N: 8, P: 2, Muls: 1, Mode: "simd"}}, Seed: 1988},
+	} {
+		if _, ok := c.Get(specKey(s)); ok {
+			t.Errorf("changing %s still hit the cached base entry", name)
+		}
+	}
+	if v, ok := c.Get(specKey(experiments.Spec{Exps: []string{"TABLE1"}, Seed: 1988})); !ok || string(v) != "base" {
+		t.Errorf("equivalent spelling missed: %q, %v", v, ok)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New(Config{MaxEntries: 8})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := key(byte(i % 16))
+				c.Put(k, []byte(fmt.Sprint(i)))
+				c.Get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 8 {
+		t.Errorf("len=%d exceeds bound", c.Len())
+	}
+}

@@ -1,0 +1,202 @@
+// Package client is the thin Go client for the pasmd experiment
+// service (internal/service over HTTP). It speaks the /v1 job API:
+// submit a spec, poll or long-poll its status, and fetch the result
+// document — bytes identical to what `pasmbench -json` produces
+// locally with host timings off, which is what lets `pasmbench
+// -remote` byte-compare the two paths.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// APIError is any non-2xx response. For 503 it carries the server's
+// Retry-After hint.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("pasmd: %s (HTTP %d, retry after %s)", e.Message, e.Status, e.RetryAfter)
+	}
+	return fmt.Sprintf("pasmd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Temporary reports whether the request may succeed if retried (the
+// backpressure rejections).
+func (e *APIError) Temporary() bool { return e.Status == http.StatusServiceUnavailable }
+
+// Client talks to one pasmd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for addr ("host:port" or a full http URL).
+func New(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// SubmitOptions tune one submission.
+type SubmitOptions struct {
+	// Deadline, when > 0, requires the job to start executing within
+	// this long (server-side admission control may reject it outright).
+	Deadline time.Duration
+	// Wait, when > 0, asks the server to long-poll the job before
+	// responding, so small specs complete in one round trip.
+	Wait time.Duration
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return apiError(resp, data)
+	}
+	if out != nil {
+		if raw, ok := out.(*[]byte); ok {
+			*raw = data
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func apiError(resp *http.Response, data []byte) error {
+	e := &APIError{Status: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		e.Message = body.Error
+	} else {
+		e.Message = strings.TrimSpace(string(data))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// Submit sends a spec and returns the job to poll. For cache hits the
+// returned job is already done; for coalesced submissions it is the
+// shared in-flight job.
+func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitOptions) (service.JobStatus, error) {
+	req := service.SubmitRequest{Spec: spec}
+	if opts.Deadline > 0 {
+		req.DeadlineMS = opts.Deadline.Milliseconds()
+	}
+	if opts.Wait > 0 {
+		req.WaitMS = opts.Wait.Milliseconds()
+	}
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job polls a job's status once.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait long-polls until the job is terminal or ctx expires, re-arming
+// the server-side poll as needed.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	for {
+		var st service.JobStatus
+		err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/wait?timeout_ms=30000", nil, &st)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Result fetches a done job's report document.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// Run is the synchronous convenience path: submit, wait for a
+// terminal state, fetch the bytes.
+func (c *Client) Run(ctx context.Context, spec experiments.Spec, opts SubmitOptions) ([]byte, service.JobStatus, error) {
+	st, err := c.Submit(ctx, spec, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return nil, st, err
+		}
+	}
+	if st.State != service.StateDone {
+		return nil, st, fmt.Errorf("pasmd: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	raw, err := c.Result(ctx, st.ID)
+	return raw, st, err
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the service and cache counters.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	var out map[string]float64
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/matmul"
+	"repro/internal/pasm"
+	"repro/internal/stats"
+)
+
+// CustomRow is one executed custom cell.
+type CustomRow struct {
+	Cell   CellSpec
+	Result pasm.RunResult
+}
+
+// CustomResult runs an arbitrary list of matmul cells — the Spec.Cells
+// escape hatch for configurations outside the paper's sweeps. Each
+// cell simulates its own machine, so the list fans out across the host
+// workers like any sweep.
+type CustomResult struct {
+	ClockHz float64
+	Rows    []CustomRow
+	// Obs is the aggregated observability metrics (Options.Observe).
+	Obs ObsMetrics
+}
+
+// Custom executes the cells in order.
+func Custom(opts Options, cells []CellSpec) (*CustomResult, error) {
+	r := newRunner(opts)
+	out := &CustomResult{ClockHz: opts.Config.ClockHz}
+	specs := make([]matmul.Spec, len(cells))
+	for i, c := range cells {
+		s, err := c.MatmulSpec()
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	results, err := r.execAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		out.Rows = append(out.Rows, CustomRow{Cell: c, Result: results[i]})
+	}
+	out.Obs = r.obs.metrics()
+	return out, nil
+}
+
+// Render prints one line per cell.
+func (r *CustomResult) Render() string {
+	var t table
+	t.title("Custom cells")
+	t.row(fmt.Sprintf("%-6s", "mode"), fmt.Sprintf("%5s", "n"),
+		fmt.Sprintf("%4s", "p"), fmt.Sprintf("%5s", "muls"),
+		fmt.Sprintf("%12s", "cycles"), fmt.Sprintf("%10s", "seconds"),
+		fmt.Sprintf("%10s", "instrs"))
+	for _, row := range r.Rows {
+		t.row(fmt.Sprintf("%-6s", row.Cell.Mode), fmt.Sprintf("%5d", row.Cell.N),
+			fmt.Sprintf("%4d", row.Cell.P), fmt.Sprintf("%5d", row.Cell.Muls),
+			cyc(row.Result.Cycles),
+			fmt.Sprintf("%10.4f", stats.Seconds(row.Result.Cycles, r.ClockHz)),
+			fmt.Sprintf("%10d", row.Result.Instrs))
+	}
+	return t.String()
+}
+
+// Summary flattens each cell into cycles and instruction counts, keyed
+// by the cell's canonical coordinates.
+func (r *CustomResult) Summary() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		prefix := fmt.Sprintf("%s/n=%d/p=%d/muls=%d", row.Cell.Mode, row.Cell.N, row.Cell.P, row.Cell.Muls)
+		m["cycles/"+prefix] = float64(row.Result.Cycles)
+		m["instrs/"+prefix] = float64(row.Result.Instrs)
+	}
+	r.Obs.into(m)
+	return m
+}

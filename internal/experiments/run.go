@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SchemaV2 is the report schema identifier (cmd/pasmbench -json v2).
+const SchemaV2 = "pasmbench/v2"
+
+// Result is what every experiment produces: a rendered table. Concrete
+// results usually also implement Summarizer and sometimes Plotter.
+type Result interface{ Render() string }
+
+// Plotter is implemented by results that can render ASCII charts.
+type Plotter interface{ Plot() string }
+
+// Summarizer exposes an experiment's simulated metrics for reports.
+type Summarizer interface {
+	Summary() map[string]float64
+}
+
+// ReportExperiment is one experiment's entry in a Report. HostSeconds
+// is host wall-clock and therefore non-deterministic; deterministic
+// reports (RunConfig.Timings false — the pasmd service path) omit it.
+type ReportExperiment struct {
+	Name        string             `json:"name"`
+	HostSeconds float64            `json:"host_seconds,omitempty"`
+	Summary     map[string]float64 `json:"summary,omitempty"`
+}
+
+// Report is the machine-readable result of running a Spec: the
+// pasmbench -json v2 document. All summary values are simulated
+// quantities; with Timings disabled the whole document is a pure
+// function of (Spec, CodeVersion), which is what lets the service
+// cache it and the remote CLI byte-compare it against a local run.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Full        bool               `json:"full"`
+	Seed        uint32             `json:"seed"`
+	Parallel    int                `json:"parallel,omitempty"`
+	Observe     bool               `json:"observe"`
+	HostSeconds float64            `json:"host_seconds,omitempty"`
+	Experiments []ReportExperiment `json:"experiments"`
+}
+
+// Marshal renders the report exactly as cmd/pasmbench writes it
+// (indented JSON plus a trailing newline). Every producer must go
+// through this so the service path and the in-process path emit
+// identical bytes.
+func (r *Report) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// RunHook observes each experiment as it completes, in report order
+// (cmd/pasmbench uses it to print the rendered tables). hostSeconds is
+// zero when timings are disabled.
+type RunHook func(name string, res Result, hostSeconds float64)
+
+// RunConfig carries the execution parameters that are NOT part of the
+// spec — everything here is forbidden from changing the result bytes
+// except Timings, which only toggles the non-deterministic host
+// wall-clock fields.
+type RunConfig struct {
+	// Options supplies the machine config and host parallelism. Its
+	// Full, Seed, and Observe fields are overwritten from the spec.
+	Options Options
+	// Timings records host wall-clock and the parallelism level in the
+	// report. Leave false for deterministic (cacheable, byte-comparable)
+	// output.
+	Timings bool
+	// Hook, when non-nil, sees each result as it completes.
+	Hook RunHook
+}
+
+// OptionsFor maps a spec onto execution options: the spec supplies
+// everything result-affecting (Full, Seed, Observe), the caller
+// supplies the host parallelism. This is the one place the CLI tools
+// and the service translate a spec into engine options.
+func OptionsFor(spec Spec, parallelism int) (Options, error) {
+	n, err := spec.Normalize()
+	if err != nil {
+		return Options{}, err
+	}
+	opts := DefaultOptions()
+	opts.Full = n.Full
+	opts.Seed = n.Seed
+	opts.Observe = n.Observe
+	opts.Parallelism = parallelism
+	return opts, nil
+}
+
+// runnersByName maps every named experiment to its runner.
+var runnersByName = map[string]func(Options) (Result, error){
+	"table1": func(o Options) (Result, error) { return Table1(o) },
+	"fig6":   func(o Options) (Result, error) { return Fig6(o) },
+	"fig7":   func(o Options) (Result, error) { return Fig7(o) },
+	"fig8":   func(o Options) (Result, error) { return Breakdown(o, 1) },
+	"fig9":   func(o Options) (Result, error) { return Breakdown(o, 14) },
+	"fig10":  func(o Options) (Result, error) { return Breakdown(o, 30) },
+	"fig11":  func(o Options) (Result, error) { return Fig11(o) },
+	"fig12":  func(o Options) (Result, error) { return Fig12(o) },
+	// Extensions beyond the paper (see DESIGN.md §6):
+	"ext-crossover": func(o Options) (Result, error) { return CrossoverVsP(o) },
+	"ext-model":     func(o Options) (Result, error) { return ModelValidation(o) },
+	"ext-fault":     func(o Options) (Result, error) { return FaultTolerance(o) },
+	"ext-workloads": func(o Options) (Result, error) { return Workloads(o) },
+	"ext-mixed":     func(o Options) (Result, error) { return MixedMode(o) },
+}
+
+// RunSpec executes a spec and assembles its v2 report: every named
+// sweep in order, then the custom cells (as one "custom" experiment).
+// The report's simulated content is identical for any
+// Options.Parallelism; only the Timings-gated fields vary run to run.
+func RunSpec(spec Spec, rc RunConfig) (*Report, error) {
+	n, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	// The spec overrides every result-affecting option (OptionsFor's
+	// mapping); the caller's Options contribute config and parallelism.
+	opts := rc.Options
+	opts.Full = n.Full
+	opts.Seed = n.Seed
+	opts.Observe = n.Observe
+
+	report := &Report{
+		Schema:  SchemaV2,
+		Full:    n.Full,
+		Seed:    n.Seed,
+		Observe: n.Observe,
+	}
+	if rc.Timings {
+		report.Parallel = opts.Parallelism
+	}
+	suiteStart := time.Now()
+	run := func(name string, f func(Options) (Result, error)) error {
+		start := time.Now()
+		res, err := f(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		entry := ReportExperiment{Name: name}
+		if rc.Timings {
+			entry.HostSeconds = time.Since(start).Seconds()
+		}
+		if s, ok := res.(Summarizer); ok {
+			entry.Summary = s.Summary()
+		}
+		report.Experiments = append(report.Experiments, entry)
+		if rc.Hook != nil {
+			rc.Hook(name, res, entry.HostSeconds)
+		}
+		return nil
+	}
+	for _, name := range n.Exps {
+		if err := run(name, runnersByName[name]); err != nil {
+			return nil, err
+		}
+	}
+	if len(n.Cells) > 0 {
+		err := run("custom", func(o Options) (Result, error) { return Custom(o, n.Cells) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	if rc.Timings {
+		report.HostSeconds = time.Since(suiteStart).Seconds()
+	}
+	return report, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecCanonicalGolden pins the canonical encoding byte-for-byte.
+// The encoding is the result-cache key, so any change here silently
+// invalidates (or worse, aliases) cached results: if this test fails,
+// bump SpecVersion rather than updating the golden strings in place.
+func TestSpecCanonicalGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{
+			name: "table1",
+			spec: Spec{Exps: []string{"table1"}, Seed: 1988},
+			want: `{"exps":["table1"],"full":false,"observe":false,"seed":1988,"v":1}`,
+		},
+		{
+			name: "alias all expands",
+			spec: Spec{Exps: []string{"all"}, Full: true, Seed: 7, Observe: true},
+			want: `{"exps":["table1","fig6","fig7","fig8","fig9","fig10","fig11","fig12"],` +
+				`"full":true,"observe":true,"seed":7,"v":1}`,
+		},
+		{
+			name: "alias ext expands",
+			spec: Spec{Exps: []string{"ext"}, Seed: 1988},
+			want: `{"exps":["ext-crossover","ext-model","ext-fault","ext-workloads","ext-mixed"],` +
+				`"full":false,"observe":false,"seed":1988,"v":1}`,
+		},
+		{
+			name: "cells only",
+			spec: Spec{Cells: []CellSpec{{N: 64, P: 4, Muls: 1, Mode: "MIMD"}}, Seed: 1988},
+			want: `{"cells":[{"mode":"mimd","muls":1,"n":64,"p":4}],"full":false,"observe":false,"seed":1988,"v":1}`,
+		},
+		{
+			name: "serial cell normalizes p",
+			spec: Spec{Cells: []CellSpec{{N: 16, P: 8, Muls: 2, Mode: "serial"}}, Seed: 3},
+			want: `{"cells":[{"mode":"sisd","muls":2,"n":16,"p":1}],"full":false,"observe":false,"seed":3,"v":1}`,
+		},
+		{
+			name: "mixed exps and cells",
+			spec: Spec{Exps: []string{" fig7 ", "table1"}, Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "smimd"}}, Seed: 1},
+			want: `{"cells":[{"mode":"smimd","muls":1,"n":8,"p":2}],"exps":["fig7","table1"],` +
+				`"full":false,"observe":false,"seed":1,"v":1}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.spec.Canonical()
+			if err != nil {
+				t.Fatalf("Canonical: %v", err)
+			}
+			if string(got) != c.want {
+				t.Errorf("canonical encoding drifted\n got: %s\nwant: %s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSpecCanonicalInvalid(t *testing.T) {
+	for _, spec := range []Spec{
+		{},                              // empty
+		{Exps: []string{"fig99"}},       // unknown experiment
+		{Cells: []CellSpec{{N: 3, P: 1, Muls: 1, Mode: "simd"}}},  // n not a power of two
+		{Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "warp"}}},  // unknown mode
+		{Cells: []CellSpec{{N: 8, P: 2, Muls: 99, Mode: "simd"}}}, // muls over queue bound
+	} {
+		if _, err := spec.Canonical(); err == nil {
+			t.Errorf("Canonical(%+v): expected error, got none", spec)
+		}
+	}
+}
+
+// TestSpecKeySensitivity: changing any spec field changes the key, and
+// equivalent spellings of the same spec share it.
+func TestSpecKeySensitivity(t *testing.T) {
+	base := Spec{Exps: []string{"table1"}, Cells: []CellSpec{{N: 64, P: 4, Muls: 1, Mode: "mimd"}}, Seed: 1988}
+	baseKey, err := base.KeyString()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]Spec{
+		"exps":    {Exps: []string{"fig6"}, Cells: base.Cells, Seed: 1988},
+		"cell n":  {Exps: base.Exps, Cells: []CellSpec{{N: 32, P: 4, Muls: 1, Mode: "mimd"}}, Seed: 1988},
+		"cell p":  {Exps: base.Exps, Cells: []CellSpec{{N: 64, P: 8, Muls: 1, Mode: "mimd"}}, Seed: 1988},
+		"muls":    {Exps: base.Exps, Cells: []CellSpec{{N: 64, P: 4, Muls: 2, Mode: "mimd"}}, Seed: 1988},
+		"mode":    {Exps: base.Exps, Cells: []CellSpec{{N: 64, P: 4, Muls: 1, Mode: "smimd"}}, Seed: 1988},
+		"full":    {Exps: base.Exps, Cells: base.Cells, Full: true, Seed: 1988},
+		"seed":    {Exps: base.Exps, Cells: base.Cells, Seed: 1989},
+		"observe": {Exps: base.Exps, Cells: base.Cells, Seed: 1988, Observe: true},
+	}
+	for name, v := range variants {
+		k, err := v.KeyString()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == baseKey {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+
+	// Equivalent spellings collapse to one key.
+	same := Spec{Exps: []string{"TABLE1"}, Cells: []CellSpec{{N: 64, P: 4, Muls: 1, Mode: "MIMD"}}, Seed: 1988}
+	if k, err := same.KeyString(); err != nil || k != baseKey {
+		t.Errorf("equivalent spelling got key %s err %v, want %s", k, err, baseKey)
+	}
+}
+
+// TestRunSpecMatchesDirect: the shared runner produces the same
+// summaries as calling the experiment functions directly, and the
+// deterministic (no-timings) report marshals identically across runs
+// and parallelism levels.
+func TestRunSpecMatchesDirect(t *testing.T) {
+	spec := Spec{Exps: []string{"table1"}, Seed: 1988}
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+
+	var hooked []string
+	rep, err := RunSpec(spec, RunConfig{Options: opts, Hook: func(name string, res Result, _ float64) {
+		hooked = append(hooked, name)
+		if res.Render() == "" {
+			t.Errorf("%s: empty render", name)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 1 || hooked[0] != "table1" {
+		t.Fatalf("hook saw %v, want [table1]", hooked)
+	}
+	direct, err := Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Summary()
+	got := rep.Experiments[0].Summary
+	if len(got) != len(want) {
+		t.Fatalf("summary has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("summary[%q] = %v, want %v", k, got[k], v)
+		}
+	}
+
+	b1, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b1), "host_seconds") || strings.Contains(string(b1), "parallel") {
+		t.Errorf("deterministic report leaked host fields:\n%s", b1)
+	}
+	opts.Parallelism = 4
+	rep2, err := RunSpec(spec, RunConfig{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rep2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("deterministic report differs across parallelism levels")
+	}
+}
+
+// TestRunSpecCustomCells runs a tiny custom cell through the shared
+// runner and checks the "custom" experiment shows up with cycle keys.
+func TestRunSpecCustomCells(t *testing.T) {
+	spec := Spec{Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "smimd"}}, Seed: 1988}
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	rep, err := RunSpec(spec, RunConfig{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "custom" {
+		t.Fatalf("experiments = %+v, want one custom entry", rep.Experiments)
+	}
+	if _, ok := rep.Experiments[0].Summary["cycles/smimd/n=8/p=2/muls=1"]; !ok {
+		t.Errorf("custom summary missing cycle key; got %v", rep.Experiments[0].Summary)
+	}
+}

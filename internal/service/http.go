@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// HTTP API (cmd/pasmd, internal/client):
+//
+//	POST /v1/jobs               submit a spec -> JobStatus (200 done, 202 accepted)
+//	GET  /v1/jobs               list tracked jobs
+//	GET  /v1/jobs/{id}          poll one job
+//	GET  /v1/jobs/{id}/wait     long-poll until terminal (?timeout_ms=)
+//	GET  /v1/jobs/{id}/result   fetch the result document (bytes identical
+//	                            to `pasmbench -json` with host timings off)
+//	GET  /metrics               service + cache counters as JSON
+//	GET  /healthz               liveness + draining flag
+//
+// Backpressure surfaces as 503 with a Retry-After header (queue full,
+// unmeetable deadline, draining). Unknown jobs are 404; results of
+// unfinished jobs are 409; failed jobs are 500; expired jobs are 410.
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Spec experiments.Spec `json:"spec"`
+	// DeadlineMS, when > 0, is a relative deadline: the job must START
+	// executing within this many milliseconds or it is rejected at
+	// admission / expired in the queue.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// WaitMS, when > 0, long-polls the submitted job for up to this
+	// many milliseconds before responding (one round trip for small
+	// specs).
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+	State State  `json:"state,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// retryAfterSeconds renders a Retry-After header value, rounded up so
+// a client honoring it never retries early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = s.now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	st, err := s.Submit(req.Spec, deadline)
+	if err != nil {
+		var full *QueueFullError
+		switch {
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After", retryAfterSeconds(full.RetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.MinRetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	if req.WaitMS > 0 && !st.State.Terminal() {
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(req.WaitMS)*time.Millisecond)
+		if polled, ok := s.Wait(ctx, st.ID); ok {
+			st = polled
+		}
+		cancel()
+	}
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or expired job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleWait(w http.ResponseWriter, r *http.Request) {
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		var ms int64
+		if _, err := fmt.Sscanf(v, "%d", &ms); err != nil || ms <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad timeout_ms"})
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	st, ok := s.Wait(ctx, r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or expired job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	result, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or expired job id"})
+		return
+	}
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Pasm-Cached", fmt.Sprintf("%t", st.Cached))
+		w.Write(result)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error, State: st.State})
+	case StateExpired:
+		writeJSON(w, http.StatusGone, errorBody{Error: st.Error, State: st.State})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished", State: st.State})
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.Draining(),
+		"code":     experiments.CodeVersion,
+	})
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func postJob(t *testing.T, url string, req SubmitRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestHTTPByteIdentity runs a real (tiny) spec through the HTTP API
+// and checks the served document is byte-identical to the in-process
+// deterministic report — on the cold miss and again on the cache hit.
+// This is the service-path equivalence the remote CLI mode relies on.
+func TestHTTPByteIdentity(t *testing.T) {
+	opts := experiments.DefaultOptions()
+	opts.Parallelism = 2
+	s := New(Config{Workers: 1, QueueDepth: 4, Options: opts})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	spec := experiments.Spec{Exps: []string{"table1"}, Seed: 1988}
+	local, err := experiments.RunSpec(spec, experiments.RunConfig{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round, wantCached := range []bool{false, true} {
+		resp, body := postJob(t, srv.URL, SubmitRequest{Spec: spec, WaitMS: 30000})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: submit status %d: %s", round, resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if st.State != StateDone || st.Cached != wantCached {
+			t.Fatalf("round %d: state=%s cached=%v, want done cached=%v", round, st.State, st.Cached, wantCached)
+		}
+		rresp, result := getBody(t, srv.URL+"/v1/jobs/"+st.ID+"/result")
+		if rresp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: result status %d", round, rresp.StatusCode)
+		}
+		if rresp.Header.Get("X-Pasm-Cached") != strconv.FormatBool(wantCached) {
+			t.Errorf("round %d: X-Pasm-Cached = %q", round, rresp.Header.Get("X-Pasm-Cached"))
+		}
+		if !bytes.Equal(result, want) {
+			t.Errorf("round %d: served bytes differ from local deterministic report\nserved: %s\nlocal:  %s",
+				round, result, want)
+		}
+	}
+}
+
+// TestHTTPBackpressure exercises the 503 path end to end: full queue
+// and draining both yield 503 with a Retry-After header.
+func TestHTTPBackpressure(t *testing.T) {
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 1, run: g.run})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := postJob(t, srv.URL, SubmitRequest{Spec: specN(1)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("A: status %d: %s", resp.StatusCode, body)
+	}
+	var a JobStatus
+	json.Unmarshal(body, &a)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := s.Job(a.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, body = postJob(t, srv.URL, SubmitRequest{Spec: specN(2)}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("B: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJob(t, srv.URL, SubmitRequest{Spec: specN(3)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("C: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("C: Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// Result of an unfinished job: 409 + Retry-After.
+	resp, _ = getBody(t, srv.URL+"/v1/jobs/"+a.ID+"/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished result: status %d, want 409", resp.StatusCode)
+	}
+
+	// Draining: 503 on submit, but accepted work completes.
+	go s.Shutdown(context.Background())
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	resp, _ = postJob(t, srv.URL, SubmitRequest{Spec: specN(4)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drain submit: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain submit: missing Retry-After")
+	}
+	g.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	resp, _ = getBody(t, srv.URL+"/v1/jobs/"+a.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("drained job result: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPErrors covers the non-2xx surfaces: bad body, bad spec,
+// unknown ids, wait endpoint.
+func TestHTTPErrors(t *testing.T) {
+	g := newGatedRunner()
+	g.release()
+	s := New(Config{Workers: 1, QueueDepth: 4, run: g.run})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJob(t, srv.URL, SubmitRequest{Spec: experiments.Spec{Exps: []string{"fig99"}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getBody(t, srv.URL+"/v1/jobs/j999-deadbeef")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getBody(t, srv.URL+"/v1/jobs/j999-deadbeef/result")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown result: status %d, want 404", resp.StatusCode)
+	}
+
+	// Wait endpoint returns the terminal state.
+	_, body := postJob(t, srv.URL, SubmitRequest{Spec: specN(5)})
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	resp, body = getBody(t, srv.URL+"/v1/jobs/"+st.ID+"/wait?timeout_ms=10000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: status %d", resp.StatusCode)
+	}
+	json.Unmarshal(body, &st)
+	if st.State != StateDone {
+		t.Errorf("wait returned state %s", st.State)
+	}
+
+	// Health and metrics are always JSON.
+	resp, body = getBody(t, srv.URL+"/healthz")
+	var health map[string]any
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &health) != nil {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz status = %v", health["status"])
+	}
+	resp, body = getBody(t, srv.URL+"/metrics")
+	var metrics map[string]float64
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &metrics) != nil {
+		t.Errorf("metrics: %d %s", resp.StatusCode, body)
+	}
+	if metrics["service/submitted"] < 1 {
+		t.Errorf("metrics missing submitted counter: %v", metrics["service/submitted"])
+	}
+}

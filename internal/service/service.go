@@ -1,0 +1,498 @@
+// Package service turns the experiment engine into a long-running
+// server: a bounded FIFO job queue with deadline-aware admission
+// control, a worker pool executing specs through the existing
+// host-parallel engine (experiments.Options.Parallelism), request
+// coalescing so identical in-flight specs share one execution, and a
+// content-addressed LRU result cache (internal/cache) so repeated
+// specs are served byte-identical without re-simulating. cmd/pasmd
+// fronts it with HTTP; the engine itself is transport-free and fully
+// testable in-process.
+//
+// Backpressure discipline: the queue never grows past its bound.
+// A full queue rejects the submit with ErrQueueFull carrying a
+// Retry-After estimate derived from observed job durations; a
+// submit whose deadline cannot be met by the estimated queue wait is
+// rejected at admission instead of wasting a slot; a job whose
+// deadline passes while queued is expired without execution. Graceful
+// shutdown stops admission (ErrDraining) and drains every accepted
+// job before returning, so no accepted work is lost.
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued -> running -> done | failed
+//	queued -> expired            (deadline passed before a worker got it)
+//	(cache hit) -> done          (never queued)
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	StateExpired State = "expired"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired
+}
+
+// Config configures a Service.
+type Config struct {
+	// QueueDepth bounds the number of admitted-but-unstarted jobs.
+	// Default 64.
+	QueueDepth int
+	// Workers is the number of jobs executing concurrently. Each job
+	// additionally fans its cells across Options.Parallelism host
+	// goroutines, so Workers*Parallelism should track the host CPU
+	// count. Default 1.
+	Workers int
+	// Options configures per-job execution (machine config and cell
+	// parallelism). Full/Seed/Observe are overwritten per spec.
+	Options experiments.Options
+	// Cache bounds the result cache.
+	Cache cache.Config
+	// MaxJobs bounds the finished-job history kept for status polls;
+	// older finished jobs are forgotten (their results stay cached).
+	// Default 1024.
+	MaxJobs int
+	// MinRetryAfter floors the Retry-After estimate on rejection.
+	// Default 1s.
+	MinRetryAfter time.Duration
+
+	// run overrides job execution (tests).
+	run func(experiments.Spec) ([]byte, error)
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+// Errors returned by Submit. ErrQueueFull and ErrDraining map to HTTP
+// 503 + Retry-After.
+var (
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
+)
+
+// QueueFullError reports a rejected submission with a wait estimate.
+type QueueFullError struct {
+	// RetryAfter estimates when a slot should free up.
+	RetryAfter time.Duration
+	// Reason distinguishes "queue full" from "deadline unmeetable".
+	Reason string
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// JobStatus is an immutable snapshot of a job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Cached marks a job served from the result cache without queuing.
+	Cached bool `json:"cached"`
+	// Coalesced counts extra submissions sharing this execution.
+	Coalesced int    `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+}
+
+// job is the mutable record; every field below mu's line is guarded by
+// Service.mu.
+type job struct {
+	id       string
+	spec     experiments.Spec // normalized
+	key      cache.Key
+	deadline time.Time // zero = none
+	done     chan struct{}
+
+	state     State
+	cached    bool
+	coalesced int
+	err       string
+	result    []byte
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Service is the experiment-serving engine.
+type Service struct {
+	cfg   Config
+	run   func(experiments.Spec) ([]byte, error)
+	now   func() time.Time
+	cache *cache.Cache
+	queue chan *job
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	inflight   map[cache.Key]*job
+	finished   []string // terminal job ids, oldest first (history bound)
+	draining   bool
+	seq        int
+	reg        *obs.Registry
+	avgRunSecs float64 // EWMA of observed job durations
+	wg         sync.WaitGroup
+}
+
+// Service histogram bounds (milliseconds of host time; these are
+// host-side serving metrics, unlike the simulated-time metrics the
+// obs package records inside the machine).
+var msBounds = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000}
+
+// New starts a service with cfg.Workers workers.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.MinRetryAfter <= 0 {
+		cfg.MinRetryAfter = time.Second
+	}
+	s := &Service{
+		cfg:      cfg,
+		run:      cfg.run,
+		now:      cfg.now,
+		cache:    cache.New(cfg.Cache),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     map[string]*job{},
+		inflight: map[cache.Key]*job{},
+		reg:      obs.NewRegistry(),
+	}
+	if s.run == nil {
+		s.run = func(spec experiments.Spec) ([]byte, error) {
+			rep, err := experiments.RunSpec(spec, experiments.RunConfig{Options: cfg.Options})
+			if err != nil {
+				return nil, err
+			}
+			return rep.Marshal()
+		}
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a spec. The returned status is the job to poll — for
+// a cache hit it is already done; for a coalesced submit it is the
+// in-flight job every identical spec shares (its deadline, if any,
+// stays the primary's). deadline zero means none.
+func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	rawKey, err := norm.Key()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	key := cache.Key(rawKey)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Add("rejected_draining", 1)
+		return JobStatus{}, ErrDraining
+	}
+	s.reg.Add("submitted", 1)
+	now := s.now()
+
+	if val, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(norm, key, deadline, now)
+		j.state = StateDone
+		j.cached = true
+		j.result = val
+		j.finished = now
+		close(j.done)
+		s.retireLocked(j)
+		s.reg.Add("served_from_cache", 1)
+		return s.statusLocked(j), nil
+	}
+
+	if prev, ok := s.inflight[key]; ok {
+		prev.coalesced++
+		s.reg.Add("coalesced", 1)
+		return s.statusLocked(prev), nil
+	}
+
+	est := s.waitEstimateLocked()
+	if !deadline.IsZero() && now.Add(est).After(deadline) {
+		s.reg.Add("rejected_deadline", 1)
+		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "deadline unmeetable at current queue depth"}
+	}
+
+	if len(s.queue) == s.cfg.QueueDepth {
+		s.reg.Add("rejected_queue_full", 1)
+		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "queue full"}
+	}
+	j := s.newJobLocked(norm, key, deadline, now)
+	s.queue <- j // cannot block: space was verified under mu and only Submit sends
+	s.inflight[key] = j
+	s.reg.Hist("queue_depth", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(int64(len(s.queue)))
+	return s.statusLocked(j), nil
+}
+
+// newJobLocked allocates and registers a job record.
+func (s *Service) newJobLocked(spec experiments.Spec, key cache.Key, deadline, now time.Time) *job {
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%d-%s", s.seq, hex.EncodeToString(key[:4])),
+		spec:     spec,
+		key:      key,
+		deadline: deadline,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		created:  now,
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// waitEstimateLocked predicts how long a newly queued job waits for a
+// worker: the queued backlog divided across the pool, paced by the
+// observed average job duration (half a second until measured).
+func (s *Service) waitEstimateLocked() time.Duration {
+	avg := s.avgRunSecs
+	if avg <= 0 {
+		avg = 0.5
+	}
+	backlog := float64(len(s.queue)+1) / float64(s.cfg.Workers)
+	return time.Duration(avg * backlog * float64(time.Second))
+}
+
+func (s *Service) floorRetry(d time.Duration) time.Duration {
+	if d < s.cfg.MinRetryAfter {
+		return s.cfg.MinRetryAfter
+	}
+	return d
+}
+
+// worker executes queued jobs until the queue is closed and drained.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		now := s.now()
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			j.state = StateExpired
+			j.err = "deadline exceeded before execution"
+			j.finished = now
+			delete(s.inflight, j.key)
+			close(j.done)
+			s.retireLocked(j)
+			s.reg.Add("expired", 1)
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = now
+		s.reg.Hist("queue_wait_ms", msBounds).Observe(now.Sub(j.created).Milliseconds())
+		s.mu.Unlock()
+
+		result, err := s.run(j.spec)
+
+		s.mu.Lock()
+		j.finished = s.now()
+		runSecs := j.finished.Sub(j.started).Seconds()
+		if s.avgRunSecs == 0 {
+			s.avgRunSecs = runSecs
+		} else {
+			s.avgRunSecs = 0.8*s.avgRunSecs + 0.2*runSecs
+		}
+		s.reg.Hist("run_ms", msBounds).Observe(int64(runSecs * 1000))
+		if err != nil {
+			j.state = StateFailed
+			j.err = err.Error()
+			s.reg.Add("failed", 1)
+		} else {
+			j.state = StateDone
+			j.result = result
+			s.cache.Put(j.key, result)
+			s.reg.Add("completed", 1)
+		}
+		delete(s.inflight, j.key)
+		close(j.done)
+		s.retireLocked(j)
+		s.mu.Unlock()
+	}
+}
+
+// retireLocked appends a terminal job to the bounded history, dropping
+// the oldest finished jobs past MaxJobs (their cached results remain).
+func (s *Service) retireLocked(j *job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Job returns a job's status snapshot.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Jobs lists every tracked job, newest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	// Newest first by id sequence (ids are "j<seq>-...", so creation
+	// order is not lexicographic; sort by created time then id).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Created > out[k-1].Created; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Result returns a done job's result bytes.
+func (s *Service) Result(id string) ([]byte, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.result, s.statusLocked(j), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the latest snapshot either way.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j), true
+}
+
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Key:       hex.EncodeToString(j.key[:]),
+		State:     j.state,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Error:     j.err,
+	}
+	fmtTime := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.Created = fmtTime(j.created)
+	st.Started = fmtTime(j.started)
+	st.Finished = fmtTime(j.finished)
+	return st
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueLen returns the number of admitted-but-unstarted jobs.
+func (s *Service) QueueLen() int { return len(s.queue) }
+
+// Metrics returns the service counters and histograms (obs-flattened,
+// "service/" prefix), the cache counters ("cache/" prefix), and
+// current gauges.
+func (s *Service) Metrics() map[string]float64 {
+	s.mu.Lock()
+	m := s.reg.Flatten("service/")
+	for _, name := range []string{"submitted", "completed", "failed", "expired",
+		"coalesced", "served_from_cache", "rejected_queue_full",
+		"rejected_deadline", "rejected_draining"} {
+		if _, ok := m["service/"+name]; !ok {
+			m["service/"+name] = 0
+		}
+	}
+	m["service/queue_depth"] = float64(len(s.queue))
+	m["service/queue_capacity"] = float64(s.cfg.QueueDepth)
+	m["service/workers"] = float64(s.cfg.Workers)
+	m["service/jobs_tracked"] = float64(len(s.jobs))
+	if s.draining {
+		m["service/draining"] = 1
+	} else {
+		m["service/draining"] = 0
+	}
+	s.mu.Unlock()
+	for k, v := range s.cache.Metrics("cache/") {
+		m[k] = v
+	}
+	return m
+}
+
+// Shutdown begins draining: new submissions fail with ErrDraining,
+// every already-accepted job still executes, and Shutdown returns when
+// the queue is empty and all workers have stopped (or ctx expires, in
+// which case the remaining jobs keep draining in the background).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown interrupted with work still draining: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,188 @@
+// Command loadgen is a closed-loop micro load generator for pasmd:
+// -c concurrent clients each submit-wait-fetch -n/-c requests back to
+// back, and the run reports throughput and latency percentiles. Two
+// phases separate the serving regimes:
+//
+//	cold — every request uses a distinct seed, so every request is a
+//	       cache miss that simulates from scratch;
+//	hit  — every request uses the same spec (pre-warmed), so every
+//	       request is served from the result cache.
+//
+// Usage:
+//
+//	loadgen -addr HOST:PORT [-c 4] [-n 40] [-exp table1]
+//	        [-phase both|cold|hit] [-seed 1988] [-out FILE|-]
+//
+// The JSON document (BENCH_service.json in CI) goes to -out; progress
+// goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/experiments"
+)
+
+type phaseResult struct {
+	Phase      string  `json:"phase"`
+	Requests   int     `json:"requests"`
+	Concurrent int     `json:"concurrent"`
+	Errors     int     `json:"errors"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Millis  float64 `json:"p50_ms"`
+	P90Millis  float64 `json:"p90_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	Bytes      int64   `json:"bytes_total"`
+}
+
+type benchDoc struct {
+	Schema string        `json:"schema"`
+	Addr   string        `json:"addr"`
+	Exp    string        `json:"exp"`
+	Host   string        `json:"host"`
+	CPUs   int           `json:"cpus"`
+	Code   string        `json:"code_version"`
+	Phases []phaseResult `json:"phases"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "pasmd address (required)")
+	c := flag.Int("c", 4, "concurrent closed-loop clients")
+	n := flag.Int("n", 40, "total requests per phase")
+	exp := flag.String("exp", "table1", "experiment to request")
+	phase := flag.String("phase", "both", "cold, hit, or both")
+	seed := flag.Uint("seed", 1988, "base seed (cold phase uses seed+i per request)")
+	out := flag.String("out", "-", "write the JSON results to `file` (\"-\" for stdout)")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cl := client.New(*addr)
+	ctx := context.Background()
+	doc := benchDoc{
+		Schema: "pasm-loadgen/1",
+		Addr:   *addr,
+		Exp:    *exp,
+		CPUs:   runtime.NumCPU(),
+		Code:   experiments.CodeVersion,
+	}
+	if h, err := os.Hostname(); err == nil {
+		doc.Host = h
+	}
+	if _, err := cl.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	spec := func(s uint32) experiments.Spec {
+		return experiments.Spec{Exps: []string{*exp}, Seed: s}
+	}
+	if *phase == "both" || *phase == "cold" {
+		doc.Phases = append(doc.Phases, runPhase(ctx, cl, "cold", *c, *n, func(i int) experiments.Spec {
+			return spec(uint32(*seed) + uint32(i))
+		}))
+	}
+	if *phase == "both" || *phase == "hit" {
+		// Pre-warm one entry, then hammer it: every timed request hits.
+		warm := spec(uint32(*seed))
+		if _, _, err := cl.Run(ctx, warm, client.SubmitOptions{Wait: 60 * time.Second}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: warm-up: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Phases = append(doc.Phases, runPhase(ctx, cl, "hit", *c, *n, func(int) experiments.Spec {
+			return warm
+		}))
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+}
+
+// runPhase drives n requests through c closed-loop workers and
+// aggregates latencies.
+func runPhase(ctx context.Context, cl *client.Client, name string, c, n int, specFor func(i int) experiments.Spec) phaseResult {
+	fmt.Fprintf(os.Stderr, "loadgen: phase %s: %d requests, %d clients\n", name, n, c)
+	lat := make([]float64, n)
+	var errs, bytesTotal int64
+	var next int64 = -1
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				raw, _, err := cl.Run(ctx, specFor(i), client.SubmitOptions{Wait: 60 * time.Second})
+				lat[i] = time.Since(t0).Seconds() * 1000
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+					continue
+				}
+				atomic.AddInt64(&bytesTotal, int64(len(raw)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		i := int(p*float64(n)) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lat[i]
+	}
+	res := phaseResult{
+		Phase:      name,
+		Requests:   n,
+		Concurrent: c,
+		Errors:     int(errs),
+		Seconds:    elapsed,
+		Throughput: float64(n) / elapsed,
+		P50Millis:  pct(0.50),
+		P90Millis:  pct(0.90),
+		P99Millis:  pct(0.99),
+		MaxMillis:  lat[n-1],
+		Bytes:      bytesTotal,
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: phase %s: %.1f req/s, p50 %.1fms, p99 %.1fms, %d errors\n",
+		name, res.Throughput, res.P50Millis, res.P99Millis, res.Errors)
+	return res
+}
