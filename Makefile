@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-json trace-smoke service-smoke bench-service report
+.PHONY: all build vet test race cover ci bench bench-json trace-smoke service-smoke chaos-smoke bench-service report
 
 all: ci
 
@@ -21,7 +21,14 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race trace-smoke service-smoke
+ci: build vet test race trace-smoke service-smoke chaos-smoke
+
+# Coverage gate: per-package statement coverage printed and compared
+# against the checked-in floor; fails on regression. After genuinely
+# improving coverage, raise the floor with:
+#   go run ./scripts/covercheck -update
+cover:
+	$(GO) run ./scripts/covercheck
 
 # End-to-end exporter check: run a small S/MIMD job with -trace-out and
 # validate the emitted Chrome trace against the exporter's schema.
@@ -35,6 +42,13 @@ trace-smoke:
 # full queue, and a graceful drain that loses no accepted job.
 service-smoke:
 	$(GO) run ./scripts/servicesmoke
+
+# Resilience check: run pasmd under a fixed fault-injection profile
+# (errors, delays, panics at every point) and assert no accepted job is
+# lost, all results stay byte-identical to fault-free runs, and the
+# injected faults + client retries are visible in /metrics.
+chaos-smoke:
+	$(GO) run ./scripts/chaossmoke
 
 # Serving benchmark: throughput and latency percentiles for cold-miss
 # vs cache-hit requests (writes BENCH_service.json).

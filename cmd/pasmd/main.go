@@ -13,6 +13,14 @@
 //	      [-queue 64] [-workers 2] [-parallel N]
 //	      [-cache-entries 256] [-cache-bytes N]
 //	      [-drain-timeout 5m] [-linger 2s]
+//	      [-chaos-profile "run:error=0.1,..." [-chaos-seed N]]
+//
+// -chaos-profile enables deterministic fault injection (package
+// faults) at the admission, cache, execution, and HTTP points;
+// -chaos-seed picks the decision sequence, so a chaos run is
+// reproducible from its flags alone. Injected fault counts appear
+// under "faults/" in /metrics. Without the flag the injector is
+// absent and the serving path runs at full speed.
 //
 // -workers is the number of jobs executing concurrently; each job
 // additionally fans its experiment cells across -parallel host
@@ -43,6 +51,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -60,7 +69,20 @@ func run() int {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache bound, total value bytes (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs on shutdown")
 	linger := flag.Duration("linger", 2*time.Second, "after the queue drains, keep serving status/result reads this long so waiting clients can collect")
+	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile, e.g. \"run:error=0.1,panic=0.05,delay=0.2@20ms;http:error=0.1\" (empty = no injection)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic fault decision sequences")
 	flag.Parse()
+
+	var injector *faults.Injector
+	if *chaosProfile != "" {
+		profile, err := faults.ParseProfile(*chaosProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+			return 1
+		}
+		injector = faults.New(*chaosSeed, profile)
+		fmt.Fprintf(os.Stderr, "pasmd: CHAOS enabled: seed=%d profile=%q\n", *chaosSeed, profile)
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Parallelism = *parallel
@@ -69,6 +91,7 @@ func run() int {
 		Workers:    *workers,
 		Options:    opts,
 		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
+		Faults:     injector,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

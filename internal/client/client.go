@@ -4,17 +4,31 @@
 // document — bytes identical to what `pasmbench -json` produces
 // locally with host timings off, which is what lets `pasmbench
 // -remote` byte-compare the two paths.
+//
+// Resilience: a RetryPolicy (WithRetry) retries transient failures —
+// transport errors, timeouts, and retryable statuses (408/429/5xx) —
+// with exponential backoff, deterministic jitter, and the server's
+// Retry-After hint honored as a floor. Permanent client errors (400,
+// 404, 422, ...) fail immediately. Retries mark themselves with the
+// X-Pasm-Attempt header so the server's /metrics counts them.
+// SubmitOptions.Hedge races a second identical submit after a delay;
+// hedging is safe because submission is idempotent — identical
+// in-flight specs coalesce server-side and finished ones are served
+// from the content-addressed cache.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -37,13 +51,74 @@ func (e *APIError) Error() string {
 }
 
 // Temporary reports whether the request may succeed if retried (the
-// backpressure rejections).
+// backpressure rejections). Kept for compatibility; Retryable is the
+// broader classification the retry policy uses.
 func (e *APIError) Temporary() bool { return e.Status == http.StatusServiceUnavailable }
+
+// Retryable reports whether the status marks a transient condition:
+// backpressure (503), overload (429), server faults (500/502/504), or
+// a request timeout (408). Client errors like 400 and 422 are
+// permanent — retrying an invalid spec can never succeed.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Retryable classifies any client error: APIErrors by status, and
+// transport-level failures (connection refused/reset, aborted
+// responses, timeouts) as retryable unless the caller's context ended.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.Retryable()
+	}
+	var uerr *url.Error
+	if errors.As(err, &uerr) {
+		return true // transport-level: refused, reset, EOF, timeout
+	}
+	return false
+}
+
+// RetryPolicy configures automatic retries of transient failures.
+// The zero policy never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (1 or less
+	// disables retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay, doubling each
+	// attempt. Default 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 5s.
+	MaxBackoff time.Duration
+	// Seed drives the deterministic jitter (full jitter in
+	// [backoff/2, backoff]); two clients with different seeds desync
+	// even when rejected in lockstep.
+	Seed uint64
+
+	// sleep overrides waiting (tests).
+	sleep func(time.Duration)
+}
 
 // Client talks to one pasmd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	jitterState atomic.Uint64
+	retries     atomic.Int64
+	hedges      atomic.Int64
 }
 
 // New returns a client for addr ("host:port" or a full http URL).
@@ -54,24 +129,116 @@ func New(addr string) *Client {
 	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
 }
 
+// WithRetry installs a retry policy and returns the client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	c.retry = p
+	c.jitterState.Store(p.Seed)
+	return c
+}
+
+// Retries returns how many retry attempts this client has issued.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Hedges returns how many hedged submits this client has launched.
+func (c *Client) Hedges() int64 { return c.hedges.Load() }
+
 // SubmitOptions tune one submission.
 type SubmitOptions struct {
-	// Deadline, when > 0, requires the job to start executing within
-	// this long (server-side admission control may reject it outright).
+	// Deadline, when > 0, bounds the job's whole lifetime: admission,
+	// queue wait, and execution (the server cancels a running job when
+	// it passes).
 	Deadline time.Duration
 	// Wait, when > 0, asks the server to long-poll the job before
 	// responding, so small specs complete in one round trip.
 	Wait time.Duration
+	// Hedge, when > 0, launches a second identical submit if the first
+	// has not answered within this long, taking whichever answers
+	// first. Safe for any spec: submission is idempotent (coalescing +
+	// content-addressed cache).
+	Hedge time.Duration
 }
 
+// backoff computes the wait before the given retry attempt (2-based):
+// exponential growth with full jitter in [b/2, b], floored by the
+// server's Retry-After hint when one came back.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	b := c.retry.BaseBackoff << (attempt - 2)
+	if b <= 0 || b > c.retry.MaxBackoff {
+		b = c.retry.MaxBackoff
+	}
+	// xorshift64 over the seeded state: deterministic, lock-free.
+	for {
+		old := c.jitterState.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if x == 0 {
+			x = 0x9e3779b97f4a7c15
+		}
+		if c.jitterState.CompareAndSwap(old, x) {
+			b = b/2 + time.Duration(x%uint64(b/2+1))
+			break
+		}
+	}
+	var api *APIError
+	if errors.As(lastErr, &api) && api.RetryAfter > b {
+		b = api.RetryAfter
+	}
+	return b
+}
+
+// do issues one logical request, retrying transient failures per the
+// policy. body is re-serialized once and replayed on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			wait := c.backoff(attempt, lastErr)
+			if c.retry.sleep != nil {
+				c.retry.sleep(wait)
+			} else {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return lastErr
+				}
+			}
+		}
+		err := c.doOnce(ctx, method, path, buf, out, attempt)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !Retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, attempt int) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -80,6 +247,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(service.AttemptHeader, strconv.Itoa(attempt))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -122,7 +290,8 @@ func apiError(resp *http.Response, data []byte) error {
 
 // Submit sends a spec and returns the job to poll. For cache hits the
 // returned job is already done; for coalesced submissions it is the
-// shared in-flight job.
+// shared in-flight job. With opts.Hedge set, a stalled submit races a
+// second identical one.
 func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitOptions) (service.JobStatus, error) {
 	req := service.SubmitRequest{Spec: spec}
 	if opts.Deadline > 0 {
@@ -131,9 +300,56 @@ func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitO
 	if opts.Wait > 0 {
 		req.WaitMS = opts.Wait.Milliseconds()
 	}
+	if opts.Hedge > 0 {
+		return c.hedgedSubmit(ctx, req, opts.Hedge)
+	}
 	var st service.JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
 	return st, err
+}
+
+// hedgedSubmit issues the submit, then launches one backup copy if no
+// answer arrived within hedge. First success wins; the loser's
+// response is discarded (both name the same job server-side, because
+// identical specs coalesce). Both failing returns the first error.
+func (c *Client) hedgedSubmit(ctx context.Context, req service.SubmitRequest, hedge time.Duration) (service.JobStatus, error) {
+	type result struct {
+		st  service.JobStatus
+		err error
+	}
+	ch := make(chan result, 2)
+	launch := func() {
+		go func() {
+			var st service.JobStatus
+			err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+			ch <- result{st, err}
+		}()
+	}
+	launch()
+	outstanding := 1
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.st, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding--; outstanding == 0 {
+				return service.JobStatus{}, firstErr
+			}
+		case <-timer.C:
+			c.hedges.Add(1)
+			launch()
+			outstanding++
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		}
+	}
 }
 
 // Job polls a job's status once.

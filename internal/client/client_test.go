@@ -1,0 +1,267 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func spec1() experiments.Spec {
+	return experiments.Spec{Exps: []string{"table1"}, Seed: 1}
+}
+
+// TestErrorClassification is the retryable/permanent split, table
+// driven: transient statuses and transport faults retry, client
+// errors do not.
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"nil", nil, false},
+		{"503 backpressure", &APIError{Status: 503}, true},
+		{"500 server fault", &APIError{Status: 500}, true},
+		{"502 bad gateway", &APIError{Status: 502}, true},
+		{"504 gateway timeout", &APIError{Status: 504}, true},
+		{"429 overload", &APIError{Status: 429}, true},
+		{"408 request timeout", &APIError{Status: 408}, true},
+		{"400 bad spec", &APIError{Status: 400}, false},
+		{"404 unknown job", &APIError{Status: 404}, false},
+		{"409 not finished", &APIError{Status: 409}, false},
+		{"410 expired", &APIError{Status: 410}, false},
+		{"422 unprocessable", &APIError{Status: 422}, false},
+		{"wrapped 503", fmt.Errorf("submit: %w", &APIError{Status: 503}), true},
+		{"wrapped 400", fmt.Errorf("submit: %w", &APIError{Status: 400}), false},
+		{"transport refused", &url.Error{Op: "Post", URL: "http://x", Err: errors.New("connection refused")}, true},
+		{"caller context canceled", context.Canceled, false},
+		{"caller deadline exceeded", context.DeadlineExceeded, false},
+		{"other error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: Retryable = %v, want %v", tc.name, got, tc.retryable)
+		}
+	}
+}
+
+// TestRetryUntilSuccess: transient 503s are retried with backoff until
+// the server recovers; the attempt header marks each retry.
+func TestRetryUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	var attempts []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts = append(attempts, r.Header.Get(service.AttemptHeader))
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(503)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"j1","state":"queued"}`)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := New(srv.URL).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, Seed: 42,
+		sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	st, err := c.Submit(context.Background(), spec1(), SubmitOptions{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.ID != "j1" {
+		t.Errorf("job id = %q", st.ID)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+	if want := []string{"1", "2", "3"}; len(attempts) != 3 || attempts[0] != want[0] || attempts[1] != want[1] || attempts[2] != want[2] {
+		t.Errorf("attempt headers = %v, want %v", attempts, want)
+	}
+	// Retry-After (1s) dominates the 10ms base backoff on each wait.
+	for i, d := range slept {
+		if d < time.Second {
+			t.Errorf("sleep %d = %s, want >= 1s (Retry-After floor)", i, d)
+		}
+	}
+}
+
+// TestNoRetryOnPermanent: 400/422 fail immediately, zero retries.
+func TestNoRetryOnPermanent(t *testing.T) {
+	for _, status := range []int{400, 404, 422} {
+		var calls atomic.Int32
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":"bad"}`)
+		}))
+		c := New(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond,
+			sleep: func(time.Duration) {}})
+		_, err := c.Submit(context.Background(), spec1(), SubmitOptions{})
+		var api *APIError
+		if !errors.As(err, &api) || api.Status != status {
+			t.Errorf("status %d: err = %v", status, err)
+		}
+		if api != nil && api.Retryable() {
+			t.Errorf("status %d claims retryable", status)
+		}
+		if calls.Load() != 1 {
+			t.Errorf("status %d: server saw %d calls, want 1 (no retries)", status, calls.Load())
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryExhaustion: a persistently failing server exhausts
+// MaxAttempts and returns the last error.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(503)
+		fmt.Fprint(w, `{"error":"still full"}`)
+	}))
+	defer srv.Close()
+	c := New(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond,
+		sleep: func(time.Duration) {}})
+	_, err := c.Submit(context.Background(), spec1(), SubmitOptions{})
+	var api *APIError
+	if !errors.As(err, &api) || api.Status != 503 {
+		t.Fatalf("err = %v, want final 503", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestRetryTransportError: a dead endpoint is retried (connection
+// refused is transient) and the transport error surfaces at the end.
+func TestRetryTransportError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := srv.URL
+	srv.Close() // nothing listens now
+	c := New(addr).WithRetry(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond,
+		sleep: func(time.Duration) {}})
+	_, err := c.Submit(context.Background(), spec1(), SubmitOptions{})
+	if err == nil {
+		t.Fatal("submit to dead endpoint succeeded")
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestBackoffGrowsAndHonorsCap: nominal backoff doubles per attempt,
+// jitter keeps it in [b/2, b], MaxBackoff caps it.
+func TestBackoffGrowsAndHonorsCap(t *testing.T) {
+	c := New("127.0.0.1:1").WithRetry(RetryPolicy{
+		MaxAttempts: 8, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7,
+	})
+	for attempt, wantMax := range map[int]time.Duration{
+		2: 100 * time.Millisecond,
+		3: 200 * time.Millisecond,
+		4: 400 * time.Millisecond,
+		6: time.Second, // capped
+		8: time.Second,
+	} {
+		got := c.backoff(attempt, nil)
+		if got < wantMax/2 || got > wantMax {
+			t.Errorf("attempt %d: backoff %s outside [%s, %s]", attempt, got, wantMax/2, wantMax)
+		}
+	}
+}
+
+// TestHedgedSubmit: when the first submit stalls, the hedge fires and
+// its answer is used; a fast first answer means no hedge at all.
+func TestHedgedSubmit(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first request hangs until the test ends
+		}
+		fmt.Fprint(w, `{"id":"j9","state":"done"}`)
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := New(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, spec1(), SubmitOptions{Hedge: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("hedged submit: %v", err)
+	}
+	if st.ID != "j9" {
+		t.Errorf("job id = %q", st.ID)
+	}
+	if c.Hedges() != 1 {
+		t.Errorf("Hedges() = %d, want 1", c.Hedges())
+	}
+
+	// Fast path: server answers immediately, hedge timer never fires.
+	st, err = c.Submit(ctx, spec1(), SubmitOptions{Hedge: 10 * time.Second})
+	if err != nil || st.ID != "j9" {
+		t.Fatalf("fast submit: %v %v", st, err)
+	}
+	if c.Hedges() != 1 {
+		t.Errorf("fast path hedged: Hedges() = %d, want still 1", c.Hedges())
+	}
+}
+
+// TestHedgedSubmitBothFail: both copies failing returns the first
+// error instead of hanging.
+func TestHedgedSubmitBothFail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(400)
+		fmt.Fprint(w, `{"error":"bad spec"}`)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Submit(context.Background(), spec1(), SubmitOptions{Hedge: time.Millisecond})
+	var api *APIError
+	if !errors.As(err, &api) || api.Status != 400 {
+		t.Fatalf("err = %v, want 400", err)
+	}
+}
+
+// TestDeterministicJitter: two clients with the same seed draw the
+// same backoff sequence; different seeds diverge.
+func TestDeterministicJitter(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c := New("127.0.0.1:1").WithRetry(RetryPolicy{
+			MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second, Seed: seed})
+		var out []time.Duration
+		for a := 2; a <= 6; a++ {
+			out = append(out, c.backoff(a, nil))
+		}
+		return out
+	}
+	a, b, c2 := seq(11), seq(11), seq(12)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] != c2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}

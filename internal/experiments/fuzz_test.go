@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzSpecRoundTrip drives arbitrary JSON through the Spec pipeline
+// and checks the canonicalization invariants the result cache depends
+// on:
+//
+//   - decode -> Normalize -> Canonical -> decode -> Canonical is a
+//     fixed point (the canonical encoding re-canonicalizes to itself);
+//   - Normalize is idempotent;
+//   - the cache Key is stable across the round trip — two encodings of
+//     the same spec can never split the cache.
+//
+// Run `go test -fuzz=FuzzSpecRoundTrip -fuzztime=30s ./internal/experiments`.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"exps":["table1"],"seed":1988}`),
+		[]byte(`{"exps":["all"],"full":true,"observe":true,"seed":7}`),
+		[]byte(`{"exps":["ext","fig6","FIG7"," table1 "],"seed":4294967295}`),
+		[]byte(`{"cells":[{"n":8,"p":4,"muls":2,"mode":"MIMD"}]}`),
+		[]byte(`{"cells":[{"n":16,"p":1,"muls":1,"mode":"serial"},{"n":8,"p":8,"muls":64,"mode":"smimd"}],"observe":true}`),
+		[]byte(`{"exps":[""],"cells":[]}`),
+		[]byte(`{"exps":["fig99"]}`),
+		[]byte(`{"cells":[{"n":3,"p":4,"muls":2,"mode":"simd"}]}`),
+		[]byte(`{"seed":-1}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{"exps":["all","all","ext"],"full":false,"seed":0}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if json.Unmarshal(data, &spec) != nil {
+			return // not a spec; nothing to check
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			// Invalid specs must fail identically everywhere.
+			if _, cerr := spec.Canonical(); cerr == nil {
+				t.Fatalf("Normalize rejected but Canonical accepted: %q", data)
+			}
+			if _, kerr := spec.Key(); kerr == nil {
+				t.Fatalf("Normalize rejected but Key accepted: %q", data)
+			}
+			return
+		}
+		// Normalize is idempotent.
+		norm2, err := norm.Normalize()
+		if err != nil {
+			t.Fatalf("re-normalizing a normalized spec failed: %v", err)
+		}
+		c1, err := norm.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical of normalized spec: %v", err)
+		}
+		c2, err := norm2.Canonical()
+		if err != nil || !bytes.Equal(c1, c2) {
+			t.Fatalf("Normalize not idempotent: %q vs %q (%v)", c1, c2, err)
+		}
+		// The canonical encoding decodes back to a spec that
+		// re-canonicalizes byte-identically (fixed point).
+		var rt Spec
+		if err := json.Unmarshal(c1, &rt); err != nil {
+			t.Fatalf("canonical encoding does not decode: %q: %v", c1, err)
+		}
+		c3, err := rt.Canonical()
+		if err != nil {
+			t.Fatalf("re-canonicalizing decoded canonical form: %v", err)
+		}
+		if !bytes.Equal(c1, c3) {
+			t.Fatalf("canonical encoding is not a fixed point:\nfirst:  %s\nsecond: %s", c1, c3)
+		}
+		// Cache keys agree across the round trip.
+		k1, err1 := spec.Key()
+		k2, err2 := rt.Key()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Key errors: %v, %v", err1, err2)
+		}
+		if k1 != k2 {
+			t.Fatalf("cache key unstable across round trip for %q", data)
+		}
+	})
+}
+
+// FuzzRunSpecContextCancel pairs with the serving path: a canceled
+// context must surface promptly as an error for any decodable spec,
+// never a partial report. (Kept tiny — it runs no simulation.)
+func FuzzRunSpecContextCancel(f *testing.F) {
+	f.Add([]byte(`{"exps":["table1"],"seed":1}`))
+	f.Add([]byte(`{"cells":[{"n":8,"p":4,"muls":1,"mode":"simd"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if json.Unmarshal(data, &spec) != nil {
+			return
+		}
+		if _, err := spec.Normalize(); err != nil {
+			return
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rep, err := RunSpecContext(ctx, spec, RunConfig{Options: DefaultOptions()})
+		if rep != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled run: rep=%v err=%v", rep, err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -118,6 +119,16 @@ var runnersByName = map[string]func(Options) (Result, error){
 // The report's simulated content is identical for any
 // Options.Parallelism; only the Timings-gated fields vary run to run.
 func RunSpec(spec Spec, rc RunConfig) (*Report, error) {
+	return RunSpecContext(context.Background(), spec, rc)
+}
+
+// RunSpecContext is RunSpec under a cancelable context: a spec whose
+// deadline expires or whose submitter goes away stops between
+// experiments instead of simulating to completion (the serving path's
+// per-job deadline reaches here). Cancellation surfaces as ctx.Err()
+// wrapped with the experiment about to be abandoned; a report is never
+// partially returned.
+func RunSpecContext(ctx context.Context, spec Spec, rc RunConfig) (*Report, error) {
 	n, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -140,6 +151,9 @@ func RunSpec(spec Spec, rc RunConfig) (*Report, error) {
 	}
 	suiteStart := time.Now()
 	run := func(name string, f func(Options) (Result, error)) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
 		start := time.Now()
 		res, err := f(opts)
 		if err != nil {

@@ -1,0 +1,54 @@
+package m68k
+
+import "testing"
+
+// FuzzAssembler feeds arbitrary source to the assembler: it may reject
+// anything, but it must never panic — slices the parser indexes,
+// expression evaluation, branch relaxation, and the encoder all see
+// adversarial input here. On success, the encoder must also survive
+// the assembled program (it runs on every cached exec-table build).
+//
+// Run `go test -fuzz=FuzzAssembler -fuzztime=30s ./internal/m68k`.
+func FuzzAssembler(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		"; nothing but a comment\n* and another",
+		"\t.equ COUNT, 4\nstart:\tmoveq #COUNT, d0\nloop:\tadd.w d0, d1\n\tdbra d0, loop\n\thalt\n",
+		"move.w (a0)+, d0\nmulu.w d2, d0\nadd.w d0, (a1)+\n",
+		"move.w 16(a2), d0\nmove.w -4(a2), d0\nmove.w #-1, d0\nmove.w $1000, d0\nmove.w (sp)+, d0\n",
+		".region mult\n.block elem\nnop\n.endblock\nbcast elem\n",
+		".equ A, 2\n.equ B, A*3+(4/2)\nmove.w #-B, d0\n",
+		"bra start\nstart: nop\nbeq start\nbne end\nend: halt\n",
+		"label-with-dash: nop",
+		"move.w d0",              // missing operand
+		"move.w d0, d1, d2",      // extra operand
+		"mulu.w #65536, d0",      // immediate out of range
+		".equ X\nmove.w #X, d0",  // malformed directive
+		".block a\n.block b\n",   // unclosed nested blocks
+		"dbra d0, nowhere\n",     // undefined label
+		"bcast nosuchblock\n",    // undefined block
+		"move.w 32768(a0), d0\n", // displacement overflow
+		"start: bra start\n",     // zero-displacement branch (relaxation)
+		".equ Z, 1/0\nmove.w #Z, d0\n", // division by zero in expression
+		"\x00\x01\x02",
+		"move.w (a9), d0\n", // bad register number
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are the failure mode
+		}
+		if p == nil {
+			t.Fatal("Assemble returned nil program and nil error")
+		}
+		// Anything that assembles must survive image encoding and the
+		// exec-table build (the serving path's pre-resolution step)
+		// without panicking either; encode errors are fine.
+		p.Encode()
+		p.table()
+	})
+}

@@ -1,16 +1,19 @@
 package matmul
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/m68k"
+	"repro/internal/obs"
 	"repro/internal/pasm"
 )
 
-// executeWith runs one spec end to end, optionally forcing every CPU
-// the VM creates onto the dynamic reference interpreter path instead of
-// the pre-resolved execution table.
-func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunResult, Matrix) {
+// executeWith runs one spec end to end with a full observability
+// recorder attached, optionally forcing every CPU the VM creates onto
+// the dynamic reference interpreter path instead of the pre-resolved
+// execution table.
+func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunResult, Matrix, *obs.Recorder) {
 	t.Helper()
 	prog, l, err := Build(spec)
 	if err != nil {
@@ -20,6 +23,7 @@ func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunRe
 	if need := l.MemBytes(); cfg.PEMemBytes < need {
 		cfg.PEMemBytes = need
 	}
+	cfg.Obs = obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
 	vm, err := pasm.NewVM(cfg, l.P)
 	if err != nil {
 		t.Fatal(err)
@@ -47,22 +51,48 @@ func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunRe
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res, c
+	return res, c, cfg.Obs
+}
+
+// diffObs requires two recorders to have captured the same simulated
+// run: identical merged event streams (every field, in order) and
+// identical flattened metrics. Any divergence means the two
+// interpreter paths disagree about what the machine did, not just
+// about the final answer.
+func diffObs(t *testing.T, label string, tab, dyn *obs.Recorder) {
+	t.Helper()
+	te, de := tab.Merged(), dyn.Merged()
+	if len(te) != len(de) {
+		t.Errorf("%s: event counts differ: table %d vs dynamic %d", label, len(te), len(de))
+		return
+	}
+	for i := range te {
+		if te[i] != de[i] {
+			t.Errorf("%s: event %d differs: table %+v vs dynamic %+v", label, i, te[i], de[i])
+			return
+		}
+	}
+	tm, dm := tab.Metrics().Flatten(""), dyn.Metrics().Flatten("")
+	if !reflect.DeepEqual(tm, dm) {
+		t.Errorf("%s: metrics differ:\ntable:   %v\ndynamic: %v", label, tm, dm)
+	}
 }
 
 // TestExecTableEquivalenceAllPrograms runs all four generated
 // matrix-multiplication programs through both interpreter paths — the
 // pre-resolved execution table and the per-step dynamic reference —
 // and requires identical cycle counts, per-PE clocks, region
-// breakdowns, instruction counts, and results.
+// breakdowns, instruction counts, results, and (event for event)
+// identical observability streams.
 func TestExecTableEquivalenceAllPrograms(t *testing.T) {
 	const n, p = 8, 4
 	a := Identity(n)
 	b := Random(n, 0xC0FFEE)
 	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
 		spec := Spec{N: n, P: p, Muls: 1, Mode: mode}
-		resTab, cTab := executeWith(t, spec, a, b, false)
-		resDyn, cDyn := executeWith(t, spec, a, b, true)
+		resTab, cTab, obsTab := executeWith(t, spec, a, b, false)
+		resDyn, cDyn, obsDyn := executeWith(t, spec, a, b, true)
+		diffObs(t, mode.String(), obsTab, obsDyn)
 
 		if resTab.Cycles != resDyn.Cycles {
 			t.Errorf("%v: cycles differ: table %d vs dynamic %d", mode, resTab.Cycles, resDyn.Cycles)

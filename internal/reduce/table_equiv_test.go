@@ -1,0 +1,94 @@
+package reduce
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/m68k"
+	"repro/internal/obs"
+	"repro/internal/pasm"
+)
+
+// executeWith runs one reduction end to end with a full observability
+// recorder attached, optionally forcing every CPU onto the dynamic
+// reference interpreter path instead of the pre-resolved execution
+// table.
+func executeWith(t *testing.T, spec Spec, v []uint16, dynamic bool) (pasm.RunResult, []uint16, *obs.Recorder) {
+	t.Helper()
+	prog, l, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	cfg.Obs = obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.TraceHook = func(unit string, cpu *m68k.CPU) {
+		cpu.DisableExecTable = dynamic
+	}
+	if err := Load(vm, l, v); err != nil {
+		t.Fatal(err)
+	}
+	var res pasm.RunResult
+	if spec.Mode == SIMD {
+		res, err = vm.RunSIMD(prog)
+	} else {
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		t.Fatalf("%v run: %v", spec.Mode, err)
+	}
+	sums, err := ReadResults(vm, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sums, cfg.Obs
+}
+
+// TestExecTableEquivalenceReduce runs every reduction program variant
+// through both interpreter paths and requires identical run results
+// (cycle counts, per-PE clocks, region breakdowns), identical sums,
+// and event-for-event identical observability streams.
+func TestExecTableEquivalenceReduce(t *testing.T) {
+	const n, p = 64, 8
+	v := RandomVector(n, 0xBEEF)
+	want := Reference(v)
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		spec := Spec{N: n, P: p, Mode: mode}
+		resTab, sumsTab, obsTab := executeWith(t, spec, v, false)
+		resDyn, sumsDyn, obsDyn := executeWith(t, spec, v, true)
+
+		if !reflect.DeepEqual(resTab, resDyn) {
+			t.Errorf("%v: run results differ:\ntable:   %+v\ndynamic: %+v", mode, resTab, resDyn)
+		}
+		if !reflect.DeepEqual(sumsTab, sumsDyn) {
+			t.Errorf("%v: sums differ: table %v vs dynamic %v", mode, sumsTab, sumsDyn)
+		}
+		for i, s := range sumsTab {
+			if s != want {
+				t.Errorf("%v: PE %d sum = %d, want %d", mode, i, s, want)
+			}
+		}
+
+		te, de := obsTab.Merged(), obsDyn.Merged()
+		if len(te) != len(de) {
+			t.Errorf("%v: event counts differ: table %d vs dynamic %d", mode, len(te), len(de))
+			continue
+		}
+		for i := range te {
+			if te[i] != de[i] {
+				t.Errorf("%v: event %d differs: table %+v vs dynamic %+v", mode, i, te[i], de[i])
+				break
+			}
+		}
+		tm, dm := obsTab.Metrics().Flatten(""), obsDyn.Metrics().Flatten("")
+		if !reflect.DeepEqual(tm, dm) {
+			t.Errorf("%v: metrics differ:\ntable:   %v\ndynamic: %v", mode, tm, dm)
+		}
+	}
+}

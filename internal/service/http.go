@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 // HTTP API (cmd/pasmd, internal/client):
@@ -25,13 +27,31 @@ import (
 // Backpressure surfaces as 503 with a Retry-After header (queue full,
 // unmeetable deadline, draining). Unknown jobs are 404; results of
 // unfinished jobs are 409; failed jobs are 500; expired jobs are 410.
+//
+// Deadlines propagate from either the submit body (deadline_ms) or the
+// X-Pasm-Deadline-Ms header; clients mark retries with X-Pasm-Attempt
+// so /metrics exposes them.
+
+// DeadlineHeader carries a submit's relative deadline in milliseconds
+// (equivalent to SubmitRequest.DeadlineMS; the body wins when both are
+// set), so callers that cannot shape the body — proxies, curl scripts —
+// still get end-to-end deadline propagation.
+const DeadlineHeader = "X-Pasm-Deadline-Ms"
+
+// AttemptHeader carries the client's 1-based attempt number for this
+// request. Values above 1 mark retries; the service counts them
+// ("service/retried_submits"), making client retry behavior observable
+// in /metrics.
+const AttemptHeader = "X-Pasm-Attempt"
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
 	Spec experiments.Spec `json:"spec"`
-	// DeadlineMS, when > 0, is a relative deadline: the job must START
-	// executing within this many milliseconds or it is rejected at
-	// admission / expired in the queue.
+	// DeadlineMS, when > 0, is a relative deadline covering the job's
+	// whole lifetime: the job is rejected at admission if the queue
+	// estimate cannot meet it, expired in the queue if it passes
+	// before a worker starts, and canceled mid-run (context deadline
+	// through RunSpecContext) if it passes during execution.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// WaitMS, when > 0, long-polls the submitted job for up to this
 	// many milliseconds before responding (one round trip for small
@@ -55,7 +75,50 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.faultMiddleware(mux)
+}
+
+// faultMiddleware is the HTTP fault point: injected delays stall the
+// response, injected errors become 500s (a retryable status for the
+// client's policy), and injected panics abort the connection mid-reply
+// via http.ErrAbortHandler — the client sees a transport error, the
+// server neither logs a stack nor dies. /metrics and /healthz are
+// exempt so chaos runs stay observable and health-checkable.
+func (s *Service) faultMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.countRetry(r)
+		if s.faults == nil || r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		act := s.faults.Check(faults.HTTP)
+		if act.Delay > 0 {
+			select {
+			case <-time.After(act.Delay):
+			case <-r.Context().Done():
+			}
+		}
+		if act.Panic {
+			panic(http.ErrAbortHandler)
+		}
+		if act.Err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: act.Err.Error()})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// countRetry folds the client-reported attempt number into the
+// metrics: any request marked attempt >= 2 is a retry.
+func (s *Service) countRetry(r *http.Request) {
+	if v := r.Header.Get(AttemptHeader); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 1 {
+			s.mu.Lock()
+			s.reg.Add("retried_submits", 1)
+			s.mu.Unlock()
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -83,6 +146,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
+	}
+	if req.DeadlineMS == 0 {
+		if v := r.Header.Get(DeadlineHeader); v != "" {
+			ms, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || ms <= 0 {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad " + DeadlineHeader + " header"})
+				return
+			}
+			req.DeadlineMS = ms
+		}
 	}
 	var deadline time.Time
 	if req.DeadlineMS > 0 {

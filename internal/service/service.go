@@ -16,6 +16,17 @@
 // deadline passes while queued is expired without execution. Graceful
 // shutdown stops admission (ErrDraining) and drains every accepted
 // job before returning, so no accepted work is lost.
+//
+// Resilience discipline: a job's deadline follows it end to end — it
+// gates admission, sheds the job if it expires while queued, and rides
+// the execution context into experiments.RunSpecContext so a running
+// job stops between experiments once the deadline passes. A panicking
+// run (a bug, or chaos injection) fails only its own job and is
+// counted; the worker goroutine survives, so the pool self-heals. An
+// optional faults.Injector (Config.Faults, pasmd -chaos-seed/-chaos-
+// profile) injects deterministic errors, delays, and panics at the
+// admission, cache, execution, and HTTP points; detached it costs one
+// nil pointer test per site.
 package service
 
 import (
@@ -23,11 +34,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -35,6 +48,7 @@ import (
 //
 //	queued -> running -> done | failed
 //	queued -> expired            (deadline passed before a worker got it)
+//	running -> expired           (deadline passed mid-run; execution canceled)
 //	(cache hit) -> done          (never queued)
 type State string
 
@@ -74,9 +88,14 @@ type Config struct {
 	// MinRetryAfter floors the Retry-After estimate on rejection.
 	// Default 1s.
 	MinRetryAfter time.Duration
+	// Faults, when non-nil, injects deterministic faults at the
+	// admission, cache, execution, and HTTP points (chaos testing).
+	// Nil costs one pointer test per probe site.
+	Faults *faults.Injector
 
-	// run overrides job execution (tests).
-	run func(experiments.Spec) ([]byte, error)
+	// run overrides job execution (tests). ctx carries the job's
+	// deadline; implementations should abandon work when it expires.
+	run func(ctx context.Context, spec experiments.Spec) ([]byte, error)
 	// now overrides the clock (tests).
 	now func() time.Time
 }
@@ -136,11 +155,12 @@ type job struct {
 
 // Service is the experiment-serving engine.
 type Service struct {
-	cfg   Config
-	run   func(experiments.Spec) ([]byte, error)
-	now   func() time.Time
-	cache *cache.Cache
-	queue chan *job
+	cfg    Config
+	run    func(ctx context.Context, spec experiments.Spec) ([]byte, error)
+	now    func() time.Time
+	cache  *cache.Cache
+	faults *faults.Injector
+	queue  chan *job
 
 	mu         sync.Mutex
 	jobs       map[string]*job
@@ -177,14 +197,15 @@ func New(cfg Config) *Service {
 		run:      cfg.run,
 		now:      cfg.now,
 		cache:    cache.New(cfg.Cache),
+		faults:   cfg.Faults,
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[cache.Key]*job{},
 		reg:      obs.NewRegistry(),
 	}
 	if s.run == nil {
-		s.run = func(spec experiments.Spec) ([]byte, error) {
-			rep, err := experiments.RunSpec(spec, experiments.RunConfig{Options: cfg.Options})
+		s.run = func(ctx context.Context, spec experiments.Spec) ([]byte, error) {
+			rep, err := experiments.RunSpecContext(ctx, spec, experiments.RunConfig{Options: cfg.Options})
 			if err != nil {
 				return nil, err
 			}
@@ -216,6 +237,23 @@ func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, 
 	}
 	key := cache.Key(rawKey)
 
+	// Fault probes happen before mu so injected delays never stall
+	// other submitters. An injected admission fault is reported as
+	// transient overload (503 + Retry-After), so well-behaved clients
+	// retry it exactly like real backpressure. An injected cache fault
+	// degrades the lookup to a miss (recompute, not reject).
+	var admitErr error
+	var cacheFaulted bool
+	if s.faults != nil {
+		if act := s.faults.Check(faults.Admit); act.Err != nil || act.Delay > 0 {
+			if act.Delay > 0 {
+				time.Sleep(act.Delay)
+			}
+			admitErr = act.Err
+		}
+		cacheFaulted = s.faults.Check(faults.Cache).Err != nil
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -223,9 +261,16 @@ func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, 
 		return JobStatus{}, ErrDraining
 	}
 	s.reg.Add("submitted", 1)
+	if admitErr != nil {
+		s.reg.Add("rejected_injected", 1)
+		return JobStatus{}, &QueueFullError{RetryAfter: s.cfg.MinRetryAfter, Reason: "injected admission fault"}
+	}
 	now := s.now()
 
-	if val, ok := s.cache.Get(key); ok {
+	if cacheFaulted {
+		s.reg.Add("cache_faults", 1)
+	}
+	if val, ok := s.cacheGet(key, cacheFaulted); ok {
 		j := s.newJobLocked(norm, key, deadline, now)
 		j.state = StateDone
 		j.cached = true
@@ -258,6 +303,15 @@ func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, 
 	s.inflight[key] = j
 	s.reg.Hist("queue_depth", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(int64(len(s.queue)))
 	return s.statusLocked(j), nil
+}
+
+// cacheGet is the result-cache lookup behind the cache fault point: a
+// faulted lookup misses, so the spec recomputes instead of failing.
+func (s *Service) cacheGet(key cache.Key, faulted bool) ([]byte, bool) {
+	if faulted {
+		return nil, false
+	}
+	return s.cache.Get(key)
 }
 
 // newJobLocked allocates and registers a job record.
@@ -317,7 +371,7 @@ func (s *Service) worker() {
 		s.reg.Hist("queue_wait_ms", msBounds).Observe(now.Sub(j.created).Milliseconds())
 		s.mu.Unlock()
 
-		result, err := s.run(j.spec)
+		result, err := s.execute(j)
 
 		s.mu.Lock()
 		j.finished = s.now()
@@ -328,11 +382,16 @@ func (s *Service) worker() {
 			s.avgRunSecs = 0.8*s.avgRunSecs + 0.2*runSecs
 		}
 		s.reg.Hist("run_ms", msBounds).Observe(int64(runSecs * 1000))
-		if err != nil {
+		switch {
+		case err != nil && errors.Is(err, context.DeadlineExceeded):
+			j.state = StateExpired
+			j.err = "deadline exceeded during execution"
+			s.reg.Add("expired_running", 1)
+		case err != nil:
 			j.state = StateFailed
 			j.err = err.Error()
 			s.reg.Add("failed", 1)
-		} else {
+		default:
 			j.state = StateDone
 			j.result = result
 			s.cache.Put(j.key, result)
@@ -343,6 +402,46 @@ func (s *Service) worker() {
 		s.retireLocked(j)
 		s.mu.Unlock()
 	}
+}
+
+// execute runs one job under its deadline with panic isolation: a
+// panicking run (real or injected) fails only this job — the worker
+// goroutine survives, which is the pool's self-healing property. The
+// run-point fault check precedes execution, so injected errors and
+// panics exercise the same recovery paths real ones would.
+func (s *Service) execute(j *job) (result []byte, err error) {
+	ctx := context.Background()
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.reg.Add("panics_recovered", 1)
+			s.mu.Unlock()
+			result, err = nil, fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if s.faults != nil {
+		if act := s.faults.Check(faults.Run); act.Err != nil || act.Panic || act.Delay > 0 {
+			if act.Delay > 0 {
+				select {
+				case <-time.After(act.Delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			if act.Panic {
+				panic("injected chaos panic")
+			}
+			if act.Err != nil {
+				return nil, act.Err
+			}
+		}
+	}
+	return s.run(ctx, j.spec)
 }
 
 // retireLocked appends a terminal job to the bounded history, dropping
@@ -452,7 +551,9 @@ func (s *Service) Metrics() map[string]float64 {
 	m := s.reg.Flatten("service/")
 	for _, name := range []string{"submitted", "completed", "failed", "expired",
 		"coalesced", "served_from_cache", "rejected_queue_full",
-		"rejected_deadline", "rejected_draining"} {
+		"rejected_deadline", "rejected_draining", "rejected_injected",
+		"panics_recovered", "expired_running", "cache_faults",
+		"retried_submits"} {
 		if _, ok := m["service/"+name]; !ok {
 			m["service/"+name] = 0
 		}
@@ -468,6 +569,9 @@ func (s *Service) Metrics() map[string]float64 {
 	}
 	s.mu.Unlock()
 	for k, v := range s.cache.Metrics("cache/") {
+		m[k] = v
+	}
+	for k, v := range s.faults.Metrics("faults/") {
 		m[k] = v
 	}
 	return m

@@ -23,7 +23,7 @@ func newGatedRunner() *gatedRunner {
 	return &gatedRunner{gate: make(chan struct{}), bytes: []byte(`{"fake":"report"}` + "\n")}
 }
 
-func (g *gatedRunner) run(spec experiments.Spec) ([]byte, error) {
+func (g *gatedRunner) run(ctx context.Context, spec experiments.Spec) ([]byte, error) {
 	atomic.AddInt32(&g.runs, 1)
 	<-g.gate
 	return g.bytes, nil
@@ -301,7 +301,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestFailedJob: an execution error lands the job in failed with the
 // error text, and nothing is cached.
 func TestFailedJob(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, run: func(experiments.Spec) ([]byte, error) {
+	s := New(Config{Workers: 1, QueueDepth: 4, run: func(context.Context, experiments.Spec) ([]byte, error) {
 		return nil, fmt.Errorf("machine on fire")
 	}})
 	defer s.Shutdown(context.Background())

@@ -1,0 +1,92 @@
+package smoothing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/m68k"
+	"repro/internal/obs"
+	"repro/internal/pasm"
+)
+
+// executeWith runs one smoothing configuration end to end with a full
+// observability recorder attached, optionally forcing every CPU onto
+// the dynamic reference interpreter path instead of the pre-resolved
+// execution table.
+func executeWith(t *testing.T, spec Spec, img Image, dynamic bool) (pasm.RunResult, Image, *obs.Recorder) {
+	t.Helper()
+	prog, l, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	cfg.Obs = obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.TraceHook = func(unit string, cpu *m68k.CPU) {
+		cpu.DisableExecTable = dynamic
+	}
+	if err := Load(vm, l, img); err != nil {
+		t.Fatal(err)
+	}
+	var res pasm.RunResult
+	if spec.Mode == SIMD {
+		res, err = vm.RunSIMD(prog)
+	} else {
+		res, err = vm.RunMIMD(prog)
+	}
+	if err != nil {
+		t.Fatalf("%v run: %v", spec.Mode, err)
+	}
+	out, err := ReadOut(vm, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out, cfg.Obs
+}
+
+// TestExecTableEquivalenceSmoothing runs every smoothing program
+// variant through both interpreter paths and requires identical run
+// results, identical output images, and event-for-event identical
+// observability streams.
+func TestExecTableEquivalenceSmoothing(t *testing.T) {
+	const h, w, p = 8, 16, 4
+	img := RandomImage(h, w, 0xFACE)
+	want := Reference(img)
+	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
+		spec := Spec{H: h, W: w, P: p, Mode: mode}
+		resTab, outTab, obsTab := executeWith(t, spec, img, false)
+		resDyn, outDyn, obsDyn := executeWith(t, spec, img, true)
+
+		if !reflect.DeepEqual(resTab, resDyn) {
+			t.Errorf("%v: run results differ:\ntable:   %+v\ndynamic: %+v", mode, resTab, resDyn)
+		}
+		if !Equal(outTab, outDyn) {
+			t.Errorf("%v: output images differ between interpreter paths", mode)
+		}
+		if !Equal(outTab, want) {
+			t.Errorf("%v: table-path output is wrong", mode)
+		}
+
+		te, de := obsTab.Merged(), obsDyn.Merged()
+		if len(te) != len(de) {
+			t.Errorf("%v: event counts differ: table %d vs dynamic %d", mode, len(te), len(de))
+			continue
+		}
+		for i := range te {
+			if te[i] != de[i] {
+				t.Errorf("%v: event %d differs: table %+v vs dynamic %+v", mode, i, te[i], de[i])
+				break
+			}
+		}
+		tm, dm := obsTab.Metrics().Flatten(""), obsDyn.Metrics().Flatten("")
+		if !reflect.DeepEqual(tm, dm) {
+			t.Errorf("%v: metrics differ:\ntable:   %v\ndynamic: %v", mode, tm, dm)
+		}
+	}
+}

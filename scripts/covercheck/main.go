@@ -1,0 +1,109 @@
+// Command covercheck is the coverage gate (make cover). It runs
+// `go test -cover` over every package, prints per-package statement
+// coverage, and fails if any package falls more than -slack points
+// below the checked-in baseline (COVERAGE_baseline.json) — so coverage
+// can only ratchet up. Run with -update after intentionally improving
+// coverage to raise the floor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var coverLine = regexp.MustCompile(`^(ok|FAIL)\s+(\S+)\s+.*coverage: ([0-9.]+)% of statements`)
+
+func main() {
+	baselinePath := flag.String("baseline", "COVERAGE_baseline.json", "per-package coverage floor `file`")
+	slack := flag.Float64("slack", 0.5, "allowed drop below baseline, percentage points")
+	update := flag.Bool("update", false, "rewrite the baseline from the current run instead of gating")
+	flag.Parse()
+
+	if err := run(*baselinePath, *slack, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "covercheck: PASS")
+}
+
+func run(baselinePath string, slack float64, update bool) error {
+	cmd := exec.Command("go", "test", "-count=1", "-cover", "./...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -cover failed:\n%s", out)
+	}
+
+	current := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		if m := coverLine.FindStringSubmatch(sc.Text()); m != nil {
+			pct, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %v", sc.Text(), err)
+			}
+			current[m[2]] = pct
+		}
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no coverage lines in go test output:\n%s", out)
+	}
+
+	if update {
+		b, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "covercheck: wrote %s (%d packages)\n", baselinePath, len(current))
+		return nil
+	}
+
+	baseline := map[string]float64{}
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -update to create it): %v", err)
+	}
+	if err := json.Unmarshal(b, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %v", baselinePath, err)
+	}
+
+	pkgs := make([]string, 0, len(current))
+	for pkg := range current {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	var failures []string
+	for _, pkg := range pkgs {
+		cur := current[pkg]
+		floor, tracked := baseline[pkg]
+		switch {
+		case !tracked:
+			fmt.Printf("%-40s %6.1f%%  (new — add with -update)\n", pkg, cur)
+		case cur+slack < floor:
+			fmt.Printf("%-40s %6.1f%%  BELOW baseline %.1f%%\n", pkg, cur, floor)
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < %.1f%%", pkg, cur, floor))
+		default:
+			fmt.Printf("%-40s %6.1f%%  (baseline %.1f%%)\n", pkg, cur, floor)
+		}
+	}
+	for pkg := range baseline {
+		if _, ok := current[pkg]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but produced no coverage (tests deleted?)", pkg))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("coverage regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
