@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover ci bench bench-json trace-smoke service-smoke chaos-smoke bench-service report
+.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke bench-service report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race trace-smoke service-smoke chaos-smoke
+ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke
 
 # Coverage gate: per-package statement coverage printed and compared
 # against the checked-in floor; fails on regression. After genuinely
@@ -68,6 +68,20 @@ bench-json:
 # Go benchmarks (simulated metrics + interpreter allocation check).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Allocation gate for the superinstruction tier: a short benchmark run
+# plus the AllocsPerRun test asserting the hot path is 0 allocs/op in
+# steady state.
+bench-smoke:
+	$(GO) test -run TestSuperPathZeroAllocs -count=1 \
+		-bench 'BenchmarkInterpreter(Table|Super)' -benchtime 100x -benchmem \
+		./internal/m68k/
+
+# Interpreter-tier regression gate: remeasure the BENCH_interp.json
+# rows and fail if the super tier's speedup over the reference tier
+# fell below the recorded ratios (a noise margin absorbs host jitter).
+bench-interp:
+	$(GO) run ./cmd/interpbench -reps 2 -against BENCH_interp.json
 
 report:
 	$(GO) run ./cmd/pasmreport -o report.md

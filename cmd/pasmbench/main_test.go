@@ -22,14 +22,49 @@ func TestJSONStdoutIsPure(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
 		t.Fatalf("stdout is not pure JSON: %v\nstdout:\n%s", err, stdout.String())
 	}
-	if rep.Schema != experiments.SchemaV2 {
+	if rep.Schema != experiments.SchemaV21 {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table1" {
 		t.Errorf("experiments = %+v", rep.Experiments)
 	}
+	if rep.Interp == nil || rep.Interp.Tier != "super" {
+		t.Errorf("observe section interp = %+v, want the default super tier", rep.Interp)
+	}
 	if strings.Contains(stdout.String(), "Table 1") {
 		t.Error("rendered table leaked onto JSON stdout")
+	}
+}
+
+// TestInterpTierInReport: the v2.1 observe section names the tier the
+// -interp flag selected and carries the segment-cache counters — zero
+// for the tiers that run with the cache disabled.
+func TestInterpTierInReport(t *testing.T) {
+	get := func(tier string) experiments.Report {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-exp", "fig8", "-interp", tier, "-host-timings=false", "-json", "-"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+		}
+		var rep experiments.Report
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sup := get("super")
+	if sup.Interp == nil || sup.Interp.Tier != "super" {
+		t.Fatalf("super run: interp = %+v", sup.Interp)
+	}
+	if sup.Interp.MemoHits+sup.Interp.MemoMisses == 0 {
+		t.Error("super run: segment cache was never consulted")
+	}
+	tab := get("table")
+	if tab.Interp == nil || tab.Interp.Tier != "table" {
+		t.Fatalf("table run: interp = %+v", tab.Interp)
+	}
+	if tab.Interp.MemoHits != 0 || tab.Interp.MemoMisses != 0 {
+		t.Errorf("table run: cache counters nonzero with the memo disabled: %+v", tab.Interp)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/matmul"
 	"repro/internal/pasm"
@@ -38,6 +39,34 @@ type Options struct {
 	// Summary under "obs/" keys. Purely additive: the v1 summary keys
 	// and rendered tables are unchanged.
 	Observe bool
+	// InterpTier names the interpreter tier the Config's Disable*
+	// knobs select ("super", "table", "reference"); informational
+	// only, surfaced in the report's Timings-gated fields. Empty means
+	// the default "super".
+	InterpTier string
+
+	// memo receives the segment-cache hit/miss counters of every run
+	// result an experiment produces. RunSpec wires it so a report can
+	// total the cache's effectiveness; nil outside RunSpec.
+	memo *memoTally
+}
+
+// memoTally accumulates segment-cache counters across a spec's
+// experiment cells. Atomic because cells run on parallel host workers;
+// summation is commutative, so the totals are deterministic for any
+// parallelism.
+type memoTally struct {
+	hits, misses int64
+}
+
+// tally folds one run result's segment-cache counters into the spec's
+// totals (a no-op outside RunSpec).
+func (o Options) tally(res pasm.RunResult) {
+	if o.memo == nil {
+		return
+	}
+	atomic.AddInt64(&o.memo.hits, res.MemoHits)
+	atomic.AddInt64(&o.memo.misses, res.MemoMisses)
 }
 
 // DefaultOptions returns quick-set options with the prototype config.
@@ -98,6 +127,7 @@ func (r *runner) exec(spec matmul.Spec) (pasm.RunResult, error) {
 	if err != nil {
 		return pasm.RunResult{}, err
 	}
+	r.opts.tally(res)
 	r.obs.done(rec)
 	if !matmul.Equal(c, b) {
 		return pasm.RunResult{}, fmt.Errorf("experiments: %s n=%d p=%d muls=%d computed a wrong product",

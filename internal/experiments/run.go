@@ -4,11 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // SchemaV2 is the report schema identifier (cmd/pasmbench -json v2).
 const SchemaV2 = "pasmbench/v2"
+
+// SchemaV21 extends v2 with the active interpreter tier and the
+// segment-cache totals in the observe section. Every v2 field is
+// intact; v2 consumers that tolerate unknown fields read v2.1
+// documents unchanged.
+const SchemaV21 = "pasmbench/v2.1"
 
 // Result is what every experiment produces: a rendered table. Concrete
 // results usually also implement Summarizer and sometimes Plotter.
@@ -31,17 +38,32 @@ type ReportExperiment struct {
 	Summary     map[string]float64 `json:"summary,omitempty"`
 }
 
+// InterpInfo is the report's v2.1 observe-section extension: which
+// interpreter tier simulated the spec and how the segment cache
+// behaved. The simulated numbers are identical for every tier (the
+// differential tests enforce it), so this records provenance and
+// cache effectiveness, not semantics. The counters are totals across
+// every cell's VM; summation is commutative, so they are
+// deterministic for any host parallelism.
+type InterpInfo struct {
+	Tier       string `json:"tier"`
+	MemoHits   int64  `json:"memo_hits"`
+	MemoMisses int64  `json:"memo_misses"`
+}
+
 // Report is the machine-readable result of running a Spec: the
-// pasmbench -json v2 document. All summary values are simulated
+// pasmbench -json v2.1 document. All summary values are simulated
 // quantities; with Timings disabled the whole document is a pure
-// function of (Spec, CodeVersion), which is what lets the service
-// cache it and the remote CLI byte-compare it against a local run.
+// function of (Spec, CodeVersion, interpreter tier), which is what
+// lets the service cache it and the remote CLI byte-compare it
+// against a local run.
 type Report struct {
 	Schema      string             `json:"schema"`
 	Full        bool               `json:"full"`
 	Seed        uint32             `json:"seed"`
 	Parallel    int                `json:"parallel,omitempty"`
 	Observe     bool               `json:"observe"`
+	Interp      *InterpInfo        `json:"interp,omitempty"`
 	HostSeconds float64            `json:"host_seconds,omitempty"`
 	Experiments []ReportExperiment `json:"experiments"`
 }
@@ -139,9 +161,13 @@ func RunSpecContext(ctx context.Context, spec Spec, rc RunConfig) (*Report, erro
 	opts.Full = n.Full
 	opts.Seed = n.Seed
 	opts.Observe = n.Observe
+	opts.memo = &memoTally{}
+	if opts.InterpTier == "" {
+		opts.InterpTier = "super"
+	}
 
 	report := &Report{
-		Schema:  SchemaV2,
+		Schema:  SchemaV21,
 		Full:    n.Full,
 		Seed:    n.Seed,
 		Observe: n.Observe,
@@ -182,6 +208,11 @@ func RunSpecContext(ctx context.Context, spec Spec, rc RunConfig) (*Report, erro
 		if err != nil {
 			return nil, err
 		}
+	}
+	report.Interp = &InterpInfo{
+		Tier:       opts.InterpTier,
+		MemoHits:   atomic.LoadInt64(&opts.memo.hits),
+		MemoMisses: atomic.LoadInt64(&opts.memo.misses),
 	}
 	if rc.Timings {
 		report.HostSeconds = time.Since(suiteStart).Seconds()

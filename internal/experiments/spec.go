@@ -20,7 +20,7 @@ const SpecVersion = 1
 // encoding, so changing the simulated machine's behavior (cycle
 // counts, program generation, report schema) must bump it — cached
 // results from the old code then miss instead of serving stale bytes.
-const CodeVersion = "pasm-sim/1"
+const CodeVersion = "pasm-sim/2"
 
 // expAliases expands the user-facing experiment groups.
 var (

@@ -57,7 +57,7 @@ func Table1(opts Options) (*Table1Result, error) {
 	rows := make([]Table1Row, len(cells))
 	err := forEachCell(opts.workers(), len(cells), func(i int) error {
 		cfg, rec := o.cell(opts.Config)
-		cycles, instrs, err := rawRate(cfg, cells[i].text, cells[i].mode)
+		cycles, instrs, err := rawRate(opts, cfg, cells[i].text, cells[i].mode)
 		if err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func Table1(opts Options) (*Table1Result, error) {
 
 // rawRate runs a straight-line block of one instruction repeatedly and
 // returns the per-PE cycle and instruction counts.
-func rawRate(cfg pasm.Config, instrText, mode string) (cycles, instrs int64, err error) {
+func rawRate(opts Options, cfg pasm.Config, instrText, mode string) (cycles, instrs int64, err error) {
 	cfg.PEMemBytes = 1 << 16
 	vm, err := pasm.NewVM(cfg, 4)
 	if err != nil {
@@ -121,6 +121,7 @@ l:
 	if err != nil {
 		return 0, 0, err
 	}
+	opts.tally(r)
 	perPE := r.Instrs / int64(vm.P)
 	return r.Cycles, perPE, nil
 }

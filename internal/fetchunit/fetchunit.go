@@ -31,6 +31,8 @@ type Queue struct {
 	enqueuedWord int64   // total words whose enqueue has been scheduled
 	consumedWord int64   // total words recorded as dequeued
 	freeAt       []int64 // ring: dequeue time of word w at freeAt[w%depth]
+	enqSlot      int     // enqueuedWord % depth (ring index kept incrementally)
+	consSlot     int     // consumedWord % depth
 
 	// MaxOccupancy tracks the high-water mark of words in flight at
 	// enqueue time (observability for the queue-depth ablation).
@@ -79,6 +81,8 @@ func (q *Queue) Reset() {
 	q.ctrlFree = 0
 	q.enqueuedWord = 0
 	q.consumedWord = 0
+	q.enqSlot = 0
+	q.consSlot = 0
 	q.MaxOccupancy = 0
 	q.FullStalls = 0
 	q.StallCycles = 0
@@ -111,7 +115,9 @@ func (q *Queue) Enqueue(issue int64, words int) (ready int64, err error) {
 			return 0, fmt.Errorf("fetchunit: word %d enqueued before word %d consumed (executor ordering bug)", w, w-int64(q.depth))
 		}
 		if w >= int64(q.depth) {
-			if f := q.freeAt[(w-int64(q.depth))%int64(q.depth)]; f > t {
+			// (w-depth)%depth == w%depth == enqSlot: the slot this word
+			// reuses is the one its displaced predecessor occupied.
+			if f := q.freeAt[q.enqSlot]; f > t {
 				q.FullStalls++
 				q.StallCycles += f - t
 				t = f // queue full: controller stalls for a slot
@@ -119,6 +125,9 @@ func (q *Queue) Enqueue(issue int64, words int) (ready int64, err error) {
 		}
 		t += q.wordCycles
 		q.enqueuedWord = w + 1
+		if q.enqSlot++; q.enqSlot == q.depth {
+			q.enqSlot = 0
+		}
 	}
 	if occ := int(q.enqueuedWord - q.consumedWord); occ > q.MaxOccupancy {
 		q.MaxOccupancy = occ
@@ -138,8 +147,11 @@ func (q *Queue) Consume(words int, t int64) error {
 			words, q.enqueuedWord-q.consumedWord)
 	}
 	for i := 0; i < words; i++ {
-		q.freeAt[q.consumedWord%int64(q.depth)] = t
+		q.freeAt[q.consSlot] = t
 		q.consumedWord++
+		if q.consSlot++; q.consSlot == q.depth {
+			q.consSlot = 0
+		}
 	}
 	if q.OnConsume != nil {
 		q.OnConsume(t, words, q.Pending())

@@ -90,6 +90,19 @@ type CPU struct {
 	// against each other; production callers leave it false.
 	DisableExecTable bool
 
+	// DisableSuperinstructions forces Run (and the PASM lockstep
+	// executor) off the superinstruction tier and back onto
+	// per-Step exec-table dispatch. An A/B knob like
+	// DisableExecTable; production callers leave it false.
+	DisableSuperinstructions bool
+
+	// MemWatch, when non-nil, observes every successful data access
+	// to Mem (reads and writes; device-window accesses and
+	// instruction fetches are excluded). The PASM segment-memoization
+	// layer uses it to capture a segment's external reads and final
+	// writes. nil costs one pointer test per access.
+	MemWatch func(addr uint32, sz Size, val uint32, write bool)
+
 	// Trace, when non-nil, is called after every committed instruction
 	// with the instruction, the PC it executed at, the clock after it,
 	// and its cycle cost. Used by the trace package; nil costs nothing.
@@ -117,6 +130,9 @@ type CPU struct {
 
 	// tab is the program's execution table, cached on first Step.
 	tab []execEntry
+	// sup is the program's superinstruction table, cached on first
+	// runSuper/ExecSuperAt.
+	sup []superOp
 }
 
 type pendInc struct {
@@ -200,6 +216,9 @@ func (c *CPU) ExecBroadcast(in *Instr) Status {
 // pre-resolved dispatch function and static cycle cost are used
 // directly. The PASM lockstep executor calls this in its inner loop.
 func (c *CPU) ExecBroadcastAt(idx int) Status {
+	if !c.DisableExecTable && !c.DisableSuperinstructions {
+		return c.ExecSuperAt(idx)
+	}
 	if c.Halted {
 		return StatusHalted
 	}
@@ -220,8 +239,13 @@ func (c *CPU) ExecBroadcastAt(idx int) Status {
 
 // Run executes up to maxSteps instructions, stopping early on any
 // non-OK status. It returns the last status (StatusOK means the step
-// budget was exhausted with the program still running).
+// budget was exhausted with the program still running). Unless a tier
+// knob disables it, execution goes through the superinstruction
+// engine; both paths are instruction-for-instruction equivalent.
 func (c *CPU) Run(maxSteps int64) Status {
+	if !c.DisableExecTable && !c.DisableSuperinstructions {
+		return c.runSuper(maxSteps)
+	}
 	for i := int64(0); i < maxSteps; i++ {
 		if st := c.Step(); st != StatusOK {
 			return st
@@ -334,6 +358,9 @@ func (c *CPU) opRead(o Operand, sz Size, cycles *int64) (val uint32, blocked boo
 		acc = 2
 	}
 	*cycles += c.Mem.Penalty(c.Clock, acc)
+	if c.MemWatch != nil {
+		c.MemWatch(addr, sz, v, false)
+	}
 	return v, false, nil
 }
 
@@ -371,6 +398,9 @@ func (c *CPU) opWrite(o Operand, sz Size, val uint32, cycles *int64) (blocked bo
 		acc = 2
 	}
 	*cycles += c.Mem.Penalty(c.Clock, acc)
+	if c.MemWatch != nil {
+		c.MemWatch(addr, sz, mask(val, sz), true)
+	}
 	return false, nil
 }
 

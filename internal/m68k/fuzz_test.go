@@ -52,3 +52,112 @@ func FuzzAssembler(f *testing.F) {
 		p.table()
 	})
 }
+
+// FuzzBlockScanner feeds arbitrary assembled programs to the
+// basic-block scanner and checks its two structural invariants on
+// whatever the assembler accepts:
+//
+//   - the blocks partition the program: they tile [0, len(Instrs))
+//     exactly, in order, with no gaps or overlaps, and every
+//     instruction's BlockIndexOf agrees with the tiling;
+//   - pre-summed cycle costs are exact: each block's FixedCycles
+//     equals the per-instruction sum of static base cycles, and each
+//     fused MULU run's members cover exactly the run they claim.
+//
+// Run `go test -fuzz=FuzzBlockScanner -fuzztime=30s ./internal/m68k`.
+func FuzzBlockScanner(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"nop\nnop\nhalt\n",
+		// Straight-line kernel: one block, fusable MULU run.
+		"move.w (a0)+, d0\nmulu.w d2, d0\nmulu.w d2, d1\nmulu.w d2, d1\nadd.w d0, (a1)+\nhalt\n",
+		// Self-loop block (DBcc back to its own start).
+		"\tmoveq #7, d6\nloop:\tmove.w (a0)+, d0\n\tmulu.w d2, d0\n\tadd.w d0, (a1)+\n\tdbra d6, loop\n\thalt\n",
+		// Branch targets and fallthroughs carve leaders.
+		"start:\tadd.w d0, d1\n\tbeq skip\n\tsub.w d1, d0\nskip:\tbne start\n\thalt\n",
+		// Declared SIMD blocks bound broadcast regions.
+		".region mult\n.block elem\nadd.w d0, d1\nnop\n.endblock\nbcast elem\nhalt\n",
+		// Calls split blocks; RTS terminates one.
+		"\tjsr sub\n\thalt\nsub:\tmulu.w d0, d0\n\trts\n",
+		// A MULU run broken by a write to the source register.
+		"mulu.w d2, d0\nmulu.w d2, d1\nmove.w d3, d2\nmulu.w d2, d1\nhalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		blocks := p.BasicBlocks()
+		if len(p.Instrs) == 0 {
+			if len(blocks) != 0 {
+				t.Fatalf("empty program produced %d blocks", len(blocks))
+			}
+			return
+		}
+		// Partition invariant.
+		next := 0
+		for bi, b := range blocks {
+			if b.Start != next {
+				t.Fatalf("block %d starts at %d, want %d (gap or overlap)", bi, b.Start, next)
+			}
+			if b.End <= b.Start {
+				t.Fatalf("block %d is empty or inverted: [%d, %d)", bi, b.Start, b.End)
+			}
+			next = b.End
+			for i := b.Start; i < b.End; i++ {
+				if got := p.BlockIndexOf(i); got != bi {
+					t.Fatalf("BlockIndexOf(%d) = %d, want %d", i, got, bi)
+				}
+			}
+		}
+		if next != len(p.Instrs) {
+			t.Fatalf("blocks cover [0, %d), program has %d instructions", next, len(p.Instrs))
+		}
+		if p.BlockIndexOf(-1) != -1 || p.BlockIndexOf(len(p.Instrs)) != -1 {
+			t.Fatal("BlockIndexOf accepted an out-of-range pc")
+		}
+		// Fused cycle sums equal per-instruction sums.
+		for bi, b := range blocks {
+			var want int64
+			for i := b.Start; i < b.End; i++ {
+				want += baseCycles(&p.Instrs[i])
+			}
+			if b.FixedCycles != want {
+				t.Fatalf("block %d FixedCycles = %d, want per-instruction sum %d", bi, b.FixedCycles, want)
+			}
+		}
+		// Fused MULU runs: every member must record the length
+		// remaining from itself, stay within one block, and cover only
+		// identical MULUs (same registers, same static cost).
+		sup := p.super()
+		for i := range sup {
+			if sup[i].kind != skMuluRun {
+				continue
+			}
+			n := int(sup[i].runLen)
+			if n < 1 || i+n > len(sup) {
+				t.Fatalf("mulu run at %d: length %d out of range", i, n)
+			}
+			bi := p.BlockIndexOf(i)
+			for k := i; k < i+n; k++ {
+				if sup[k].kind != skMuluRun {
+					t.Fatalf("mulu run at %d: member %d has kind %d", i, k, sup[k].kind)
+				}
+				if int(sup[k].runLen) != i+n-k {
+					t.Fatalf("mulu run at %d: member %d records length %d, want %d", i, k, sup[k].runLen, i+n-k)
+				}
+				if p.BlockIndexOf(k) != bi {
+					t.Fatalf("mulu run at %d: member %d crosses a block boundary", i, k)
+				}
+				if sup[k].mreg != sup[i].mreg || sup[k].reg != sup[i].reg ||
+					sup[k].region != sup[i].region || sup[k].words != sup[i].words ||
+					sup[k].base != sup[i].base {
+					t.Fatalf("mulu run at %d: member %d is not an identical MULU", i, k)
+				}
+			}
+		}
+	})
+}

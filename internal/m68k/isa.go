@@ -260,6 +260,11 @@ type Program struct {
 
 	tabOnce sync.Once
 	tab     []execEntry
+
+	supOnce sync.Once
+	sup     []superOp
+	sblocks []BasicBlock
+	blockOf []int32
 }
 
 // BlockRange is a [Start,End) range of instruction indices forming a

@@ -1,0 +1,5 @@
+//go:build race
+
+package m68k
+
+const raceEnabled = true

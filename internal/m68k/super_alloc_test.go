@@ -1,0 +1,35 @@
+package m68k
+
+import "testing"
+
+// TestSuperPathZeroAllocs pins the superinstruction tier's
+// steady-state guarantee: after the first run compiles the block
+// cache, re-running the kernel performs zero heap allocations
+// (`make bench-smoke` runs this as the CI allocation gate).
+func TestSuperPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the non-race CI pass covers this")
+	}
+	prog := MustAssemble(benchKernel)
+	mem := NewMemory(1 << 16)
+	mem.WaitStates = 1
+	mem.RefreshPeriod = 256
+	mem.RefreshStall = 2
+	c := NewCPU(prog, mem)
+	c.FetchFromMem = true
+	c.A[7] = 0x8000
+	if st := c.Run(1 << 20); st != StatusHalted {
+		t.Fatalf("warmup status %v (err=%v)", st, c.Err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		c.Reset()
+		c.Mem.Reset()
+		c.A[7] = 0x8000
+		if st := c.Run(1 << 20); st != StatusHalted {
+			t.Errorf("status %v (err=%v)", st, c.Err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("superinstruction path allocates %.1f times per run, want 0", n)
+	}
+}

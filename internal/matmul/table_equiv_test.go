@@ -4,16 +4,52 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/m68k"
 	"repro/internal/obs"
 	"repro/internal/pasm"
 )
 
-// executeWith runs one spec end to end with a full observability
-// recorder attached, optionally forcing every CPU the VM creates onto
-// the dynamic reference interpreter path instead of the pre-resolved
-// execution table.
-func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunResult, Matrix, *obs.Recorder) {
+// tier selects one of the three interpreter configurations under
+// differential test: the dynamic reference path, the pre-resolved
+// execution table, and the superinstruction tier with segment
+// memoization on top.
+type tier int
+
+const (
+	tierReference tier = iota
+	tierTable
+	tierSuper
+)
+
+var allTiers = []tier{tierReference, tierTable, tierSuper}
+
+func (tr tier) String() string {
+	switch tr {
+	case tierReference:
+		return "reference"
+	case tierTable:
+		return "table"
+	default:
+		return "super"
+	}
+}
+
+// apply configures cfg for the tier the same way cmd/pasmbench's
+// -interp flag does.
+func (tr tier) apply(cfg *pasm.Config) {
+	switch tr {
+	case tierReference:
+		cfg.DisableExecTable = true
+		cfg.DisableSegmentMemo = true
+	case tierTable:
+		cfg.DisableSuperinstructions = true
+		cfg.DisableSegmentMemo = true
+	}
+}
+
+// executeWith runs one spec end to end on the given interpreter tier
+// with a full observability recorder attached. workers > 1 advances
+// MIMD-section PEs on parallel host goroutines.
+func executeWith(t *testing.T, spec Spec, a, b Matrix, tr tier, workers int) (pasm.RunResult, Matrix, *obs.Recorder) {
 	t.Helper()
 	prog, l, err := Build(spec)
 	if err != nil {
@@ -23,13 +59,12 @@ func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunRe
 	if need := l.MemBytes(); cfg.PEMemBytes < need {
 		cfg.PEMemBytes = need
 	}
+	tr.apply(&cfg)
+	cfg.HostWorkers = workers
 	cfg.Obs = obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
 	vm, err := pasm.NewVM(cfg, l.P)
 	if err != nil {
 		t.Fatal(err)
-	}
-	vm.TraceHook = func(unit string, cpu *m68k.CPU) {
-		cpu.DisableExecTable = dynamic
 	}
 	if err := vm.EstablishShift(); err != nil {
 		t.Fatal(err)
@@ -59,65 +94,123 @@ func executeWith(t *testing.T, spec Spec, a, b Matrix, dynamic bool) (pasm.RunRe
 // identical flattened metrics. Any divergence means the two
 // interpreter paths disagree about what the machine did, not just
 // about the final answer.
-func diffObs(t *testing.T, label string, tab, dyn *obs.Recorder) {
+func diffObs(t *testing.T, label string, ref, got *obs.Recorder) {
 	t.Helper()
-	te, de := tab.Merged(), dyn.Merged()
-	if len(te) != len(de) {
-		t.Errorf("%s: event counts differ: table %d vs dynamic %d", label, len(te), len(de))
+	re, ge := ref.Merged(), got.Merged()
+	if len(re) != len(ge) {
+		t.Errorf("%s: event counts differ: reference %d vs %d", label, len(re), len(ge))
 		return
 	}
-	for i := range te {
-		if te[i] != de[i] {
-			t.Errorf("%s: event %d differs: table %+v vs dynamic %+v", label, i, te[i], de[i])
+	for i := range re {
+		if re[i] != ge[i] {
+			t.Errorf("%s: event %d differs: reference %+v vs %+v", label, i, re[i], ge[i])
 			return
 		}
 	}
-	tm, dm := tab.Metrics().Flatten(""), dyn.Metrics().Flatten("")
-	if !reflect.DeepEqual(tm, dm) {
-		t.Errorf("%s: metrics differ:\ntable:   %v\ndynamic: %v", label, tm, dm)
+	rm, gm := ref.Metrics().Flatten(""), got.Metrics().Flatten("")
+	if !reflect.DeepEqual(rm, gm) {
+		t.Errorf("%s: metrics differ:\nreference: %v\ngot:       %v", label, rm, gm)
 	}
 }
 
-// TestExecTableEquivalenceAllPrograms runs all four generated
-// matrix-multiplication programs through both interpreter paths — the
-// pre-resolved execution table and the per-step dynamic reference —
+// diffResults requires two run results to describe the same simulated
+// execution. The segment-cache hit/miss counters are host-side
+// diagnostics that legitimately differ across tiers, so they are
+// normalized away before comparison.
+func diffResults(t *testing.T, label string, ref, got pasm.RunResult) {
+	t.Helper()
+	ref.MemoHits, ref.MemoMisses = 0, 0
+	got.MemoHits, got.MemoMisses = 0, 0
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("%s: run results differ:\nreference: %+v\ngot:       %+v", label, ref, got)
+	}
+}
+
+// TestInterpreterTierEquivalenceAllPrograms runs all generated
+// matrix-multiplication programs through the 3-way interpreter matrix
+// — dynamic reference, exec table, superinstructions + segment memo —
 // and requires identical cycle counts, per-PE clocks, region
 // breakdowns, instruction counts, results, and (event for event)
-// identical observability streams.
-func TestExecTableEquivalenceAllPrograms(t *testing.T) {
+// identical observability streams. The super tier additionally runs
+// with parallel host workers, so `go test -race` exercises the memo
+// layer's per-PE isolation.
+func TestInterpreterTierEquivalenceAllPrograms(t *testing.T) {
 	const n, p = 8, 4
 	a := Identity(n)
 	b := Random(n, 0xC0FFEE)
 	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
-		spec := Spec{N: n, P: p, Muls: 1, Mode: mode}
-		resTab, cTab, obsTab := executeWith(t, spec, a, b, false)
-		resDyn, cDyn, obsDyn := executeWith(t, spec, a, b, true)
-		diffObs(t, mode.String(), obsTab, obsDyn)
-
-		if resTab.Cycles != resDyn.Cycles {
-			t.Errorf("%v: cycles differ: table %d vs dynamic %d", mode, resTab.Cycles, resDyn.Cycles)
+		spec := Spec{N: n, P: p, Muls: 2, Mode: mode}
+		resRef, cRef, obsRef := executeWith(t, spec, a, b, tierReference, 1)
+		want := Reference(a, b)
+		if !Equal(cRef, want) {
+			t.Errorf("%v: reference result is wrong", mode)
 		}
-		if resTab.Instrs != resDyn.Instrs || resTab.MCInstrs != resDyn.MCInstrs {
-			t.Errorf("%v: instruction counts differ: PE %d/%d, MC %d/%d",
-				mode, resTab.Instrs, resDyn.Instrs, resTab.MCInstrs, resDyn.MCInstrs)
-		}
-		if resTab.Regions != resDyn.Regions {
-			t.Errorf("%v: region breakdown differs: %v vs %v", mode, resTab.Regions, resDyn.Regions)
-		}
-		if len(resTab.PEClocks) != len(resDyn.PEClocks) {
-			t.Fatalf("%v: PE count differs", mode)
-		}
-		for i := range resTab.PEClocks {
-			if resTab.PEClocks[i] != resDyn.PEClocks[i] {
-				t.Errorf("%v: PE %d clock differs: %d vs %d", mode, i, resTab.PEClocks[i], resDyn.PEClocks[i])
+		for _, tr := range []tier{tierTable, tierSuper} {
+			workers := 1
+			if tr == tierSuper {
+				workers = 4
+			}
+			res, c, rec := executeWith(t, spec, a, b, tr, workers)
+			label := mode.String() + "/" + tr.String()
+			diffResults(t, label, resRef, res)
+			diffObs(t, label, obsRef, rec)
+			if !Equal(c, cRef) {
+				t.Errorf("%s: result matrices differ", label)
 			}
 		}
-		if !Equal(cTab, cDyn) {
-			t.Errorf("%v: result matrices differ", mode)
+	}
+}
+
+// TestSegmentMemoReplayIdentity reruns the same MIMD program on one VM
+// so the second run replays segments recorded by the first, and
+// requires the replayed run to be indistinguishable from a fresh
+// memo-off execution.
+func TestSegmentMemoReplayIdentity(t *testing.T) {
+	const n, p = 16, 4
+	a := Identity(n)
+	b := Random(n, 0xFACE)
+	spec := Spec{N: n, P: p, Muls: 4, Mode: MIMD}
+	prog, l, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pasm.DefaultConfig()
+	if need := l.MemBytes(); cfg.PEMemBytes < need {
+		cfg.PEMemBytes = need
+	}
+	vm, err := pasm.NewVM(cfg, l.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.EstablishShift(); err != nil {
+		t.Fatal(err)
+	}
+	var first pasm.RunResult
+	for run := 0; run < 3; run++ {
+		if err := Load(vm, l, a, b); err != nil {
+			t.Fatal(err)
 		}
-		want := Reference(a, b)
-		if !Equal(cTab, want) {
-			t.Errorf("%v: table-path result is wrong", mode)
+		res, err := vm.RunMIMD(prog)
+		if err != nil {
+			t.Fatal(err)
 		}
+		c, err := ReadC(vm, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(c, Reference(a, b)) {
+			t.Fatalf("run %d: wrong product", run)
+		}
+		res.MemoHits, res.MemoMisses = 0, 0
+		if run == 0 {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res, first) {
+			t.Errorf("run %d diverged from run 0:\nfirst: %+v\ngot:   %+v", run, first, res)
+		}
+	}
+	if vm.MemoHits() == 0 {
+		t.Error("segment cache never replayed across identical reruns")
 	}
 }

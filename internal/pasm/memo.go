@@ -1,0 +1,488 @@
+package pasm
+
+// Segment memoization: the MIMD/S-MIMD engine's computation segments —
+// the instruction runs between two device operations — are pure
+// functions of (program counter, registers, condition codes, DRAM
+// refresh phase, and the memory words they read). The engine executes
+// polling loops, barrier spins and other small segments thousands of
+// times from identical states; this cache replays their recorded
+// effects (register/flag results, cycle and region deltas, memory
+// writes, and — under observability — the per-instruction event
+// stream) instead of re-interpreting them.
+//
+// Correctness rests on three mechanisms:
+//
+//   - The key covers every input except memory: PC, a digest of the
+//     register file and condition codes, and the clamped refresh phase
+//     (Memory.Penalty depends on the absolute clock only through the
+//     phase; all non-positive phases collide on the next access and are
+//     equivalent). Ready entries additionally store the full start
+//     state, so a digest collision can never replay a wrong effect.
+//   - Memory is handled by read-set verification, which doubles as the
+//     invalidation mechanism: recording captures every read of a
+//     location the segment has not itself written (a true pre-state
+//     dependency), and a hit replays only after every such read still
+//     returns the recorded value. A location overwritten since — by a
+//     network delivery or another segment of the same PE — simply fails
+//     verification and the segment re-executes.
+//   - Effects are clock-relative. Cycle, region and instruction deltas
+//     are added to the live counters; the refresh phase is restored
+//     relative to the new end clock; captured observability events are
+//     re-emitted with the start clock added back. Given an identical
+//     start state (verified, not assumed) the interpreter is
+//     deterministic, so the replayed timeline is the one re-execution
+//     would have produced — the three-way differential tests assert
+//     byte-identical reports, obs streams and metrics with the cache on
+//     and off.
+//
+// Segments whose recording exceeds the read/write/event caps (large
+// compute segments, which rarely repeat from identical states — their
+// pointers advance) are marked dead and never considered again, so the
+// steady-state cost of a miss is one map probe and one digest.
+// Recording itself is sampled: a key must be seen once before its next
+// occurrence is recorded, keeping one-shot segments at zero overhead
+// beyond the probe.
+//
+// The cache is per-PE (PEs share no memory, and the discrete-event
+// engine advances segments on parallel host workers — per-PE maps keep
+// recording lock-free) and persists across runs of the same program on
+// one VM, so a service replaying an experiment warms up across
+// requests. Config.DisableSegmentMemo turns the layer off; results are
+// identical either way.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/m68k"
+	"repro/internal/obs"
+)
+
+// Recording caps: a segment that touches more state than this is not
+// worth caching (verification would rival re-execution) and is marked
+// dead.
+const (
+	memoMaxReads  = 256
+	memoMaxWrites = 256
+	memoMaxEvents = 512
+)
+
+// memoMaxEntries bounds each PE's cache. Compute-heavy phases generate
+// a fresh start state per segment (their pointers advance), which
+// would otherwise grow the map without limit; once full, only existing
+// keys stay live — the small repeating segments the cache is for are
+// seen long before the bound.
+const memoMaxEntries = 1 << 14
+
+// memoMaxSegInstrs gates PCs out of the cache: a segment longer than
+// this cannot repeat often enough to pay for its probes (and its state
+// rarely recurs — compute segments advance their pointers), so after
+// one long segment the PC's future segments skip the cache entirely,
+// keeping the steady-state cost of the layer one counter test per
+// segment.
+const memoMaxSegInstrs = 128
+
+// memoGateProbes gates PCs adaptively: a PC whose segments probed the
+// cache this many times without one replay is not repeating from
+// identical states (e.g. a poll loop whose idle registers carry
+// advancing pointers), so its future segments skip the cache. A hit
+// resets the PC's count. The bound is generous because a genuinely
+// repeating segment needs two sightings per refresh-phase variant
+// before its first hit.
+const memoGateProbes = 2048
+
+// memoSliceSteps is the engine's segment step-budget slice: CPU.Run is
+// called in slices of this many steps, and the global MaxSteps guard
+// is charged per slice. A replayed segment charges the slices its
+// recording consumed, keeping budget accounting identical.
+const memoSliceSteps = 1 << 16
+
+// memAccess is one recorded data access.
+type memAccess struct {
+	addr uint32
+	val  uint32
+	sz   m68k.Size
+}
+
+// segKey identifies a segment start state (the full state is compared
+// on lookup; the digest only makes the map probe cheap).
+type segKey struct {
+	pc     int32
+	phase  int64 // clamped refresh phase; 0 when refresh is off
+	digest uint64
+}
+
+type segState uint8
+
+const (
+	segSeen  segState = iota // executed once; record the next occurrence
+	segReady                 // effect captured; replay verified hits
+	segDead                  // overran a cap or ended abnormally
+)
+
+// segEntry is one memoized segment: the guard (full start state) and
+// the recorded effect.
+type segEntry struct {
+	state segState
+
+	// Guard: the exact start state the effect was recorded from.
+	d          [8]uint32
+	a          [8]uint32
+	x, n, z, v bool
+	cc         bool
+
+	// Effect.
+	endD                               [8]uint32
+	endA                               [8]uint32
+	endX, endN, endZ, endV, endC       bool
+	dClock, dInstrs, endPhase, sliceIn int64
+	dRegions                           [m68k.NumRegions]int64
+	endPC                              int
+	status                             m68k.Status
+	halted                             bool
+	lastBlock                          m68k.BlockInfo
+	reads                              []memAccess
+	writes                             []memAccess
+	events                             []obs.Event // clock-relative
+}
+
+// peCache is one PE's share of the segment cache. Per-PE state keeps
+// the layer lock-free under parallel host workers (PEs share nothing).
+type peCache struct {
+	seg map[segKey]*segEntry
+	// gate counts each PC's cache probes since its last replay; at
+	// memoGateProbes the PC's segments are not repeating and skip the
+	// cache for good. One long or uncacheable segment gates
+	// immediately.
+	gate []int32
+	// recent is a ring of first-sighting (pc, digest) pairs. A key
+	// enters the map only when its (pc, digest) repeats while still in
+	// the ring, so segments whose start states never recur (compute
+	// loops carrying advancing pointers) cost neither a map insert nor
+	// an entry allocation. The refresh phase is deliberately excluded:
+	// a polling segment restarts from the same registers but a
+	// different phase every iteration, and each phase variant must
+	// still earn its own (full-key) map entry to replay correctly.
+	recent  [8]segSight
+	recentN uint8
+}
+
+// segSight is the phase-blind probation identity of a segment start.
+type segSight struct {
+	pc     int32
+	digest uint64
+}
+
+// sighted reports whether key's (pc, digest) is in the recent ring,
+// recording it there if not.
+func (pe *peCache) sighted(key segKey) bool {
+	s := segSight{pc: key.pc, digest: key.digest}
+	for _, k := range pe.recent {
+		if k == s {
+			return true
+		}
+	}
+	pe.recent[pe.recentN&7] = s
+	pe.recentN++
+	return false
+}
+
+// memoState is one VM's segment cache.
+type memoState struct {
+	prog         *m68k.Program
+	pe           []peCache
+	hits, misses int64 // atomic (parallel host workers)
+}
+
+// memoFor returns the VM's segment cache for prog (building or
+// replacing it as needed), or nil when the layer is disabled.
+func (vm *VM) memoFor(prog *m68k.Program, n int) *memoState {
+	if vm.Cfg.DisableSegmentMemo {
+		return nil
+	}
+	if vm.memo == nil || vm.memo.prog != prog || len(vm.memo.pe) < n {
+		ms := &memoState{prog: prog, pe: make([]peCache, n)}
+		for i := range ms.pe {
+			ms.pe[i] = peCache{
+				seg:  make(map[segKey]*segEntry),
+				gate: make([]int32, len(prog.Instrs)),
+			}
+		}
+		vm.memo = ms
+	}
+	return vm.memo
+}
+
+// MemoHits and MemoMisses return the VM's cumulative segment-cache
+// counters (replayed vs executed segments; both zero when disabled).
+func (vm *VM) MemoHits() int64 {
+	if vm.memo == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&vm.memo.hits)
+}
+
+func (vm *VM) MemoMisses() int64 {
+	if vm.memo == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&vm.memo.misses)
+}
+
+// segDigest hashes the register file and condition codes (FNV-1a).
+func segDigest(c *m68k.CPU) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint32) {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	for _, v := range c.D {
+		mix(v)
+	}
+	for _, v := range c.A {
+		mix(v)
+	}
+	var f uint32
+	if c.X {
+		f |= 1
+	}
+	if c.N {
+		f |= 2
+	}
+	if c.Z {
+		f |= 4
+	}
+	if c.V {
+		f |= 8
+	}
+	if c.C {
+		f |= 16
+	}
+	mix(f)
+	return h
+}
+
+// segKeyOf builds the cache key for a CPU's current state.
+func segKeyOf(c *m68k.CPU) segKey {
+	key := segKey{pc: int32(c.PC), digest: segDigest(c)}
+	if c.Mem.RefreshPeriod > 0 {
+		if ph := c.Mem.RefreshPhase(c.Clock); ph > 0 {
+			key.phase = ph
+		}
+	}
+	return key
+}
+
+// matches reports whether the entry's guard equals the CPU's full
+// start state (digest collisions stop here).
+func (e *segEntry) matches(c *m68k.CPU) bool {
+	return e.d == c.D && e.a == c.A &&
+		e.x == c.X && e.n == c.N && e.z == c.Z && e.v == c.V && e.cc == c.C
+}
+
+// memoizable reports whether a segment-terminating status is safe to
+// cache (errors and overruns are not).
+func memoizable(st m68k.Status) bool {
+	switch st {
+	case m68k.StatusBlocked, m68k.StatusHalted, m68k.StatusSIMDJump:
+		return true
+	}
+	return false
+}
+
+// segRun is the engine's plain segment executor: run to the next
+// non-OK status, reporting the status, whether the global step budget
+// overran, and the budget slices consumed.
+type segRun func(cpu *m68k.CPU) (st m68k.Status, overrun bool, slices int64)
+
+// advance runs one PE's computation segment through the cache:
+// verified hits replay, everything else falls through to run (with
+// recording on a key's second sighting).
+func (ms *memoState) advance(vm *VM, i int, cpu *m68k.CPU, total *int64, run segRun) (m68k.Status, bool) {
+	pe := &ms.pe[i]
+	pc := cpu.PC
+	if uint(pc) >= uint(len(pe.gate)) || pe.gate[pc] >= memoGateProbes {
+		atomic.AddInt64(&ms.misses, 1)
+		st, overrun, _ := run(cpu)
+		return st, overrun
+	}
+	pe.gate[pc]++
+	key := segKeyOf(cpu)
+	e := pe.seg[key]
+	if e == nil {
+		if !pe.sighted(key) || len(pe.seg) >= memoMaxEntries {
+			atomic.AddInt64(&ms.misses, 1)
+			before := cpu.InstrCount
+			st, overrun, _ := run(cpu)
+			if cpu.InstrCount-before > memoMaxSegInstrs {
+				pe.gate[pc] = memoGateProbes
+			}
+			return st, overrun
+		}
+		// Second sighting of a repeating start state: record it.
+		e = &segEntry{state: segSeen}
+		pe.seg[key] = e
+	}
+	if e.state == segReady && e.matches(cpu) && e.verify(cpu.Mem) {
+		// Replaying would consume the recorded budget slices; if that
+		// would overrun, re-execute so the overrun aborts at the exact
+		// mid-segment state the plain engine would stop in.
+		if atomic.LoadInt64(total)+e.sliceIn > vm.Cfg.MaxSteps {
+			atomic.AddInt64(&ms.misses, 1)
+			st, overrun, _ := run(cpu)
+			return st, overrun
+		}
+		atomic.AddInt64(&ms.hits, 1)
+		atomic.AddInt64(total, e.sliceIn)
+		pe.gate[pc] = 0
+		e.replay(vm, i, cpu)
+		return e.status, false
+	}
+	atomic.AddInt64(&ms.misses, 1)
+	if e.state != segSeen {
+		// Guard mismatch (digest collision) or stale reads: run plain.
+		// The entry keeps its effect — memory may well return to the
+		// recorded pre-state (polling loops alternate).
+		st, overrun, _ := run(cpu)
+		return st, overrun
+	}
+	st, overrun := ms.record(vm, i, cpu, e, run)
+	if e.state == segDead {
+		pe.gate[pc] = memoGateProbes
+		delete(pe.seg, key)
+	}
+	return st, overrun
+}
+
+// record executes the segment once more with capture hooks attached
+// and promotes the entry to segReady (or segDead past a cap).
+func (ms *memoState) record(vm *VM, i int, cpu *m68k.CPU, e *segEntry, run segRun) (m68k.Status, bool) {
+	e.d, e.a = cpu.D, cpu.A
+	e.x, e.n, e.z, e.v, e.cc = cpu.X, cpu.N, cpu.Z, cpu.V, cpu.C
+	startClock := cpu.Clock
+	startRegions := cpu.Regions
+	startInstrs := cpu.InstrCount
+
+	// Capture hooks detach themselves the moment the segment exceeds a
+	// cap: the rest of the (possibly long) segment then runs at full
+	// speed with the superinstruction loop executors re-enabled.
+	dead := false
+	prevTrace := cpu.Trace
+	detach := func() {
+		dead = true
+		cpu.MemWatch = nil
+		cpu.Trace = prevTrace
+	}
+	written := make(map[uint32]struct{}, 16)
+	cpu.MemWatch = func(addr uint32, sz m68k.Size, val uint32, write bool) {
+		n := sz.Bytes()
+		if write {
+			if len(e.writes) >= memoMaxWrites {
+				detach()
+				return
+			}
+			e.writes = append(e.writes, memAccess{addr: addr, val: val, sz: sz})
+			for b := uint32(0); b < n; b++ {
+				written[addr+b] = struct{}{}
+			}
+			return
+		}
+		// A read is a pre-state dependency only where the segment has
+		// not already written; partially self-written reads cannot be
+		// verified against pre-state, so the segment is not cached.
+		w := uint32(0)
+		for b := uint32(0); b < n; b++ {
+			if _, ok := written[addr+b]; ok {
+				w++
+			}
+		}
+		switch {
+		case w == n:
+			return // internally determined
+		case w != 0:
+			detach()
+		case len(e.reads) >= memoMaxReads:
+			detach()
+		default:
+			e.reads = append(e.reads, memAccess{addr: addr, val: val, sz: sz})
+		}
+	}
+	if prevTrace != nil && vm.Obs != nil {
+		cpu.Trace = func(in *m68k.Instr, pc int, clock, cycles int64) {
+			prevTrace(in, pc, clock, cycles)
+			if dead {
+				// The memory watch detached first; mirror it.
+				cpu.Trace = prevTrace
+				return
+			}
+			if len(e.events) >= memoMaxEvents {
+				detach()
+				return
+			}
+			e.events = append(e.events, obs.Event{
+				Kind: obs.KindInstr, PC: int32(pc),
+				Clock: clock - startClock, Dur: cycles, Arg: int64(in.Op),
+			})
+		}
+	}
+
+	st, overrun, slices := run(cpu)
+	cpu.MemWatch = nil
+	cpu.Trace = prevTrace
+
+	if overrun || dead || !memoizable(st) {
+		e.state = segDead
+		e.reads, e.writes, e.events = nil, nil, nil
+		return st, overrun
+	}
+	e.endD, e.endA = cpu.D, cpu.A
+	e.endX, e.endN, e.endZ, e.endV, e.endC = cpu.X, cpu.N, cpu.Z, cpu.V, cpu.C
+	e.dClock = cpu.Clock - startClock
+	for r := range e.dRegions {
+		e.dRegions[r] = cpu.Regions[r] - startRegions[r]
+	}
+	e.dInstrs = cpu.InstrCount - startInstrs
+	e.endPC = cpu.PC
+	e.endPhase = cpu.Mem.RefreshPhase(cpu.Clock)
+	e.status = st
+	e.halted = cpu.Halted
+	e.lastBlock = cpu.LastBlock
+	e.sliceIn = slices * memoSliceSteps
+	e.state = segReady
+	return st, false
+}
+
+// verify checks every recorded pre-state read against current memory.
+func (e *segEntry) verify(mem *m68k.Memory) bool {
+	for _, r := range e.reads {
+		v, err := mem.Read(r.addr, r.sz)
+		if err != nil || v != r.val {
+			return false
+		}
+	}
+	return true
+}
+
+// replay applies the segment's effect to the live CPU.
+func (e *segEntry) replay(vm *VM, i int, cpu *m68k.CPU) {
+	base := cpu.Clock
+	cpu.D, cpu.A = e.endD, e.endA
+	cpu.X, cpu.N, cpu.Z, cpu.V, cpu.C = e.endX, e.endN, e.endZ, e.endV, e.endC
+	cpu.Clock += e.dClock
+	for r := range e.dRegions {
+		cpu.Regions[r] += e.dRegions[r]
+	}
+	cpu.InstrCount += e.dInstrs
+	cpu.PC = e.endPC
+	cpu.Halted = e.halted
+	cpu.LastBlock = e.lastBlock
+	cpu.Mem.SetRefreshPhase(cpu.Clock, e.endPhase)
+	for _, w := range e.writes {
+		cpu.Mem.Write(w.addr, w.sz, w.val) //nolint:errcheck // recorded writes re-apply in bounds
+	}
+	if vm.Obs != nil && len(e.events) > 0 {
+		unit := vm.obsPE[i]
+		for _, ev := range e.events {
+			ev.Clock += base
+			vm.Obs.Emit(unit, ev)
+		}
+	}
+}

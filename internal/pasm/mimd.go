@@ -36,6 +36,8 @@ func (vm *VM) RunMIMD(prog *m68k.Program) (RunResult, error) {
 		cpu := m68k.NewCPU(prog, pe.Mem)
 		cpu.FetchFromMem = true
 		cpu.FixedMulCycles = vm.Cfg.FixedMulCycles
+		cpu.DisableExecTable = vm.Cfg.DisableExecTable
+		cpu.DisableSuperinstructions = vm.Cfg.DisableSuperinstructions
 		cpu.A[7] = pe.Mem.Size() - 4
 		pe.dev.bar = vm.bar
 		cpu.Dev = pe.dev
@@ -46,6 +48,7 @@ func (vm *VM) RunMIMD(prog *m68k.Program) (RunResult, error) {
 	}
 	vm.wireObsPEs(cpus)
 
+	memoH, memoM := vm.MemoHits(), vm.MemoMisses()
 	if err := vm.runDES(cpus, false); err != nil {
 		return RunResult{}, err
 	}
@@ -66,6 +69,8 @@ func (vm *VM) RunMIMD(prog *m68k.Program) (RunResult, error) {
 	res.BarrierRounds = vm.bar.rounds
 	res.NetTransfers = vm.net.transfers
 	res.NetReconfigs = vm.net.reconfigs
+	res.MemoHits = vm.MemoHits() - memoH
+	res.MemoMisses = vm.MemoMisses() - memoM
 	vm.finishObsPEs(cpus)
 	return res, nil
 }
@@ -122,24 +127,35 @@ func (vm *VM) runDES(cpus []*m68k.CPU, stopOnJump bool) error {
 	}
 
 	var total int64
-	const sliceSteps = 1 << 16
-	// advance runs one PE's computation segment to its next device
+	// run executes one PE's computation segment to its next device
 	// operation (or halt/park/error). The shared step budget is
 	// consumed atomically so parallel segments observe the same
 	// runaway guard as serial execution.
-	advance := func(cpu *m68k.CPU) (m68k.Status, bool) {
+	run := func(cpu *m68k.CPU) (m68k.Status, bool, int64) {
+		var slices int64
 		for {
-			st := cpu.Run(sliceSteps)
-			if atomic.AddInt64(&total, sliceSteps) > vm.Cfg.MaxSteps {
-				return st, true
+			st := cpu.Run(memoSliceSteps)
+			slices++
+			if atomic.AddInt64(&total, memoSliceSteps) > vm.Cfg.MaxSteps {
+				return st, true, slices
 			}
 			if st != m68k.StatusOK {
-				return st, false
+				return st, false, slices
 			}
 			// Budget slice exhausted; keep running.
 		}
 	}
+	memo := vm.memoFor(cpus[0].Prog, len(cpus))
+	advance := func(i int, cpu *m68k.CPU) (m68k.Status, bool) {
+		if memo != nil {
+			return memo.advance(vm, i, cpu, &total, run)
+		}
+		st, overrun, _ := run(cpu)
+		return st, overrun
+	}
 	var runIdx []int
+	sts := make([]m68k.Status, len(cpus))
+	overrun := make([]bool, len(cpus))
 	for {
 		// Phase 1: advance every running PE to its next device
 		// operation (devices disarmed: active == -1 matches no PE).
@@ -156,8 +172,6 @@ func (vm *VM) runDES(cpus []*m68k.CPU, stopOnJump bool) error {
 				runIdx = append(runIdx, i)
 			}
 		}
-		sts := make([]m68k.Status, len(runIdx))
-		overrun := make([]bool, len(runIdx))
 		if w := vm.Cfg.HostWorkers; w > 1 && len(runIdx) > 1 {
 			if w > len(runIdx) {
 				w = len(runIdx)
@@ -173,14 +187,14 @@ func (vm *VM) runDES(cpus []*m68k.CPU, stopOnJump bool) error {
 						if k >= len(runIdx) {
 							return
 						}
-						sts[k], overrun[k] = advance(cpus[runIdx[k]])
+						sts[k], overrun[k] = advance(runIdx[k], cpus[runIdx[k]])
 					}
 				}()
 			}
 			wg.Wait()
 		} else {
 			for k, i := range runIdx {
-				sts[k], overrun[k] = advance(cpus[i])
+				sts[k], overrun[k] = advance(i, cpus[i])
 			}
 		}
 		live := false

@@ -44,6 +44,8 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 		vm.MCs[g].Mask = fetchunit.AllEnabled(len(vm.MCs[g].PEs))
 		mc := m68k.NewCPU(prog, vm.MCs[g].Mem)
 		mc.FetchFromMem = true
+		mc.DisableExecTable = vm.Cfg.DisableExecTable
+		mc.DisableSuperinstructions = vm.Cfg.DisableSuperinstructions
 		mc.A[7] = vm.MCs[g].Mem.Size() - 4
 		if vm.TraceHook != nil {
 			vm.TraceHook(fmt.Sprintf("MC%d", g), mc)
@@ -55,6 +57,8 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 		cpu := m68k.NewCPU(prog, pe.Mem)
 		cpu.FetchFromMem = false // instructions arrive from the queue
 		cpu.FixedMulCycles = vm.Cfg.FixedMulCycles
+		cpu.DisableExecTable = vm.Cfg.DisableExecTable
+		cpu.DisableSuperinstructions = vm.Cfg.DisableSuperinstructions
 		pe.dev.bar = vm.bar
 		cpu.Dev = pe.dev
 		if vm.TraceHook != nil {
@@ -68,15 +72,26 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 		mcUnits[g] = vm.wireObsMC(g, groups[g].mc)
 	}
 
+	// The batch fast path below replays a fused MULU run through the
+	// lockstep queue with O(1) arithmetic per instruction; it engages
+	// only when the superinstruction tier is active and nothing is
+	// observing individual instructions.
+	batchTier := !vm.Cfg.DisableExecTable && !vm.Cfg.DisableSuperinstructions && vm.Obs == nil
+	batchCost := make([]int64, vm.P)
+
 	var mcSteps int64
 	var mcStall, peStarve int64
+	memoH, memoM := vm.MemoHits(), vm.MemoMisses()
+	type issue struct {
+		blk   m68k.BlockRange
+		ready bool
+	}
+	issues := make([]issue, vm.Q)
 	for {
 		// Advance every live MC to its next BCAST (or halt).
-		type issue struct {
-			blk   m68k.BlockRange
-			ready bool
+		for g := range issues {
+			issues[g] = issue{}
 		}
-		issues := make([]issue, vm.Q)
 		anyLive := false
 		for g := range groups {
 			if groups[g].halted {
@@ -148,6 +163,23 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 		// release at max(ready, all enabled requests), execute on each
 		// enabled PE.
 		for idx := blk.Start; idx < blk.End; idx++ {
+			if batchTier {
+				if run, ok := prog.MuluRunAt(idx); ok {
+					n := run.Len
+					if idx+n > blk.End {
+						n = blk.End - idx
+					}
+					if n > 1 && peBatchable(pes) && vm.masksAllEnabled() {
+						for g := range groups {
+							if err := vm.lockstepMuluRun(g, groups[g].mc.Clock, pes, run, n, batchCost, &peStarve); err != nil {
+								return RunResult{}, err
+							}
+						}
+						idx += n - 1
+						continue
+					}
+				}
+			}
 			in := &prog.Instrs[idx]
 			if !broadcastable(in) {
 				return RunResult{}, fmt.Errorf("pasm: %s at instruction %d is not valid inside a broadcast block", in.Op, idx)
@@ -232,6 +264,8 @@ func (vm *VM) RunSIMD(prog *m68k.Program) (RunResult, error) {
 	}
 	res.MCStallCycles = mcStall
 	res.PEStarveCycles = peStarve
+	res.MemoHits = vm.MemoHits() - memoH
+	res.MemoMisses = vm.MemoMisses() - memoM
 	res.BarrierRounds = vm.bar.rounds
 	res.NetTransfers = vm.net.transfers
 	res.NetReconfigs = vm.net.reconfigs
@@ -294,6 +328,108 @@ func (vm *VM) execLockstep(mcg *MC, pes []*m68k.CPU, in *m68k.Instr, idx int, re
 			return fmt.Errorf("pasm: PEs %v stuck in broadcast instruction %q (no progress)", still, in)
 		}
 		blocked = still
+	}
+	return nil
+}
+
+// peBatchable reports whether every PE can take the MULU-run batch
+// path: live (a PE halted in a mixed-mode section skips broadcast
+// instructions, which the batch cannot model) and untraced (the batch
+// skips per-instruction trace callbacks).
+func peBatchable(pes []*m68k.CPU) bool {
+	for _, cpu := range pes {
+		if cpu.Halted || cpu.Err != nil || cpu.Trace != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// masksAllEnabled reports whether every group's Fetch Unit mask
+// enables all its PEs (the batch path's lockstep arithmetic assumes
+// every PE participates in every release).
+func (vm *VM) masksAllEnabled() bool {
+	for g := range vm.MCs {
+		if vm.MCs[g].Mask != fetchunit.AllEnabled(len(vm.MCs[g].PEs)) {
+			return false
+		}
+	}
+	return true
+}
+
+// lockstepMuluRun streams a fused run of n identical MULUs through
+// group g's Fetch Unit queue with O(1) arithmetic per instruction
+// instead of executing each member on each PE.
+//
+// The equivalence argument: during block streaming the MC clock is
+// fixed (the MC has already run ahead to its next BCAST), so every
+// Enqueue sees the same issue time as the reference path. Each PE's
+// per-member cost (static base + the data-dependent multiply time of
+// the invariant source register) is a constant c_p, so after the
+// first release every enabled PE requests at release+c_p and the next
+// release is max(ready, release+max_p(c_p)) — no per-PE scan needed.
+// Enqueue/Consume still run once per member, so all queue state
+// (controller-free time, occupancy high-water mark, full-queue
+// stalls) evolves identically. Interior flag writes are dead (every
+// member overwrites NZVC; X is never touched), so only the final
+// product, flags, clocks and region charges are materialized — the
+// exact values the reference path leaves behind.
+func (vm *VM) lockstepMuluRun(g int, mcClock int64, pes []*m68k.CPU, run m68k.MuluRun, n int, cost []int64, peStarve *int64) error {
+	mcg := vm.MCs[g]
+	var cmax int64 = -1
+	for _, pe := range mcg.PEs {
+		cpu := pes[pe.Index]
+		mt := cpu.FixedMulCycles
+		if mt <= 0 {
+			mt = m68k.MuluCycles(uint16(cpu.D[run.Src]))
+		}
+		c := run.Base + mt
+		cost[pe.Index] = c
+		if c > cmax {
+			cmax = c
+		}
+	}
+	var release int64
+	for i := 0; i < n; i++ {
+		ready, err := mcg.Queue.Enqueue(mcClock, run.Words)
+		if err != nil {
+			return fmt.Errorf("pasm: group %d: %w", g, err)
+		}
+		var maxReq int64 = -1
+		if i == 0 {
+			for _, pe := range mcg.PEs {
+				if clk := pes[pe.Index].Clock; clk > maxReq {
+					maxReq = clk
+				}
+			}
+		} else {
+			maxReq = release + cmax
+		}
+		r := ready
+		if maxReq > r {
+			r = maxReq
+		} else if maxReq >= 0 {
+			*peStarve += ready - maxReq
+		}
+		release = r
+		if err := mcg.Queue.Consume(run.Words, release); err != nil {
+			return fmt.Errorf("pasm: group %d: %w", g, err)
+		}
+	}
+	for _, pe := range mcg.PEs {
+		cpu := pes[pe.Index]
+		final := release + cost[pe.Index]
+		cpu.Regions[run.Region] += final - cpu.Clock
+		cpu.Clock = final
+		cpu.InstrCount += int64(n)
+		cpu.PC += n
+		src := cpu.D[run.Src] & 0xFFFF
+		d := cpu.D[run.Dst]
+		for i := 0; i < n; i++ {
+			d = (d & 0xFFFF) * src
+		}
+		cpu.D[run.Dst] = d
+		cpu.N, cpu.Z, cpu.V, cpu.C = d&0x80000000 != 0, d == 0, false, false
 	}
 	return nil
 }

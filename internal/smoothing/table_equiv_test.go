@@ -4,16 +4,48 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/m68k"
 	"repro/internal/obs"
 	"repro/internal/pasm"
 )
 
-// executeWith runs one smoothing configuration end to end with a full
-// observability recorder attached, optionally forcing every CPU onto
-// the dynamic reference interpreter path instead of the pre-resolved
-// execution table.
-func executeWith(t *testing.T, spec Spec, img Image, dynamic bool) (pasm.RunResult, Image, *obs.Recorder) {
+// tier selects one of the three interpreter configurations under
+// differential test (see cmd/pasmbench's -interp flag).
+type tier int
+
+const (
+	tierReference tier = iota
+	tierTable
+	tierSuper
+)
+
+var allTiers = []tier{tierReference, tierTable, tierSuper}
+
+func (tr tier) String() string {
+	switch tr {
+	case tierReference:
+		return "reference"
+	case tierTable:
+		return "table"
+	default:
+		return "super"
+	}
+}
+
+func (tr tier) apply(cfg *pasm.Config) {
+	switch tr {
+	case tierReference:
+		cfg.DisableExecTable = true
+		cfg.DisableSegmentMemo = true
+	case tierTable:
+		cfg.DisableSuperinstructions = true
+		cfg.DisableSegmentMemo = true
+	}
+}
+
+// executeWith runs one smoothing configuration end to end on the
+// given interpreter tier with a full observability recorder attached.
+// workers > 1 advances MIMD-section PEs on parallel host goroutines.
+func executeWith(t *testing.T, spec Spec, img Image, tr tier, workers int) (pasm.RunResult, Image, *obs.Recorder) {
 	t.Helper()
 	prog, l, err := Build(spec)
 	if err != nil {
@@ -23,13 +55,12 @@ func executeWith(t *testing.T, spec Spec, img Image, dynamic bool) (pasm.RunResu
 	if need := l.MemBytes(); cfg.PEMemBytes < need {
 		cfg.PEMemBytes = need
 	}
+	tr.apply(&cfg)
+	cfg.HostWorkers = workers
 	cfg.Obs = obs.New(obs.Config{Events: obs.AllKinds, Metrics: true})
 	vm, err := pasm.NewVM(cfg, l.P)
 	if err != nil {
 		t.Fatal(err)
-	}
-	vm.TraceHook = func(unit string, cpu *m68k.CPU) {
-		cpu.DisableExecTable = dynamic
 	}
 	if err := Load(vm, l, img); err != nil {
 		t.Fatal(err)
@@ -50,43 +81,58 @@ func executeWith(t *testing.T, spec Spec, img Image, dynamic bool) (pasm.RunResu
 	return res, out, cfg.Obs
 }
 
-// TestExecTableEquivalenceSmoothing runs every smoothing program
-// variant through both interpreter paths and requires identical run
-// results, identical output images, and event-for-event identical
-// observability streams.
-func TestExecTableEquivalenceSmoothing(t *testing.T) {
+// TestInterpreterTierEquivalenceSmoothing runs every smoothing
+// program variant through the 3-way interpreter matrix — dynamic
+// reference, exec table, superinstructions + segment memo — and
+// requires identical run results, identical output images, and
+// event-for-event identical observability streams. The super tier
+// runs with parallel host workers so `go test -race` exercises the
+// memo layer's per-PE isolation.
+func TestInterpreterTierEquivalenceSmoothing(t *testing.T) {
 	const h, w, p = 8, 16, 4
 	img := RandomImage(h, w, 0xFACE)
 	want := Reference(img)
 	for _, mode := range []Mode{Serial, SIMD, MIMD, SMIMD} {
 		spec := Spec{H: h, W: w, P: p, Mode: mode}
-		resTab, outTab, obsTab := executeWith(t, spec, img, false)
-		resDyn, outDyn, obsDyn := executeWith(t, spec, img, true)
-
-		if !reflect.DeepEqual(resTab, resDyn) {
-			t.Errorf("%v: run results differ:\ntable:   %+v\ndynamic: %+v", mode, resTab, resDyn)
-		}
-		if !Equal(outTab, outDyn) {
-			t.Errorf("%v: output images differ between interpreter paths", mode)
-		}
-		if !Equal(outTab, want) {
-			t.Errorf("%v: table-path output is wrong", mode)
-		}
-
-		te, de := obsTab.Merged(), obsDyn.Merged()
-		if len(te) != len(de) {
-			t.Errorf("%v: event counts differ: table %d vs dynamic %d", mode, len(te), len(de))
-			continue
-		}
-		for i := range te {
-			if te[i] != de[i] {
-				t.Errorf("%v: event %d differs: table %+v vs dynamic %+v", mode, i, te[i], de[i])
-				break
+		var resRef pasm.RunResult
+		var outRef Image
+		var obsRef *obs.Recorder
+		for _, tr := range allTiers {
+			workers := 1
+			if tr == tierSuper {
+				workers = 4
 			}
-		}
-		tm, dm := obsTab.Metrics().Flatten(""), obsDyn.Metrics().Flatten("")
-		if !reflect.DeepEqual(tm, dm) {
-			t.Errorf("%v: metrics differ:\ntable:   %v\ndynamic: %v", mode, tm, dm)
+			res, out, rec := executeWith(t, spec, img, tr, workers)
+			res.MemoHits, res.MemoMisses = 0, 0
+			if !Equal(out, want) {
+				t.Errorf("%v/%v: output is wrong", mode, tr)
+			}
+			if tr == tierReference {
+				resRef, outRef, obsRef = res, out, rec
+				continue
+			}
+			label := mode.String() + "/" + tr.String()
+			if !reflect.DeepEqual(res, resRef) {
+				t.Errorf("%s: run results differ:\nreference: %+v\ngot:       %+v", label, resRef, res)
+			}
+			if !Equal(out, outRef) {
+				t.Errorf("%s: output images differ between interpreter tiers", label)
+			}
+			re, ge := obsRef.Merged(), rec.Merged()
+			if len(re) != len(ge) {
+				t.Errorf("%s: event counts differ: reference %d vs %d", label, len(re), len(ge))
+				continue
+			}
+			for i := range re {
+				if re[i] != ge[i] {
+					t.Errorf("%s: event %d differs: reference %+v vs %+v", label, i, re[i], ge[i])
+					break
+				}
+			}
+			rm, gm := obsRef.Metrics().Flatten(""), rec.Metrics().Flatten("")
+			if !reflect.DeepEqual(rm, gm) {
+				t.Errorf("%s: metrics differ:\nreference: %v\ngot:       %v", label, rm, gm)
+			}
 		}
 	}
 }

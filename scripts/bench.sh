@@ -5,15 +5,36 @@
 # BENCH_baseline.json.
 #
 # Usage: scripts/bench.sh [output.json] [baseline-to-compare.json]
+#        scripts/bench.sh interp [output.json] [recorded-to-compare.json]
 #
 # With a second argument, the new run's simulated metrics are diffed
 # against that baseline after stripping the host-dependent fields
-# (host timings, parallelism, schema/observe markers) — proving that a
-# run with the observability hooks detached reproduces the baseline's
-# simulated numbers exactly.
+# (host timings, parallelism, schema/observe/interp markers) — proving
+# that a run with the observability hooks detached reproduces the
+# baseline's simulated numbers exactly.
+#
+# The `interp` mode measures per-row simulation-only MIPS for each
+# interpreter tier (reference / exec-table / superinstructions+memo)
+# via cmd/interpbench and writes BENCH_interp.json; with a third
+# argument it additionally fails if the super tier's speedup ratios
+# regressed below that recorded document (the `make bench-interp` CI
+# gate).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "interp" ]; then
+    out="${2:-BENCH_interp.json}"
+    against="${3:-}"
+    go build ./...
+    if [ -n "$against" ]; then
+        go run ./cmd/interpbench -out "$out" -against "$against"
+    else
+        go run ./cmd/interpbench -out "$out"
+    fi
+    exit 0
+fi
+
 out="${1:-BENCH_baseline.json}"
 against="${2:-}"
 
@@ -22,11 +43,19 @@ go run ./cmd/pasmbench -exp all,ext -json "$out" >/dev/null
 echo "baseline written to $out:"
 grep -E '"(name|host_seconds)"' "$out" | sed 's/^ *//' | head -40
 
+# strip removes every host- or schema-dependent line so two runs can be
+# compared on simulated content alone: wall clock, parallelism, schema
+# markers, and the v2.1 interp block (tier provenance + cache counters).
+strip() {
+    sed '/"interp": {/,/}/d' "$1" |
+        grep -Ev '"(host_seconds|parallel|schema|observe)":'
+}
+
 if [ -n "$against" ]; then
     a="$(mktemp)"; b="$(mktemp)"
     trap 'rm -f "$a" "$b"' EXIT
-    grep -Ev '"(host_seconds|parallel|schema|observe)":' "$out" >"$a"
-    grep -Ev '"(host_seconds|parallel|schema|observe)":' "$against" >"$b"
+    strip "$out" >"$a"
+    strip "$against" >"$b"
     if diff "$a" "$b" >/dev/null; then
         echo "simulated metrics in $out match $against"
     else
