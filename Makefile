@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke bench-service report
+.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke bench-service bench-cluster report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke
+ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke
 
 # Coverage gate: per-package statement coverage printed and compared
 # against the checked-in floor; fails on regression. After genuinely
@@ -49,6 +49,18 @@ service-smoke:
 # injected faults + client retries are visible in /metrics.
 chaos-smoke:
 	$(GO) run ./scripts/chaossmoke
+
+# Cluster fault-tolerance check: three pasmd replicas behind pasmgw;
+# SIGKILL one mid-run, assert failover, breaker open/close, peer cache
+# fill, byte-identical results throughout, and a lossless drain.
+cluster-smoke:
+	$(GO) run ./scripts/clustersmoke
+
+# Cluster serving benchmark: the loadgen workload through pasmgw with
+# 1 vs 3 replicas, recording latency, hit rate, and peer fills
+# (writes BENCH_cluster.json).
+bench-cluster:
+	$(GO) run ./scripts/clusterbench -out BENCH_cluster.json
 
 # Serving benchmark: throughput and latency percentiles for cold-miss
 # vs cache-hit requests (writes BENCH_service.json).

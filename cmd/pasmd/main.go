@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE]
+//	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE] [-name NAME]
 //	      [-queue 64] [-workers 2] [-parallel N]
 //	      [-cache-entries 256] [-cache-bytes N]
 //	      [-drain-timeout 5m] [-linger 2s]
@@ -61,6 +61,7 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:8037", "listen address (use :0 for an ephemeral port)")
+	name := flag.String("name", "", "stable instance name reported in /healthz (cluster replicas set this; empty is fine standalone)")
 	addrFile := flag.String("addr-file", "", "write the bound address to `file` after listening")
 	queue := flag.Int("queue", 64, "max queued (admitted but unstarted) jobs; overload beyond this gets 503")
 	workers := flag.Int("workers", 2, "jobs executing concurrently")
@@ -91,6 +92,7 @@ func run() int {
 		Workers:    *workers,
 		Options:    opts,
 		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
+		Name:       *name,
 		Faults:     injector,
 	})
 

@@ -1,0 +1,183 @@
+// Command pasmgw is the fault-tolerant gateway for a pasmd cluster: it
+// serves the same /v1 job API as a single pasmd while routing each
+// submission across N replicas, failing over when a replica refuses,
+// errors, or hangs, and keeping per-replica circuit breakers so a dead
+// replica costs nothing after it trips. Because a result document is a
+// pure function of (spec, code version), any replica's answer is
+// byte-identical to any other's — the gateway can re-route, hedge, and
+// cache-fill freely without ever changing what the client reads.
+//
+// Usage:
+//
+//	pasmgw -replica a=127.0.0.1:8041 -replica b=127.0.0.1:8042 ...
+//	       [-addr 127.0.0.1:8040] [-addr-file FILE]
+//	       [-policy hash|least-loaded|round-robin]
+//	       [-hedge 0] [-health-interval 1s] [-no-peer-fill]
+//	       [-breaker-failures 3] [-breaker-cooldown 5s]
+//	       [-chaos-profile "conn:error=0.1,...;body:error=0.05" [-chaos-seed N]]
+//
+// Each -replica is "name=addr"; the name is the replica's stable
+// consistent-hash identity (survives restarts and port changes), so
+// give replicas the same names across runs. Bare addresses get
+// generated names r0, r1, ... in flag order.
+//
+// Routing: "hash" (default) sends each spec to its consistent-hash
+// owner, maximizing replica-local cache hits; "least-loaded" picks the
+// replica with the smallest queue+in-flight load from the last health
+// check; "round-robin" rotates. All policies fail over along the
+// spec's deterministic ring order. -hedge launches a second submit at
+// the next replica when the first has not answered in time.
+//
+// Peer cache fill: when a result was computed off its hash owner, the
+// gateway pushes the bytes to the owner's cache in the background, so
+// one computation becomes a cluster-wide cache hit. -no-peer-fill
+// disables it.
+//
+// -chaos-profile arms the deterministic fault injector on the
+// *gateway's replica connections* (points "conn" and "body": refused
+// connections, slow round trips, mid-body cuts), which is how the
+// cluster smoke test exercises failover without killing processes.
+//
+// On SIGINT/SIGTERM the gateway drains: new submissions get 503 +
+// Retry-After, reads keep answering so clients can collect accepted
+// jobs, then the listener shuts down. Replicas are not touched.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+// replicaList collects repeated -replica flags.
+type replicaList []string
+
+func (r *replicaList) String() string { return strings.Join(*r, ",") }
+func (r *replicaList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty replica")
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var replicas replicaList
+	flag.Var(&replicas, "replica", "replica as name=addr (repeatable; bare addr gets a generated name)")
+	addr := flag.String("addr", "127.0.0.1:8040", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to `file` after listening")
+	policyFlag := flag.String("policy", "hash", "routing policy: hash, least-loaded, or round-robin")
+	hedge := flag.Duration("hedge", 0, "launch the submit at the next replica if the first has not answered in this long (0 = off)")
+	healthInterval := flag.Duration("health-interval", time.Second, "active health check period per replica")
+	noPeerFill := flag.Bool("no-peer-fill", false, "disable pushing off-owner results into the owner's cache")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failures that open a replica's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open breaker base cooldown before the half-open probe (doubles per failed probe)")
+	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile for replica connections, e.g. \"conn:error=0.2;body:error=0.1\" (empty = no injection)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic fault decision sequences")
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		fmt.Fprintln(os.Stderr, "pasmgw: at least one -replica required")
+		return 1
+	}
+	policy, err := cluster.ParsePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		return 1
+	}
+
+	var transport http.RoundTripper
+	if *chaosProfile != "" {
+		profile, err := faults.ParseProfile(*chaosProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+			return 1
+		}
+		injector := faults.New(*chaosSeed, profile)
+		transport = injector.Transport(http.DefaultTransport)
+		fmt.Fprintf(os.Stderr, "pasmgw: CHAOS enabled on replica connections: seed=%d profile=%q\n", *chaosSeed, profile)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Registry: cluster.RegistryConfig{
+			Replicas:       replicas,
+			HealthInterval: *healthInterval,
+			Breaker: cluster.BreakerConfig{
+				ConsecutiveFailures: *breakerFailures,
+				Cooldown:            *breakerCooldown,
+				Seed:                *chaosSeed,
+			},
+			Transport: transport,
+		},
+		Policy:          policy,
+		Hedge:           *hedge,
+		DisablePeerFill: *noPeerFill,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pasmgw: writing %s: %v\n", *addrFile, err)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pasmgw: listening on %s (replicas=%d policy=%s hedge=%s peer-fill=%t)\n",
+		bound, len(replicas), policy, *hedge, !*noPeerFill)
+
+	gw.Start()
+	defer gw.Stop()
+
+	srv := &http.Server{Handler: gw.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "pasmgw: serve: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "pasmgw: %v: draining\n", s)
+	}
+
+	// Lossless drain: flip to shedding new submits, then let the HTTP
+	// shutdown wait out in-flight requests (including long-polls) so
+	// every client holding an accepted job can collect its result.
+	gw.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pasmgw: http shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "pasmgw: drained, bye")
+	return 0
+}

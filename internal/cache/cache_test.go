@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
@@ -142,5 +143,106 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if c.Len() > 8 {
 		t.Errorf("len=%d exceeds bound", c.Len())
+	}
+}
+
+// TestConcurrentFillEvictAtByteBoundary hammers the cache with
+// concurrent fills, replacements, and reads while the byte budget sits
+// exactly at an eviction boundary, then checks the accounting
+// invariants the serving path depends on:
+//
+//   - entries == puts − evictions (no entry leaks or double-frees);
+//   - Bytes() == the sum of the lengths of the values actually held;
+//   - both configured bounds hold at rest;
+//   - a served value is never corrupted: every value encodes the key
+//     it was stored under, so a cross-wired entry is detected on read.
+//
+// The table places the budget on, just under, and just over a multiple
+// of the value size, mixes value sizes, and includes replacement-heavy
+// and entry-bounded variants. Run under -race this is also the
+// fill/evict data-race gate.
+func TestConcurrentFillEvictAtByteBoundary(t *testing.T) {
+	// valFor encodes the key and a size in the value so readers can
+	// verify integrity: byte 0 is the key tag, the rest repeats it.
+	valFor := func(tag byte, size int) []byte {
+		v := make([]byte, size)
+		for i := range v {
+			v[i] = tag
+		}
+		return v
+	}
+
+	cases := []struct {
+		name    string
+		cfg     Config
+		keys    int   // distinct keys in play
+		sizes   []int // value sizes cycled per put
+		workers int
+		iters   int
+	}{
+		{"bytes-exact-multiple", Config{MaxBytes: 4 * 32}, 16, []int{32}, 8, 400},
+		{"bytes-just-under", Config{MaxBytes: 4*32 - 1}, 16, []int{32}, 8, 400},
+		{"bytes-just-over", Config{MaxBytes: 4*32 + 1}, 16, []int{32}, 8, 400},
+		{"bytes-mixed-sizes", Config{MaxBytes: 128}, 16, []int{16, 32, 48, 64}, 8, 400},
+		{"bytes-replacement-heavy", Config{MaxBytes: 96}, 3, []int{16, 48, 32}, 8, 400},
+		{"entries-and-bytes", Config{MaxEntries: 4, MaxBytes: 6 * 32}, 16, []int{32}, 8, 400},
+		{"oversized-values", Config{MaxBytes: 64}, 8, []int{32, 128}, 8, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(tc.cfg)
+			var wg sync.WaitGroup
+			for w := 0; w < tc.workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < tc.iters; i++ {
+						tag := byte((w*tc.iters + i) % tc.keys)
+						size := tc.sizes[(w+i)%len(tc.sizes)]
+						c.Put(key(tag), valFor(tag, size))
+						if v, ok := c.Get(key(tag)); ok {
+							// The value may be any size another worker
+							// stored, but must encode this key.
+							if len(v) == 0 || v[0] != tag || v[len(v)-1] != tag {
+								t.Errorf("corrupted value for key %d: len=%d first=%d last=%d",
+									tag, len(v), v[0], v[len(v)-1])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			m := c.Metrics("")
+			if got, want := m["puts"]-m["evictions"], float64(c.Len()); got != want {
+				t.Errorf("puts(%g) - evictions(%g) = %g, want entries %g",
+					m["puts"], m["evictions"], got, want)
+			}
+			var sum int64
+			for _, k := range c.Keys() {
+				v, ok := c.Get(k)
+				if !ok {
+					t.Fatalf("key %x listed but not gettable", k[0])
+				}
+				if v[0] != k[0] {
+					t.Errorf("entry %x holds value tagged %d", k[0], v[0])
+				}
+				sum += int64(len(v))
+			}
+			if c.Bytes() != sum {
+				t.Errorf("Bytes() = %d, actual held bytes = %d", c.Bytes(), sum)
+			}
+			if tc.cfg.MaxEntries > 0 && c.Len() > tc.cfg.MaxEntries {
+				t.Errorf("len=%d exceeds MaxEntries=%d", c.Len(), tc.cfg.MaxEntries)
+			}
+			// The byte bound can only rest exceeded when a single
+			// oversized value is alone in the cache (documented Put
+			// behavior); otherwise it must hold.
+			if tc.cfg.MaxBytes > 0 && c.Bytes() > tc.cfg.MaxBytes && c.Len() > 1 {
+				t.Errorf("bytes=%d exceeds MaxBytes=%d with %d entries",
+					c.Bytes(), tc.cfg.MaxBytes, c.Len())
+			}
+		})
 	}
 }

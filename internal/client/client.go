@@ -20,6 +20,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,6 +88,9 @@ func Retryable(err error) bool {
 	if errors.As(err, &uerr) {
 		return true // transport-level: refused, reset, EOF, timeout
 	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true // response body cut mid-stream: the read failed, retry
+	}
 	return false
 }
 
@@ -139,6 +143,14 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 	}
 	c.retry = p
 	c.jitterState.Store(p.Seed)
+	return c
+}
+
+// WithTransport installs a custom HTTP transport and returns the
+// client (the cluster gateway uses this to thread a fault-injecting
+// transport through its replica connections).
+func (c *Client) WithTransport(rt http.RoundTripper) *Client {
+	c.hc = &http.Client{Transport: rt}
 	return c
 }
 
@@ -213,13 +225,19 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 		if attempt > 1 {
 			c.retries.Add(1)
 			wait := c.backoff(attempt, lastErr)
+			// The backoff wait is ctx-aware: a canceled caller gets
+			// ctx.Err() back promptly instead of sleeping out the full
+			// backoff (the gateway's failover path depends on this).
 			if c.retry.sleep != nil {
 				c.retry.sleep(wait)
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			} else {
 				select {
 				case <-time.After(wait):
 				case <-ctx.Done():
-					return lastErr
+					return ctx.Err()
 				}
 			}
 		}
@@ -261,13 +279,25 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		return apiError(resp, data)
 	}
 	if out != nil {
-		if raw, ok := out.(*[]byte); ok {
-			*raw = data
+		switch o := out.(type) {
+		case *[]byte:
+			*o = data
+			return nil
+		case *rawResponse:
+			o.body = data
+			o.header = resp.Header.Clone()
 			return nil
 		}
 		return json.Unmarshal(data, out)
 	}
 	return nil
+}
+
+// rawResponse captures a response's body and headers verbatim (the
+// gateway needs X-Pasm-Cached alongside the result bytes).
+type rawResponse struct {
+	body   []byte
+	header http.Header
 }
 
 func apiError(resp *http.Response, data []byte) error {
@@ -377,11 +407,70 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 	}
 }
 
+// List fetches every tracked job's status.
+func (c *Client) List(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
 // Result fetches a done job's report document.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
 	return raw, err
+}
+
+// ResultMeta fetches a done job's report document plus the served-from-
+// cache marker (the X-Pasm-Cached response header).
+func (c *Client) ResultMeta(ctx context.Context, id string) ([]byte, bool, error) {
+	var rr rawResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &rr); err != nil {
+		return nil, false, err
+	}
+	return rr.body, rr.header.Get("X-Pasm-Cached") == "true", nil
+}
+
+// WaitOnce long-polls the job for at most timeout and returns the
+// latest status, terminal or not — one server round trip, unlike Wait,
+// which loops until terminal. Gateways forward a client's own wait
+// budget through this.
+func (c *Client) WaitOnce(ctx context.Context, id string, timeout time.Duration) (service.JobStatus, error) {
+	var st service.JobStatus
+	path := fmt.Sprintf("/v1/jobs/%s/wait?timeout_ms=%d", id, timeout.Milliseconds())
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// Fill offers an externally computed result document to this instance's
+// result cache (the peer-fill path; see service.FillPath). The result
+// bytes travel as the raw request body so they are stored verbatim;
+// the spec rides the fill header. Returns whether the bytes were
+// stored (false: the instance already had them).
+func (c *Client) Fill(ctx context.Context, spec experiments.Spec, result []byte) (bool, error) {
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+service.FillPath, bytes.NewReader(result))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.FillSpecHeader, base64.StdEncoding.EncodeToString(rawSpec))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode >= 300 && resp.StatusCode != http.StatusAlreadyReported {
+		return false, apiError(resp, data)
+	}
+	return resp.StatusCode == http.StatusOK, nil
 }
 
 // Run is the synchronous convenience path: submit, wait for a
@@ -406,6 +495,15 @@ func (c *Client) Run(ctx context.Context, spec experiments.Spec, opts SubmitOpti
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// HealthInfo fetches the enriched /healthz snapshot in typed form —
+// the gateway's health checker routes on its queue depth, in-flight
+// count, and draining flag.
+func (c *Client) HealthInfo(ctx context.Context) (service.HealthInfo, error) {
+	var out service.HealthInfo
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
 	return out, err
 }

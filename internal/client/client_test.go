@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -263,5 +264,118 @@ func TestDeterministicJitter(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// TestBackoffAbortsOnCancel: a canceled context ends a backoff wait
+// promptly with ctx.Err() instead of sleeping out the full delay.
+func TestBackoffAbortsOnCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(503)
+		fmt.Fprint(w, `{"error":"always full"}`)
+	}))
+	defer srv.Close()
+
+	// Huge backoff: if the sleep were not ctx-aware, the test would
+	// block for minutes.
+	c := New(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Minute, MaxBackoff: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond) // let the first attempt fail and the wait begin
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Submit(ctx, spec1(), SubmitOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled submit took %s — backoff did not abort", d)
+	}
+}
+
+// TestBackoffAbortsOnDeadline: same property for a deadline, through
+// the test sleep override path.
+func TestBackoffAbortsOnDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(503)
+		fmt.Fprint(w, `{"error":"always full"}`)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond,
+		sleep: func(time.Duration) { cancel() }}) // context dies mid-wait
+	_, err := c.Submit(ctx, spec1(), SubmitOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled after mid-wait cancel", err)
+	}
+}
+
+// TestHedgeWaitAbortsOnCancel: a hedged submit whose requests all hang
+// returns ctx.Err() as soon as the caller cancels.
+func TestHedgeWaitAbortsOnCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release) // LIFO: release the handler before Close waits on it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := New(srv.URL).Submit(ctx, spec1(), SubmitOptions{Hedge: time.Hour})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled hedged submit took %s", d)
+	}
+}
+
+// TestBodyCutRetryable: a response body cut mid-stream (unexpected
+// EOF) classifies as retryable.
+func TestBodyCutRetryable(t *testing.T) {
+	err := fmt.Errorf("reading body: %w", io.ErrUnexpectedEOF)
+	if !Retryable(err) {
+		t.Error("io.ErrUnexpectedEOF not retryable")
+	}
+}
+
+// TestResultMeta: the cached marker rides the X-Pasm-Cached header.
+func TestResultMeta(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Pasm-Cached", "true")
+		fmt.Fprint(w, `{"doc":1}`)
+	}))
+	defer srv.Close()
+	body, cached, err := New(srv.URL).ResultMeta(context.Background(), "j1")
+	if err != nil || !cached || string(body) != `{"doc":1}` {
+		t.Fatalf("ResultMeta = %q, %v, %v", body, cached, err)
+	}
+}
+
+// TestWaitOnce: a single long-poll round trip carries the timeout and
+// returns a non-terminal status without looping.
+func TestWaitOnce(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.URL.Query().Get("timeout_ms") != "1500" {
+			t.Errorf("timeout_ms = %q", r.URL.Query().Get("timeout_ms"))
+		}
+		fmt.Fprint(w, `{"id":"j1","state":"running"}`)
+	}))
+	defer srv.Close()
+	st, err := New(srv.URL).WaitOnce(context.Background(), "j1", 1500*time.Millisecond)
+	if err != nil || st.State != service.StateRunning {
+		t.Fatalf("WaitOnce = %+v, %v", st, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want exactly 1", calls.Load())
 	}
 }

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. Transitions:
+//
+//	closed ──(consecutive failures ≥ threshold,
+//	          or windowed error rate ≥ threshold)──► open
+//	open ──(cooldown + deterministic jitter elapsed)──► half-open
+//	half-open ──(probe succeeds)──► closed
+//	half-open ──(probe fails)──► open   (cooldown doubles, capped)
+type BreakerState int32
+
+// Breaker states. The numeric values are exported in /metrics
+// (replicas/<name>/breaker_state), so they are part of the metrics
+// contract: 0 closed, 1 open, 2 half-open.
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one replica's circuit breaker. Zero values take
+// the documented defaults.
+type BreakerConfig struct {
+	// ConsecutiveFailures opens the breaker when this many failures
+	// arrive back to back. Default 3.
+	ConsecutiveFailures int
+	// ErrorRateThreshold opens the breaker when the failure fraction
+	// over the rolling window reaches it (only once MinSamples
+	// outcomes are in the window). Default 0.5.
+	ErrorRateThreshold float64
+	// MinSamples is the window occupancy required before the error-rate
+	// rule can fire (so one early failure cannot open a cold breaker).
+	// Default 10.
+	MinSamples int
+	// Window is the rolling outcome window size. Default 20.
+	Window int
+	// Cooldown is the open→half-open base delay; the actual delay draws
+	// deterministic jitter in [cooldown/2, cooldown] from Seed, and the
+	// base doubles after every failed probe (capped at MaxCooldown).
+	// Default 5s.
+	Cooldown time.Duration
+	// MaxCooldown caps the probe backoff. Default 60s.
+	MaxCooldown time.Duration
+	// Seed drives the deterministic probe jitter; breakers with
+	// different seeds desynchronize their probes even when their
+	// replicas fail in lockstep.
+	Seed uint64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.ConsecutiveFailures <= 0 {
+		c.ConsecutiveFailures = 3
+	}
+	if c.ErrorRateThreshold <= 0 {
+		c.ErrorRateThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 60 * time.Second
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker fed by both the request
+// path (passive accounting: every proxied request reports its outcome)
+// and the health loop (active probing: an open breaker's next allowed
+// check is the probe that can close it). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu            sync.Mutex
+	state         BreakerState
+	consec        int    // consecutive failures while closed
+	window        []bool // rolling outcomes, true = failure
+	wIdx, wCount  int
+	probeDeadline time.Time // open: when the next probe may go out
+	probing       bool      // half-open: one probe in flight
+	cooldown      time.Duration
+	jitter        uint64
+
+	opens, closes, rejects int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:      cfg,
+		window:   make([]bool, cfg.Window),
+		cooldown: cfg.Cooldown,
+		jitter:   cfg.Seed | 1, // xorshift state must be non-zero
+	}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request (or health probe) may go to the
+// replica now. Closed always allows; open allows nothing until the
+// probe deadline, at which point the breaker goes half-open and admits
+// exactly one probe; half-open admits nothing while that probe is out.
+// Every allowed call must be matched by a Report.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if now.Before(b.probeDeadline) {
+			b.rejects++
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // StateHalfOpen
+		if b.probing {
+			b.rejects++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds one outcome back. In the closed state it drives the
+// consecutive-failure and error-rate rules; in half-open it resolves
+// the probe — success closes the breaker (and resets the cooldown
+// backoff), failure reopens it with a doubled cooldown. Late reports
+// arriving after the breaker opened only update the window.
+func (b *Breaker) Report(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.window[b.wIdx] = !ok
+	b.wIdx = (b.wIdx + 1) % len(b.window)
+	if b.wCount < len(b.window) {
+		b.wCount++
+	}
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.consec = 0
+			return
+		}
+		b.consec++
+		if b.consec >= b.cfg.ConsecutiveFailures || b.errorRateLocked() >= b.cfg.ErrorRateThreshold {
+			b.openLocked(now)
+		}
+	case StateHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = StateClosed
+			b.closes++
+			b.consec = 0
+			b.cooldown = b.cfg.Cooldown
+			b.wCount, b.wIdx = 0, 0 // forget the outage's window
+		} else {
+			b.cooldown = min(b.cooldown*2, b.cfg.MaxCooldown)
+			b.openLocked(now)
+		}
+	}
+}
+
+// Cancel unwinds an allowed call whose outcome says nothing about the
+// replica — the caller's context ended before the request resolved.
+// If that call was the half-open probe, the probe slot frees so the
+// next Allow can try again; no outcome enters the window.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen && b.probing {
+		b.probing = false
+	}
+}
+
+// errorRateLocked is the failure fraction over the occupied window, or
+// 0 before MinSamples outcomes have arrived.
+func (b *Breaker) errorRateLocked() float64 {
+	if b.wCount < b.cfg.MinSamples {
+		return 0
+	}
+	fails := 0
+	for i := 0; i < b.wCount; i++ {
+		if b.window[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(b.wCount)
+}
+
+// openLocked trips the breaker and schedules the next probe at
+// cooldown with deterministic jitter in [cooldown/2, cooldown].
+func (b *Breaker) openLocked(now time.Time) {
+	b.state = StateOpen
+	b.opens++
+	b.consec = 0
+	// xorshift64: deterministic per-breaker jitter stream.
+	x := b.jitter
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.jitter = x
+	d := b.cooldown/2 + time.Duration(x%uint64(b.cooldown/2+1))
+	b.probeDeadline = now.Add(d)
+}
+
+// Counters returns the transition and rejection tallies (opens,
+// closes, rejects) for /metrics.
+func (b *Breaker) Counters() (opens, closes, rejects int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes, b.rejects
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerConsecutiveFailures walks the full state machine: closed
+// opens after N back-to-back failures, open rejects until the probe
+// deadline, exactly one half-open probe goes out, and a good probe
+// closes it again.
+func TestBreakerConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 3, Cooldown: 10 * time.Second, Seed: 7})
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		b.Report(false, now)
+		if b.State() != StateClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, b.State())
+		}
+	}
+	b.Report(false, now)
+	if b.State() != StateOpen {
+		t.Fatalf("after 3 failures: state %v, want open", b.State())
+	}
+
+	// Open: rejects inside the cooldown (jitter lower bound is
+	// cooldown/2, so 1s in is always inside).
+	if b.Allow(now.Add(time.Second)) {
+		t.Fatal("open breaker allowed a request 1s into a 10s cooldown")
+	}
+	if opens, _, rejects := counters(b); opens != 1 || rejects != 1 {
+		t.Fatalf("opens=%d rejects=%d, want 1, 1", opens, rejects)
+	}
+
+	// Past the jitter upper bound the breaker goes half-open and admits
+	// exactly one probe.
+	probeTime := now.Add(11 * time.Second)
+	if !b.Allow(probeTime) {
+		t.Fatal("breaker did not admit the probe after the full cooldown")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow(probeTime) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	b.Report(true, probeTime)
+	if b.State() != StateClosed {
+		t.Fatalf("after good probe: state %v, want closed", b.State())
+	}
+	if !b.Allow(probeTime) {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func counters(b *Breaker) (int64, int64, int64) {
+	o, c, r := b.Counters()
+	return o, c, r
+}
+
+// TestBreakerProbeFailureDoublesCooldown: a failed probe reopens the
+// breaker with a doubled cooldown (still jittered within
+// [cooldown/2, cooldown]), capped at MaxCooldown.
+func TestBreakerProbeFailureDoublesCooldown(t *testing.T) {
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 1, Cooldown: 4 * time.Second, MaxCooldown: 8 * time.Second, Seed: 3})
+	now := time.Unix(0, 0)
+	b.Report(false, now) // open, cooldown 4s, probe within [2s, 4s]
+
+	probe1 := now.Add(4 * time.Second)
+	if !b.Allow(probe1) {
+		t.Fatal("probe 1 not admitted at full cooldown")
+	}
+	b.Report(false, probe1) // reopen, cooldown 8s, probe within [4s, 8s]
+	if b.State() != StateOpen {
+		t.Fatalf("state %v, want open after failed probe", b.State())
+	}
+	if b.Allow(probe1.Add(3 * time.Second)) {
+		t.Fatal("probe admitted before the doubled cooldown's jitter floor")
+	}
+	probe2 := probe1.Add(8 * time.Second)
+	if !b.Allow(probe2) {
+		t.Fatal("probe 2 not admitted at doubled cooldown")
+	}
+	b.Report(false, probe2) // cooldown would be 16s but caps at 8s
+	if b.Allow(probe2.Add(3 * time.Second)) {
+		t.Fatal("probe admitted before the capped cooldown's jitter floor")
+	}
+	if !b.Allow(probe2.Add(8 * time.Second)) {
+		t.Fatal("probe 3 not admitted at capped cooldown")
+	}
+	// A good probe resets the backoff to the base cooldown.
+	goodAt := probe2.Add(8 * time.Second)
+	b.Report(true, goodAt)
+	b.Report(false, goodAt)
+	if !b.Allow(goodAt.Add(4 * time.Second)) {
+		t.Fatal("cooldown did not reset to base after recovery")
+	}
+}
+
+// TestBreakerErrorRate: interleaved failures that never trip the
+// consecutive rule still open the breaker once the windowed error rate
+// crosses the threshold with enough samples.
+func TestBreakerErrorRate(t *testing.T) {
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 100, // effectively off
+		ErrorRateThreshold:  0.5,
+		MinSamples:          4,
+		Window:              8,
+		Cooldown:            time.Second,
+	})
+	now := time.Unix(0, 0)
+	b.Report(true, now)
+	b.Report(false, now)
+	b.Report(true, now)
+	if b.State() != StateClosed {
+		t.Fatalf("opened below MinSamples: %v", b.State())
+	}
+	b.Report(false, now) // window o,f,o,f: rate 0.5 at 4 samples
+	if b.State() != StateOpen {
+		t.Fatalf("state %v, want open at 50%% error rate", b.State())
+	}
+}
+
+// TestBreakerCancel: canceling the half-open probe frees the slot
+// without recording an outcome, so the next request probes again.
+func TestBreakerCancel(t *testing.T) {
+	b := NewBreaker(BreakerConfig{ConsecutiveFailures: 1, Cooldown: 2 * time.Second})
+	now := time.Unix(0, 0)
+	b.Report(false, now)
+	probeAt := now.Add(2 * time.Second)
+	if !b.Allow(probeAt) {
+		t.Fatal("probe not admitted")
+	}
+	b.Cancel()
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %v, want half-open after cancel", b.State())
+	}
+	if !b.Allow(probeAt) {
+		t.Fatal("probe slot not freed by cancel")
+	}
+	b.Report(true, probeAt)
+	if b.State() != StateClosed {
+		t.Fatalf("state %v, want closed", b.State())
+	}
+}
+
+// TestBreakerJitterDeterministic: same seed, same history, same probe
+// deadlines — the jitter stream is reproducible.
+func TestBreakerJitterDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Breaker {
+		return NewBreaker(BreakerConfig{ConsecutiveFailures: 1, Cooldown: 10 * time.Second, Seed: seed})
+	}
+	now := time.Unix(0, 0)
+	a, b := mk(42), mk(42)
+	a.Report(false, now)
+	b.Report(false, now)
+	// Walk time forward second by second; both must flip at the same
+	// instant.
+	for s := 5; s <= 10; s++ {
+		at := now.Add(time.Duration(s) * time.Second)
+		if a.Allow(at) != b.Allow(at) {
+			t.Fatalf("same-seed breakers diverged at +%ds", s)
+		}
+		if a.State() == StateHalfOpen {
+			return // both flipped together
+		}
+	}
+	t.Fatal("breaker never reached half-open within the cooldown")
+}

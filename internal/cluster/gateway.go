@@ -1,0 +1,779 @@
+// Package cluster is the fault-tolerant serving layer over pasmd: a
+// gateway (cmd/pasmgw) that fronts N replicas and keeps answering the
+// same /v1 job API while individual replicas crash, hang, drain, or
+// return errors.
+//
+// The pieces:
+//
+//   - Registry: the replica set plus an active health loop against each
+//     replica's enriched /healthz (queue depth, in-flight, draining).
+//   - Breaker: a per-replica circuit breaker fed passively by every
+//     proxied request and actively by the health loop, whose allowed
+//     check doubles as the half-open probe.
+//   - ring: consistent hashing on stable replica names; a spec key's
+//     ring order is its owner plus the deterministic failover sequence.
+//   - Gateway: the HTTP front end — pluggable routing (hash,
+//     least-loaded, round-robin), failover across replicas, optional
+//     cross-replica hedging, peer cache fill (a result computed on any
+//     replica is offered to its hash owner, so a hit anywhere becomes a
+//     hit everywhere), and graceful degradation: when every breaker is
+//     open the gateway sheds with 503 + Retry-After instead of hanging.
+//
+// Correctness rests on the repo's determinism invariant: a report is a
+// pure function of (spec, CodeVersion), so any replica's answer for a
+// key is byte-identical to any other's — which is what makes failover,
+// hedging, and peer fill safe to do blindly.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/client"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// Policy selects how submissions are routed across replicas. Every
+// policy produces a full preference order, so failover works the same
+// way under all of them; they differ only in who is tried first.
+type Policy string
+
+const (
+	// PolicyHash routes each spec to its consistent-hash owner —
+	// maximizes replica-local cache hits.
+	PolicyHash Policy = "hash"
+	// PolicyLeastLoaded routes to the replica with the smallest
+	// queue+in-flight load per the last health snapshot.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyRoundRobin rotates through replicas per submission.
+	PolicyRoundRobin Policy = "round-robin"
+)
+
+// ParsePolicy validates a -policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyHash, PolicyLeastLoaded, PolicyRoundRobin:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("cluster: unknown routing policy %q (hash, least-loaded, round-robin)", s)
+}
+
+// Response headers the gateway adds so smoke tests (and clients) can
+// see routing decisions.
+const (
+	// ReplicaHeader names the replica that served this response.
+	ReplicaHeader = "X-Pasm-Replica"
+	// OwnerHeader names the spec's consistent-hash owner (set on
+	// submit and result responses; differs from ReplicaHeader when
+	// routing or failover sent the job elsewhere).
+	OwnerHeader = "X-Pasm-Owner"
+)
+
+// jobIDSep joins a replica name and its local job ID into a gateway
+// job ID ("r1~j3-ab12"). Replica names reject '~' so the split is
+// unambiguous, and the separator survives inside one mux path segment.
+const jobIDSep = "~"
+
+// Config tunes a Gateway.
+type Config struct {
+	// Registry configures the replica set and health loop.
+	Registry RegistryConfig
+	// Policy is the routing policy. Default PolicyHash.
+	Policy Policy
+	// Vnodes per replica on the hash ring. Default 64.
+	Vnodes int
+	// Hedge, when > 0, launches the submit at the second-choice replica
+	// if the first has not answered within this long, taking whichever
+	// answers first (safe: results are deterministic and submits
+	// coalesce server-side).
+	Hedge time.Duration
+	// DisablePeerFill turns off owner cache fill on result fetches.
+	DisablePeerFill bool
+	// FillTimeout bounds one peer-fill RPC. Default 5s.
+	FillTimeout time.Duration
+	// MaxTracked bounds the gateway's job map (spec retention for peer
+	// fill); oldest entries fall off first. Default 4096.
+	MaxTracked int
+	// MinRetryAfter floors the Retry-After hint on shed responses.
+	// Default 1s.
+	MinRetryAfter time.Duration
+	// Logf, when non-nil, receives one line per routing event worth
+	// narrating (failover, shed, breaker transition observed).
+	Logf func(format string, args ...any)
+
+	now func() time.Time
+}
+
+// gwJob is what the gateway remembers about a submission: enough to
+// route reads back and to fill the owner's cache from the result.
+type gwJob struct {
+	spec   experiments.Spec
+	key    cache.Key
+	served string // replica that accepted the job
+	owner  string // consistent-hash owner of the key
+	filled atomic.Bool
+}
+
+// Gateway fronts the replica set with the same /v1 API pasmd serves.
+type Gateway struct {
+	cfg  Config
+	reg  *Registry
+	ring *ring
+	now  func() time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*gwJob
+	jobOrder []string // FIFO eviction for the jobs map
+	draining bool
+
+	rr atomic.Int64 // round-robin cursor
+
+	submits, accepted, failovers, hedges, sheds  atomic.Int64
+	peerFills, peerFillDups, peerFillErrs        atomic.Int64
+	proxied, proxyErrs                           atomic.Int64
+}
+
+// New builds a gateway and its registry. Call Start to begin health
+// checking and Stop to end it.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyHash
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if cfg.MaxTracked <= 0 {
+		cfg.MaxTracked = 4096
+	}
+	if cfg.MinRetryAfter <= 0 {
+		cfg.MinRetryAfter = time.Second
+	}
+	if cfg.FillTimeout <= 0 {
+		cfg.FillTimeout = 5 * time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	cfg.Registry.now = cfg.now
+	reg, err := NewRegistry(cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{
+		cfg:  cfg,
+		reg:  reg,
+		ring: newRing(reg.Names(), cfg.Vnodes),
+		now:  cfg.now,
+		jobs: make(map[string]*gwJob),
+	}, nil
+}
+
+// Registry exposes the replica set (for tests and cmd wiring).
+func (g *Gateway) Registry() *Registry { return g.reg }
+
+// Start launches the health loop.
+func (g *Gateway) Start() { g.reg.Start() }
+
+// Stop ends the health loop.
+func (g *Gateway) Stop() { g.reg.Stop() }
+
+// Drain makes the gateway reject new submissions with 503 +
+// Retry-After while reads (poll, wait, result) keep working, so
+// clients holding accepted jobs can collect them — the lossless half
+// of SIGTERM handling. In-flight HTTP requests are the server's to
+// finish (http.Server.Shutdown waits for them).
+func (g *Gateway) Drain() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+}
+
+func (g *Gateway) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// candidates returns replica indices in routing preference order for
+// this key. The order always contains every replica — failover
+// iterates it — and only who comes first varies by policy.
+func (g *Gateway) candidates(key cache.Key) []int {
+	base := g.ring.order(key) // owner first, then the hash failover chain
+	switch g.cfg.Policy {
+	case PolicyRoundRobin:
+		n := len(g.reg.replicas)
+		start := int(g.rr.Add(1)-1) % n
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, (start+i)%n)
+		}
+		return out
+	case PolicyLeastLoaded:
+		out := append([]int(nil), base...)
+		// Stable sort over the ring order: ties keep the deterministic
+		// hash preference.
+		sort.SliceStable(out, func(a, b int) bool {
+			return g.reg.replicas[out[a]].load() < g.reg.replicas[out[b]].load()
+		})
+		return out
+	default:
+		return base
+	}
+}
+
+// owner returns the key's consistent-hash owner.
+func (g *Gateway) owner(key cache.Key) *Replica {
+	return g.reg.replicas[g.ring.order(key)[0]]
+}
+
+// verdict classifies one proxied request's outcome for routing and
+// breaker accounting.
+type verdict int
+
+const (
+	vOK           verdict = iota // use the response
+	vBackpressure                // 503: replica alive but shedding — fail over, no breaker penalty
+	vPermanent                   // other 4xx: caller's fault — return as-is, no failover
+	vFailure                     // transport error or 5xx: fail over, breaker penalty
+	vCanceled                    // caller's context ended: stop, outcome unknowable
+)
+
+func classify(err error) verdict {
+	if err == nil {
+		return vOK
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return vCanceled
+	}
+	var api *client.APIError
+	if errors.As(err, &api) {
+		switch {
+		case api.Status == http.StatusServiceUnavailable:
+			return vBackpressure
+		case api.Status >= 500:
+			return vFailure
+		case api.Status >= 400:
+			return vPermanent
+		}
+		return vFailure
+	}
+	return vFailure // transport-level: refused, reset, cut body, timeout
+}
+
+// account feeds one classified outcome into the replica's breaker and
+// tallies. Backpressure and permanent rejections count as breaker
+// successes — the replica answered; the breaker measures availability,
+// not capacity.
+func accountVerdict(r *Replica, v verdict, now time.Time) {
+	switch v {
+	case vOK, vBackpressure, vPermanent:
+		r.Report(true, now)
+	case vFailure:
+		r.Report(false, now)
+	case vCanceled:
+		r.breaker.Cancel()
+	}
+}
+
+// Handler returns the gateway's HTTP API — route-compatible with
+// pasmd's, so internal/client works against either.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", g.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", g.handleWait)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// shed rejects with 503 + Retry-After: the gateway-level backpressure
+// answer when no replica can take the work (all breakers open, all
+// draining, or the gateway itself is draining).
+func (g *Gateway) shed(w http.ResponseWriter, reason string, retryAfter time.Duration) {
+	g.sheds.Add(1)
+	if retryAfter < g.cfg.MinRetryAfter {
+		retryAfter = g.cfg.MinRetryAfter
+	}
+	secs := int(retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: reason})
+}
+
+// proxyError translates a replica error into the client-facing reply,
+// preserving the replica's status and Retry-After when it was an HTTP
+// rejection and mapping transport failures to 502.
+func proxyError(w http.ResponseWriter, err error) {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		if api.RetryAfter > 0 {
+			secs := int(api.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeJSON(w, api.Status, errorBody{Error: api.Message})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+}
+
+// submitResult pairs one replica attempt's outcome with its source.
+type submitResult struct {
+	rep *Replica
+	st  service.JobStatus
+	err error
+}
+
+// handleSubmit accepts a spec, routes it per policy, fails over across
+// replicas on transient errors, optionally hedges the first attempt,
+// and rewrites the accepted job's ID to "<replica>~<id>" so reads
+// route back.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	g.submits.Add(1)
+	if g.isDraining() {
+		g.shed(w, "gateway draining", g.cfg.MinRetryAfter)
+		return
+	}
+	var req service.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad submit body: " + err.Error()})
+		return
+	}
+	key, err := req.Spec.Key()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
+		return
+	}
+	opts := client.SubmitOptions{
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		Wait:     time.Duration(req.WaitMS) * time.Millisecond,
+	}
+	owner := g.owner(key)
+
+	var lastErr error
+	tried := 0
+	idxs := g.candidates(key)
+	for pos := 0; pos < len(idxs); pos++ {
+		rep := g.reg.replicas[idxs[pos]]
+		if !rep.Routable(g.now()) {
+			continue
+		}
+		tried++
+		if tried > 1 {
+			g.failovers.Add(1)
+			g.logf("cluster: failover #%d -> %s (%v)", tried-1, rep.Name, lastErr)
+		}
+		res := g.attempt(r.Context(), rep, req.Spec, opts, g.hedgePeer(idxs, pos))
+		switch v := classify(res.err); v {
+		case vOK:
+			g.accepted.Add(1)
+			g.record(res.rep.Name, owner.Name, res.st.ID, req.Spec, key)
+			st := res.st
+			st.ID = res.rep.Name + jobIDSep + st.ID
+			w.Header().Set(ReplicaHeader, res.rep.Name)
+			w.Header().Set(OwnerHeader, owner.Name)
+			code := http.StatusAccepted
+			if st.State.Terminal() {
+				code = http.StatusOK
+			}
+			writeJSON(w, code, st)
+			return
+		case vPermanent:
+			proxyError(w, res.err)
+			return
+		case vCanceled:
+			// Client went away; nothing sensible to write.
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "canceled: " + res.err.Error()})
+			return
+		default: // backpressure or failure: try the next replica
+			lastErr = res.err
+		}
+	}
+	reason := "no replica available"
+	retryAfter := g.cfg.MinRetryAfter
+	if lastErr != nil {
+		reason = "all replicas failed: " + lastErr.Error()
+		var api *client.APIError
+		if errors.As(lastErr, &api) && api.RetryAfter > retryAfter {
+			retryAfter = api.RetryAfter
+		}
+	}
+	g.logf("cluster: shed submit after %d attempts: %s", tried, reason)
+	g.shed(w, reason, retryAfter)
+}
+
+// hedgePeer picks the hedge counterpart for the attempt at position
+// pos: the next routable replica after it, or nil when hedging is off
+// or nobody else can take the request.
+func (g *Gateway) hedgePeer(idxs []int, pos int) *Replica {
+	if g.cfg.Hedge <= 0 {
+		return nil
+	}
+	for i := pos + 1; i < len(idxs); i++ {
+		rep := g.reg.replicas[idxs[i]]
+		if rep.Routable(g.now()) {
+			return rep
+		}
+	}
+	return nil
+}
+
+// attempt submits to one replica, optionally racing a hedge replica
+// launched after the hedge delay. Whoever answers usably first wins;
+// the loser's outcome still reaches its breaker. Hedging a submit is
+// safe because submission is idempotent: identical in-flight specs
+// coalesce on a replica and finished ones are cache hits, and results
+// are byte-identical across replicas by construction.
+func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Spec, opts client.SubmitOptions, hedge *Replica) submitResult {
+	one := func(r *Replica) submitResult {
+		st, err := r.Client().Submit(ctx, spec, opts)
+		v := classify(err)
+		accountVerdict(r, v, g.now())
+		return submitResult{rep: r, st: st, err: err}
+	}
+	if hedge == nil {
+		return one(rep)
+	}
+	ch := make(chan submitResult, 2)
+	go func() { ch <- one(rep) }()
+	timer := time.NewTimer(g.cfg.Hedge)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res
+	case <-timer.C:
+	}
+	g.hedges.Add(1)
+	g.logf("cluster: hedging %s -> %s after %s", rep.Name, hedge.Name, g.cfg.Hedge)
+	go func() { ch <- one(hedge) }()
+	first := <-ch
+	if classify(first.err) == vOK {
+		return first
+	}
+	second := <-ch
+	if classify(second.err) == vOK {
+		return second
+	}
+	return first
+}
+
+// record remembers a submission for read routing and peer fill,
+// evicting the oldest entry past MaxTracked.
+func (g *Gateway) record(served, owner, localID string, spec experiments.Spec, key cache.Key) {
+	gwID := served + jobIDSep + localID
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.jobs[gwID]; ok {
+		return
+	}
+	g.jobs[gwID] = &gwJob{spec: spec, key: key, served: served, owner: owner}
+	g.jobOrder = append(g.jobOrder, gwID)
+	for len(g.jobOrder) > g.cfg.MaxTracked {
+		evict := g.jobOrder[0]
+		g.jobOrder = g.jobOrder[1:]
+		delete(g.jobs, evict)
+	}
+}
+
+func (g *Gateway) lookup(gwID string) *gwJob {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.jobs[gwID]
+}
+
+// splitID resolves a gateway job ID to its replica and local ID.
+func (g *Gateway) splitID(id string) (*Replica, string, bool) {
+	name, local, ok := strings.Cut(id, jobIDSep)
+	if !ok || local == "" {
+		return nil, "", false
+	}
+	rep, ok := g.reg.Find(name)
+	if !ok {
+		return nil, "", false
+	}
+	return rep, local, true
+}
+
+// proxyRead runs one read RPC against the job's replica. Reads do not
+// consult the breaker's Allow — the job's state lives only on that
+// replica, so there is nowhere to fail over to — but their outcomes
+// still feed it.
+func (g *Gateway) proxyRead(w http.ResponseWriter, r *http.Request, call func(ctx context.Context, rep *Replica, local string) (any, error)) {
+	rep, local, ok := g.splitID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	g.proxied.Add(1)
+	out, err := call(r.Context(), rep, local)
+	accountVerdict(rep, classify(err), g.now())
+	if err != nil {
+		g.proxyErrs.Add(1)
+		proxyError(w, err)
+		return
+	}
+	w.Header().Set(ReplicaHeader, rep.Name)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// rewriteStatus maps a replica-local status back into gateway ID space.
+func rewriteStatus(rep *Replica, st service.JobStatus) service.JobStatus {
+	st.ID = rep.Name + jobIDSep + st.ID
+	return st
+}
+
+func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	g.proxyRead(w, r, func(ctx context.Context, rep *Replica, local string) (any, error) {
+		st, err := rep.Client().Job(ctx, local)
+		if err != nil {
+			return nil, err
+		}
+		return rewriteStatus(rep, st), nil
+	})
+}
+
+func (g *Gateway) handleWait(w http.ResponseWriter, r *http.Request) {
+	timeout := 30 * time.Second
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			timeout = time.Duration(v) * time.Millisecond
+		}
+	}
+	g.proxyRead(w, r, func(ctx context.Context, rep *Replica, local string) (any, error) {
+		st, err := rep.Client().WaitOnce(ctx, local, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return rewriteStatus(rep, st), nil
+	})
+}
+
+// handleResult proxies the result bytes verbatim and, when the serving
+// replica is not the key's hash owner, offers the bytes to the owner's
+// cache in the background (peer fill): one replica computing a result
+// makes it a cache hit cluster-wide, whatever routing did.
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	gwID := r.PathValue("id")
+	rep, local, ok := g.splitID(gwID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	g.proxied.Add(1)
+	body, cached, err := rep.Client().ResultMeta(r.Context(), local)
+	accountVerdict(rep, classify(err), g.now())
+	if err != nil {
+		g.proxyErrs.Add(1)
+		proxyError(w, err)
+		return
+	}
+	w.Header().Set(ReplicaHeader, rep.Name)
+	if j := g.lookup(gwID); j != nil {
+		w.Header().Set(OwnerHeader, j.owner)
+		if !g.cfg.DisablePeerFill && j.owner != rep.Name && j.filled.CompareAndSwap(false, true) {
+			go g.fillOwner(j, body)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Pasm-Cached", "true")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// fillOwner pushes result bytes to the key owner's cache. On error the
+// job's filled flag resets so a later result fetch retries.
+func (g *Gateway) fillOwner(j *gwJob, body []byte) {
+	owner, ok := g.reg.Find(j.owner)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.FillTimeout)
+	defer cancel()
+	stored, err := owner.Client().Fill(ctx, j.spec, body)
+	switch {
+	case err != nil:
+		g.peerFillErrs.Add(1)
+		j.filled.Store(false)
+		g.logf("cluster: peer fill %s <- %s failed: %v", j.owner, j.served, err)
+	case stored:
+		g.peerFills.Add(1)
+		g.logf("cluster: peer fill %s <- %s (%d bytes)", j.owner, j.served, len(body))
+	default:
+		g.peerFillDups.Add(1)
+	}
+}
+
+// handleList fans out to every replica and merges, rewriting IDs into
+// gateway space. Replicas that fail to answer are skipped — a partial
+// listing beats none during an outage.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	type res struct {
+		rep *Replica
+		sts []service.JobStatus
+		err error
+	}
+	ch := make(chan res, len(g.reg.replicas))
+	for _, rep := range g.reg.replicas {
+		go func(rep *Replica) {
+			sts, err := rep.Client().List(r.Context())
+			ch <- res{rep, sts, err}
+		}(rep)
+	}
+	var all []service.JobStatus
+	for range g.reg.replicas {
+		rs := <-ch
+		accountVerdict(rs.rep, classify(rs.err), g.now())
+		if rs.err != nil {
+			continue
+		}
+		for _, st := range rs.sts {
+			all = append(all, rewriteStatus(rs.rep, st))
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].ID < all[b].ID })
+	writeJSON(w, http.StatusOK, all)
+}
+
+// Metrics returns the gateway's own counters plus each replica's
+// breaker and health view, plus a live aggregation of replica cache
+// counters (cluster/cache_hits and friends power loadgen's gateway
+// hit-rate mode).
+func (g *Gateway) Metrics(ctx context.Context) map[string]float64 {
+	m := map[string]float64{
+		"cluster/replicas":         float64(len(g.reg.replicas)),
+		"cluster/healthy":          float64(g.reg.Healthy()),
+		"cluster/submits":          float64(g.submits.Load()),
+		"cluster/accepted":         float64(g.accepted.Load()),
+		"cluster/failovers":        float64(g.failovers.Load()),
+		"cluster/hedges":           float64(g.hedges.Load()),
+		"cluster/shed":             float64(g.sheds.Load()),
+		"cluster/peer_fills":       float64(g.peerFills.Load()),
+		"cluster/peer_fill_dups":   float64(g.peerFillDups.Load()),
+		"cluster/peer_fill_errors": float64(g.peerFillErrs.Load()),
+		"cluster/proxied_reads":    float64(g.proxied.Load()),
+		"cluster/proxy_errors":     float64(g.proxyErrs.Load()),
+	}
+	g.mu.Lock()
+	m["cluster/tracked_jobs"] = float64(len(g.jobs))
+	if g.draining {
+		m["cluster/draining"] = 1
+	} else {
+		m["cluster/draining"] = 0
+	}
+	g.mu.Unlock()
+
+	ch := make(chan map[string]float64, len(g.reg.replicas))
+	for _, rep := range g.reg.replicas {
+		go func(rep *Replica) {
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			rm, err := rep.Client().Metrics(cctx)
+			if err != nil {
+				rm = nil
+			}
+			ch <- rm
+		}(rep)
+	}
+	for _, rep := range g.reg.replicas {
+		prefix := "replicas/" + rep.Name + "/"
+		opens, closes, rejects := rep.breaker.Counters()
+		m[prefix+"breaker_state"] = float64(rep.breaker.State())
+		m[prefix+"breaker_opens"] = float64(opens)
+		m[prefix+"breaker_closes"] = float64(closes)
+		m[prefix+"breaker_rejects"] = float64(rejects)
+		rep.mu.Lock()
+		m[prefix+"forwarded"] = float64(rep.forwarded)
+		m[prefix+"failures"] = float64(rep.failures)
+		m[prefix+"health_checks"] = float64(rep.checks)
+		m[prefix+"health_check_failures"] = float64(rep.checkFails)
+		if rep.alive {
+			m[prefix+"alive"] = 1
+			m[prefix+"queue_depth"] = float64(rep.health.QueueDepth)
+			m[prefix+"inflight"] = float64(rep.health.InFlight)
+			m[prefix+"cache_entries"] = float64(rep.health.CacheEntries)
+		} else {
+			m[prefix+"alive"] = 0
+		}
+		rep.mu.Unlock()
+	}
+	for range g.reg.replicas {
+		rm := <-ch
+		if rm == nil {
+			continue
+		}
+		// Cluster-wide sums of the counters the bench and loadgen read.
+		for _, k := range []string{"cache/hits", "cache/misses", "service/submitted",
+			"service/completed", "service/served_from_cache", "service/coalesced",
+			"service/peer_fills"} {
+			m["cluster/"+strings.ReplaceAll(k, "/", "_")] += rm[k]
+		}
+	}
+	return m
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Metrics(r.Context()))
+}
+
+// ClusterHealth is the gateway's /healthz body.
+type ClusterHealth struct {
+	Status   string `json:"status"` // ok | degraded | down
+	Replicas int    `json:"replicas"`
+	Healthy  int    `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Policy   string `json:"policy"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := ClusterHealth{
+		Replicas: len(g.reg.replicas),
+		Healthy:  g.reg.Healthy(),
+		Draining: g.isDraining(),
+		Policy:   string(g.cfg.Policy),
+	}
+	switch {
+	case h.Healthy == h.Replicas:
+		h.Status = "ok"
+	case h.Healthy > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "down"
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the network-level fault
+// points, manufacturing the failures a distributed serving path must
+// absorb: refused connections and slow round trips (Conn) and response
+// bodies cut mid-stream (Body). A nil injector returns next unchanged,
+// so the healthy path pays nothing.
+//
+// Injected failures are indistinguishable from real ones to the
+// caller — a Conn error surfaces exactly like a dead replica (wrapped
+// in *url.Error by net/http), and a Body cut ends the read with
+// io.ErrUnexpectedEOF — so retry, failover, and circuit-breaker logic
+// exercised under a profile behaves identically against real faults.
+func (i *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if i == nil {
+		return next
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &faultTransport{inj: i, next: next}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	next http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	act := t.inj.Check(Conn)
+	if act.Delay > 0 {
+		select {
+		case <-time.After(act.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if act.Err != nil {
+		// Refused before anything was sent: safe to retry on any method.
+		return nil, fmt.Errorf("faults: connection refused to %s: %w", req.URL.Host, act.Err)
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if act := t.inj.Check(Body); act.Err != nil && resp.Body != nil {
+		// Let roughly half the advertised payload through, then cut.
+		limit := resp.ContentLength / 2
+		if limit <= 0 {
+			limit = 64
+		}
+		resp.Body = &cutBody{rc: resp.Body, remain: limit}
+	}
+	return resp, nil
+}
+
+// cutBody streams the first remain bytes, then fails the read the way
+// a dropped TCP connection would.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("faults: response body cut mid-stream: %w", io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF && b.remain <= 0 {
+		// The cut fires before the natural end of the body.
+		err = nil
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTransportNilDetached: a nil injector returns the inner transport
+// untouched — the healthy path has no wrapper at all.
+func TestTransportNilDetached(t *testing.T) {
+	var inj *Injector
+	inner := http.DefaultTransport
+	if got := inj.Transport(inner); got != inner {
+		t.Fatalf("nil injector wrapped the transport: %T", got)
+	}
+}
+
+// TestTransportConnRefused: a conn error fires before the request is
+// sent — the server never sees it, and the error wraps ErrInjected.
+func TestTransportConnRefused(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+
+	inj := New(1, Profile{Conn: {ErrorRate: 1}})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	_, err := hc.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if served != 0 {
+		t.Errorf("server saw %d requests, want 0 (refused before send)", served)
+	}
+	m := inj.Metrics("")
+	if m["conn/errors"] != 1 {
+		t.Errorf("conn/errors = %v, want 1", m["conn/errors"])
+	}
+}
+
+// TestTransportBodyCut: the response arrives but its body fails
+// mid-stream with io.ErrUnexpectedEOF after a truncated prefix.
+func TestTransportBodyCut(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	inj := New(1, Profile{Body: {ErrorRate: 1}})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(data) == 0 || len(data) >= len(payload) {
+		t.Errorf("read %d bytes, want a strict truncated prefix of %d", len(data), len(payload))
+	}
+	if string(data) != payload[:len(data)] {
+		t.Error("truncated prefix corrupted, not just cut")
+	}
+}
+
+// TestTransportSlow: a conn delay stretches the round trip without
+// failing it.
+func TestTransportSlow(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj := New(1, Profile{Conn: {DelayRate: 1, Delay: 30 * time.Millisecond}})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	start := time.Now()
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("round trip took %s, want >= 30ms injected delay", d)
+	}
+}
+
+// TestTransportCleanPassThrough: with rates at zero the body streams
+// whole and untouched.
+func TestTransportCleanPassThrough(t *testing.T) {
+	payload := strings.Repeat("y", 1024)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	inj := New(1, Profile{Conn: {}, Body: {}})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || string(data) != payload {
+		t.Fatalf("read = %d bytes, err %v; want full payload", len(data), err)
+	}
+}

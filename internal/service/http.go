@@ -2,9 +2,11 @@ package service
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -44,6 +46,16 @@ const DeadlineHeader = "X-Pasm-Deadline-Ms"
 // in /metrics.
 const AttemptHeader = "X-Pasm-Attempt"
 
+// FillSpecHeader carries a peer fill's spec as base64-encoded JSON.
+// The result bytes travel as the raw request body — never re-marshaled,
+// so a fill can never perturb the byte-identity guarantee — which is
+// why the spec rides a header instead of a JSON envelope.
+const FillSpecHeader = "X-Pasm-Fill-Spec"
+
+// FillPath is the internal peer-fill endpoint (cluster gateways only;
+// it is not part of the public /v1 job API).
+const FillPath = "/internal/v1/fill"
+
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
 	Spec experiments.Spec `json:"spec"`
@@ -75,6 +87,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST "+FillPath, s.handleFill)
 	return s.faultMiddleware(mux)
 }
 
@@ -249,9 +262,42 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.Draining(),
-		"code":     experiments.CodeVersion,
-	})
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// handleFill is the peer-fill endpoint: the spec arrives base64-encoded
+// in FillSpecHeader, the result bytes are the raw body (stored verbatim
+// — see Service.Fill for the key discipline). 200 stored, 208 already
+// cached, 400 on a bad spec or empty body.
+func (s *Service) handleFill(w http.ResponseWriter, r *http.Request) {
+	enc := r.Header.Get(FillSpecHeader)
+	if enc == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing " + FillSpecHeader + " header"})
+		return
+	}
+	rawSpec, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad " + FillSpecHeader + " encoding: " + err.Error()})
+		return
+	}
+	var spec experiments.Spec
+	if err := json.Unmarshal(rawSpec, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad fill spec: " + err.Error()})
+		return
+	}
+	result, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading fill body: " + err.Error()})
+		return
+	}
+	stored, err := s.Fill(spec, result)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if !stored {
+		code = http.StatusAlreadyReported
+	}
+	writeJSON(w, code, map[string]bool{"stored": stored})
 }

@@ -88,6 +88,9 @@ type Config struct {
 	// MinRetryAfter floors the Retry-After estimate on rejection.
 	// Default 1s.
 	MinRetryAfter time.Duration
+	// Name identifies this instance in /healthz (cluster deployments
+	// give each replica a stable name; empty is fine standalone).
+	Name string
 	// Faults, when non-nil, injects deterministic faults at the
 	// admission, cache, execution, and HTTP points (chaos testing).
 	// Nil costs one pointer test per probe site.
@@ -166,6 +169,7 @@ type Service struct {
 	jobs       map[string]*job
 	inflight   map[cache.Key]*job
 	finished   []string // terminal job ids, oldest first (history bound)
+	running    int      // jobs currently executing on a worker
 	draining   bool
 	seq        int
 	reg        *obs.Registry
@@ -368,12 +372,14 @@ func (s *Service) worker() {
 		}
 		j.state = StateRunning
 		j.started = now
+		s.running++
 		s.reg.Hist("queue_wait_ms", msBounds).Observe(now.Sub(j.created).Milliseconds())
 		s.mu.Unlock()
 
 		result, err := s.execute(j)
 
 		s.mu.Lock()
+		s.running--
 		j.finished = s.now()
 		runSecs := j.finished.Sub(j.started).Seconds()
 		if s.avgRunSecs == 0 {
@@ -540,6 +546,73 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
+// HealthInfo is the /healthz body: liveness plus the load signals a
+// cluster gateway routes on. The status code stays 200 whenever the
+// process can answer — queue pressure and draining are reported in the
+// body, not the code, so health checking and load reporting share one
+// round trip.
+type HealthInfo struct {
+	Status       string `json:"status"`
+	Name         string `json:"name,omitempty"`
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	InFlight     int    `json:"inflight"`
+	CacheEntries int    `json:"cache_entries"`
+	Workers      int    `json:"workers"`
+	Code         string `json:"code"`
+}
+
+// Health snapshots the service's load and drain state.
+func (s *Service) Health() HealthInfo {
+	s.mu.Lock()
+	h := HealthInfo{
+		Status:     "ok",
+		Name:       s.cfg.Name,
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+		InFlight:   s.running,
+		Workers:    s.cfg.Workers,
+		Code:       experiments.CodeVersion,
+	}
+	s.mu.Unlock()
+	h.CacheEntries = s.cache.Len()
+	return h
+}
+
+// Fill inserts an externally computed result for spec into the result
+// cache — the peer-fill path: a cluster gateway offers a result served
+// by one replica to the replica that owns the spec's key, so a hit
+// anywhere becomes a hit everywhere. The key is recomputed from the
+// spec here (never trusted from the wire), so a fill can only ever
+// land under the address its spec hashes to. Returns whether the
+// bytes were stored (false: already cached, counted as a duplicate).
+func (s *Service) Fill(spec experiments.Spec, result []byte) (bool, error) {
+	if len(result) == 0 {
+		return false, errors.New("service: empty fill payload")
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		return false, err
+	}
+	rawKey, err := norm.Key()
+	if err != nil {
+		return false, err
+	}
+	key := cache.Key(rawKey)
+	stored := !s.cache.Contains(key)
+	if stored {
+		s.cache.Put(key, result)
+	}
+	s.mu.Lock()
+	if stored {
+		s.reg.Add("peer_fills", 1)
+	} else {
+		s.reg.Add("peer_fill_dups", 1)
+	}
+	s.mu.Unlock()
+	return stored, nil
+}
+
 // QueueLen returns the number of admitted-but-unstarted jobs.
 func (s *Service) QueueLen() int { return len(s.queue) }
 
@@ -553,13 +626,14 @@ func (s *Service) Metrics() map[string]float64 {
 		"coalesced", "served_from_cache", "rejected_queue_full",
 		"rejected_deadline", "rejected_draining", "rejected_injected",
 		"panics_recovered", "expired_running", "cache_faults",
-		"retried_submits"} {
+		"retried_submits", "peer_fills", "peer_fill_dups"} {
 		if _, ok := m["service/"+name]; !ok {
 			m["service/"+name] = 0
 		}
 	}
 	m["service/queue_depth"] = float64(len(s.queue))
 	m["service/queue_capacity"] = float64(s.cfg.QueueDepth)
+	m["service/inflight"] = float64(s.running)
 	m["service/workers"] = float64(s.cfg.Workers)
 	m["service/jobs_tracked"] = float64(len(s.jobs))
 	if s.draining {

@@ -334,3 +334,109 @@ func TestBadSpecRejected(t *testing.T) {
 		t.Errorf("bad spec left a tracked job: %v", m["service/jobs_tracked"])
 	}
 }
+
+// TestHealthSnapshot: Health reports queue depth, in-flight work, the
+// drain flag, and the instance name — the load signals a cluster
+// gateway routes on.
+func TestHealthSnapshot(t *testing.T) {
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 8, Name: "r0", run: g.run})
+
+	h := s.Health()
+	if h.Status != "ok" || h.Name != "r0" || h.Draining || h.QueueDepth != 0 || h.InFlight != 0 {
+		t.Fatalf("idle health = %+v", h)
+	}
+	if h.Workers != 1 || h.Code != experiments.CodeVersion {
+		t.Fatalf("health constants = %+v", h)
+	}
+
+	// One running (gated) job plus one queued behind it.
+	a, err := s.Submit(specN(1), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, a.ID)
+	if _, err := s.Submit(specN(2), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	h = s.Health()
+	if h.InFlight != 1 || h.QueueDepth != 1 {
+		t.Fatalf("busy health = %+v, want inflight 1 queue 1", h)
+	}
+
+	g.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h = s.Health()
+	if !h.Draining || h.InFlight != 0 || h.QueueDepth != 0 {
+		t.Fatalf("drained health = %+v", h)
+	}
+	if m := s.Metrics(); m["service/inflight"] != 0 {
+		t.Fatalf("service/inflight = %v after drain", m["service/inflight"])
+	}
+	if h.CacheEntries != 2 {
+		t.Fatalf("cache_entries = %d, want 2 completed results", h.CacheEntries)
+	}
+}
+
+func waitRunning(t *testing.T, s *Service, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := s.Job(id); ok && st.State == StateRunning {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached running", id)
+}
+
+// TestPeerFill: a filled result is served as a cache hit without
+// executing anything; refills of the same key count as duplicates;
+// bad specs and empty payloads are rejected.
+func TestPeerFill(t *testing.T) {
+	ran := false
+	s := New(Config{Workers: 1, QueueDepth: 4, run: func(context.Context, experiments.Spec) ([]byte, error) {
+		ran = true
+		return []byte("computed\n"), nil
+	}})
+	defer s.Shutdown(context.Background())
+
+	body := []byte(`{"filled":"report"}` + "\n")
+	stored, err := s.Fill(specN(7), body)
+	if err != nil || !stored {
+		t.Fatalf("Fill = %v, %v; want stored", stored, err)
+	}
+	if stored, err = s.Fill(specN(7), body); err != nil || stored {
+		t.Fatalf("refill = %v, %v; want duplicate", stored, err)
+	}
+
+	st, err := s.Submit(specN(7), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached || st.State != StateDone {
+		t.Fatalf("submit after fill = %+v, want cached done", st)
+	}
+	res, _, ok := s.Result(st.ID)
+	if !ok || string(res) != string(body) {
+		t.Fatalf("filled result = %q, want the filled bytes", res)
+	}
+	if ran {
+		t.Error("fill-satisfied submit executed the runner")
+	}
+
+	if _, err := s.Fill(specN(8), nil); err == nil {
+		t.Error("empty fill payload accepted")
+	}
+	if _, err := s.Fill(experiments.Spec{}, body); err == nil {
+		t.Error("invalid spec fill accepted")
+	}
+	m := s.Metrics()
+	if m["service/peer_fills"] != 1 || m["service/peer_fill_dups"] != 1 {
+		t.Errorf("fill metrics = %v / %v, want 1 / 1", m["service/peer_fills"], m["service/peer_fill_dups"])
+	}
+}

@@ -1,0 +1,167 @@
+// Command clusterbench measures the pasm cluster serving path through
+// pasmgw (make bench-cluster). It runs the same loadgen workload
+// against two topologies — one replica and three replicas behind the
+// gateway — and writes a combined document comparing latency, cache
+// hit rate, and peer-fill activity:
+//
+//	clusterbench [-c 4] [-n 40] [-exp table1] [-out BENCH_cluster.json]
+//
+// The interesting comparison: with the hash routing policy, the
+// three-replica hit rate should match the single-replica hit rate
+// (each spec always lands on its owner), and the cold phase spreads
+// across replicas. The per-topology sections are verbatim loadgen
+// documents (schema pasm-loadgen/1) with the cluster metrics block.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+)
+
+type topoResult struct {
+	Replicas int             `json:"replicas"`
+	Doc      json.RawMessage `json:"result"`
+}
+
+func main() {
+	c := flag.Int("c", 4, "concurrent loadgen clients")
+	n := flag.Int("n", 40, "requests per phase")
+	exp := flag.String("exp", "table1", "experiment to request")
+	out := flag.String("out", "BENCH_cluster.json", "output `file`")
+	flag.Parse()
+	if err := run(*c, *n, *exp, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c, n int, exp, out string) error {
+	dir, err := os.MkdirTemp("", "clusterbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	pasmd := filepath.Join(dir, "pasmd")
+	pasmgw := filepath.Join(dir, "pasmgw")
+	loadgen := filepath.Join(dir, "loadgen")
+	for bin, pkg := range map[string]string{
+		pasmd: "./cmd/pasmd", pasmgw: "./cmd/pasmgw", loadgen: "./scripts/loadgen",
+	} {
+		if b, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", pkg, err, b)
+		}
+	}
+
+	doc := struct {
+		Schema     string       `json:"schema"`
+		Topologies []topoResult `json:"topologies"`
+	}{Schema: "pasm-cluster-bench/1"}
+
+	for _, replicas := range []int{1, 3} {
+		raw, err := runTopology(dir, pasmd, pasmgw, loadgen, replicas, c, n, exp)
+		if err != nil {
+			return fmt.Errorf("topology %d: %v", replicas, err)
+		}
+		doc.Topologies = append(doc.Topologies, topoResult{Replicas: replicas, Doc: raw})
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+		return nil
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "clusterbench: wrote %s\n", out)
+	return nil
+}
+
+// runTopology starts `replicas` pasmd daemons and a pasmgw in front,
+// drives loadgen -gateway through it, and returns the loadgen JSON.
+func runTopology(dir, pasmd, pasmgw, loadgen string, replicas, c, n int, exp string) (json.RawMessage, error) {
+	fmt.Fprintf(os.Stderr, "clusterbench: topology: %d replica(s)\n", replicas)
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, p := range procs {
+			p.Wait()
+		}
+	}()
+
+	var replicaFlags []string
+	for i := 0; i < replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d-%s", replicas, name))
+		cmd := exec.Command(pasmd,
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-name", name,
+			"-queue", "64", "-workers", "2", "-parallel", "2")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("starting %s: %v", name, err)
+		}
+		procs = append(procs, cmd)
+		addr, err := waitForFile(addrFile, 15*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		replicaFlags = append(replicaFlags, "-replica", name+"="+strings.TrimSpace(addr))
+	}
+
+	gwAddrFile := filepath.Join(dir, fmt.Sprintf("addr-%d-gw", replicas))
+	gwArgs := append([]string{
+		"-addr", "127.0.0.1:0", "-addr-file", gwAddrFile, "-policy", "hash",
+	}, replicaFlags...)
+	gw := exec.Command(pasmgw, gwArgs...)
+	gw.Stderr = os.Stderr
+	if err := gw.Start(); err != nil {
+		return nil, fmt.Errorf("starting pasmgw: %v", err)
+	}
+	procs = append(procs, gw)
+	gwAddr, err := waitForFile(gwAddrFile, 15*time.Second)
+	if err != nil {
+		return nil, err
+	}
+
+	outFile := filepath.Join(dir, fmt.Sprintf("bench-%d.json", replicas))
+	lg := exec.Command(loadgen,
+		"-addr", strings.TrimSpace(gwAddr), "-gateway",
+		"-c", fmt.Sprint(c), "-n", fmt.Sprint(n), "-exp", exp, "-out", outFile)
+	lg.Stderr = os.Stderr
+	if err := lg.Run(); err != nil {
+		return nil, fmt.Errorf("loadgen: %v", err)
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
+func waitForFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("timed out waiting for %s", path)
+}

@@ -12,9 +12,15 @@
 //
 //	loadgen -addr HOST:PORT [-c 4] [-n 40] [-exp table1]
 //	        [-phase both|cold|hit] [-seed 1988] [-out FILE|-]
+//	        [-gateway]
 //
 // The JSON document (BENCH_service.json in CI) goes to -out; progress
 // goes to stderr.
+//
+// -gateway marks -addr as a pasmgw gateway: after the phases the run
+// snapshots the gateway's /metrics and records the cluster-wide cache
+// hit rate, failovers, hedges, and peer fills alongside the latency
+// numbers (BENCH_cluster.json compares these for 1 vs 3 replicas).
 package main
 
 import (
@@ -47,14 +53,28 @@ type phaseResult struct {
 	Bytes      int64   `json:"bytes_total"`
 }
 
+// clusterStats summarizes a gateway's /metrics after the run
+// (-gateway mode only).
+type clusterStats struct {
+	Replicas  float64 `json:"replicas"`
+	Healthy   float64 `json:"healthy"`
+	CacheHits float64 `json:"cache_hits"`
+	Misses    float64 `json:"cache_misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Failovers float64 `json:"failovers"`
+	Hedges    float64 `json:"hedges"`
+	PeerFills float64 `json:"peer_fills"`
+}
+
 type benchDoc struct {
-	Schema string        `json:"schema"`
-	Addr   string        `json:"addr"`
-	Exp    string        `json:"exp"`
-	Host   string        `json:"host"`
-	CPUs   int           `json:"cpus"`
-	Code   string        `json:"code_version"`
-	Phases []phaseResult `json:"phases"`
+	Schema  string        `json:"schema"`
+	Addr    string        `json:"addr"`
+	Exp     string        `json:"exp"`
+	Host    string        `json:"host"`
+	CPUs    int           `json:"cpus"`
+	Code    string        `json:"code_version"`
+	Phases  []phaseResult `json:"phases"`
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -64,6 +84,7 @@ func main() {
 	exp := flag.String("exp", "table1", "experiment to request")
 	phase := flag.String("phase", "both", "cold, hit, or both")
 	seed := flag.Uint("seed", 1988, "base seed (cold phase uses seed+i per request)")
+	gateway := flag.Bool("gateway", false, "treat -addr as a pasmgw gateway and record cluster metrics")
 	out := flag.String("out", "-", "write the JSON results to `file` (\"-\" for stdout)")
 	flag.Parse()
 	if *addr == "" {
@@ -107,6 +128,29 @@ func main() {
 		doc.Phases = append(doc.Phases, runPhase(ctx, cl, "hit", *c, *n, func(int) experiments.Spec {
 			return warm
 		}))
+	}
+
+	if *gateway {
+		m, err := cl.Metrics(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: gateway metrics: %v\n", err)
+			os.Exit(1)
+		}
+		cs := &clusterStats{
+			Replicas:  m["cluster/replicas"],
+			Healthy:   m["cluster/healthy"],
+			CacheHits: m["cluster/cache_hits"],
+			Misses:    m["cluster/cache_misses"],
+			Failovers: m["cluster/failovers"],
+			Hedges:    m["cluster/hedges"],
+			PeerFills: m["cluster/peer_fills"],
+		}
+		if total := cs.CacheHits + cs.Misses; total > 0 {
+			cs.HitRate = cs.CacheHits / total
+		}
+		doc.Cluster = cs
+		fmt.Fprintf(os.Stderr, "loadgen: cluster: %g/%g healthy, hit rate %.2f, %g failovers, %g peer fills\n",
+			cs.Healthy, cs.Replicas, cs.HitRate, cs.Failovers, cs.PeerFills)
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

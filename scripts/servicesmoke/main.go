@@ -88,9 +88,24 @@ func run() error {
 	cl := client.New(strings.TrimSpace(addr))
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
-	if _, err := cl.Health(ctx); err != nil {
+
+	// 0. The enriched /healthz body: the cluster gateway routes on these
+	// fields, so their presence and sanity are part of the contract.
+	h, err := cl.HealthInfo(ctx)
+	if err != nil {
 		return fmt.Errorf("healthz: %v", err)
 	}
+	switch {
+	case h.Status != "ok":
+		return fmt.Errorf("healthz status = %q, want ok", h.Status)
+	case h.Draining:
+		return errors.New("healthz claims draining on a fresh daemon")
+	case h.Workers != 1:
+		return fmt.Errorf("healthz workers = %d, want 1", h.Workers)
+	case h.Code != experiments.CodeVersion:
+		return fmt.Errorf("healthz code = %q, want %q", h.Code, experiments.CodeVersion)
+	}
+	fmt.Fprintln(os.Stderr, "servicesmoke: enriched /healthz body sane ✓")
 
 	// 1a. Cold miss through the Go client: byte-identical.
 	spec := experiments.Spec{Exps: []string{"table1"}, Seed: 1988}
