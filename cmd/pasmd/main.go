@@ -12,8 +12,15 @@
 //	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE] [-name NAME]
 //	      [-queue 64] [-workers 2] [-parallel N]
 //	      [-cache-entries 256] [-cache-bytes N]
+//	      [-fill-secret SECRET]
 //	      [-drain-timeout 5m] [-linger 2s]
 //	      [-chaos-profile "run:error=0.1,..." [-chaos-seed N]]
+//
+// -fill-secret arms the cluster-internal peer-fill endpoint
+// (/internal/v1/fill): a pasmgw gateway started with the same secret
+// can push results computed elsewhere into this instance's cache.
+// Without the flag the endpoint rejects everything — it shares the
+// public listener, so it is never open anonymously.
 //
 // -chaos-profile enables deterministic fault injection (package
 // faults) at the admission, cache, execution, and HTTP points;
@@ -68,6 +75,7 @@ func run() int {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines per job for experiment cell fan-out")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache bound, total value bytes (0 = unbounded)")
+	fillSecret := flag.String("fill-secret", "", "shared secret arming the peer-fill endpoint (empty = fills disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs on shutdown")
 	linger := flag.Duration("linger", 2*time.Second, "after the queue drains, keep serving status/result reads this long so waiting clients can collect")
 	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile, e.g. \"run:error=0.1,panic=0.05,delay=0.2@20ms;http:error=0.1\" (empty = no injection)")
@@ -93,6 +101,7 @@ func run() int {
 		Options:    opts,
 		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
 		Name:       *name,
+		FillSecret: *fillSecret,
 		Faults:     injector,
 	})
 

@@ -12,7 +12,8 @@
 //	pasmgw -replica a=127.0.0.1:8041 -replica b=127.0.0.1:8042 ...
 //	       [-addr 127.0.0.1:8040] [-addr-file FILE]
 //	       [-policy hash|least-loaded|round-robin]
-//	       [-hedge 0] [-health-interval 1s] [-no-peer-fill]
+//	       [-hedge 0] [-health-interval 1s]
+//	       [-fill-secret SECRET] [-no-peer-fill]
 //	       [-breaker-failures 3] [-breaker-cooldown 5s]
 //	       [-chaos-profile "conn:error=0.1,...;body:error=0.05" [-chaos-seed N]]
 //
@@ -30,8 +31,11 @@
 //
 // Peer cache fill: when a result was computed off its hash owner, the
 // gateway pushes the bytes to the owner's cache in the background, so
-// one computation becomes a cluster-wide cache hit. -no-peer-fill
-// disables it.
+// one computation becomes a cluster-wide cache hit. Fills authenticate
+// with -fill-secret, which must match every replica's pasmd
+// -fill-secret; without it peer fill is disabled automatically (the
+// replicas would reject the pushes anyway). -no-peer-fill disables it
+// explicitly.
 //
 // -chaos-profile arms the deterministic fault injector on the
 // *gateway's replica connections* (points "conn" and "body": refused
@@ -85,6 +89,7 @@ func run() int {
 	hedge := flag.Duration("hedge", 0, "launch the submit at the next replica if the first has not answered in this long (0 = off)")
 	healthInterval := flag.Duration("health-interval", time.Second, "active health check period per replica")
 	noPeerFill := flag.Bool("no-peer-fill", false, "disable pushing off-owner results into the owner's cache")
+	fillSecret := flag.String("fill-secret", "", "shared secret for peer-fill pushes; must match the replicas' pasmd -fill-secret (empty = peer fill disabled)")
 	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failures that open a replica's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open breaker base cooldown before the half-open probe (doubles per failed probe)")
 	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile for replica connections, e.g. \"conn:error=0.2;body:error=0.1\" (empty = no injection)")
@@ -113,6 +118,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "pasmgw: CHAOS enabled on replica connections: seed=%d profile=%q\n", *chaosSeed, profile)
 	}
 
+	if *fillSecret == "" && !*noPeerFill {
+		fmt.Fprintln(os.Stderr, "pasmgw: no -fill-secret: peer cache fill disabled (replicas reject unauthenticated fills)")
+		*noPeerFill = true
+	}
+
 	gw, err := cluster.New(cluster.Config{
 		Registry: cluster.RegistryConfig{
 			Replicas:       replicas,
@@ -122,7 +132,8 @@ func run() int {
 				Cooldown:            *breakerCooldown,
 				Seed:                *chaosSeed,
 			},
-			Transport: transport,
+			Transport:  transport,
+			FillSecret: *fillSecret,
 		},
 		Policy:          policy,
 		Hedge:           *hedge,

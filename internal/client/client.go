@@ -116,9 +116,10 @@ type RetryPolicy struct {
 
 // Client talks to one pasmd instance.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base       string
+	hc         *http.Client
+	retry      RetryPolicy
+	fillSecret string
 
 	jitterState atomic.Uint64
 	retries     atomic.Int64
@@ -151,6 +152,14 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 // transport through its replica connections).
 func (c *Client) WithTransport(rt http.RoundTripper) *Client {
 	c.hc = &http.Client{Transport: rt}
+	return c
+}
+
+// WithFillSecret installs the shared secret Fill sends in the
+// X-Pasm-Fill-Secret header (the server rejects fills without it) and
+// returns the client.
+func (c *Client) WithFillSecret(secret string) *Client {
+	c.fillSecret = secret
 	return c
 }
 
@@ -421,14 +430,27 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	return raw, err
 }
 
-// ResultMeta fetches a done job's report document plus the served-from-
-// cache marker (the X-Pasm-Cached response header).
-func (c *Client) ResultMeta(ctx context.Context, id string) ([]byte, bool, error) {
+// ResultMeta is a done job's report document plus the response
+// metadata the gateway routes on: the served-from-cache marker and the
+// CodeVersion that produced the bytes.
+type ResultMeta struct {
+	Body   []byte
+	Cached bool
+	Code   string
+}
+
+// ResultMeta fetches a done job's report document plus the
+// X-Pasm-Cached and X-Pasm-Code response headers.
+func (c *Client) ResultMeta(ctx context.Context, id string) (ResultMeta, error) {
 	var rr rawResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &rr); err != nil {
-		return nil, false, err
+		return ResultMeta{}, err
 	}
-	return rr.body, rr.header.Get("X-Pasm-Cached") == "true", nil
+	return ResultMeta{
+		Body:   rr.body,
+		Cached: rr.header.Get("X-Pasm-Cached") == "true",
+		Code:   rr.header.Get(service.CodeHeader),
+	}, nil
 }
 
 // WaitOnce long-polls the job for at most timeout and returns the
@@ -445,9 +467,10 @@ func (c *Client) WaitOnce(ctx context.Context, id string, timeout time.Duration)
 // Fill offers an externally computed result document to this instance's
 // result cache (the peer-fill path; see service.FillPath). The result
 // bytes travel as the raw request body so they are stored verbatim;
-// the spec rides the fill header. Returns whether the bytes were
-// stored (false: the instance already had them).
-func (c *Client) Fill(ctx context.Context, spec experiments.Spec, result []byte) (bool, error) {
+// the spec, the producing CodeVersion, and the shared fill secret
+// (WithFillSecret) ride headers. Returns whether the bytes were stored
+// (false: the instance already had them).
+func (c *Client) Fill(ctx context.Context, spec experiments.Spec, result []byte, code string) (bool, error) {
 	rawSpec, err := json.Marshal(spec)
 	if err != nil {
 		return false, err
@@ -458,6 +481,10 @@ func (c *Client) Fill(ctx context.Context, spec experiments.Spec, result []byte)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(service.FillSpecHeader, base64.StdEncoding.EncodeToString(rawSpec))
+	req.Header.Set(service.FillCodeHeader, code)
+	if c.fillSecret != "" {
+		req.Header.Set(service.FillSecretHeader, c.fillSecret)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return false, err

@@ -346,16 +346,18 @@ func TestBodyCutRetryable(t *testing.T) {
 	}
 }
 
-// TestResultMeta: the cached marker rides the X-Pasm-Cached header.
+// TestResultMeta: the cached marker and producing code version ride
+// the X-Pasm-Cached and X-Pasm-Code headers.
 func TestResultMeta(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Pasm-Cached", "true")
+		w.Header().Set(service.CodeHeader, "pasm-sim/test")
 		fmt.Fprint(w, `{"doc":1}`)
 	}))
 	defer srv.Close()
-	body, cached, err := New(srv.URL).ResultMeta(context.Background(), "j1")
-	if err != nil || !cached || string(body) != `{"doc":1}` {
-		t.Fatalf("ResultMeta = %q, %v, %v", body, cached, err)
+	meta, err := New(srv.URL).ResultMeta(context.Background(), "j1")
+	if err != nil || !meta.Cached || string(meta.Body) != `{"doc":1}` || meta.Code != "pasm-sim/test" {
+		t.Fatalf("ResultMeta = %+v, %v", meta, err)
 	}
 }
 
@@ -377,5 +379,57 @@ func TestWaitOnce(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Errorf("server saw %d calls, want exactly 1", calls.Load())
+	}
+}
+
+// TestFill: the peer-fill request carries the canonical spec, the
+// producing code version, and (when configured) the shared secret as
+// headers with the result bytes verbatim in the body; 200 means
+// stored, 208 means the peer already had it, anything else is an
+// error.
+func TestFill(t *testing.T) {
+	var status atomic.Int32
+	status.Store(http.StatusOK)
+	var gotSpec, gotCode, gotSecret, gotBody string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != service.FillPath {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		gotSpec = r.Header.Get(service.FillSpecHeader)
+		gotCode = r.Header.Get(service.FillCodeHeader)
+		gotSecret = r.Header.Get(service.FillSecretHeader)
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer srv.Close()
+
+	ctx := context.Background()
+	cl := New(srv.URL).WithFillSecret("fill-me")
+	stored, err := cl.Fill(ctx, spec1(), []byte("result-bytes\n"), "pasm-sim/test")
+	if err != nil || !stored {
+		t.Fatalf("Fill = (%v, %v), want stored", stored, err)
+	}
+	if gotSpec == "" || gotCode != "pasm-sim/test" || gotSecret != "fill-me" || gotBody != "result-bytes\n" {
+		t.Errorf("fill request: spec=%q code=%q secret=%q body=%q", gotSpec, gotCode, gotSecret, gotBody)
+	}
+
+	status.Store(http.StatusAlreadyReported)
+	if stored, err = cl.Fill(ctx, spec1(), []byte("x"), "pasm-sim/test"); err != nil || stored {
+		t.Errorf("duplicate Fill = (%v, %v), want (false, nil)", stored, err)
+	}
+
+	// Without WithFillSecret the header is simply absent.
+	status.Store(http.StatusOK)
+	if _, err = New(srv.URL).Fill(ctx, spec1(), []byte("x"), "pasm-sim/test"); err != nil {
+		t.Fatalf("secretless Fill: %v", err)
+	}
+	if gotSecret != "" {
+		t.Errorf("secretless Fill sent secret header %q", gotSecret)
+	}
+
+	status.Store(http.StatusForbidden)
+	if _, err = cl.Fill(ctx, spec1(), []byte("x"), "pasm-sim/test"); err == nil {
+		t.Error("rejected Fill returned nil error")
 	}
 }

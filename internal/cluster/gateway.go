@@ -139,9 +139,10 @@ type Gateway struct {
 
 	rr atomic.Int64 // round-robin cursor
 
-	submits, accepted, failovers, hedges, sheds  atomic.Int64
-	peerFills, peerFillDups, peerFillErrs        atomic.Int64
-	proxied, proxyErrs                           atomic.Int64
+	submits, accepted, failovers, hedges, sheds atomic.Int64
+	peerFills, peerFillDups, peerFillErrs       atomic.Int64
+	peerFillSkips                               atomic.Int64
+	proxied, proxyErrs                          atomic.Int64
 }
 
 // New builds a gateway and its registry. Call Start to begin health
@@ -397,7 +398,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			g.failovers.Add(1)
 			g.logf("cluster: failover #%d -> %s (%v)", tried-1, rep.Name, lastErr)
 		}
-		res := g.attempt(r.Context(), rep, req.Spec, opts, g.hedgePeer(idxs, pos))
+		res := g.attempt(r.Context(), rep, req.Spec, opts, func() *Replica { return g.hedgePeer(idxs, pos) })
 		switch v := classify(res.err); v {
 		case vOK:
 			g.accepted.Add(1)
@@ -437,12 +438,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // hedgePeer picks the hedge counterpart for the attempt at position
-// pos: the next routable replica after it, or nil when hedging is off
-// or nobody else can take the request.
+// pos: the next routable replica after it, or nil when nobody else can
+// take the request. Routable consumes a breaker Allow (possibly the
+// half-open probe slot), so this must only run when the hedge is
+// actually launched — the launched request's Report/Cancel is what
+// resolves that probe. Calling it speculatively would wedge an open
+// breaker in half-open forever if the hedge never fired.
 func (g *Gateway) hedgePeer(idxs []int, pos int) *Replica {
-	if g.cfg.Hedge <= 0 {
-		return nil
-	}
 	for i := pos + 1; i < len(idxs); i++ {
 		rep := g.reg.replicas[idxs[i]]
 		if rep.Routable(g.now()) {
@@ -454,18 +456,21 @@ func (g *Gateway) hedgePeer(idxs []int, pos int) *Replica {
 
 // attempt submits to one replica, optionally racing a hedge replica
 // launched after the hedge delay. Whoever answers usably first wins;
-// the loser's outcome still reaches its breaker. Hedging a submit is
-// safe because submission is idempotent: identical in-flight specs
-// coalesce on a replica and finished ones are cache hits, and results
-// are byte-identical across replicas by construction.
-func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Spec, opts client.SubmitOptions, hedge *Replica) submitResult {
+// the loser's outcome still reaches its breaker. The hedge replica is
+// chosen lazily (pickHedge) at the moment the timer fires, so breaker
+// probe slots are only claimed by requests that really go out. Hedging
+// a submit is safe because submission is idempotent: identical
+// in-flight specs coalesce on a replica and finished ones are cache
+// hits, and results are byte-identical across replicas by
+// construction.
+func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Spec, opts client.SubmitOptions, pickHedge func() *Replica) submitResult {
 	one := func(r *Replica) submitResult {
 		st, err := r.Client().Submit(ctx, spec, opts)
 		v := classify(err)
 		accountVerdict(r, v, g.now())
 		return submitResult{rep: r, st: st, err: err}
 	}
-	if hedge == nil {
+	if g.cfg.Hedge <= 0 {
 		return one(rep)
 	}
 	ch := make(chan submitResult, 2)
@@ -476,6 +481,10 @@ func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Sp
 	case res := <-ch:
 		return res
 	case <-timer.C:
+	}
+	hedge := pickHedge()
+	if hedge == nil {
+		return <-ch
 	}
 	g.hedges.Add(1)
 	g.logf("cluster: hedging %s -> %s after %s", rep.Name, hedge.Name, g.cfg.Hedge)
@@ -594,18 +603,19 @@ func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.proxied.Add(1)
-	body, cached, err := rep.Client().ResultMeta(r.Context(), local)
+	meta, err := rep.Client().ResultMeta(r.Context(), local)
 	accountVerdict(rep, classify(err), g.now())
 	if err != nil {
 		g.proxyErrs.Add(1)
 		proxyError(w, err)
 		return
 	}
+	body, cached := meta.Body, meta.Cached
 	w.Header().Set(ReplicaHeader, rep.Name)
 	if j := g.lookup(gwID); j != nil {
 		w.Header().Set(OwnerHeader, j.owner)
 		if !g.cfg.DisablePeerFill && j.owner != rep.Name && j.filled.CompareAndSwap(false, true) {
-			go g.fillOwner(j, body)
+			go g.fillOwner(j, body, meta.Code)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -617,15 +627,31 @@ func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // fillOwner pushes result bytes to the key owner's cache. On error the
-// job's filled flag resets so a later result fetch retries.
-func (g *Gateway) fillOwner(j *gwJob, body []byte) {
+// job's filled flag resets so a later result fetch retries. code is the
+// CodeVersion the serving replica reported alongside the bytes; a fill
+// is skipped when it is unknown or differs from the owner's last known
+// version — during a rolling upgrade, bytes computed under old
+// simulator semantics must never land under the owner's new-version
+// key (the owner re-checks against its own compiled-in version too).
+func (g *Gateway) fillOwner(j *gwJob, body []byte, code string) {
 	owner, ok := g.reg.Find(j.owner)
 	if !ok {
 		return
 	}
+	if code == "" {
+		g.peerFillSkips.Add(1)
+		g.logf("cluster: peer fill %s <- %s skipped: serving replica did not report a code version", j.owner, j.served)
+		return
+	}
+	if alive, h := owner.Snapshot(); alive && h.Code != "" && h.Code != code {
+		g.peerFillSkips.Add(1)
+		j.filled.Store(false) // owner may finish upgrading; retry later
+		g.logf("cluster: peer fill %s <- %s skipped: code %s != owner's %s", j.owner, j.served, code, h.Code)
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.FillTimeout)
 	defer cancel()
-	stored, err := owner.Client().Fill(ctx, j.spec, body)
+	stored, err := owner.Client().Fill(ctx, j.spec, body, code)
 	switch {
 	case err != nil:
 		g.peerFillErrs.Add(1)
@@ -686,6 +712,7 @@ func (g *Gateway) Metrics(ctx context.Context) map[string]float64 {
 		"cluster/peer_fills":       float64(g.peerFills.Load()),
 		"cluster/peer_fill_dups":   float64(g.peerFillDups.Load()),
 		"cluster/peer_fill_errors": float64(g.peerFillErrs.Load()),
+		"cluster/peer_fill_skips":  float64(g.peerFillSkips.Load()),
 		"cluster/proxied_reads":    float64(g.proxied.Load()),
 		"cluster/proxy_errors":     float64(g.proxyErrs.Load()),
 	}

@@ -23,11 +23,16 @@ func specN(seed uint32) experiments.Spec {
 	return experiments.Spec{Exps: []string{"table1"}, Seed: seed}
 }
 
+// testFillSecret authenticates peer fills between the test replicas
+// and gateways (both sides must agree on it).
+const testFillSecret = "cluster-test-fill-secret"
+
 // startReplica runs a real pasmd service over httptest.
 func startReplica(t *testing.T, name string) (*service.Service, *httptest.Server) {
 	t.Helper()
 	s := service.New(service.Config{Workers: 2, QueueDepth: 16, Name: name,
-		Options: experiments.DefaultOptions()})
+		FillSecret: testFillSecret,
+		Options:    experiments.DefaultOptions()})
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -40,6 +45,9 @@ func startReplica(t *testing.T, name string) (*service.Service, *httptest.Server
 
 func startGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
 	t.Helper()
+	if cfg.Registry.FillSecret == "" {
+		cfg.Registry.FillSecret = testFillSecret
+	}
 	g, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -447,4 +455,111 @@ func TestRoutableExcludesDraining(t *testing.T) {
 	if rep.Breaker().State() != StateClosed {
 		t.Fatalf("breaker %v, want closed — draining is not a failure", rep.Breaker().State())
 	}
+}
+
+// TestHedgeSelectionDoesNotConsumeProbe: regression for a breaker
+// wedge. Picking a hedge candidate used to call Routable (and thus
+// Breaker.Allow) before the hedge timer fired; when the primary
+// answered in time, the candidate's half-open probe slot was claimed
+// but never resolved, leaving the breaker rejecting everything
+// forever. Hedge selection is now lazy: a candidate's breaker is only
+// consulted by a request that actually launches.
+func TestHedgeSelectionDoesNotConsumeProbe(t *testing.T) {
+	_, r0 := startReplica(t, "a")
+	_, r1 := startReplica(t, "b")
+	g, gsrv := startGateway(t, Config{
+		Registry: RegistryConfig{
+			Replicas: []string{"a=" + r0.URL, "b=" + r1.URL},
+			Breaker:  BreakerConfig{ConsecutiveFailures: 1, Cooldown: time.Millisecond},
+		},
+		Hedge: 30 * time.Second, // never fires: the primary is healthy
+	})
+	seed := seedOwnedBy(t, g, "a")
+
+	// Trip b's breaker, then let the cooldown lapse so its next Allow
+	// would hand out the single half-open probe slot.
+	b, _ := g.Registry().Find("b")
+	b.Breaker().Report(false, time.Now())
+	if b.Breaker().State() != StateOpen {
+		t.Fatalf("b breaker %v after failure, want open", b.Breaker().State())
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	// The primary answers long before the hedge delay, so no hedge
+	// request ever launches toward b.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, _, err := client.New(gsrv.URL).Run(ctx, specN(seed), client.SubmitOptions{Wait: 15 * time.Second}); err != nil {
+		t.Fatalf("hedged run with healthy primary: %v", err)
+	}
+
+	// b's probe slot must still be available: Allow either probes
+	// (open -> half-open) or the breaker already closed via a real
+	// hedge on a slow machine — both are fine; a wedged half-open
+	// breaker that rejects is the bug.
+	if !b.Breaker().Allow(time.Now()) {
+		t.Fatalf("hedge candidate's breaker lost its probe slot with no hedge launched (state %v)", b.Breaker().State())
+	}
+	b.Breaker().Cancel()
+}
+
+// TestPeerFillVersionSkip: a fill is skipped (not sent) when the
+// serving replica's code version is unknown or differs from the
+// owner's — old-semantics bytes must never land under a new-version
+// key during a rolling upgrade.
+func TestPeerFillVersionSkip(t *testing.T) {
+	_, r0 := startReplica(t, "a")
+	g, _ := startGateway(t, Config{Registry: RegistryConfig{Replicas: []string{"a=" + r0.URL}}})
+
+	rep, _ := g.Registry().Find("a")
+	rep.mu.Lock()
+	rep.alive = true
+	rep.health.Code = "pasm-sim/other"
+	rep.mu.Unlock()
+
+	j := &gwJob{spec: specN(1), owner: "a", served: "b"}
+	j.filled.Store(true)
+	g.fillOwner(j, []byte("x\n"), experiments.CodeVersion)
+	if g.peerFillSkips.Load() != 1 {
+		t.Fatalf("peerFillSkips = %d after version mismatch, want 1", g.peerFillSkips.Load())
+	}
+	if j.filled.Load() {
+		t.Error("filled flag not reset after a version skip (no retry possible)")
+	}
+	if g.peerFills.Load() != 0 || g.peerFillErrs.Load() != 0 {
+		t.Error("skipped fill still issued an RPC")
+	}
+
+	g.fillOwner(j, []byte("x\n"), "") // unknown producer version
+	if g.peerFillSkips.Load() != 2 {
+		t.Fatalf("peerFillSkips = %d after unknown version, want 2", g.peerFillSkips.Load())
+	}
+	if m := g.Metrics(context.Background()); m["cluster/peer_fill_skips"] != 2 {
+		t.Errorf("cluster/peer_fill_skips = %v, want 2", m["cluster/peer_fill_skips"])
+	}
+}
+
+// TestRegistryStopWithoutStart: Stop must not hang when the health
+// loop never launched (the error path of a caller that defers Stop but
+// fails before Start).
+func TestRegistryStopWithoutStart(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{Replicas: []string{"a=127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { reg.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start deadlocked")
+	}
+
+	// The started path still round-trips cleanly.
+	reg2, err := NewRegistry(RegistryConfig{Replicas: []string{"a=127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2.Start()
+	reg2.Stop()
 }

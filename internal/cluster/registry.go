@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -97,6 +98,7 @@ type Registry struct {
 	timeout  time.Duration
 	now      func() time.Time
 
+	started  atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -130,6 +132,11 @@ type RegistryConfig struct {
 	// Transport, when non-nil, wraps every replica client's HTTP
 	// transport (fault injection).
 	Transport http.RoundTripper
+	// FillSecret authenticates peer-fill pushes to the replicas' fill
+	// endpoints (every replica must run with the same secret). Empty
+	// means the replicas have fills disabled and the gateway should run
+	// with DisablePeerFill.
+	FillSecret string
 
 	now func() time.Time
 }
@@ -170,6 +177,9 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		cl := client.New(addr)
 		if cfg.Transport != nil {
 			cl.WithTransport(cfg.Transport)
+		}
+		if cfg.FillSecret != "" {
+			cl.WithFillSecret(cfg.FillSecret)
 		}
 		reg.replicas = append(reg.replicas, &Replica{
 			Name:    name,
@@ -215,8 +225,11 @@ func (g *Registry) Healthy() int {
 }
 
 // Start launches the health loop (one goroutine; replicas are checked
-// concurrently each tick). Stop with Stop.
+// concurrently each tick). Stop with Stop. A second Start is a no-op.
 func (g *Registry) Start() {
+	if !g.started.CompareAndSwap(false, true) {
+		return
+	}
 	go func() {
 		defer close(g.done)
 		g.CheckAll() // prime the snapshots before the first tick
@@ -233,10 +246,15 @@ func (g *Registry) Start() {
 	}()
 }
 
-// Stop ends the health loop.
+// Stop ends the health loop. Safe to call even when Start never ran
+// (the error-path defer of a caller that failed before Start) — done is
+// only closed by the loop goroutine, so waiting on it is gated on the
+// loop having launched.
 func (g *Registry) Stop() {
 	g.stopOnce.Do(func() { close(g.stop) })
-	<-g.done
+	if g.started.Load() {
+		<-g.done
+	}
 }
 
 // CheckAll health-checks every replica once, concurrently, and blocks

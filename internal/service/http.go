@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -51,6 +52,21 @@ const AttemptHeader = "X-Pasm-Attempt"
 // so a fill can never perturb the byte-identity guarantee — which is
 // why the spec rides a header instead of a JSON envelope.
 const FillSpecHeader = "X-Pasm-Fill-Spec"
+
+// FillSecretHeader authenticates a peer fill: it must match the
+// server's Config.FillSecret. The fill endpoint shares the public
+// listener, so without the secret it stays disabled entirely.
+const FillSecretHeader = "X-Pasm-Fill-Secret"
+
+// FillCodeHeader names the CodeVersion that computed a fill's bytes.
+// The receiver rejects a mismatch against its own compiled-in version,
+// so a rolling upgrade can never launder old-semantics bytes into a
+// new-version cache key.
+const FillCodeHeader = "X-Pasm-Fill-Code"
+
+// CodeHeader is set on result responses: the CodeVersion of the code
+// that produced the document. Gateways forward it with peer fills.
+const CodeHeader = "X-Pasm-Code"
 
 // FillPath is the internal peer-fill endpoint (cluster gateways only;
 // it is not part of the public /v1 job API).
@@ -246,6 +262,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Pasm-Cached", fmt.Sprintf("%t", st.Cached))
+		w.Header().Set(CodeHeader, experiments.CodeVersion)
 		w.Write(result)
 	case StateFailed:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error, State: st.State})
@@ -267,9 +284,28 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleFill is the peer-fill endpoint: the spec arrives base64-encoded
 // in FillSpecHeader, the result bytes are the raw body (stored verbatim
-// — see Service.Fill for the key discipline). 200 stored, 208 already
-// cached, 400 on a bad spec or empty body.
+// after Service.Fill validates them against the spec). The endpoint
+// shares the public listener, so it is defended in depth: disabled
+// outright without a configured FillSecret, authenticated per request
+// (403), pinned to this binary's CodeVersion (409), and body-capped
+// (413). 200 stored, 208 already cached, 400 on a bad spec or payload.
 func (s *Service) handleFill(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.FillSecret == "" {
+		s.countFillReject()
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "peer fill disabled: no fill secret configured"})
+		return
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get(FillSecretHeader)), []byte(s.cfg.FillSecret)) != 1 {
+		s.countFillReject()
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "bad or missing " + FillSecretHeader + " header"})
+		return
+	}
+	if code := r.Header.Get(FillCodeHeader); code != experiments.CodeVersion {
+		s.countFillReject()
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf(
+			"fill code version %q does not match this instance's %q", code, experiments.CodeVersion)})
+		return
+	}
 	enc := r.Header.Get(FillSpecHeader)
 	if enc == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing " + FillSpecHeader + " header"})
@@ -285,8 +321,15 @@ func (s *Service) handleFill(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad fill spec: " + err.Error()})
 		return
 	}
-	result, err := io.ReadAll(r.Body)
+	result, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxFillBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.countFillReject()
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf(
+				"fill body exceeds %d bytes", s.cfg.MaxFillBytes)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading fill body: " + err.Error()})
 		return
 	}
@@ -300,4 +343,12 @@ func (s *Service) handleFill(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusAlreadyReported
 	}
 	writeJSON(w, code, map[string]bool{"stored": stored})
+}
+
+// countFillReject tallies a fill turned away before validation (auth,
+// version, size) so probing the endpoint is visible in /metrics.
+func (s *Service) countFillReject() {
+	s.mu.Lock()
+	s.reg.Add("peer_fill_rejects", 1)
+	s.mu.Unlock()
 }

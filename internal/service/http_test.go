@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -218,5 +219,86 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if metrics["service/submitted"] < 1 {
 		t.Errorf("metrics missing submitted counter: %v", metrics["service/submitted"])
+	}
+}
+
+// postFill issues a raw peer-fill request with the given headers.
+func postFill(t *testing.T, url string, spec experiments.Spec, body []byte, hdrs map[string]string) *http.Response {
+	t.Helper()
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+FillPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(FillSpecHeader, base64.StdEncoding.EncodeToString(rawSpec))
+	for k, v := range hdrs {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestFillEndpointSecurity: the fill endpoint shares the public
+// listener, so it must be locked down — disabled without a configured
+// secret, authenticated per request, pinned to this binary's
+// CodeVersion, and body-capped. Only a correctly authenticated,
+// version-matched, valid canonical payload lands.
+func TestFillEndpointSecurity(t *testing.T) {
+	runner := func(context.Context, experiments.Spec) ([]byte, error) { return []byte("computed\n"), nil }
+
+	// No secret configured: the endpoint is disabled outright.
+	open := New(Config{Workers: 1, QueueDepth: 4, run: runner})
+	defer open.Shutdown(context.Background())
+	openSrv := httptest.NewServer(open.Handler())
+	defer openSrv.Close()
+	if resp := postFill(t, openSrv.URL, specN(7), fillBody(t, 7), map[string]string{
+		FillCodeHeader: experiments.CodeVersion,
+	}); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("fill without configured secret: status %d, want 403", resp.StatusCode)
+	}
+
+	s := New(Config{Workers: 1, QueueDepth: 4, FillSecret: "s3cret", MaxFillBytes: 4096, run: runner})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	auth := map[string]string{FillSecretHeader: "s3cret", FillCodeHeader: experiments.CodeVersion}
+	cases := []struct {
+		name string
+		body []byte
+		hdrs map[string]string
+		want int
+	}{
+		{"missing secret", fillBody(t, 7), map[string]string{FillCodeHeader: experiments.CodeVersion}, http.StatusForbidden},
+		{"wrong secret", fillBody(t, 7), map[string]string{FillSecretHeader: "nope", FillCodeHeader: experiments.CodeVersion}, http.StatusForbidden},
+		{"missing code version", fillBody(t, 7), map[string]string{FillSecretHeader: "s3cret"}, http.StatusConflict},
+		{"wrong code version", fillBody(t, 7), map[string]string{FillSecretHeader: "s3cret", FillCodeHeader: "pasm-sim/0"}, http.StatusConflict},
+		{"oversized body", bytes.Repeat([]byte("x"), 8192), auth, http.StatusRequestEntityTooLarge},
+		{"invalid payload", []byte(`{"junk":1}` + "\n"), auth, http.StatusBadRequest},
+		{"valid fill", fillBody(t, 7), auth, http.StatusOK},
+		{"duplicate fill", fillBody(t, 7), auth, http.StatusAlreadyReported},
+	}
+	for _, tc := range cases {
+		if resp := postFill(t, srv.URL, specN(7), tc.body, tc.hdrs); resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Everything that bounced is visible in metrics; exactly one fill
+	// landed.
+	m := s.Metrics()
+	if m["service/peer_fills"] != 1 {
+		t.Errorf("peer_fills = %v, want 1", m["service/peer_fills"])
+	}
+	if m["service/peer_fill_rejects"] < 4 {
+		t.Errorf("peer_fill_rejects = %v, want >= 4", m["service/peer_fill_rejects"])
 	}
 }

@@ -30,8 +30,10 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -91,6 +93,13 @@ type Config struct {
 	// Name identifies this instance in /healthz (cluster deployments
 	// give each replica a stable name; empty is fine standalone).
 	Name string
+	// FillSecret arms the peer-fill endpoint: fills must present it in
+	// the X-Pasm-Fill-Secret header. Empty (the default) keeps the
+	// endpoint disabled — it shares the public listener, so it must
+	// never be open to anonymous writes.
+	FillSecret string
+	// MaxFillBytes bounds one peer-fill request body. Default 8 MiB.
+	MaxFillBytes int64
 	// Faults, when non-nil, injects deterministic faults at the
 	// admission, cache, execution, and HTTP points (chaos testing).
 	// Nil costs one pointer test per probe site.
@@ -195,6 +204,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.MinRetryAfter <= 0 {
 		cfg.MinRetryAfter = time.Second
+	}
+	if cfg.MaxFillBytes <= 0 {
+		cfg.MaxFillBytes = 8 << 20
 	}
 	s := &Service{
 		cfg:      cfg,
@@ -584,8 +596,12 @@ func (s *Service) Health() HealthInfo {
 // by one replica to the replica that owns the spec's key, so a hit
 // anywhere becomes a hit everywhere. The key is recomputed from the
 // spec here (never trusted from the wire), so a fill can only ever
-// land under the address its spec hashes to. Returns whether the
-// bytes were stored (false: already cached, counted as a duplicate).
+// land under the address its spec hashes to — and the payload itself
+// is validated against the spec (validateFillPayload) before it is
+// stored, so a corrupt or malicious peer cannot poison the cache with
+// bytes a real run of this spec could never produce. Returns whether
+// the bytes were stored (false: already cached, counted as a
+// duplicate).
 func (s *Service) Fill(spec experiments.Spec, result []byte) (bool, error) {
 	if len(result) == 0 {
 		return false, errors.New("service: empty fill payload")
@@ -599,6 +615,12 @@ func (s *Service) Fill(spec experiments.Spec, result []byte) (bool, error) {
 		return false, err
 	}
 	key := cache.Key(rawKey)
+	if err := validateFillPayload(norm, result); err != nil {
+		s.mu.Lock()
+		s.reg.Add("peer_fill_rejects", 1)
+		s.mu.Unlock()
+		return false, err
+	}
 	stored := !s.cache.Contains(key)
 	if stored {
 		s.cache.Put(key, result)
@@ -611,6 +633,55 @@ func (s *Service) Fill(spec experiments.Spec, result []byte) (bool, error) {
 	}
 	s.mu.Unlock()
 	return stored, nil
+}
+
+// validateFillPayload checks that result could only be the report
+// document a real run of norm produces: it must parse as a known-
+// schema report with no unknown fields, re-marshal byte-identically
+// (the canonical encoding every producer emits — so the byte-identity
+// guarantee failover and hedging rest on survives fills), carry no
+// host-timing fields (those only appear on the non-deterministic,
+// non-cacheable path), and agree with the spec on every parameter the
+// report embeds (seed, full, observe, and the experiment list). A
+// forged payload passing all of this is still shaped exactly like a
+// legitimate document for this spec; arbitrary bytes can never land in
+// the cache.
+func validateFillPayload(norm experiments.Spec, result []byte) error {
+	var rep experiments.Report
+	dec := json.NewDecoder(bytes.NewReader(result))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("service: fill payload is not a report document: %w", err)
+	}
+	if rep.Schema != experiments.SchemaV2 && rep.Schema != experiments.SchemaV21 {
+		return fmt.Errorf("service: fill payload has unknown schema %q", rep.Schema)
+	}
+	canon, err := rep.Marshal()
+	if err != nil || !bytes.Equal(canon, result) {
+		return errors.New("service: fill payload is not the canonical report encoding")
+	}
+	if rep.HostSeconds != 0 || rep.Parallel != 0 {
+		return errors.New("service: fill payload carries host timings (not a deterministic document)")
+	}
+	if rep.Seed != norm.Seed || rep.Full != norm.Full || rep.Observe != norm.Observe {
+		return errors.New("service: fill payload parameters do not match the spec")
+	}
+	want := append([]string(nil), norm.Exps...)
+	if len(norm.Cells) > 0 {
+		want = append(want, "custom")
+	}
+	if len(rep.Experiments) != len(want) {
+		return fmt.Errorf("service: fill payload has %d experiments, spec runs %d", len(rep.Experiments), len(want))
+	}
+	for i, e := range rep.Experiments {
+		if e.Name != want[i] {
+			return fmt.Errorf("service: fill payload experiment %d is %q, spec runs %q", i, e.Name, want[i])
+		}
+		if e.HostSeconds != 0 {
+			return errors.New("service: fill payload carries per-experiment host timings")
+		}
+	}
+	return nil
 }
 
 // QueueLen returns the number of admitted-but-unstarted jobs.
@@ -626,7 +697,7 @@ func (s *Service) Metrics() map[string]float64 {
 		"coalesced", "served_from_cache", "rejected_queue_full",
 		"rejected_deadline", "rejected_draining", "rejected_injected",
 		"panics_recovered", "expired_running", "cache_faults",
-		"retried_submits", "peer_fills", "peer_fill_dups"} {
+		"retried_submits", "peer_fills", "peer_fill_dups", "peer_fill_rejects"} {
 		if _, ok := m["service/"+name]; !ok {
 			m["service/"+name] = 0
 		}

@@ -394,6 +394,22 @@ func waitRunning(t *testing.T, s *Service, id string) {
 	t.Fatalf("job %s never reached running", id)
 }
 
+// fillBody builds the canonical report document a real run of specN
+// (seed) would produce enough of to pass fill validation.
+func fillBody(t *testing.T, seed uint32) []byte {
+	t.Helper()
+	rep := &experiments.Report{
+		Schema:      experiments.SchemaV21,
+		Seed:        seed,
+		Experiments: []experiments.ReportExperiment{{Name: "table1"}},
+	}
+	body, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
 // TestPeerFill: a filled result is served as a cache hit without
 // executing anything; refills of the same key count as duplicates;
 // bad specs and empty payloads are rejected.
@@ -405,7 +421,7 @@ func TestPeerFill(t *testing.T) {
 	}})
 	defer s.Shutdown(context.Background())
 
-	body := []byte(`{"filled":"report"}` + "\n")
+	body := fillBody(t, 7)
 	stored, err := s.Fill(specN(7), body)
 	if err != nil || !stored {
 		t.Fatalf("Fill = %v, %v; want stored", stored, err)
@@ -438,5 +454,61 @@ func TestPeerFill(t *testing.T) {
 	m := s.Metrics()
 	if m["service/peer_fills"] != 1 || m["service/peer_fill_dups"] != 1 {
 		t.Errorf("fill metrics = %v / %v, want 1 / 1", m["service/peer_fills"], m["service/peer_fill_dups"])
+	}
+}
+
+// TestFillValidation: the fill path refuses any payload that is not
+// the canonical report document of the spec it claims to be for —
+// arbitrary bytes, non-canonical encodings, mismatched parameters,
+// wrong experiment lists, and host-timing-bearing documents all bounce
+// without touching the cache.
+func TestFillValidation(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, run: func(context.Context, experiments.Spec) ([]byte, error) {
+		return []byte("computed\n"), nil
+	}})
+	defer s.Shutdown(context.Background())
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"arbitrary bytes", []byte(`{"filled":"report"}` + "\n")},
+		{"unknown field", []byte(`{"schema":"pasmbench/v2.1","full":false,"seed":7,"observe":false,"experiments":[{"name":"table1"}],"evil":1}` + "\n")},
+		{"non-canonical encoding", []byte(`{"schema":"pasmbench/v2.1","full":false,"seed":7,"observe":false,"experiments":[{"name":"table1"}]}` + "\n")},
+		{"wrong seed", fillBody(t, 8)},
+		{"wrong experiments", func() []byte {
+			rep := &experiments.Report{Schema: experiments.SchemaV21, Seed: 7,
+				Experiments: []experiments.ReportExperiment{{Name: "fig6"}}}
+			b, _ := rep.Marshal()
+			return b
+		}()},
+		{"host timings", func() []byte {
+			rep := &experiments.Report{Schema: experiments.SchemaV21, Seed: 7, HostSeconds: 1.5,
+				Experiments: []experiments.ReportExperiment{{Name: "table1"}}}
+			b, _ := rep.Marshal()
+			return b
+		}()},
+		{"bad schema", func() []byte {
+			rep := &experiments.Report{Schema: "pasmbench/v999", Seed: 7,
+				Experiments: []experiments.ReportExperiment{{Name: "table1"}}}
+			b, _ := rep.Marshal()
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if stored, err := s.Fill(specN(7), tc.body); err == nil {
+			t.Errorf("%s: accepted (stored=%v), want rejection", tc.name, stored)
+		}
+	}
+	// Nothing landed: a fresh submit must execute, not hit the cache.
+	st, err := s.Submit(specN(7), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cached {
+		t.Error("rejected fill still poisoned the cache")
+	}
+	if m := s.Metrics(); m["service/peer_fill_rejects"] != float64(len(cases)) {
+		t.Errorf("peer_fill_rejects = %v, want %d", m["service/peer_fill_rejects"], len(cases))
 	}
 }

@@ -83,6 +83,10 @@ type replica struct {
 	cmd  *exec.Cmd
 }
 
+// fillSecret authenticates the gateway's peer-fill pushes to the
+// replicas; any value works as long as both sides agree.
+const fillSecret = "clustersmoke-fill-secret"
+
 func run() error {
 	dir, err := os.MkdirTemp("", "clustersmoke")
 	if err != nil {
@@ -103,7 +107,8 @@ func run() error {
 		addrFile := filepath.Join(dir, "addr-"+name+"-"+fmt.Sprint(time.Now().UnixNano()))
 		cmd := exec.Command(pasmd,
 			"-addr", addr, "-addr-file", addrFile, "-name", name,
-			"-queue", "16", "-workers", "2", "-parallel", "2")
+			"-queue", "16", "-workers", "2", "-parallel", "2",
+			"-fill-secret", fillSecret)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return nil, fmt.Errorf("starting replica %s: %v", name, err)
@@ -144,7 +149,8 @@ func run() error {
 		"-policy", "round-robin",
 		"-health-interval", "300ms",
 		"-breaker-failures", "2",
-		"-breaker-cooldown", "500ms")
+		"-breaker-cooldown", "500ms",
+		"-fill-secret", fillSecret)
 	gw.Stderr = os.Stderr
 	if err := gw.Start(); err != nil {
 		return fmt.Errorf("starting pasmgw: %v", err)
