@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke bench-service bench-cluster report
+.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke bench-service bench-cluster report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke
+ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke
 
 # Coverage gate: per-package statement coverage printed and compared
 # against the checked-in floor; fails on regression. After genuinely
@@ -55,6 +55,14 @@ chaos-smoke:
 # fill, byte-identical results throughout, and a lossless drain.
 cluster-smoke:
 	$(GO) run ./scripts/clustersmoke
+
+# End-to-end observability check: three traced replicas behind a
+# traced gateway; one trace ID spans gateway -> replica -> worker with
+# every serving stage, the merged host+sim Perfetto export validates,
+# cluster-level stage quantiles appear in /metrics, and the detached
+# telemetry path is zero allocations.
+telemetry-smoke:
+	$(GO) run ./scripts/telemetrysmoke
 
 # Cluster serving benchmark: the loadgen workload through pasmgw with
 # 1 vs 3 replicas, recording latency, hit rate, and peer fills

@@ -13,8 +13,21 @@
 //	      [-queue 64] [-workers 2] [-parallel N]
 //	      [-cache-entries 256] [-cache-bytes N]
 //	      [-fill-secret SECRET]
+//	      [-trace-sample 0] [-trace-ring 64] [-debug-addr ADDR]
 //	      [-drain-timeout 5m] [-linger 2s]
 //	      [-chaos-profile "run:error=0.1,..." [-chaos-seed N]]
+//
+// -trace-sample arms request tracing: requests arriving with an
+// X-Pasm-Trace header are always traced (the upstream hop paid the
+// sampling decision), and headerless requests are traced with this
+// probability. Traced requests get per-stage spans (admit, queue, run)
+// plus a capture of the simulated-clock event stream, browsable at
+// /debug/requests and exportable as a merged Perfetto trace at
+// /debug/requests/{trace}/perfetto. -trace-ring bounds retention.
+//
+// -debug-addr starts a second listener serving net/http/pprof; worker
+// goroutines run under a pprof label pasm_trace=<trace id> so CPU
+// profiles can be sliced per traced request.
 //
 // -fill-secret arms the cluster-internal peer-fill endpoint
 // (/internal/v1/fill): a pasmgw gateway started with the same secret
@@ -47,9 +60,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr listener (DefaultServeMux)
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +74,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -80,18 +95,35 @@ func run() int {
 	linger := flag.Duration("linger", 2*time.Second, "after the queue drains, keep serving status/result reads this long so waiting clients can collect")
 	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile, e.g. \"run:error=0.1,panic=0.05,delay=0.2@20ms;http:error=0.1\" (empty = no injection)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic fault decision sequences")
+	traceSample := flag.Float64("trace-sample", 0, "probability of tracing a headerless request (X-Pasm-Trace requests are always traced)")
+	traceRing := flag.Int("trace-ring", 64, "finished traced requests retained for /debug/requests")
+	debugAddr := flag.String("debug-addr", "", "second listener for net/http/pprof (empty = off)")
 	flag.Parse()
+
+	comp := "pasmd"
+	if *name != "" {
+		comp = "pasmd/" + *name
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", comp)
 
 	var injector *faults.Injector
 	if *chaosProfile != "" {
 		profile, err := faults.ParseProfile(*chaosProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+			logger.Error("bad chaos profile", "err", err)
 			return 1
 		}
 		injector = faults.New(*chaosSeed, profile)
-		fmt.Fprintf(os.Stderr, "pasmd: CHAOS enabled: seed=%d profile=%q\n", *chaosSeed, profile)
+		logger.Warn("CHAOS enabled", "seed", *chaosSeed, "profile", profile.String())
 	}
+
+	tracer := telemetry.New(telemetry.Config{
+		Component: comp,
+		Sample:    *traceSample,
+		Ring:      *traceRing,
+		Seed:      *chaosSeed,
+		Logger:    logger,
+	})
 
 	opts := experiments.DefaultOptions()
 	opts.Parallelism = *parallel
@@ -103,22 +135,36 @@ func run() int {
 		Name:       *name,
 		FillSecret: *fillSecret,
 		Faults:     injector,
+		Telemetry:  tracer,
+		Logger:     logger,
 	})
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			return 1
+		}
+		// DefaultServeMux carries net/http/pprof's handlers.
+		go func() { _ = http.Serve(dln, nil) }()
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmd: writing %s: %v\n", *addrFile, err)
+			logger.Error("writing addr file failed", "file", *addrFile, "err", err)
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "pasmd: listening on %s (queue=%d workers=%d parallel=%d cache=%d entries, code %s)\n",
-		bound, *queue, *workers, *parallel, *cacheEntries, experiments.CodeVersion)
+	logger.Info("listening", "addr", bound, "queue", *queue, "workers", *workers,
+		"parallel", *parallel, "cache_entries", *cacheEntries,
+		"trace_sample", *traceSample, "code", experiments.CodeVersion)
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -128,10 +174,10 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "pasmd: serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "pasmd: %v: draining (%d queued)\n", s, svc.QueueLen())
+		logger.Info("draining", "signal", s.String(), "queued", svc.QueueLen())
 	}
 
 	// Drain order matters: first the job queue (submissions now 503,
@@ -139,7 +185,7 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "pasmd: %v\n", err)
+		logger.Error("drain failed", "err", err)
 		srv.Close()
 		return 1
 	}
@@ -148,9 +194,9 @@ func run() int {
 	// before the listener goes away.
 	time.Sleep(*linger)
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "pasmd: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "pasmd: drained, bye")
+	logger.Info("drained, bye")
 	return 0
 }

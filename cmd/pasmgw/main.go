@@ -15,7 +15,15 @@
 //	       [-hedge 0] [-health-interval 1s]
 //	       [-fill-secret SECRET] [-no-peer-fill]
 //	       [-breaker-failures 3] [-breaker-cooldown 5s]
+//	       [-trace-sample 0] [-trace-ring 64] [-debug-addr ADDR]
 //	       [-chaos-profile "conn:error=0.1,...;body:error=0.05" [-chaos-seed N]]
+//
+// -trace-sample arms request tracing at the gateway: submissions
+// carrying X-Pasm-Trace are always traced, headerless ones with this
+// probability. A traced submit gets route/attempt/hedge spans, its
+// context is forwarded to the winning replica (one trace ID spans
+// gateway -> replica -> worker), and the gateway's view is browsable
+// at /debug/requests. -debug-addr starts a net/http/pprof listener.
 //
 // Each -replica is "name=addr"; the name is the replica's stable
 // consistent-hash identity (survives restarts and port changes), so
@@ -51,9 +59,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr listener (DefaultServeMux)
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +71,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // replicaList collects repeated -replica flags.
@@ -94,15 +104,20 @@ func run() int {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open breaker base cooldown before the half-open probe (doubles per failed probe)")
 	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile for replica connections, e.g. \"conn:error=0.2;body:error=0.1\" (empty = no injection)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic fault decision sequences")
+	traceSample := flag.Float64("trace-sample", 0, "probability of tracing a headerless submit (X-Pasm-Trace submits are always traced)")
+	traceRing := flag.Int("trace-ring", 64, "finished traced requests retained for /debug/requests")
+	debugAddr := flag.String("debug-addr", "", "second listener for net/http/pprof (empty = off)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "pasmgw")
+
 	if len(replicas) == 0 {
-		fmt.Fprintln(os.Stderr, "pasmgw: at least one -replica required")
+		logger.Error("at least one -replica required")
 		return 1
 	}
 	policy, err := cluster.ParsePolicy(*policyFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		logger.Error("bad policy", "err", err)
 		return 1
 	}
 
@@ -110,18 +125,26 @@ func run() int {
 	if *chaosProfile != "" {
 		profile, err := faults.ParseProfile(*chaosProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+			logger.Error("bad chaos profile", "err", err)
 			return 1
 		}
 		injector := faults.New(*chaosSeed, profile)
 		transport = injector.Transport(http.DefaultTransport)
-		fmt.Fprintf(os.Stderr, "pasmgw: CHAOS enabled on replica connections: seed=%d profile=%q\n", *chaosSeed, profile)
+		logger.Warn("CHAOS enabled on replica connections", "seed", *chaosSeed, "profile", profile.String())
 	}
 
 	if *fillSecret == "" && !*noPeerFill {
-		fmt.Fprintln(os.Stderr, "pasmgw: no -fill-secret: peer cache fill disabled (replicas reject unauthenticated fills)")
+		logger.Info("no -fill-secret: peer cache fill disabled (replicas reject unauthenticated fills)")
 		*noPeerFill = true
 	}
+
+	tracer := telemetry.New(telemetry.Config{
+		Component: "pasmgw",
+		Sample:    *traceSample,
+		Ring:      *traceRing,
+		Seed:      *chaosSeed,
+		Logger:    logger,
+	})
 
 	gw, err := cluster.New(cluster.Config{
 		Registry: cluster.RegistryConfig{
@@ -138,29 +161,39 @@ func run() int {
 		Policy:          policy,
 		Hedge:           *hedge,
 		DisablePeerFill: *noPeerFill,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logger:          logger,
+		Telemetry:       tracer,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		logger.Error("gateway init failed", "err", err)
 		return 1
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			return 1
+		}
+		// DefaultServeMux carries net/http/pprof's handlers.
+		go func() { _ = http.Serve(dln, nil) }()
+		logger.Info("pprof listening", "addr", dln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pasmgw: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pasmgw: writing %s: %v\n", *addrFile, err)
+			logger.Error("writing addr file failed", "file", *addrFile, "err", err)
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "pasmgw: listening on %s (replicas=%d policy=%s hedge=%s peer-fill=%t)\n",
-		bound, len(replicas), policy, *hedge, !*noPeerFill)
+	logger.Info("listening", "addr", bound, "replicas", len(replicas), "policy", string(policy),
+		"hedge", *hedge, "peer_fill", !*noPeerFill, "trace_sample", *traceSample)
 
 	gw.Start()
 	defer gw.Stop()
@@ -173,10 +206,10 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "pasmgw: serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "pasmgw: %v: draining\n", s)
+		logger.Info("draining", "signal", s.String())
 	}
 
 	// Lossless drain: flip to shedding new submits, then let the HTTP
@@ -186,9 +219,9 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "pasmgw: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "pasmgw: drained, bye")
+	logger.Info("drained, bye")
 	return 0
 }

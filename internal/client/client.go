@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // APIError is any non-2xx response. For 503 it carries the server's
@@ -120,6 +121,7 @@ type Client struct {
 	hc         *http.Client
 	retry      RetryPolicy
 	fillSecret string
+	tracer     *telemetry.Tracer
 
 	jitterState atomic.Uint64
 	retries     atomic.Int64
@@ -163,6 +165,16 @@ func (c *Client) WithFillSecret(secret string) *Client {
 	return c
 }
 
+// WithTracing makes the client inject an X-Pasm-Trace context on
+// sampled submits (probability sample in [0,1]), so traces start at
+// the true origin of a request. The server hop that receives the
+// header records the spans; the client only mints the identity.
+// Explicit SubmitOptions.TraceHeader values win over sampling.
+func (c *Client) WithTracing(sample float64, seed uint64) *Client {
+	c.tracer = telemetry.New(telemetry.Config{Component: "client", Sample: sample, Seed: seed})
+	return c
+}
+
 // Retries returns how many retry attempts this client has issued.
 func (c *Client) Retries() int64 { return c.retries.Load() }
 
@@ -183,6 +195,11 @@ type SubmitOptions struct {
 	// first. Safe for any spec: submission is idempotent (coalescing +
 	// content-addressed cache).
 	Hedge time.Duration
+	// TraceHeader, when non-empty, rides the submit as the X-Pasm-Trace
+	// value — the gateway uses it to continue its own trace context
+	// into the replica. Empty falls back to the client's WithTracing
+	// sampling (if configured), then to untraced.
+	TraceHeader string
 }
 
 // backoff computes the wait before the given retry attempt (2-based):
@@ -218,6 +235,13 @@ func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 // do issues one logical request, retrying transient failures per the
 // policy. body is re-serialized once and replayed on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	return c.doTraced(ctx, method, path, body, out, "")
+}
+
+// doTraced is do carrying an X-Pasm-Trace header value (empty: none).
+// The trace context is replayed on every retry attempt — the retries
+// are one logical request.
+func (c *Client) doTraced(ctx context.Context, method, path string, body any, out any, trace string) error {
 	var buf []byte
 	if body != nil {
 		var err error
@@ -250,7 +274,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 				}
 			}
 		}
-		err := c.doOnce(ctx, method, path, buf, out, attempt)
+		err := c.doOnce(ctx, method, path, buf, out, attempt, trace)
 		if err == nil {
 			return nil
 		}
@@ -262,7 +286,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	return lastErr
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, attempt int) error {
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, attempt int, trace string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -275,6 +299,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(service.AttemptHeader, strconv.Itoa(attempt))
+	if trace != "" {
+		req.Header.Set(telemetry.Header, trace)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -339,11 +366,17 @@ func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitO
 	if opts.Wait > 0 {
 		req.WaitMS = opts.Wait.Milliseconds()
 	}
+	trace := opts.TraceHeader
+	if trace == "" {
+		if ctx2, ok := c.tracer.SampleContext(); ok {
+			trace = ctx2.Header()
+		}
+	}
 	if opts.Hedge > 0 {
-		return c.hedgedSubmit(ctx, req, opts.Hedge)
+		return c.hedgedSubmit(ctx, req, opts.Hedge, trace)
 	}
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/jobs", req, &st, trace)
 	return st, err
 }
 
@@ -351,7 +384,7 @@ func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitO
 // answer arrived within hedge. First success wins; the loser's
 // response is discarded (both name the same job server-side, because
 // identical specs coalesce). Both failing returns the first error.
-func (c *Client) hedgedSubmit(ctx context.Context, req service.SubmitRequest, hedge time.Duration) (service.JobStatus, error) {
+func (c *Client) hedgedSubmit(ctx context.Context, req service.SubmitRequest, hedge time.Duration, trace string) (service.JobStatus, error) {
 	type result struct {
 		st  service.JobStatus
 		err error
@@ -360,7 +393,7 @@ func (c *Client) hedgedSubmit(ctx context.Context, req service.SubmitRequest, he
 	launch := func() {
 		go func() {
 			var st service.JobStatus
-			err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+			err := c.doTraced(ctx, http.MethodPost, "/v1/jobs", req, &st, trace)
 			ch <- result{st, err}
 		}()
 	}

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -41,7 +42,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Policy selects how submissions are routed across replicas. Every
@@ -108,9 +111,15 @@ type Config struct {
 	// MinRetryAfter floors the Retry-After hint on shed responses.
 	// Default 1s.
 	MinRetryAfter time.Duration
-	// Logf, when non-nil, receives one line per routing event worth
-	// narrating (failover, shed, breaker transition observed).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives one structured line per routing
+	// event worth narrating (failover, shed, hedge, peer fill), with
+	// trace and replica fields where available.
+	Logger *slog.Logger
+	// Telemetry, when non-nil, records request-scoped traces across
+	// the gateway's routing decisions (route/attempt/hedge spans) and
+	// forwards the trace context to the winning replica so one trace ID
+	// spans gateway -> replica -> worker. Nil costs one pointer test.
+	Telemetry *telemetry.Tracer
 
 	now func() time.Time
 }
@@ -127,10 +136,13 @@ type gwJob struct {
 
 // Gateway fronts the replica set with the same /v1 API pasmd serves.
 type Gateway struct {
-	cfg  Config
-	reg  *Registry
-	ring *ring
-	now  func() time.Time
+	cfg    Config
+	reg    *Registry
+	ring   *ring
+	now    func() time.Time
+	log    *slog.Logger
+	tracer *telemetry.Tracer
+	lat    *telemetry.LatencySet // submit latency per policy/outcome
 
 	mu       sync.Mutex
 	jobs     map[string]*gwJob
@@ -172,11 +184,14 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	return &Gateway{
-		cfg:  cfg,
-		reg:  reg,
-		ring: newRing(reg.Names(), cfg.Vnodes),
-		now:  cfg.now,
-		jobs: make(map[string]*gwJob),
+		cfg:    cfg,
+		reg:    reg,
+		ring:   newRing(reg.Names(), cfg.Vnodes),
+		now:    cfg.now,
+		log:    cfg.Logger,
+		tracer: cfg.Telemetry,
+		lat:    telemetry.NewLatencySet(),
+		jobs:   make(map[string]*gwJob),
 	}, nil
 }
 
@@ -206,9 +221,17 @@ func (g *Gateway) isDraining() bool {
 	return g.draining
 }
 
-func (g *Gateway) logf(format string, args ...any) {
-	if g.cfg.Logf != nil {
-		g.cfg.Logf(format, args...)
+// info and warn emit structured log lines (nil logger: one pointer
+// test per site).
+func (g *Gateway) info(msg string, args ...any) {
+	if g.log != nil {
+		g.log.Info(msg, args...)
+	}
+}
+
+func (g *Gateway) warn(msg string, args ...any) {
+	if g.log != nil {
+		g.log.Warn(msg, args...)
 	}
 }
 
@@ -304,6 +327,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.tracer.Register(mux) // /debug/requests (reports disabled when untraced)
 	return mux
 }
 
@@ -359,48 +383,88 @@ type submitResult struct {
 	err error
 }
 
+// verdictName renders a verdict for span attrs and log fields.
+func verdictName(v verdict) string {
+	switch v {
+	case vOK:
+		return "ok"
+	case vBackpressure:
+		return "backpressure"
+	case vPermanent:
+		return "permanent"
+	case vCanceled:
+		return "canceled"
+	default:
+		return "failure"
+	}
+}
+
 // handleSubmit accepts a spec, routes it per policy, fails over across
 // replicas on transient errors, optionally hedges the first attempt,
 // and rewrites the accepted job's ID to "<replica>~<id>" so reads
-// route back.
+// route back. A propagated (or gateway-minted) trace context gets a
+// route span plus one attempt span per replica tried, and is forwarded
+// to the replica so the same trace ID continues server-side.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := g.now()
 	g.submits.Add(1)
+	tr := g.tracer.Start(r.Header.Get(telemetry.Header), "gw-submit")
+	outcome := "shed"
+	defer func() {
+		g.lat.Observe("submit_ms/policy="+string(g.cfg.Policy)+"/outcome="+outcome, g.now().Sub(start))
+		tr.Finish()
+	}()
 	if g.isDraining() {
 		g.shed(w, "gateway draining", g.cfg.MinRetryAfter)
 		return
 	}
 	var req service.SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		outcome = "bad_request"
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad submit body: " + err.Error()})
 		return
 	}
 	key, err := req.Spec.Key()
 	if err != nil {
+		outcome = "bad_request"
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
 	opts := client.SubmitOptions{
-		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
-		Wait:     time.Duration(req.WaitMS) * time.Millisecond,
+		Deadline:    time.Duration(req.DeadlineMS) * time.Millisecond,
+		Wait:        time.Duration(req.WaitMS) * time.Millisecond,
+		TraceHeader: tr.HeaderValue(),
 	}
 	owner := g.owner(key)
+	route := tr.Span("route").Attr("policy", string(g.cfg.Policy)).Attr("owner", owner.Name)
 
 	var lastErr error
-	tried := 0
+	tried, skipped := 0, 0
 	idxs := g.candidates(key)
 	for pos := 0; pos < len(idxs); pos++ {
 		rep := g.reg.replicas[idxs[pos]]
 		if !rep.Routable(g.now()) {
+			skipped++ // breaker open or replica draining/dead
 			continue
 		}
 		tried++
 		if tried > 1 {
 			g.failovers.Add(1)
-			g.logf("cluster: failover #%d -> %s (%v)", tried-1, rep.Name, lastErr)
+			g.warn("failover", "hop", tried-1, "replica", rep.Name,
+				"trace", tr.TraceID(), "err", lastErr)
 		}
-		res := g.attempt(r.Context(), rep, req.Spec, opts, func() *Replica { return g.hedgePeer(idxs, pos) })
-		switch v := classify(res.err); v {
+		sp := tr.Span("attempt").Attr("replica", rep.Name)
+		res := g.attempt(r.Context(), tr, rep, req.Spec, opts, func() *Replica { return g.hedgePeer(idxs, pos) })
+		v := classify(res.err)
+		sp.Attr("verdict", verdictName(v))
+		if res.rep != rep {
+			sp.Attr("hedge_winner", res.rep.Name)
+		}
+		sp.EndSpan()
+		switch v {
 		case vOK:
+			outcome = "accepted"
+			route.Attr("attempts", tried).Attr("breaker_skips", skipped).Attr("served_by", res.rep.Name).EndSpan()
 			g.accepted.Add(1)
 			g.record(res.rep.Name, owner.Name, res.st.ID, req.Spec, key)
 			st := res.st
@@ -414,9 +478,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, code, st)
 			return
 		case vPermanent:
+			outcome = "permanent"
+			route.Attr("attempts", tried).Attr("breaker_skips", skipped).EndSpan()
 			proxyError(w, res.err)
 			return
 		case vCanceled:
+			outcome = "canceled"
+			route.Attr("attempts", tried).Attr("breaker_skips", skipped).EndSpan()
 			// Client went away; nothing sensible to write.
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "canceled: " + res.err.Error()})
 			return
@@ -433,7 +501,9 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			retryAfter = api.RetryAfter
 		}
 	}
-	g.logf("cluster: shed submit after %d attempts: %s", tried, reason)
+	route.Attr("attempts", tried).Attr("breaker_skips", skipped).EndSpan()
+	g.warn("shed submit", "attempts", tried, "skipped", skipped,
+		"trace", tr.TraceID(), "reason", reason)
 	g.shed(w, reason, retryAfter)
 }
 
@@ -463,7 +533,7 @@ func (g *Gateway) hedgePeer(idxs []int, pos int) *Replica {
 // in-flight specs coalesce on a replica and finished ones are cache
 // hits, and results are byte-identical across replicas by
 // construction.
-func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Spec, opts client.SubmitOptions, pickHedge func() *Replica) submitResult {
+func (g *Gateway) attempt(ctx context.Context, tr *telemetry.Req, rep *Replica, spec experiments.Spec, opts client.SubmitOptions, pickHedge func() *Replica) submitResult {
 	one := func(r *Replica) submitResult {
 		st, err := r.Client().Submit(ctx, spec, opts)
 		v := classify(err)
@@ -487,7 +557,9 @@ func (g *Gateway) attempt(ctx context.Context, rep *Replica, spec experiments.Sp
 		return <-ch
 	}
 	g.hedges.Add(1)
-	g.logf("cluster: hedging %s -> %s after %s", rep.Name, hedge.Name, g.cfg.Hedge)
+	g.info("hedging", "from", rep.Name, "to", hedge.Name,
+		"after", g.cfg.Hedge, "trace", tr.TraceID())
+	tr.Span("hedge").Attr("from", rep.Name).Attr("to", hedge.Name).EndSpan()
 	go func() { ch <- one(hedge) }()
 	first := <-ch
 	if classify(first.err) == vOK {
@@ -640,13 +712,15 @@ func (g *Gateway) fillOwner(j *gwJob, body []byte, code string) {
 	}
 	if code == "" {
 		g.peerFillSkips.Add(1)
-		g.logf("cluster: peer fill %s <- %s skipped: serving replica did not report a code version", j.owner, j.served)
+		g.warn("peer fill skipped", "owner", j.owner, "from", j.served,
+			"reason", "serving replica did not report a code version")
 		return
 	}
 	if alive, h := owner.Snapshot(); alive && h.Code != "" && h.Code != code {
 		g.peerFillSkips.Add(1)
 		j.filled.Store(false) // owner may finish upgrading; retry later
-		g.logf("cluster: peer fill %s <- %s skipped: code %s != owner's %s", j.owner, j.served, code, h.Code)
+		g.warn("peer fill skipped", "owner", j.owner, "from", j.served,
+			"reason", "code version mismatch", "code", code, "owner_code", h.Code)
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.FillTimeout)
@@ -656,10 +730,10 @@ func (g *Gateway) fillOwner(j *gwJob, body []byte, code string) {
 	case err != nil:
 		g.peerFillErrs.Add(1)
 		j.filled.Store(false)
-		g.logf("cluster: peer fill %s <- %s failed: %v", j.owner, j.served, err)
+		g.warn("peer fill failed", "owner", j.owner, "from", j.served, "err", err)
 	case stored:
 		g.peerFills.Add(1)
-		g.logf("cluster: peer fill %s <- %s (%d bytes)", j.owner, j.served, len(body))
+		g.info("peer fill", "owner", j.owner, "from", j.served, "bytes", len(body))
 	default:
 		g.peerFillDups.Add(1)
 	}
@@ -759,11 +833,13 @@ func (g *Gateway) Metrics(ctx context.Context) map[string]float64 {
 		}
 		rep.mu.Unlock()
 	}
+	var replicaMetrics []map[string]float64
 	for range g.reg.replicas {
 		rm := <-ch
 		if rm == nil {
 			continue
 		}
+		replicaMetrics = append(replicaMetrics, rm)
 		// Cluster-wide sums of the counters the bench and loadgen read.
 		for _, k := range []string{"cache/hits", "cache/misses", "service/submitted",
 			"service/completed", "service/served_from_cache", "service/coalesced",
@@ -771,7 +847,49 @@ func (g *Gateway) Metrics(ctx context.Context) map[string]float64 {
 			m["cluster/"+strings.ReplaceAll(k, "/", "_")] += rm[k]
 		}
 	}
+	aggregateStageHistograms(m, replicaMetrics)
+	for k, v := range g.lat.Flatten("cluster/") {
+		m[k] = v
+	}
+	for k, v := range g.tracer.Metrics("telemetry/") {
+		m[k] = v
+	}
 	return m
+}
+
+// aggregateStageHistograms merges the replicas' flattened per-stage
+// latency histograms bucket-by-bucket into cluster-level ones and
+// derives cluster-wide quantiles. This works because every replica
+// buckets on the same bounds (telemetry.MsBounds): summing the le=N
+// counts across replicas yields exactly the histogram a single global
+// service would have recorded.
+func aggregateStageHistograms(m map[string]float64, replicaMetrics []map[string]float64) {
+	for _, stage := range []string{"queue_wait_ms", "run_ms", "total_ms"} {
+		h := obs.NewHistogram(telemetry.MsBounds)
+		for _, rm := range replicaMetrics {
+			base := "service/" + stage
+			n := int64(rm[base+"/count"])
+			if n == 0 {
+				continue
+			}
+			if min := int64(rm[base+"/min"]); h.N == 0 || min < h.Min {
+				h.Min = min
+			}
+			if max := int64(rm[base+"/max"]); h.N == 0 || max > h.Max {
+				h.Max = max
+			}
+			for i, b := range h.Bounds {
+				h.Counts[i] += int64(rm[base+"/le="+strconv.FormatInt(b, 10)])
+			}
+			h.Counts[len(h.Counts)-1] += int64(rm[base+"/overflow"])
+			h.N += n
+			h.Sum += int64(rm[base+"/sum"])
+		}
+		if h.N == 0 {
+			continue
+		}
+		telemetry.FlattenHistogram(m, "cluster/"+stage, h)
+	}
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

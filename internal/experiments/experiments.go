@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/matmul"
+	"repro/internal/obs"
 	"repro/internal/pasm"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// Summary under "obs/" keys. Purely additive: the v1 summary keys
 	// and rendered tables are unchanged.
 	Observe bool
+	// Capture, when non-nil, retains whole-cell event streams for the
+	// serving stack's request tracing (telemetry links them to the
+	// request's run span). Bounded by the Capture itself; captured
+	// events never enter the report, so byte-identity is untouched.
+	Capture *obs.Capture
 	// InterpTier names the interpreter tier the Config's Disable*
 	// knobs select ("super", "table", "reference"); informational
 	// only, surfaced in the report's Timings-gated fields. Empty means

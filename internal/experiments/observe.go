@@ -26,35 +26,51 @@ func (o ObsMetrics) into(m map[string]float64) {
 // when Options.Observe is set, and merges the per-cell registries into
 // one aggregate. Counter and histogram merging is commutative, so the
 // aggregate is identical for any Options.Parallelism even though
-// parallel cells complete in host order.
+// parallel cells complete in host order. When Options.Capture is set
+// it additionally attaches bounded event buffers and offers each
+// finished cell's recorder to the capture (the serving stack's trace
+// bridge); captured events never reach the report.
 type observer struct {
 	mu  sync.Mutex
 	agg *obs.Registry // nil when not observing
+	cap *obs.Capture  // nil when not capturing
 }
 
 func newObserver(opts Options) *observer {
-	if !opts.Observe {
-		return &observer{}
+	o := &observer{cap: opts.Capture}
+	if opts.Observe {
+		o.agg = obs.NewRegistry()
 	}
-	return &observer{agg: obs.NewRegistry()}
+	return o
 }
 
 // cell returns the configuration one cell should simulate with: when
-// observing, a copy carrying a fresh metrics-only recorder (events
-// stay off — a sweep's full event stream would be enormous and the
-// aggregate only needs the registries).
+// observing or capturing, a copy carrying a fresh recorder. Metrics
+// are kept only when aggregating; events only when capturing (a
+// sweep's unbounded event stream would be enormous, so the capture's
+// per-unit ring bounds them).
 func (o *observer) cell(cfg pasm.Config) (pasm.Config, *obs.Recorder) {
-	if o.agg == nil {
+	if o.agg == nil && o.cap == nil {
 		return cfg, nil
 	}
-	rec := obs.New(obs.Config{Metrics: true})
+	c := obs.Config{Metrics: o.agg != nil}
+	if o.cap != nil {
+		c.Events = o.cap.Kinds()
+		c.Limit = o.cap.Limit()
+	}
+	rec := obs.New(c)
 	cfg.Obs = rec
 	return cfg, rec
 }
 
-// done folds a finished cell's metrics into the aggregate.
+// done folds a finished cell's metrics into the aggregate and offers
+// its events to the capture.
 func (o *observer) done(rec *obs.Recorder) {
 	if rec == nil {
+		return
+	}
+	o.cap.Offer(rec)
+	if o.agg == nil {
 		return
 	}
 	m := rec.Metrics()

@@ -1,0 +1,75 @@
+package obs
+
+import "sync"
+
+// Capture is a bounded sink for whole-cell event streams: the serving
+// path's bridge between a request's host-time trace and the simulated
+// clock. A traced request hands a Capture into the experiment engine
+// (experiments.Options.Capture); each finished cell's recorder is
+// offered here and the first MaxCells are retained, each bounded to
+// Limit events per unit. Everything else about the run is unchanged —
+// captured events never enter the report, so the byte-identity
+// invariant the cache and cluster rest on is untouched.
+type Capture struct {
+	kinds KindSet
+	limit int
+	max   int
+
+	mu    sync.Mutex
+	cells []*Recorder
+	seen  int
+}
+
+// NewCapture returns a capture retaining at most maxCells cell
+// streams of perUnitLimit events per unit (all kinds). Values <= 0
+// take the defaults (1 cell, 4096 events per unit).
+func NewCapture(maxCells, perUnitLimit int) *Capture {
+	if maxCells <= 0 {
+		maxCells = 1
+	}
+	if perUnitLimit <= 0 {
+		perUnitLimit = 4096
+	}
+	return &Capture{kinds: AllKinds, limit: perUnitLimit, max: maxCells}
+}
+
+// Kinds returns the event kinds a captured cell retains.
+func (c *Capture) Kinds() KindSet { return c.kinds }
+
+// Limit returns the per-unit event ring bound for captured cells.
+func (c *Capture) Limit() int { return c.limit }
+
+// Offer hands a finished cell's recorder to the capture; the first
+// MaxCells offers are retained, later ones only counted. Safe from
+// parallel cell workers.
+func (c *Capture) Offer(rec *Recorder) {
+	if c == nil || rec == nil {
+		return
+	}
+	c.mu.Lock()
+	c.seen++
+	if len(c.cells) < c.max {
+		c.cells = append(c.cells, rec)
+	}
+	c.mu.Unlock()
+}
+
+// Cells returns the retained cell recorders in offer order.
+func (c *Capture) Cells() []*Recorder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Recorder(nil), c.cells...)
+}
+
+// Seen returns how many cells were offered (retained or not).
+func (c *Capture) Seen() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}

@@ -15,24 +15,67 @@ import (
 	"repro/internal/m68k"
 )
 
-// traceEvent is one entry of the traceEvents array.
-type traceEvent struct {
+// TraceEvent is one entry of a Chrome trace's traceEvents array.
+// Timestamps are float64 so callers can rescale a simulated-cycle
+// stream onto a host-microsecond timebase (the telemetry merge);
+// whole-number values marshal identically to integers, which keeps
+// the golden cycle-domain exports byte-stable.
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"`
-	Dur  int64          `json:"dur,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// chromeTrace is the top-level JSON object.
-type chromeTrace struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
+// ChromeTrace is the top-level JSON object.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 	Comment         string       `json:"otherData,omitempty"`
+}
+
+// ChromeEvents renders a recorder's units and merged stream as trace
+// events: per-unit thread metadata first (tids offset by tidBase under
+// pid), then the events in merged (Clock, Unit, Seq) order. ts, when
+// non-nil, maps a simulated clock value onto the output timebase —
+// slice events transform both endpoints, so durations rescale with
+// their positions; nil keeps raw cycles. The process_name metadata is
+// the caller's to emit (WriteChromeTrace names the lone process; the
+// telemetry merge names one process per clock domain).
+func ChromeEvents(r *Recorder, disasm func(pc int) string, pid, tidBase int, ts func(clock int64) float64) []TraceEvent {
+	units := r.Units()
+	merged := r.Merged()
+	evs := make([]TraceEvent, 0, 2*len(units)+len(merged))
+	for _, u := range units {
+		evs = append(evs, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tidBase + u.ID,
+			Args: map[string]any{"name": u.Name},
+		})
+		evs = append(evs, TraceEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tidBase + u.ID,
+			Args: map[string]any{"sort_index": tidBase + u.ID},
+		})
+	}
+	for _, ev := range merged {
+		out := convertEvent(ev, units[ev.Unit].Name, disasm)
+		out.Pid = pid
+		out.Tid = tidBase + int(ev.Unit)
+		if ts != nil && out.Ph != "M" {
+			if out.Ph == "X" {
+				start, end := ts(int64(out.Ts)), ts(int64(out.Ts+out.Dur))
+				out.Ts, out.Dur = start, end-start
+			} else {
+				out.Ts = ts(int64(out.Ts))
+			}
+		}
+		evs = append(evs, out)
+	}
+	return evs
 }
 
 // WriteChromeTrace writes the recorder's merged event stream as Chrome
@@ -42,26 +85,13 @@ type chromeTrace struct {
 // events in merged (Clock, Unit, Seq) order, with JSON maps marshaled
 // key-sorted by encoding/json.
 func WriteChromeTrace(w io.Writer, r *Recorder, disasm func(pc int) string) error {
-	units := r.Units()
-	evs := make([]traceEvent, 0, 2*len(units)+len(r.Merged()))
-	evs = append(evs, traceEvent{
+	evs := make([]TraceEvent, 0, 1)
+	evs = append(evs, TraceEvent{
 		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
 		Args: map[string]any{"name": "PASM VM"},
 	})
-	for _, u := range units {
-		evs = append(evs, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: u.ID,
-			Args: map[string]any{"name": u.Name},
-		})
-		evs = append(evs, traceEvent{
-			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: u.ID,
-			Args: map[string]any{"sort_index": u.ID},
-		})
-	}
-	for _, ev := range r.Merged() {
-		evs = append(evs, convertEvent(ev, units[ev.Unit].Name, disasm))
-	}
-	buf, err := json.MarshalIndent(chromeTrace{
+	evs = append(evs, ChromeEvents(r, disasm, 0, 0, nil)...)
+	buf, err := json.MarshalIndent(ChromeTrace{
 		TraceEvents:     evs,
 		DisplayTimeUnit: "ns",
 		Comment:         "timestamps are simulated PASM clock cycles",
@@ -74,13 +104,14 @@ func WriteChromeTrace(w io.Writer, r *Recorder, disasm func(pc int) string) erro
 	return err
 }
 
-// convertEvent maps one simulator event onto a trace event. Slice
-// events span [Clock-Dur, Clock]; instants sit at Clock.
-func convertEvent(ev Event, unit string, disasm func(pc int) string) traceEvent {
-	out := traceEvent{Ts: ev.Clock, Pid: 0, Tid: int(ev.Unit)}
+// convertEvent maps one simulator event onto a trace event in the raw
+// cycle timebase. Slice events span [Clock-Dur, Clock]; instants sit
+// at Clock.
+func convertEvent(ev Event, unit string, disasm func(pc int) string) TraceEvent {
+	out := TraceEvent{Ts: float64(ev.Clock)}
 	slice := func(cat, name string) {
 		out.Ph, out.Cat, out.Name = "X", cat, name
-		out.Ts, out.Dur = ev.Clock-ev.Dur, ev.Dur
+		out.Ts, out.Dur = float64(ev.Clock-ev.Dur), float64(ev.Dur)
 	}
 	instant := func(cat, name string) {
 		out.Ph, out.Cat, out.Name = "i", cat, name

@@ -58,6 +58,57 @@ func (h *Histogram) Observe(v int64) {
 	h.Sum += v
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation inside the bucket holding that rank, clamped to the
+// observed [Min, Max]. Fixed buckets make this an estimate, not an
+// exact order statistic, but Min/Max clamping keeps p0/p100 honest and
+// the serving-path latency buckets are dense enough for p50/p95/p99
+// dashboards. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	rank := q * float64(h.N)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			// Bucket i spans (lo, hi]: lo is the previous bound (or the
+			// observed Min below the first bound), hi the bound (or the
+			// observed Max in the overflow bucket).
+			lo, hi := float64(h.Min), float64(h.Max)
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if i < len(h.Bounds) {
+				hi = float64(h.Bounds[i])
+			}
+			if lo < float64(h.Min) {
+				lo = float64(h.Min)
+			}
+			if hi > float64(h.Max) {
+				hi = float64(h.Max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(h.Max)
+}
+
 // Mean returns the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.N == 0 {

@@ -122,3 +122,86 @@ func TestObserveMapsEventsToMetrics(t *testing.T) {
 		t.Fatalf("queue_depth histogram not populated: %+v", h)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30})
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile should be 0")
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want Min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %v, want Max 100", got)
+	}
+	// Half the mass is in the overflow bucket (31..100); the median
+	// rank (50) lands in overflow, interpolated between 30 and Max.
+	p50 := h.Quantile(0.5)
+	if p50 < 30 || p50 > 100 {
+		t.Fatalf("p50 = %v, want within (30, 100]", p50)
+	}
+	// p05 lands in the first bucket, interpolated between Min and 10.
+	p05 := h.Quantile(0.05)
+	if p05 < 1 || p05 > 10 {
+		t.Fatalf("p05 = %v, want within [1, 10]", p05)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileSingleValue(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	h.Observe(15)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 15 {
+			t.Fatalf("single-sample q=%v = %v, want 15 (clamped to Min/Max)", q, got)
+		}
+	}
+}
+
+func TestCaptureBounds(t *testing.T) {
+	c := NewCapture(2, 8)
+	if c.Kinds() != AllKinds || c.Limit() != 8 {
+		t.Fatalf("capture config: kinds=%v limit=%d", c.Kinds(), c.Limit())
+	}
+	recs := []*Recorder{New(Config{}), New(Config{}), New(Config{})}
+	for _, r := range recs {
+		c.Offer(r)
+	}
+	c.Offer(nil) // ignored
+	if c.Seen() != 3 {
+		t.Fatalf("seen = %d, want 3", c.Seen())
+	}
+	cells := c.Cells()
+	if len(cells) != 2 || cells[0] != recs[0] || cells[1] != recs[1] {
+		t.Fatalf("capture should retain the first 2 offers, got %d", len(cells))
+	}
+	// Nil capture is fully detached.
+	var nilCap *Capture
+	nilCap.Offer(recs[0])
+	if nilCap.Cells() != nil || nilCap.Seen() != 0 {
+		t.Fatalf("nil capture should no-op")
+	}
+}
+
+func TestCaptureDefaults(t *testing.T) {
+	c := NewCapture(0, 0)
+	if c.Limit() != 4096 {
+		t.Fatalf("default limit = %d, want 4096", c.Limit())
+	}
+	c.Offer(New(Config{}))
+	c.Offer(New(Config{}))
+	if len(c.Cells()) != 1 {
+		t.Fatalf("default max cells should be 1")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // HTTP API (cmd/pasmd, internal/client):
@@ -26,6 +27,8 @@ import (
 //	                            to `pasmbench -json` with host timings off)
 //	GET  /metrics               service + cache counters as JSON
 //	GET  /healthz               liveness + draining flag
+//	GET  /debug/requests[...]   traced request timelines (Config.Telemetry;
+//	                            see internal/telemetry)
 //
 // Backpressure surfaces as 503 with a Retry-After header (queue full,
 // unmeetable deadline, draining). Unknown jobs are 404; results of
@@ -104,6 +107,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST "+FillPath, s.handleFill)
+	if s.tracer != nil {
+		s.tracer.Register(mux)
+	}
 	return s.faultMiddleware(mux)
 }
 
@@ -190,7 +196,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		deadline = s.now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	st, err := s.Submit(req.Spec, deadline)
+	st, err := s.SubmitTraced(req.Spec, deadline, r.Header.Get(telemetry.Header))
 	if err != nil {
 		var full *QueueFullError
 		switch {

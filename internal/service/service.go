@@ -36,7 +36,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -44,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // State is a job's lifecycle state. Transitions:
@@ -104,6 +107,14 @@ type Config struct {
 	// admission, cache, execution, and HTTP points (chaos testing).
 	// Nil costs one pointer test per probe site.
 	Faults *faults.Injector
+	// Telemetry, when non-nil, records request-scoped traces: admit/
+	// queue/run spans per traced submit, /debug/requests retention, and
+	// the run span's simulated-clock capture. Nil (detached) costs one
+	// pointer test per site, like Faults.
+	Telemetry *telemetry.Tracer
+	// Logger receives structured serving logs (job failures, recovered
+	// panics) with trace IDs when available. Nil disables logging.
+	Logger *slog.Logger
 
 	// run overrides job execution (tests). ctx carries the job's
 	// deadline; implementations should abandon work when it expires.
@@ -163,15 +174,18 @@ type job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	trace     *telemetry.Req // nil when the submit was not traced
 }
 
 // Service is the experiment-serving engine.
 type Service struct {
 	cfg    Config
-	run    func(ctx context.Context, spec experiments.Spec) ([]byte, error)
+	run    func(ctx context.Context, spec experiments.Spec, cap *obs.Capture) ([]byte, error)
 	now    func() time.Time
 	cache  *cache.Cache
 	faults *faults.Injector
+	tracer *telemetry.Tracer
+	log    *slog.Logger
 	queue  chan *job
 
 	mu         sync.Mutex
@@ -210,18 +224,25 @@ func New(cfg Config) *Service {
 	}
 	s := &Service{
 		cfg:      cfg,
-		run:      cfg.run,
 		now:      cfg.now,
 		cache:    cache.New(cfg.Cache),
 		faults:   cfg.Faults,
+		tracer:   cfg.Telemetry,
+		log:      cfg.Logger,
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[cache.Key]*job{},
 		reg:      obs.NewRegistry(),
 	}
-	if s.run == nil {
-		s.run = func(ctx context.Context, spec experiments.Spec) ([]byte, error) {
-			rep, err := experiments.RunSpecContext(ctx, spec, experiments.RunConfig{Options: cfg.Options})
+	if cfg.run != nil {
+		s.run = func(ctx context.Context, spec experiments.Spec, _ *obs.Capture) ([]byte, error) {
+			return cfg.run(ctx, spec)
+		}
+	} else {
+		s.run = func(ctx context.Context, spec experiments.Spec, cap *obs.Capture) ([]byte, error) {
+			opts := cfg.Options
+			opts.Capture = cap
+			rep, err := experiments.RunSpecContext(ctx, spec, experiments.RunConfig{Options: opts})
 			if err != nil {
 				return nil, err
 			}
@@ -243,12 +264,41 @@ func New(cfg Config) *Service {
 // in-flight job every identical spec shares (its deadline, if any,
 // stays the primary's). deadline zero means none.
 func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, error) {
+	return s.SubmitTraced(spec, deadline, "")
+}
+
+// SubmitTraced is Submit continuing a propagated trace context
+// (X-Pasm-Trace header value; empty falls back to the tracer's own
+// sampling). A traced submit records an admit span with its outcome
+// and queue depth; a queued job carries the trace to the worker, which
+// adds queue and run spans and finishes the trace at the job's
+// terminal state. Non-queued outcomes (cache hit, coalesce, rejection)
+// finish the trace at submit return.
+func (s *Service) SubmitTraced(spec experiments.Spec, deadline time.Time, traceHeader string) (JobStatus, error) {
+	tr := s.tracer.Start(traceHeader, "submit")
+	admit := tr.Span("admit")
+	st, err := s.submit(spec, deadline, tr, admit)
+	if err != nil {
+		admit.Attr("error", err.Error())
+	}
+	admit.EndSpan()
+	// A queued job's trace finishes at its terminal state (the worker
+	// owns it now); every other outcome is terminal here.
+	if err != nil || st.State.Terminal() || st.Coalesced > 0 {
+		tr.Finish()
+	}
+	return st, err
+}
+
+func (s *Service) submit(spec experiments.Spec, deadline time.Time, tr *telemetry.Req, admit *telemetry.Span) (JobStatus, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
+		admit.Attr("outcome", "bad_spec")
 		return JobStatus{}, err
 	}
 	rawKey, err := norm.Key()
 	if err != nil {
+		admit.Attr("outcome", "bad_spec")
 		return JobStatus{}, err
 	}
 	key := cache.Key(rawKey)
@@ -272,13 +322,16 @@ func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, 
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	admit.Attr("queue_depth", len(s.queue))
 	if s.draining {
 		s.reg.Add("rejected_draining", 1)
+		admit.Attr("outcome", "rejected_draining")
 		return JobStatus{}, ErrDraining
 	}
 	s.reg.Add("submitted", 1)
 	if admitErr != nil {
 		s.reg.Add("rejected_injected", 1)
+		admit.Attr("outcome", "rejected_injected")
 		return JobStatus{}, &QueueFullError{RetryAfter: s.cfg.MinRetryAfter, Reason: "injected admission fault"}
 	}
 	now := s.now()
@@ -295,29 +348,35 @@ func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, 
 		close(j.done)
 		s.retireLocked(j)
 		s.reg.Add("served_from_cache", 1)
+		admit.Attr("outcome", "cache_hit")
 		return s.statusLocked(j), nil
 	}
 
 	if prev, ok := s.inflight[key]; ok {
 		prev.coalesced++
 		s.reg.Add("coalesced", 1)
+		admit.Attr("outcome", "coalesced").Attr("coalesced_into", prev.id).Attr("fan_in", prev.coalesced)
 		return s.statusLocked(prev), nil
 	}
 
 	est := s.waitEstimateLocked()
 	if !deadline.IsZero() && now.Add(est).After(deadline) {
 		s.reg.Add("rejected_deadline", 1)
+		admit.Attr("outcome", "rejected_deadline")
 		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "deadline unmeetable at current queue depth"}
 	}
 
 	if len(s.queue) == s.cfg.QueueDepth {
 		s.reg.Add("rejected_queue_full", 1)
+		admit.Attr("outcome", "rejected_queue_full")
 		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "queue full"}
 	}
 	j := s.newJobLocked(norm, key, deadline, now)
+	j.trace = tr
 	s.queue <- j // cannot block: space was verified under mu and only Submit sends
 	s.inflight[key] = j
 	s.reg.Hist("queue_depth", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(int64(len(s.queue)))
+	admit.Attr("outcome", "queued").Attr("job", j.id)
 	return s.statusLocked(j), nil
 }
 
@@ -380,6 +439,9 @@ func (s *Service) worker() {
 			s.retireLocked(j)
 			s.reg.Add("expired", 1)
 			s.mu.Unlock()
+			j.trace.SpanAt("queue", j.created).Attr("expired", true).EndAt(now)
+			j.trace.FinishAt(now)
+			s.logJob(j)
 			continue
 		}
 		j.state = StateRunning
@@ -387,6 +449,7 @@ func (s *Service) worker() {
 		s.running++
 		s.reg.Hist("queue_wait_ms", msBounds).Observe(now.Sub(j.created).Milliseconds())
 		s.mu.Unlock()
+		j.trace.SpanAt("queue", j.created).EndAt(now)
 
 		result, err := s.execute(j)
 
@@ -415,18 +478,74 @@ func (s *Service) worker() {
 			s.cache.Put(j.key, result)
 			s.reg.Add("completed", 1)
 		}
+		coalesced := j.coalesced
 		delete(s.inflight, j.key)
 		close(j.done)
 		s.retireLocked(j)
 		s.mu.Unlock()
+		if j.trace != nil {
+			run := j.trace.SpanAt("run", j.started).OnTrack("worker").
+				Attr("outcome", string(j.state)).Attr("coalesced", coalesced)
+			if j.err != "" {
+				run.Attr("error", j.err)
+			}
+			run.EndAt(j.finished)
+			j.trace.FinishAt(j.finished)
+		}
+		s.logJob(j)
 	}
+}
+
+// logJob emits one structured line per terminal job (nil logger: one
+// pointer test). Reads j without mu: the job is terminal and this
+// worker owns it.
+func (s *Service) logJob(j *job) {
+	if s.log == nil {
+		return
+	}
+	attrs := []any{
+		"job", j.id,
+		"state", string(j.state),
+		"queue_wait_ms", durMs(j.created, pickTime(j.started, j.finished)),
+		"total_ms", durMs(j.created, j.finished),
+	}
+	if !j.started.IsZero() {
+		attrs = append(attrs, "run_ms", durMs(j.started, j.finished))
+	}
+	if j.trace != nil {
+		attrs = append(attrs, "trace", j.trace.Trace)
+	}
+	if j.err != "" {
+		attrs = append(attrs, "error", j.err)
+		s.log.Warn("job finished", attrs...)
+		return
+	}
+	s.log.Info("job finished", attrs...)
+}
+
+func pickTime(a, b time.Time) time.Time {
+	if !a.IsZero() {
+		return a
+	}
+	return b
+}
+
+func durMs(from, to time.Time) float64 {
+	if from.IsZero() || to.IsZero() {
+		return 0
+	}
+	return float64(to.Sub(from).Microseconds()) / 1000
 }
 
 // execute runs one job under its deadline with panic isolation: a
 // panicking run (real or injected) fails only this job — the worker
 // goroutine survives, which is the pool's self-healing property. The
 // run-point fault check precedes execution, so injected errors and
-// panics exercise the same recovery paths real ones would.
+// panics exercise the same recovery paths real ones would. A traced
+// job additionally captures its simulated event stream (bridging the
+// run span to the simulated clock) and runs under a pprof label
+// carrying the trace ID, so CPU profiles attribute samples to
+// requests.
 func (s *Service) execute(j *job) (result []byte, err error) {
 	ctx := context.Background()
 	if !j.deadline.IsZero() {
@@ -459,12 +578,24 @@ func (s *Service) execute(j *job) (result []byte, err error) {
 			}
 		}
 	}
-	return s.run(ctx, j.spec)
+	if j.trace == nil {
+		return s.run(ctx, j.spec, nil)
+	}
+	cap := j.trace.NewSimCapture()
+	start := s.now()
+	pprof.Do(ctx, pprof.Labels("pasm_trace", j.trace.Trace), func(ctx context.Context) {
+		result, err = s.run(ctx, j.spec, cap)
+	})
+	j.trace.AttachSim(cap, start, s.now())
+	return result, err
 }
 
 // retireLocked appends a terminal job to the bounded history, dropping
 // the oldest finished jobs past MaxJobs (their cached results remain).
 func (s *Service) retireLocked(j *job) {
+	if !j.finished.IsZero() {
+		s.reg.Hist("total_ms", msBounds).Observe(j.finished.Sub(j.created).Milliseconds())
+	}
 	s.finished = append(s.finished, j.id)
 	for len(s.finished) > s.cfg.MaxJobs {
 		delete(s.jobs, s.finished[0])
@@ -702,6 +833,16 @@ func (s *Service) Metrics() map[string]float64 {
 			m["service/"+name] = 0
 		}
 	}
+	// v2: derived p50/p95/p99 for the per-stage host-latency histograms
+	// (queue wait, run, total) so dashboards and loadgen get quantiles
+	// without scraping buckets.
+	for _, name := range []string{"queue_wait_ms", "run_ms", "total_ms"} {
+		if h := s.reg.Histogram(name); h != nil && h.N > 0 {
+			for _, q := range telemetry.Quantiles {
+				m["service/"+name+"/"+q.Key] = h.Quantile(q.Q)
+			}
+		}
+	}
 	m["service/queue_depth"] = float64(len(s.queue))
 	m["service/queue_capacity"] = float64(s.cfg.QueueDepth)
 	m["service/inflight"] = float64(s.running)
@@ -713,6 +854,9 @@ func (s *Service) Metrics() map[string]float64 {
 		m["service/draining"] = 0
 	}
 	s.mu.Unlock()
+	for k, v := range s.tracer.Metrics("telemetry/") {
+		m[k] = v
+	}
 	for k, v := range s.cache.Metrics("cache/") {
 		m[k] = v
 	}

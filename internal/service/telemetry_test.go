@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestTracedSubmitRecordsStages: a submit continuing a propagated
+// trace context produces admit, queue, and run spans under the same
+// trace ID, findable via /debug/requests, and /metrics v2 carries the
+// per-stage quantiles.
+func TestTracedSubmitRecordsStages(t *testing.T) {
+	tr := telemetry.New(telemetry.Config{Component: "pasmd-test", Sample: 0, Seed: 7})
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 8, run: g.run, Telemetry: tr})
+	defer s.Shutdown(context.Background())
+
+	const header = "00000000deadbeef/0000beef"
+	st, err := s.SubmitTraced(specN(1988), time.Time{}, header)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	g.release()
+	waitState(t, s, st.ID, StateDone)
+
+	r := tr.Lookup("00000000deadbeef")
+	if r == nil {
+		t.Fatalf("trace not recorded")
+	}
+	snap := r.Snapshot()
+	if !snap.Done {
+		t.Fatalf("trace not finished after job completion")
+	}
+	if snap.Parent != "0000beef" {
+		t.Fatalf("parent span not continued: %q", snap.Parent)
+	}
+	got := map[string]telemetry.SpanSnapshot{}
+	for _, sp := range snap.Spans {
+		got[sp.Name] = sp
+	}
+	for _, want := range []string{"admit", "queue", "run"} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing %q span; have %v", want, snap.Spans)
+		}
+	}
+	if got["run"].Track != "worker" {
+		t.Fatalf("run span track = %q, want worker", got["run"].Track)
+	}
+	var outcome string
+	for _, a := range got["admit"].Attrs {
+		if a.Key == "outcome" {
+			outcome = a.Value.(string)
+		}
+	}
+	if outcome != "queued" {
+		t.Fatalf("admit outcome = %q, want queued", outcome)
+	}
+
+	// /metrics v2: per-stage quantiles derived from the host histograms.
+	m := s.Metrics()
+	for _, key := range []string{"service/queue_wait_ms/p50", "service/run_ms/p95",
+		"service/total_ms/p99", "telemetry/traces_started"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q", key)
+		}
+	}
+	if m["telemetry/traces_finished"] != 1 {
+		t.Fatalf("traces_finished = %v, want 1", m["telemetry/traces_finished"])
+	}
+
+	// /debug/requests is mounted on the service handler.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/requests/00000000deadbeef")
+	if err != nil {
+		t.Fatalf("debug fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	var body telemetry.ReqSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("debug decode: %v", err)
+	}
+	if body.Trace != "00000000deadbeef" || len(body.Spans) < 3 {
+		t.Fatalf("debug snapshot wrong: %+v", body)
+	}
+}
+
+// TestTracedOutcomes: non-queued submit outcomes (cache hit, coalesce)
+// finish their traces at submit return with the right admit outcome.
+func TestTracedOutcomes(t *testing.T) {
+	tr := telemetry.New(telemetry.Config{Component: "pasmd-test", Sample: 1, Seed: 7})
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 8, run: g.run, Telemetry: tr})
+	defer s.Shutdown(context.Background())
+
+	first, err := s.Submit(specN(2001), time.Time{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := s.Submit(specN(2001), time.Time{}); err != nil { // coalesces
+		t.Fatalf("coalesced submit: %v", err)
+	}
+	g.release()
+	waitState(t, s, first.ID, StateDone)
+	if _, err := s.Submit(specN(2001), time.Time{}); err != nil { // cache hit
+		t.Fatalf("cached submit: %v", err)
+	}
+
+	recent, _ := tr.Requests()
+	outcomes := map[string]bool{}
+	for _, r := range recent {
+		for _, sp := range r.Spans {
+			if sp.Name != "admit" {
+				continue
+			}
+			for _, a := range sp.Attrs {
+				if a.Key == "outcome" {
+					outcomes[a.Value.(string)] = true
+				}
+			}
+		}
+	}
+	for _, want := range []string{"queued", "coalesced", "cache_hit"} {
+		if !outcomes[want] {
+			t.Fatalf("missing admit outcome %q in %v", want, outcomes)
+		}
+	}
+	started, finished, _ := tr.Stats()
+	if started != 3 || finished != 3 {
+		t.Fatalf("started=%d finished=%d, want 3/3", started, finished)
+	}
+}
+
+// TestUntracedSubmitUnaffected: with no tracer configured, submits and
+// metrics behave exactly as before (the detached path).
+func TestUntracedSubmitUnaffected(t *testing.T) {
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 8, run: g.run})
+	defer s.Shutdown(context.Background())
+	st, err := s.Submit(specN(3001), time.Time{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	g.release()
+	waitState(t, s, st.ID, StateDone)
+	m := s.Metrics()
+	if _, ok := m["telemetry/traces_started"]; ok {
+		t.Fatalf("detached service should not export telemetry counters")
+	}
+	if !strings.Contains(st.ID, "j1-") {
+		t.Fatalf("unexpected job id %s", st.ID)
+	}
+}

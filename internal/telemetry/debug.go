@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Register mounts the tracer's debug endpoints on mux:
+//
+//	GET /debug/requests                  — retained request timelines
+//	                                       (JSON; ?format=text for humans)
+//	GET /debug/requests/{trace}          — one request's full timeline
+//	GET /debug/requests/{trace}/perfetto — merged host+sim Chrome trace
+//
+// Safe on a nil tracer (endpoints report tracing disabled).
+func (t *Tracer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/requests", t.handleList)
+	mux.HandleFunc("/debug/requests/", t.handleOne)
+}
+
+func (t *Tracer) handleList(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if t == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	recent, slowest := t.Requests()
+	started, finished, unsampled := t.Stats()
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "component %s: %d traces started, %d finished, %d unsampled\n",
+			t.cfg.Component, started, finished, unsampled)
+		writeText := func(title string, list []ReqSnapshot) {
+			fmt.Fprintf(w, "\n%s (%d):\n", title, len(list))
+			for _, r := range list {
+				fmt.Fprintf(w, "  %s  %-12s %8.3fms  %d spans  %s\n",
+					r.Trace, r.Name, r.DurMs, len(r.Spans), r.Start)
+				for _, s := range r.Spans {
+					fmt.Fprintf(w, "    %10.1fus +%10.1fus  [%s] %s%s\n",
+						s.StartUs, s.DurUs, s.Track, s.Name, attrText(s.Attrs))
+				}
+			}
+		}
+		writeText("recent", recent)
+		writeText("slowest", slowest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"component": t.cfg.Component,
+		"started":   started,
+		"finished":  finished,
+		"unsampled": unsampled,
+		"recent":    emptyNotNil(recent),
+		"slowest":   emptyNotNil(slowest),
+	})
+}
+
+func (t *Tracer) handleOne(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(req.URL.Path, "/debug/requests/")
+	trace, verb, _ := strings.Cut(rest, "/")
+	r := t.Lookup(trace) // nil-safe on a nil tracer
+	if r == nil {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	snap := r.Snapshot()
+	switch verb {
+	case "":
+		writeJSON(w, snap)
+	case "perfetto":
+		w.Header().Set("Content-Type", "application/json")
+		if err := WritePerfetto(w, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown view "+verb, http.StatusNotFound)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func emptyNotNil(list []ReqSnapshot) []ReqSnapshot {
+	if list == nil {
+		return []ReqSnapshot{}
+	}
+	return list
+}
+
+func attrText(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+	}
+	return " " + strings.Join(parts, " ")
+}

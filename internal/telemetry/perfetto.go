@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// WritePerfetto renders a traced request as one Chrome trace-event
+// file bridging both clock domains: pid 0 holds the host-time serving
+// spans (one thread per span track — gateway, service, worker), and
+// pids 1..N hold the request's captured simulated-clock cell streams
+// with their cycle timestamps linearly mapped onto the host interval
+// of the run they were recorded in. Timestamps are microseconds from
+// the request start, so Perfetto shows "where the 80ms went" — routing
+// vs queueing vs simulation — and, inside the run span, which PE/FU/
+// barrier activity filled it.
+func WritePerfetto(w io.Writer, snap ReqSnapshot) error {
+	evs := []obs.TraceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "serving " + snap.Component},
+	}}
+
+	// Stable track order: tracks in first-appearance order over spans.
+	var tracks []string
+	trackTid := map[string]int{}
+	for _, s := range snap.Spans {
+		if _, ok := trackTid[s.Track]; !ok {
+			trackTid[s.Track] = len(tracks)
+			tracks = append(tracks, s.Track)
+		}
+	}
+	for tid, name := range tracks {
+		evs = append(evs, obs.TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+		evs = append(evs, obs.TraceEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+	}
+	// The request itself as the root slice on the first track.
+	if snap.Done {
+		evs = append(evs, obs.TraceEvent{
+			Name: snap.Name, Cat: "request", Ph: "X",
+			Ts: 0, Dur: snap.DurMs * 1000, Pid: 0, Tid: 0,
+			Args: map[string]any{"trace": snap.Trace},
+		})
+	}
+	spans := append([]SpanSnapshot(nil), snap.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUs < spans[j].StartUs })
+	for _, s := range spans {
+		args := map[string]any{"span": s.ID}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		evs = append(evs, obs.TraceEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			Ts: s.StartUs, Dur: s.DurUs,
+			Pid: 0, Tid: trackTid[s.Track],
+			Args: args,
+		})
+	}
+
+	// Simulated cells: one process each, cycle clock affinely mapped
+	// onto the host interval the capture was recorded in.
+	for i, rec := range snap.sim {
+		pid := 1 + i
+		evs = append(evs, obs.TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("simulated clock (cell %d)", i)},
+		})
+		evs = append(evs, obs.ChromeEvents(rec, nil, pid, 0, simTransform(rec, snap))...)
+	}
+
+	buf, err := json.MarshalIndent(obs.ChromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		Comment:         "pid 0: host-time serving spans (us from request start); pid 1+: simulated-clock cell events aligned onto the run interval",
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// simTransform maps a captured recorder's simulated clock onto the
+// request's host microsecond axis: cycle 0 lands at the start of the
+// capture's host interval and the recorder's final cycle at its end.
+// Degenerate cases (no cycles, no interval) collapse onto the interval
+// start so events stay inside the request either way.
+func simTransform(rec *obs.Recorder, snap ReqSnapshot) func(int64) float64 {
+	t0us := float64(snap.simT0.Sub(snap.start).Nanoseconds()) / 1000
+	t1us := float64(snap.simT1.Sub(snap.start).Nanoseconds()) / 1000
+	var maxClock int64
+	for _, ev := range rec.Merged() {
+		if ev.Clock > maxClock {
+			maxClock = ev.Clock
+		}
+	}
+	if maxClock <= 0 || t1us <= t0us {
+		return func(int64) float64 { return t0us }
+	}
+	scale := (t1us - t0us) / float64(maxClock)
+	return func(clock int64) float64 { return t0us + float64(clock)*scale }
+}

@@ -1,0 +1,646 @@
+// Package telemetry is the serving stack's request-scoped tracing
+// layer: where package obs explains a *simulation* on the simulated
+// clock, telemetry explains a *request* on the host clock — how long
+// it sat in the gateway's routing loop, the service's admission queue,
+// and the worker's execution slot, and why.
+//
+// A trace is born at whichever hop first decides to record (the client
+// or the gateway inject, the service continues) and rides the
+// X-Pasm-Trace header across process boundaries. Each hop holds a
+// Tracer; a traced request becomes a Req carrying Spans — named
+// host-time intervals with ordered attributes (route policy, failover
+// hops, queue depth at admit, coalesce fan-in, cache hit/miss). The
+// tracer retains the last N and the slowest N finished requests in
+// ring buffers for /debug/requests (à la x/net/trace), and a traced
+// run can capture its simulated-clock obs event stream so one exported
+// Perfetto file shows serving spans and PE/FU/barrier events on
+// aligned tracks (see perfetto.go).
+//
+// The discipline mirrors the obs hooks: a detached tracer (nil
+// *Tracer) or an unsampled request (nil *Req) costs one pointer test
+// per site — every method on *Req and *Span is nil-receiver safe and
+// allocation-free when detached, which TestDetachedTelemetryZeroAlloc
+// pins.
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Header carries the trace context between hops. Its value is
+// "<trace-id>/<parent-span-id>": a 16-hex-digit trace identity and the
+// 8-hex-digit span the downstream hop should parent its spans to (the
+// parent part may be absent on a root context).
+const Header = "X-Pasm-Trace"
+
+// Context is a propagated trace identity: which trace this request
+// belongs to and which upstream span caused it.
+type Context struct {
+	Trace  string // 16 hex digits
+	Parent string // 8 hex digits; "" at the root
+}
+
+// ParseHeader decodes an X-Pasm-Trace value. Malformed values report
+// !ok and the request proceeds untraced — a bad header must never
+// reject a request.
+func ParseHeader(v string) (Context, bool) {
+	if v == "" {
+		return Context{}, false
+	}
+	trace, parent, _ := strings.Cut(v, "/")
+	if !isHex(trace, 16) || (parent != "" && !isHex(parent, 8)) {
+		return Context{}, false
+	}
+	return Context{Trace: trace, Parent: parent}, true
+}
+
+// Header renders the context as the X-Pasm-Trace value.
+func (c Context) Header() string {
+	if c.Parent == "" {
+		return c.Trace
+	}
+	return c.Trace + "/" + c.Parent
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Component names this hop in spans and logs ("pasmd"/"pasmgw",
+	// optionally suffixed with the instance name).
+	Component string
+	// Sample is the probability ([0,1]) of tracing a request that
+	// arrives without an X-Pasm-Trace header. Requests carrying a valid
+	// header are always traced — the upstream hop already paid the
+	// sampling decision. 0 traces only propagated contexts.
+	Sample float64
+	// Ring bounds the most-recent finished requests retained for
+	// /debug/requests. Default 64.
+	Ring int
+	// Slow bounds the slowest finished requests retained alongside the
+	// ring. Default 16.
+	Slow int
+	// MaxActive bounds requests started but not yet finished (leak
+	// protection for callers that lose a Req). Default 4*Ring.
+	MaxActive int
+	// SimCells bounds how many experiment cells' simulated event
+	// streams one traced request captures. Default 1.
+	SimCells int
+	// SimEvents bounds the per-unit simulated event ring of a captured
+	// cell. Default 4096.
+	SimEvents int
+	// Seed drives the deterministic sampling sequence (xorshift64).
+	Seed uint64
+	// Logger, when non-nil, receives one structured line per finished
+	// traced request.
+	Logger *slog.Logger
+
+	now func() time.Time
+}
+
+// Tracer records traced requests for one component. Safe for
+// concurrent use. A nil *Tracer is a valid detached tracer: every
+// method no-ops and returns nil.
+type Tracer struct {
+	cfg Config
+	log *slog.Logger
+	now func() time.Time
+	rng atomic.Uint64
+
+	mu          sync.Mutex
+	active      map[string]*Req // by trace id, most recent wins
+	activeOrder []string
+	ring        []*Req // finished, oldest first
+	slow        []*Req // finished, slowest first
+	started     int64
+	finished    int64
+	unsampled   int64
+}
+
+// New returns a tracer. cfg.Component is required context for exports
+// but not enforced.
+func New(cfg Config) *Tracer {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 64
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = 16
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 4 * cfg.Ring
+	}
+	if cfg.SimCells <= 0 {
+		cfg.SimCells = 1
+	}
+	if cfg.SimEvents <= 0 {
+		cfg.SimEvents = 4096
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	t := &Tracer{cfg: cfg, log: cfg.Logger, now: cfg.now, active: map[string]*Req{}}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) | 1
+	}
+	t.rng.Store(seed)
+	return t
+}
+
+// rand64 steps the shared xorshift64 state (lock-free, deterministic
+// per seed).
+func (t *Tracer) rand64() uint64 {
+	for {
+		old := t.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if x == 0 {
+			x = 0x9e3779b97f4a7c15
+		}
+		if t.rng.CompareAndSwap(old, x) {
+			return x
+		}
+	}
+}
+
+// NewContext mints a root trace context (no parent span). Used by
+// clients injecting a trace.
+func (t *Tracer) NewContext() Context {
+	return Context{Trace: fmt.Sprintf("%016x", t.rand64())}
+}
+
+// SampleContext makes one injection-side sampling decision: when this
+// request should carry a trace, it returns a minted root context and
+// true. Used by clients (and loadgen) that inject traces without
+// recording spans of their own.
+func (t *Tracer) SampleContext() (Context, bool) {
+	if t == nil || !t.sampleHit() {
+		return Context{}, false
+	}
+	return t.NewContext(), true
+}
+
+// SampleHit reports one sampling decision against cfg.Sample.
+func (t *Tracer) sampleHit() bool {
+	if t.cfg.Sample >= 1 {
+		return true
+	}
+	if t.cfg.Sample <= 0 {
+		return false
+	}
+	return float64(t.rand64()>>11)/(1<<53) < t.cfg.Sample
+}
+
+// Start begins a traced request from a propagated header value. A
+// valid header always traces (the upstream hop made the sampling
+// decision); an empty or malformed one traces with probability
+// cfg.Sample. Returns nil — the universal "not traced" value every
+// downstream method accepts — when detached or unsampled.
+func (t *Tracer) Start(header, name string) *Req {
+	if t == nil {
+		return nil
+	}
+	ctx, ok := ParseHeader(header)
+	if !ok {
+		if !t.sampleHit() {
+			t.mu.Lock()
+			t.unsampled++
+			t.mu.Unlock()
+			return nil
+		}
+		ctx = t.NewContext()
+	}
+	r := &Req{
+		t:         t,
+		Trace:     ctx.Trace,
+		Parent:    ctx.Parent,
+		Name:      name,
+		Component: t.cfg.Component,
+		Start:     t.now(),
+		root:      fmt.Sprintf("%08x", uint32(t.rand64())),
+	}
+	t.mu.Lock()
+	t.started++
+	t.active[r.Trace] = r
+	t.activeOrder = append(t.activeOrder, r.Trace)
+	for len(t.activeOrder) > t.cfg.MaxActive {
+		evict := t.activeOrder[0]
+		t.activeOrder = t.activeOrder[1:]
+		// Finished requests were already removed by finish(); only drop
+		// a still-active leak, and never the request just started.
+		if cur, ok := t.active[evict]; ok && cur != r {
+			delete(t.active, evict)
+		}
+	}
+	t.mu.Unlock()
+	return r
+}
+
+// Lookup returns the most recent request recorded under a trace id
+// (active or retained), or nil.
+func (t *Tracer) Lookup(trace string) *Req {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.active[trace]; ok {
+		return r
+	}
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].Trace == trace {
+			return t.ring[i]
+		}
+	}
+	for _, r := range t.slow {
+		if r.Trace == trace {
+			return r
+		}
+	}
+	return nil
+}
+
+// finish moves a completed request into the retention rings.
+func (t *Tracer) finish(r *Req) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished++
+	if cur, ok := t.active[r.Trace]; ok && cur == r {
+		delete(t.active, r.Trace)
+	}
+	t.ring = append(t.ring, r)
+	if len(t.ring) > t.cfg.Ring {
+		t.ring = t.ring[1:]
+	}
+	// Insertion into the slowest list, longest duration first.
+	d := r.Duration()
+	at := len(t.slow)
+	for i, s := range t.slow {
+		if d > s.Duration() {
+			at = i
+			break
+		}
+	}
+	if at < t.cfg.Slow {
+		t.slow = append(t.slow, nil)
+		copy(t.slow[at+1:], t.slow[at:])
+		t.slow[at] = r
+		if len(t.slow) > t.cfg.Slow {
+			t.slow = t.slow[:t.cfg.Slow]
+		}
+	}
+	if t.log != nil {
+		// No component field: Config.Logger already carries the caller's
+		// identity context.
+		t.log.Info("request traced",
+			"trace", r.Trace,
+			"name", r.Name,
+			"ms", float64(d.Microseconds())/1000,
+			"spans", r.spanCount())
+	}
+}
+
+// Requests snapshots the retained requests: the last-N ring (newest
+// first) and the slowest-N list (slowest first). The two may overlap.
+func (t *Tracer) Requests() (recent, slowest []ReqSnapshot) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	ring := append([]*Req(nil), t.ring...)
+	slow := append([]*Req(nil), t.slow...)
+	t.mu.Unlock()
+	for i := len(ring) - 1; i >= 0; i-- {
+		recent = append(recent, ring[i].Snapshot())
+	}
+	for _, r := range slow {
+		slowest = append(slowest, r.Snapshot())
+	}
+	return recent, slowest
+}
+
+// Stats reports the tracer's lifetime counters.
+func (t *Tracer) Stats() (started, finished, unsampled int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.started, t.finished, t.unsampled
+}
+
+// Metrics renders the tracer counters under prefix (for /metrics).
+func (t *Tracer) Metrics(prefix string) map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	started, finished, unsampled := t.Stats()
+	return map[string]float64{
+		prefix + "traces_started":  float64(started),
+		prefix + "traces_finished": float64(finished),
+		prefix + "traces_skipped":  float64(unsampled),
+	}
+}
+
+// Attr is one ordered span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is a named host-time interval within a traced request. All
+// methods are nil-receiver safe, so call sites need no tracing
+// branches. A span is created by Req.Span/SpanAt and visible in
+// exports once ended.
+type Span struct {
+	r      *Req
+	ID     string
+	Parent string
+	Name   string
+	Track  string // export track; defaults to the request's component
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// Req is one traced request at one hop. Nil means "not traced"; every
+// method on a nil *Req is a no-op costing one pointer test.
+type Req struct {
+	t         *Tracer
+	Trace     string
+	Parent    string // upstream span that caused this request
+	Name      string
+	Component string
+	Start     time.Time
+
+	root string // span id all this hop's spans parent to by default
+
+	mu    sync.Mutex
+	end   time.Time
+	spans []*Span
+	sim   []*obs.Recorder
+	simT0 time.Time
+	simT1 time.Time
+}
+
+// Context returns the identity downstream hops should continue: this
+// trace, parented to this hop's root span.
+func (r *Req) Context() Context {
+	if r == nil {
+		return Context{}
+	}
+	return Context{Trace: r.Trace, Parent: r.root}
+}
+
+// TraceID returns the trace ID, or "" when untraced — usable
+// unconditionally as a structured-log field.
+func (r *Req) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.Trace
+}
+
+// HeaderValue renders Context() for the wire ("" when untraced, which
+// callers can set unconditionally — an empty header is never sent by
+// net/http... callers should skip empty values).
+func (r *Req) HeaderValue() string {
+	if r == nil {
+		return ""
+	}
+	return r.Context().Header()
+}
+
+// Span starts a span now.
+func (r *Req) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.SpanAt(name, r.t.now())
+}
+
+// SpanAt starts a span at an explicit host time (serving code often
+// measures a stage's boundaries itself — queue wait is admit time to
+// worker pickup — and reports them after the fact).
+func (r *Req) SpanAt(name string, start time.Time) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{
+		r:      r,
+		ID:     fmt.Sprintf("%08x", uint32(r.t.rand64())),
+		Parent: r.root,
+		Name:   name,
+		Track:  r.Component,
+		Start:  start,
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Attr appends an ordered attribute and returns the span for chaining.
+func (s *Span) Attr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.r.mu.Unlock()
+	return s
+}
+
+// OnTrack reassigns the span's export track (e.g. "worker" for the
+// execution span, so serving and execution stages render as separate
+// Perfetto threads).
+func (s *Span) OnTrack(track string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	s.Track = track
+	s.r.mu.Unlock()
+	return s
+}
+
+// EndSpan ends the span now.
+func (s *Span) EndSpan() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.r.t.now())
+}
+
+// EndAt ends the span at an explicit host time.
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	s.End = end
+	s.r.mu.Unlock()
+}
+
+// NewSimCapture returns a bounded capture for the request's simulated
+// event streams (nil when untraced — experiments treat a nil capture
+// as "retain nothing", keeping the detached path free).
+func (r *Req) NewSimCapture() *obs.Capture {
+	if r == nil {
+		return nil
+	}
+	return obs.NewCapture(r.t.cfg.SimCells, r.t.cfg.SimEvents)
+}
+
+// AttachSim links captured simulated-clock streams to the request,
+// anchored to the host interval [start, end] they were recorded in
+// (the run span's bounds). The Perfetto export aligns the simulated
+// tracks onto this interval.
+func (r *Req) AttachSim(c *obs.Capture, start, end time.Time) {
+	if r == nil || c == nil {
+		return
+	}
+	cells := c.Cells()
+	if len(cells) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.sim = cells
+	r.simT0, r.simT1 = start, end
+	r.mu.Unlock()
+}
+
+// Finish completes the request and hands it to the tracer's retention
+// rings.
+func (r *Req) Finish() {
+	if r == nil {
+		return
+	}
+	r.FinishAt(r.t.now())
+}
+
+// FinishAt completes the request at an explicit host time.
+func (r *Req) FinishAt(end time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	already := !r.end.IsZero()
+	if !already {
+		r.end = end
+	}
+	r.mu.Unlock()
+	if !already {
+		r.t.finish(r)
+	}
+}
+
+func (r *Req) spanCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Duration is the request's total host time (zero until finished).
+func (r *Req) Duration() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.end.IsZero() {
+		return 0
+	}
+	return r.end.Sub(r.Start)
+}
+
+// SpanSnapshot is one finished span in export form.
+type SpanSnapshot struct {
+	ID      string  `json:"id"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	Track   string  `json:"track"`
+	StartUs float64 `json:"start_us"` // offset from the request start
+	DurUs   float64 `json:"dur_us"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+// ReqSnapshot is an immutable copy of a traced request for export.
+type ReqSnapshot struct {
+	Trace     string         `json:"trace"`
+	Parent    string         `json:"parent,omitempty"`
+	Name      string         `json:"name"`
+	Component string         `json:"component"`
+	Start     string         `json:"start"`
+	DurMs     float64        `json:"dur_ms"`
+	Done      bool           `json:"done"`
+	Spans     []SpanSnapshot `json:"spans"`
+	SimCells  int            `json:"sim_cells,omitempty"`
+
+	start time.Time
+	end   time.Time
+	sim   []*obs.Recorder
+	simT0 time.Time
+	simT1 time.Time
+}
+
+// Snapshot copies the request's current state (finished spans only).
+func (r *Req) Snapshot() ReqSnapshot {
+	if r == nil {
+		return ReqSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := ReqSnapshot{
+		Trace:     r.Trace,
+		Parent:    r.Parent,
+		Name:      r.Name,
+		Component: r.Component,
+		Start:     r.Start.UTC().Format(time.RFC3339Nano),
+		Done:      !r.end.IsZero(),
+		SimCells:  len(r.sim),
+		start:     r.Start,
+		end:       r.end,
+		sim:       r.sim,
+		simT0:     r.simT0,
+		simT1:     r.simT1,
+	}
+	if out.Done {
+		out.DurMs = float64(r.end.Sub(r.Start).Microseconds()) / 1000
+	}
+	for _, s := range r.spans {
+		if s.End.IsZero() {
+			continue
+		}
+		out.Spans = append(out.Spans, SpanSnapshot{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			Track:   s.Track,
+			StartUs: float64(s.Start.Sub(r.Start).Nanoseconds()) / 1000,
+			DurUs:   float64(s.End.Sub(s.Start).Nanoseconds()) / 1000,
+			Attrs:   append([]Attr(nil), s.Attrs...),
+		})
+	}
+	return out
+}

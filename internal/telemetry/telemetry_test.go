@@ -1,0 +1,333 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a deterministic stepping clock for tracer tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func newTestTracer(cfg Config) (*Tracer, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	cfg.now = clk.now
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return New(cfg), clk
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		v      string
+		ok     bool
+		trace  string
+		parent string
+	}{
+		{"0123456789abcdef", true, "0123456789abcdef", ""},
+		{"0123456789abcdef/00c0ffee", true, "0123456789abcdef", "00c0ffee"},
+		{"", false, "", ""},
+		{"short", false, "", ""},
+		{"0123456789ABCDEF", false, "", ""}, // uppercase rejected
+		{"0123456789abcdef/xyz", false, "", ""},
+		{"0123456789abcdef/00c0ffee/extra", false, "", ""},
+	}
+	for _, c := range cases {
+		ctx, ok := ParseHeader(c.v)
+		if ok != c.ok || ctx.Trace != c.trace || ctx.Parent != c.parent {
+			t.Errorf("ParseHeader(%q) = %+v, %v; want trace=%q parent=%q ok=%v",
+				c.v, ctx, ok, c.trace, c.parent, c.ok)
+		}
+		if ok && ctx.Header() != c.v {
+			t.Errorf("Header round trip %q -> %q", c.v, ctx.Header())
+		}
+	}
+}
+
+func TestSamplingAndPropagation(t *testing.T) {
+	tr, _ := newTestTracer(Config{Component: "pasmd", Sample: 0})
+	if r := tr.Start("", "submit"); r != nil {
+		t.Fatalf("sample=0 with no header should not trace")
+	}
+	if _, _, unsampled := tr.Stats(); unsampled != 1 {
+		t.Fatalf("unsampled = %d, want 1", unsampled)
+	}
+	// A valid propagated header always traces, regardless of Sample.
+	r := tr.Start("0123456789abcdef/00c0ffee", "submit")
+	if r == nil {
+		t.Fatalf("propagated header must trace at sample=0")
+	}
+	if r.Trace != "0123456789abcdef" || r.Parent != "00c0ffee" {
+		t.Fatalf("context not continued: %+v", r)
+	}
+	// The downstream header keeps the trace but re-parents to this hop.
+	hv := r.HeaderValue()
+	if !strings.HasPrefix(hv, "0123456789abcdef/") || hv == "0123456789abcdef/00c0ffee" {
+		t.Fatalf("downstream header %q should re-parent under the same trace", hv)
+	}
+	// Malformed headers fall back to sampling, never error.
+	if r := tr.Start("not-a-trace", "submit"); r != nil {
+		t.Fatalf("malformed header at sample=0 should not trace")
+	}
+	tr2, _ := newTestTracer(Config{Component: "pasmd", Sample: 1})
+	if r := tr2.Start("", "submit"); r == nil {
+		t.Fatalf("sample=1 should trace")
+	}
+}
+
+func TestSpansAndSnapshot(t *testing.T) {
+	tr, clk := newTestTracer(Config{Component: "pasmd", Sample: 1})
+	r := tr.Start("", "submit")
+	s := r.Span("queue").Attr("depth", 3)
+	s.EndSpan()
+	run := r.Span("run").OnTrack("worker").Attr("cache", "miss")
+	run.EndSpan()
+	open := r.Span("never-ended")
+	_ = open
+	r.Finish()
+
+	snap := r.Snapshot()
+	if !snap.Done || snap.DurMs <= 0 {
+		t.Fatalf("snapshot not finished: %+v", snap)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("want 2 finished spans (open span excluded), got %d", len(snap.Spans))
+	}
+	q := snap.Spans[0]
+	if q.Name != "queue" || q.Track != "pasmd" || len(q.Attrs) != 1 || q.Attrs[0].Key != "depth" {
+		t.Fatalf("queue span wrong: %+v", q)
+	}
+	if snap.Spans[1].Track != "worker" {
+		t.Fatalf("OnTrack not applied: %+v", snap.Spans[1])
+	}
+	if q.DurUs <= 0 {
+		t.Fatalf("span duration not positive: %+v", q)
+	}
+	_ = clk
+	// Finished request is retained and findable.
+	if tr.Lookup(r.Trace) == nil {
+		t.Fatalf("finished request not retained")
+	}
+	recent, slowest := tr.Requests()
+	if len(recent) != 1 || len(slowest) != 1 {
+		t.Fatalf("retention rings: recent=%d slowest=%d", len(recent), len(slowest))
+	}
+}
+
+func TestRetentionBounds(t *testing.T) {
+	tr, clk := newTestTracer(Config{Component: "gw", Sample: 1, Ring: 4, Slow: 2})
+	var slowTrace string
+	for i := 0; i < 10; i++ {
+		r := tr.Start("", "submit")
+		if i == 5 { // make one request much slower than the rest
+			clk.t = clk.t.Add(time.Second)
+			slowTrace = r.Trace
+		}
+		r.Finish()
+	}
+	recent, slowest := tr.Requests()
+	if len(recent) != 4 {
+		t.Fatalf("ring length %d, want 4", len(recent))
+	}
+	if len(slowest) != 2 {
+		t.Fatalf("slow length %d, want 2", len(slowest))
+	}
+	if slowest[0].Trace != slowTrace {
+		t.Fatalf("slowest[0] = %s, want %s", slowest[0].Trace, slowTrace)
+	}
+	if slowest[0].DurMs < slowest[1].DurMs {
+		t.Fatalf("slowest not sorted: %v then %v", slowest[0].DurMs, slowest[1].DurMs)
+	}
+}
+
+func TestLatencySetFlatten(t *testing.T) {
+	l := NewLatencySet()
+	for i := 0; i < 100; i++ {
+		l.Observe("submit_ms/policy=ewma/outcome=ok", time.Duration(i)*time.Millisecond)
+	}
+	m := l.Flatten("gw/")
+	if m["gw/submit_ms/policy=ewma/outcome=ok/count"] != 100 {
+		t.Fatalf("count missing: %v", m)
+	}
+	p50 := m["gw/submit_ms/policy=ewma/outcome=ok/p50"]
+	p99 := m["gw/submit_ms/policy=ewma/outcome=ok/p99"]
+	if p50 < 25 || p50 > 75 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	if p99 < p50 || p99 > 99 {
+		t.Fatalf("p99 = %v (p50 %v)", p99, p50)
+	}
+	// Detached set is a no-op.
+	var nilSet *LatencySet
+	nilSet.Observe("x", time.Second)
+	if nilSet.Flatten("") != nil {
+		t.Fatalf("nil LatencySet should flatten to nil")
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	tr, _ := newTestTracer(Config{Component: "pasmd", Sample: 1})
+	r := tr.Start("", "submit")
+	r.Span("queue").Attr("depth", 1).EndSpan()
+	runSpan := r.Span("run").OnTrack("worker")
+	// Attach a small simulated stream so the perfetto export carries
+	// both clock domains.
+	rec := obs.New(obs.Config{Events: obs.AllKinds, Limit: 64})
+	pe := rec.Unit("PE0")
+	rec.Emit(pe, obs.Event{Kind: obs.KindInstr, Clock: 40, Dur: 40, Arg: int64(0)})
+	rec.Emit(pe, obs.Event{Kind: obs.KindBarrierArrive, Clock: 50})
+	rec.Finish(pe, 50, 1)
+	cap := r.NewSimCapture()
+	cap.Offer(rec)
+	runSpan.EndSpan()
+	r.AttachSim(cap, runSpan.Start, runSpan.End)
+	r.Finish()
+
+	mux := http.NewServeMux()
+	tr.Register(mux)
+
+	// List, JSON.
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests", nil))
+	if w.Code != 200 {
+		t.Fatalf("list status %d: %s", w.Code, w.Body)
+	}
+	var list struct {
+		Recent []ReqSnapshot `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if len(list.Recent) != 1 || list.Recent[0].Trace != r.Trace {
+		t.Fatalf("list recent wrong: %+v", list.Recent)
+	}
+	if list.Recent[0].SimCells != 1 {
+		t.Fatalf("sim cells not exported: %+v", list.Recent[0])
+	}
+
+	// List, text.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests?format=text", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), r.Trace) {
+		t.Fatalf("text list missing trace: %d %s", w.Code, w.Body)
+	}
+
+	// Single request.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests/"+r.Trace, nil))
+	if w.Code != 200 {
+		t.Fatalf("single status %d", w.Code)
+	}
+	var snap ReqSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil || len(snap.Spans) != 2 {
+		t.Fatalf("single snapshot: err=%v spans=%d", err, len(snap.Spans))
+	}
+
+	// Perfetto merge: valid Chrome trace with both domains present.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests/"+r.Trace+"/perfetto", nil))
+	if w.Code != 200 {
+		t.Fatalf("perfetto status %d: %s", w.Code, w.Body)
+	}
+	n, err := obs.ValidateChromeTrace(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("perfetto invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("perfetto empty")
+	}
+	body := w.Body.String()
+	for _, want := range []string{`"queue"`, `"run"`, "simulated clock (cell 0)", "barrier-arrive"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("perfetto missing %q", want)
+		}
+	}
+
+	// Unknown trace 404s.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests/ffffffffffffffff", nil))
+	if w.Code != 404 {
+		t.Fatalf("unknown trace status %d", w.Code)
+	}
+}
+
+func TestSimAlignment(t *testing.T) {
+	tr, _ := newTestTracer(Config{Component: "pasmd", Sample: 1})
+	r := tr.Start("", "submit")
+	run := r.Span("run")
+	rec := obs.New(obs.Config{Events: obs.AllKinds})
+	pe := rec.Unit("PE0")
+	rec.Emit(pe, obs.Event{Kind: obs.KindBarrierArrive, Clock: 100})
+	rec.Finish(pe, 100, 1)
+	cap := r.NewSimCapture()
+	cap.Offer(rec)
+	run.EndSpan()
+	r.AttachSim(cap, run.Start, run.End)
+	r.Finish()
+	snap := r.Snapshot()
+
+	var buf strings.Builder
+	if err := WritePerfetto(&buf, snap); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var doc struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	// The final simulated cycle must land at the end of the run span's
+	// host interval: sim events stay inside the serving span.
+	var runStart, runEnd float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "run" && ev.Pid == 0 {
+			runStart, runEnd = ev.Ts, ev.Ts+ev.Dur
+		}
+	}
+	if runEnd <= runStart {
+		t.Fatalf("run span not found")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid >= 1 && ev.Ph != "M" {
+			if ev.Ts < runStart-0.001 || ev.Ts > runEnd+0.001 {
+				t.Fatalf("sim event at %v outside run span [%v, %v]", ev.Ts, runStart, runEnd)
+			}
+		}
+	}
+}
+
+// TestDetachedTelemetryZeroAlloc pins the detached-path cost promised
+// by the package doc: with tracing off (nil *Tracer / nil *Req), the
+// full span choreography of a request must not allocate — mirroring
+// the obs hook guard on the interpreter's steady state.
+func TestDetachedTelemetryZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := tr.Start("", "submit")
+		s := r.Span("queue").Attr("depth", 3)
+		s.EndSpan()
+		run := r.SpanAt("run", time.Time{}).OnTrack("worker").Attr("cache", "hit")
+		run.EndAt(time.Time{})
+		cap := r.NewSimCapture()
+		cap.Offer(nil)
+		r.AttachSim(cap, time.Time{}, time.Time{})
+		if r.HeaderValue() != "" {
+			t.Fatal("nil req must render empty header")
+		}
+		r.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("detached telemetry allocated %.1f per request, want 0", allocs)
+	}
+}

@@ -12,7 +12,7 @@
 //
 //	loadgen -addr HOST:PORT [-c 4] [-n 40] [-exp table1]
 //	        [-phase both|cold|hit] [-seed 1988] [-out FILE|-]
-//	        [-gateway]
+//	        [-gateway] [-trace-sample 0]
 //
 // The JSON document (BENCH_service.json in CI) goes to -out; progress
 // goes to stderr.
@@ -21,6 +21,14 @@
 // snapshots the gateway's /metrics and records the cluster-wide cache
 // hit rate, failovers, hedges, and peer fills alongside the latency
 // numbers (BENCH_cluster.json compares these for 1 vs 3 replicas).
+//
+// After the phases the run also reads the server's /metrics v2
+// per-stage latency histograms (queue wait, run, total — cluster-level
+// aggregates in -gateway mode) and reports a stage breakdown: where a
+// request's time went server-side, next to the client-observed
+// percentiles. -trace-sample attaches an X-Pasm-Trace context to that
+// fraction of submissions, so a loadgen run leaves inspectable
+// request timelines in the server's /debug/requests ring.
 package main
 
 import (
@@ -66,6 +74,18 @@ type clusterStats struct {
 	PeerFills float64 `json:"peer_fills"`
 }
 
+// stageStats is one server-side serving stage's latency summary, read
+// from /metrics v2 after the phases (service/* histograms standalone,
+// cluster/* aggregates in -gateway mode).
+type stageStats struct {
+	Stage  string  `json:"stage"`
+	Count  float64 `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
 type benchDoc struct {
 	Schema  string        `json:"schema"`
 	Addr    string        `json:"addr"`
@@ -74,7 +94,29 @@ type benchDoc struct {
 	CPUs    int           `json:"cpus"`
 	Code    string        `json:"code_version"`
 	Phases  []phaseResult `json:"phases"`
+	Stages  []stageStats  `json:"server_stages,omitempty"`
 	Cluster *clusterStats `json:"cluster,omitempty"`
+}
+
+// serverStages extracts the per-stage breakdown from a flattened
+// /metrics map under the given prefix.
+func serverStages(m map[string]float64, prefix string) []stageStats {
+	var out []stageStats
+	for _, stage := range []string{"queue_wait_ms", "run_ms", "total_ms"} {
+		base := prefix + stage
+		if m[base+"/count"] == 0 {
+			continue
+		}
+		out = append(out, stageStats{
+			Stage:  stage,
+			Count:  m[base+"/count"],
+			MeanMS: m[base+"/mean"],
+			P50MS:  m[base+"/p50"],
+			P95MS:  m[base+"/p95"],
+			P99MS:  m[base+"/p99"],
+		})
+	}
+	return out
 }
 
 func main() {
@@ -85,6 +127,7 @@ func main() {
 	phase := flag.String("phase", "both", "cold, hit, or both")
 	seed := flag.Uint("seed", 1988, "base seed (cold phase uses seed+i per request)")
 	gateway := flag.Bool("gateway", false, "treat -addr as a pasmgw gateway and record cluster metrics")
+	traceSample := flag.Float64("trace-sample", 0, "attach an X-Pasm-Trace context to this fraction of submissions")
 	out := flag.String("out", "-", "write the JSON results to `file` (\"-\" for stdout)")
 	flag.Parse()
 	if *addr == "" {
@@ -94,6 +137,9 @@ func main() {
 	}
 
 	cl := client.New(*addr)
+	if *traceSample > 0 {
+		cl = cl.WithTracing(*traceSample, uint64(*seed)|1)
+	}
 	ctx := context.Background()
 	doc := benchDoc{
 		Schema: "pasm-loadgen/1",
@@ -130,12 +176,28 @@ func main() {
 		}))
 	}
 
+	// Server-side stage breakdown from /metrics v2: how the requests'
+	// time split across queue wait, run, and total on the serving side.
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics: %v\n", err)
+		os.Exit(1)
+	}
+	stagePrefix := "service/"
 	if *gateway {
-		m, err := cl.Metrics(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: gateway metrics: %v\n", err)
-			os.Exit(1)
+		stagePrefix = "cluster/"
+	}
+	doc.Stages = serverStages(m, stagePrefix)
+	if len(doc.Stages) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: server stages:  %-14s %8s %8s %8s %8s %8s\n",
+			"stage", "count", "mean", "p50", "p95", "p99")
+		for _, st := range doc.Stages {
+			fmt.Fprintf(os.Stderr, "loadgen:                 %-14s %8.0f %8.2f %8.2f %8.2f %8.2f\n",
+				st.Stage, st.Count, st.MeanMS, st.P50MS, st.P95MS, st.P99MS)
 		}
+	}
+
+	if *gateway {
 		cs := &clusterStats{
 			Replicas:  m["cluster/replicas"],
 			Healthy:   m["cluster/healthy"],
