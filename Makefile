@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke bench-service bench-cluster report
+.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke bench-service bench-cluster bench-partition report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke
+ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke
 
 # Coverage gate: per-package statement coverage printed and compared
 # against the checked-in floor; fails on regression. After genuinely
@@ -56,6 +56,14 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) run ./scripts/clustersmoke
 
+# Partitioned-machine check: pasmd with -machine-pes 64 packs
+# concurrent jobs onto subcube partitions; a co-resident pes=32 job is
+# byte-identical to a standalone 32-PE machine, the loadgen -pes-mix
+# storm completes clean, oversize specs get 400, and a drain places
+# every job still waiting for a partition.
+partition-smoke:
+	$(GO) run ./scripts/partitionsmoke
+
 # End-to-end observability check: three traced replicas behind a
 # traced gateway; one trace ID spans gateway -> replica -> worker with
 # every serving stage, the merged host+sim Perfetto export validates,
@@ -84,6 +92,12 @@ bench-service:
 # Quick wall-clock + simulated-cycle baseline (writes BENCH_baseline.json).
 bench-json:
 	scripts/bench.sh
+
+# Partitioned co-scheduling benchmark: the ext-partition sweep on a
+# 64-PE machine — mixed-size job storm under each scheduling policy vs
+# the serial whole-machine baseline (writes BENCH_partition.json).
+bench-partition:
+	scripts/bench.sh partition
 
 # Go benchmarks (simulated metrics + interpreter allocation check).
 bench:

@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment to run: all, table1, fig6..fig12, ext, ext-crossover, ext-model, ext-fault")
 	full := fs.Bool("full", false, "run the paper's full problem sizes (n up to 256; slow)")
+	pes := fs.Int("pes", 0, "simulated machine size, a power of two up to 1024 (0 = the 16-PE prototype; larger machines change ext-workloads and ext-partition)")
 	seed := fs.Uint("seed", 1988, "seed for the random B matrices")
 	plots := fs.Bool("plot", false, "also render ASCII charts of the figure shapes")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "host goroutines running experiment cells (results are identical for any value)")
@@ -90,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	spec := experiments.Spec{
 		Exps:    experiments.ParseExpList(*exp),
 		Full:    *full,
+		PEs:     *pes,
 		Seed:    uint32(*seed),
 		Observe: *metrics,
 	}

@@ -22,8 +22,11 @@ func TestJSONStdoutIsPure(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
 		t.Fatalf("stdout is not pure JSON: %v\nstdout:\n%s", err, stdout.String())
 	}
-	if rep.Schema != experiments.SchemaV21 {
+	if rep.Schema != experiments.SchemaV22 {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.PEs != experiments.DefaultPEs {
+		t.Errorf("pes = %d, want the %d-PE prototype", rep.PEs, experiments.DefaultPEs)
 	}
 	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table1" {
 		t.Errorf("experiments = %+v", rep.Experiments)

@@ -11,11 +11,21 @@
 //
 //	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE] [-name NAME]
 //	      [-queue 64] [-workers 2] [-parallel N]
+//	      [-machine-pes 0] [-policy firstfit]
 //	      [-cache-entries 256] [-cache-bytes N]
 //	      [-fill-secret SECRET]
 //	      [-trace-sample 0] [-trace-ring 64] [-debug-addr ADDR]
 //	      [-drain-timeout 5m] [-linger 2s]
 //	      [-chaos-profile "run:error=0.1,..." [-chaos-seed N]]
+//
+// -machine-pes switches the instance to partition mode: instead of a
+// fixed worker pool, jobs are packed onto subcube partitions of one
+// shared machine of that many PEs (a power of two up to 1024). Each
+// job runs inside a partition of its spec's pes — results are
+// byte-identical to the classic path — and -policy picks which
+// pending job gets a freed partition (firstfit, bestfit, sizeaware).
+// Partition occupancy and fragmentation appear under "partition/" in
+// /metrics. 0 (the default) keeps the classic worker pool.
 //
 // -trace-sample arms request tracing: requests arriving with an
 // X-Pasm-Trace header are always traced (the upstream hop paid the
@@ -73,6 +83,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/partition"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -86,7 +97,9 @@ func run() int {
 	name := flag.String("name", "", "stable instance name reported in /healthz (cluster replicas set this; empty is fine standalone)")
 	addrFile := flag.String("addr-file", "", "write the bound address to `file` after listening")
 	queue := flag.Int("queue", 64, "max queued (admitted but unstarted) jobs; overload beyond this gets 503")
-	workers := flag.Int("workers", 2, "jobs executing concurrently")
+	workers := flag.Int("workers", 2, "jobs executing concurrently (ignored in partition mode)")
+	machinePEs := flag.Int("machine-pes", 0, "partition mode: share one machine of this many PEs across jobs (0 = classic worker pool)")
+	policy := flag.String("policy", "firstfit", "partition scheduling policy: firstfit, bestfit, or sizeaware")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "host goroutines per job for experiment cell fan-out")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache bound, total value bytes (0 = unbounded)")
@@ -127,9 +140,33 @@ func run() int {
 
 	opts := experiments.DefaultOptions()
 	opts.Parallelism = *parallel
+	var machine *partition.Machine
+	var schedPolicy partition.Policy
+	if *machinePEs > 0 {
+		p, err := partition.ParsePolicy(*policy)
+		if err != nil {
+			logger.Error("bad policy", "err", err)
+			return 1
+		}
+		schedPolicy = p
+		machineCfg := opts.Config
+		machineCfg.NumPEs = *machinePEs
+		if machineCfg.PEsPerMC > *machinePEs {
+			machineCfg.PEsPerMC = *machinePEs
+		}
+		m, err := partition.New(machineCfg)
+		if err != nil {
+			logger.Error("bad machine size", "pes", *machinePEs, "err", err)
+			return 1
+		}
+		machine = m
+		logger.Info("partition mode", "machine_pes", *machinePEs, "policy", *policy)
+	}
 	svc := service.New(service.Config{
 		QueueDepth: *queue,
 		Workers:    *workers,
+		Machine:    machine,
+		Policy:     schedPolicy,
 		Options:    opts,
 		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
 		Name:       *name,

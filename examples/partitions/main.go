@@ -1,10 +1,11 @@
 // Partitions: PASM's defining feature — the machine dynamically
 // partitioned into independent virtual SIMD and/or MIMD machines.
-// Three jobs share the 16-PE machine simultaneously: an 8-PE SIMD
-// matrix multiplication, a 4-PE S/MIMD one, and a serial baseline on a
-// single PE. Each partition has its own Micro Controllers, Fetch
-// Units, and network circuits; their timings are identical to solo
-// runs because established circuits never interfere.
+// Three jobs share one 16-PE machine (and its single shared
+// Extra-Stage Cube) simultaneously: an 8-PE SIMD matrix
+// multiplication, a 4-PE S/MIMD one, and a serial baseline on a
+// single PE. The buddy allocator places each job on an aligned
+// subcube, each partition routes through its own subcube view of the
+// shared network, and their timings are identical to solo runs.
 package main
 
 import (
@@ -12,13 +13,14 @@ import (
 	"log"
 
 	"repro/internal/matmul"
+	"repro/internal/partition"
 	"repro/internal/pasm"
 )
 
-func matmulJob(name string, spec matmul.Spec, seed uint32) pasm.Job {
-	return pasm.Job{
+func matmulJob(name string, spec matmul.Spec, seed uint32) partition.Job {
+	return partition.Job{
 		Name: name,
-		P:    maxInt(spec.P, 1),
+		PEs:  maxInt(spec.P, 1),
 		Run: func(vm *pasm.VM) (pasm.RunResult, error) {
 			prog, l, err := matmul.Build(spec)
 			if err != nil {
@@ -62,18 +64,18 @@ func maxInt(a, b int) int {
 
 func main() {
 	cfg := pasm.DefaultConfig()
-	sys, err := pasm.NewSystem(cfg)
+	machine, err := partition.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	jobs := []pasm.Job{
+	jobs := []partition.Job{
 		matmulJob("SIMD matmul n=32", matmul.Spec{N: 32, P: 8, Muls: 1, Mode: matmul.SIMD}, 1),
 		matmulJob("S/MIMD matmul n=16", matmul.Spec{N: 16, P: 4, Muls: 1, Mode: matmul.SMIMD}, 2),
 		matmulJob("serial matmul n=16", matmul.Spec{N: 16, Muls: 1, Mode: matmul.Serial}, 3),
 	}
-	fmt.Printf("running %d jobs concurrently on one %d-PE machine\n\n", len(jobs), cfg.NumPEs)
-	results, err := sys.RunJobs(jobs)
+	fmt.Printf("running %d jobs concurrently on one %d-PE machine\n\n", len(jobs), machine.PEs())
+	results, err := machine.RunJobs(jobs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,5 +89,8 @@ func main() {
 			r.Name, r.Base, r.Base+len(r.Result.PEClocks)-1,
 			r.Result.Cycles, r.Result.Seconds(cfg))
 	}
-	fmt.Printf("\nall products verified; machine back to %d free PEs\n", sys.FreePEs())
+
+	met := machine.Metrics("")
+	fmt.Printf("\nall products verified; machine back to %.0f free PEs (peak occupancy %.0f)\n",
+		met["pes_free"], met["pes_busy_peak"])
 }

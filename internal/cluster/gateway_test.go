@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/partition"
 	"repro/internal/service"
 )
 
@@ -562,4 +563,75 @@ func TestRegistryStopWithoutStart(t *testing.T) {
 	}
 	reg2.Start()
 	reg2.Stop()
+}
+
+// startPartitionReplica runs a pasmd service in partition mode: jobs
+// pack onto subcube partitions of one shared machine instead of a
+// worker pool.
+func startPartitionReplica(t *testing.T, name string, pes int) (*service.Service, *httptest.Server) {
+	t.Helper()
+	cfg := experiments.DefaultOptions()
+	machineCfg := cfg.Config
+	machineCfg.NumPEs = pes
+	m, err := partition.New(machineCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := service.New(service.Config{QueueDepth: 16, Name: name,
+		FillSecret: testFillSecret,
+		Machine:    m,
+		Options:    cfg})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		srv.Close()
+	})
+	return s, srv
+}
+
+// TestGatewayPartitionPassthrough: a spec that names a machine size
+// passes through the gateway unchanged — the report echoes its pes —
+// and a partition-mode replica behind the gateway returns bytes
+// identical to a classic worker-pool replica, so partition sizing is
+// invisible to the routing layer.
+func TestGatewayPartitionPassthrough(t *testing.T) {
+	_, pr := startPartitionReplica(t, "part", 32)
+	_, gsrv := startGateway(t, Config{Registry: RegistryConfig{
+		Replicas: []string{"part=" + pr.URL},
+	}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	spec := experiments.Spec{Exps: []string{"table1"}, PEs: 32, Seed: 21}
+	raw, _, err := client.New(gsrv.URL).Run(ctx, spec, client.SubmitOptions{Wait: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("run through gateway: %v", err)
+	}
+	var rep experiments.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PEs != 32 {
+		t.Errorf("report pes = %d, want the requested 32 (gateway must pass sizing through)", rep.PEs)
+	}
+
+	// The classic path produces the same bytes for the same spec.
+	_, solo := startReplica(t, "solo")
+	soloRaw, _, err := client.New(solo.URL).Run(ctx, spec, client.SubmitOptions{Wait: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	if !bytes.Equal(raw, soloRaw) {
+		t.Fatalf("partition-mode replica differs from classic (%d vs %d bytes)", len(raw), len(soloRaw))
+	}
+
+	// A spec larger than the replica's machine is a clean bad request
+	// through the gateway, not a failover storm.
+	_, _, err = client.New(gsrv.URL).Run(ctx, experiments.Spec{Exps: []string{"table1"}, PEs: 64, Seed: 21},
+		client.SubmitOptions{Wait: 5 * time.Second})
+	if err == nil {
+		t.Error("oversize spec succeeded on a 32-PE machine")
+	}
 }

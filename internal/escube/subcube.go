@@ -1,0 +1,230 @@
+package escube
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Subcube is a partition's view of a larger Extra-Stage Cube: the
+// aligned power-of-two block of lines base..base+size-1, addressed by
+// logical line numbers 0..size-1. It is how the partitionable machine
+// constrains routing to a partition's subcube — a virtual machine
+// holding the view can only connect lines inside its own block, and
+// the paths those connections take are exactly the paths a standalone
+// size-line ESC would use:
+//
+//   - Lines of an aligned subcube differ only in their low log2(size)
+//     bits, so an intra-subcube route exchanges nothing at cube stages
+//     log2(size) and above — those hops are Straight through boxes the
+//     subcube may share with its neighbors, and Straight circuits
+//     coexist in one box (two-by-two interchange boxes pass both lines
+//     through independently when set straight).
+//   - Cube stages below log2(size), and the extra input stage, pair
+//     lines whose labels differ only in low bits — both inside the
+//     subcube — so those boxes are private to the partition.
+//
+// Together these give the isomorphism the partitioned machine rests
+// on: for any logical permutation, Establish on a Subcube succeeds or
+// fails exactly as it would on a standalone Network of the subcube's
+// size, regardless of what other partitions' circuits are doing (they
+// can only ever need the shared boxes Straight, which is what this
+// partition needs too). TestSubcubeIsomorphism pins it.
+//
+// Concurrency: independent partitions mutate the parent's box state
+// when establishing and releasing, so views created with a shared
+// Locker serialize those mutations. DestOf — the per-transfer hot
+// path — is answered from the view's own circuit table and never
+// takes the lock.
+type Subcube struct {
+	parent *Network
+	base   int
+	size   int
+	order  int // log2(size)
+	mu     sync.Locker
+
+	// circuits[src] = logical dst, -1 when none. Only this view
+	// mutates it (under mu), and the simulated machine holding the
+	// view issues network operations from one goroutine at a time, so
+	// lock-free reads from that goroutine are safe.
+	circuits []int
+}
+
+// Subcube returns the view of the aligned block [base, base+size).
+// size must be a power of two >= 2 (the ESC pairs lines, so the
+// smallest meaningful subcube is a pair; a 1-PE partition gets a
+// 2-line view and uses only its line 0, exactly like a standalone
+// 1-PE machine's 2-line network). mu, when non-nil, serializes
+// circuit mutations against other views of the same parent.
+func (nw *Network) Subcube(base, size int, mu sync.Locker) (*Subcube, error) {
+	switch {
+	case size < 2 || size&(size-1) != 0:
+		return nil, fmt.Errorf("escube: subcube size %d is not a power of two >= 2", size)
+	case size > nw.size:
+		return nil, fmt.Errorf("escube: subcube size %d exceeds the %d-line network", size, nw.size)
+	case base < 0 || base%size != 0:
+		return nil, fmt.Errorf("escube: subcube base %d is not aligned to size %d", base, size)
+	case base+size > nw.size:
+		return nil, fmt.Errorf("escube: subcube [%d,%d) exceeds the %d-line network", base, base+size, nw.size)
+	}
+	sc := &Subcube{
+		parent:   nw,
+		base:     base,
+		size:     size,
+		order:    bits.TrailingZeros(uint(size)),
+		mu:       mu,
+		circuits: make([]int, size),
+	}
+	for i := range sc.circuits {
+		sc.circuits[i] = -1
+	}
+	return sc, nil
+}
+
+// Size returns the number of lines in the view.
+func (sc *Subcube) Size() int { return sc.size }
+
+// Base returns the view's first physical line.
+func (sc *Subcube) Base() int { return sc.base }
+
+func (sc *Subcube) lock() {
+	if sc.mu != nil {
+		sc.mu.Lock()
+	}
+}
+
+func (sc *Subcube) unlock() {
+	if sc.mu != nil {
+		sc.mu.Unlock()
+	}
+}
+
+// Establish sets up a circuit between logical lines src and dst,
+// routed through the parent network but confined (by construction) to
+// the subcube's private boxes plus Straight passes through shared
+// ones.
+func (sc *Subcube) Establish(src, dst int) error {
+	if src < 0 || src >= sc.size || dst < 0 || dst >= sc.size {
+		return fmt.Errorf("escube: establish %d->%d outside subcube 0..%d", src, dst, sc.size-1)
+	}
+	sc.lock()
+	defer sc.unlock()
+	if err := sc.parent.Establish(sc.base+src, sc.base+dst); err != nil {
+		return err
+	}
+	sc.circuits[src] = dst
+	return nil
+}
+
+// EstablishPermutation establishes one circuit per logical source
+// (perm[src] = dst, -1 to skip), with the parent's backtracking
+// search over primary/secondary path choices. On failure nothing is
+// left established.
+func (sc *Subcube) EstablishPermutation(perm []int) error {
+	full := make([]int, sc.parent.size)
+	for i := range full {
+		full[i] = -1
+	}
+	for src, dst := range perm {
+		if dst < 0 {
+			continue
+		}
+		if src >= sc.size || dst >= sc.size {
+			return fmt.Errorf("escube: permutation entry %d->%d outside subcube 0..%d", src, dst, sc.size-1)
+		}
+		full[sc.base+src] = sc.base + dst
+	}
+	sc.lock()
+	defer sc.unlock()
+	if err := sc.parent.EstablishPermutation(full); err != nil {
+		return err
+	}
+	for src, dst := range perm {
+		if src < sc.size && dst >= 0 {
+			sc.circuits[src] = dst
+		}
+	}
+	return nil
+}
+
+// Release tears down the circuit held by logical line src, if any.
+func (sc *Subcube) Release(src int) {
+	if src < 0 || src >= sc.size || sc.circuits[src] == -1 {
+		return
+	}
+	sc.lock()
+	sc.parent.Release(sc.base + src)
+	sc.unlock()
+	sc.circuits[src] = -1
+}
+
+// ReleaseAll tears down every circuit held by this view. Other
+// partitions' circuits are untouched.
+func (sc *Subcube) ReleaseAll() {
+	for src := range sc.circuits {
+		sc.Release(src)
+	}
+}
+
+// DestOf returns the logical destination of src's circuit, or -1.
+// Lock-free: the view's own circuit table is only written by the
+// goroutine simulating the partition.
+func (sc *Subcube) DestOf(src int) int {
+	if src < 0 || src >= sc.size {
+		return -1
+	}
+	return sc.circuits[src]
+}
+
+// FailBox marks a box of the subcube's logical network faulty: stage
+// log2(size) is the extra input stage (mapped to the parent's extra
+// stage) and stages log2(size)-1..0 are the cube stages the subcube
+// privately owns. Box indices are logical, exactly as on a standalone
+// network of the subcube's size, so fault-tolerance experiments run
+// identically in and out of a partition.
+func (sc *Subcube) FailBox(stage, box int) error {
+	pStage, pBox, err := sc.mapBox(stage, box)
+	if err != nil {
+		return err
+	}
+	sc.lock()
+	defer sc.unlock()
+	if err := sc.parent.FailBox(pStage, pBox); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RepairBox clears a logical fault.
+func (sc *Subcube) RepairBox(stage, box int) {
+	if pStage, pBox, err := sc.mapBox(stage, box); err == nil {
+		sc.lock()
+		sc.parent.RepairBox(pStage, pBox)
+		sc.unlock()
+	}
+}
+
+// mapBox translates a logical (stage, box) of the subcube-sized
+// network onto the parent. A logical cube_i stage is the parent's
+// cube_i stage (the low label bits agree); the logical extra stage is
+// the parent's extra stage. The logical box handling logical line l at
+// a cube_i stage is boxOf(l, i); the physical box is boxOf(base+l, i),
+// and since base is aligned past bit i, the mapping is
+// boxOf(base, i) | logical box with base's high bits merged in.
+func (sc *Subcube) mapBox(stage, box int) (int, int, error) {
+	if stage < 0 || stage > sc.order || box < 0 || box >= sc.size/2 {
+		return 0, 0, fmt.Errorf("escube: no box (stage %d, box %d) in a %d-line subcube", stage, box, sc.size)
+	}
+	// Logical box indices at a cube_i stage (and the extra stage,
+	// which pairs on bit 0) enumerate the subcube's line labels with
+	// the pairing bit removed; merging the base's high bits shifts the
+	// same enumeration into the parent's index space.
+	cube := stage // pairing bit: i for cube stages, 0 for the extra stage
+	pStage := stage
+	if stage == sc.order {
+		cube = 0
+		pStage = sc.parent.n // the parent's extra stage
+	}
+	pBox := boxOf(sc.base, cube) | box
+	return pStage, pBox, nil
+}

@@ -1,0 +1,264 @@
+package escube
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSubcubeIsomorphism pins the property the partitioned machine
+// rests on: every single-circuit establishment on a subcube view
+// succeeds or fails exactly as on a standalone network of the
+// subcube's size, for every (src, dst) pair, every aligned base, and
+// with every logical box fault — even while neighboring partitions
+// hold their own circuits.
+func TestSubcubeIsomorphism(t *testing.T) {
+	const parentSize = 32
+	for _, size := range []int{2, 4, 8} {
+		for base := 0; base+size <= parentSize; base += size {
+			t.Run(fmt.Sprintf("size=%d/base=%d", size, base), func(t *testing.T) {
+				// Fault-free outcomes, pairwise.
+				for src := 0; src < size; src++ {
+					for dst := 0; dst < size; dst++ {
+						ref := MustNew(size)
+						parent := MustNew(parentSize)
+						occupyNeighbors(t, parent, base, size)
+						sc, err := parent.Subcube(base, size, nil)
+						if err != nil {
+							t.Fatalf("Subcube: %v", err)
+						}
+						refErr := ref.Establish(src, dst)
+						scErr := sc.Establish(src, dst)
+						if (refErr == nil) != (scErr == nil) {
+							t.Fatalf("establish %d->%d: standalone err=%v, subcube err=%v", src, dst, refErr, scErr)
+						}
+						if scErr == nil && sc.DestOf(src) != dst {
+							t.Fatalf("DestOf(%d) = %d, want %d", src, sc.DestOf(src), dst)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSubcubeFaultIsomorphism checks that a logical box fault on a
+// view blocks exactly the connections it blocks on a standalone
+// network of the subcube's size.
+func TestSubcubeFaultIsomorphism(t *testing.T) {
+	const parentSize = 16
+	for _, size := range []int{4, 8} {
+		order := 0
+		for 1<<order < size {
+			order++
+		}
+		for base := 0; base+size <= parentSize; base += size {
+			for stage := 0; stage <= order; stage++ {
+				for box := 0; box < size/2; box++ {
+					for src := 0; src < size; src++ {
+						for dst := 0; dst < size; dst++ {
+							ref := MustNew(size)
+							if err := ref.FailBox(stage, box); err != nil {
+								t.Fatalf("standalone FailBox(%d,%d): %v", stage, box, err)
+							}
+							parent := MustNew(parentSize)
+							sc, err := parent.Subcube(base, size, nil)
+							if err != nil {
+								t.Fatalf("Subcube: %v", err)
+							}
+							if err := sc.FailBox(stage, box); err != nil {
+								t.Fatalf("subcube FailBox(%d,%d): %v", stage, box, err)
+							}
+							refErr := ref.Establish(src, dst)
+							scErr := sc.Establish(src, dst)
+							if (refErr == nil) != (scErr == nil) {
+								t.Fatalf("size=%d base=%d fault(%d,%d) establish %d->%d: standalone err=%v, subcube err=%v",
+									size, base, stage, box, src, dst, refErr, scErr)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubcubePermutationIsomorphism checks the matmul shift
+// permutation (and the full reversal) on views against standalone
+// networks, with neighbors established.
+func TestSubcubePermutationIsomorphism(t *testing.T) {
+	const parentSize = 64
+	perms := map[string]func(size int) []int{
+		"shift": func(size int) []int {
+			p := make([]int, size)
+			for i := range p {
+				p[i] = (i - 1 + size) % size
+			}
+			return p
+		},
+		"reverse": func(size int) []int {
+			p := make([]int, size)
+			for i := range p {
+				p[i] = size - 1 - i
+			}
+			return p
+		},
+	}
+	for _, size := range []int{2, 4, 8, 16} {
+		for name, mk := range perms {
+			perm := mk(size)
+			ref := MustNew(size)
+			if err := ref.EstablishPermutation(perm); err != nil {
+				t.Fatalf("standalone %s size=%d: %v", name, size, err)
+			}
+			parent := MustNew(parentSize)
+			occupyNeighbors(t, parent, size, size) // base=size is aligned
+			sc, err := parent.Subcube(size, size, nil)
+			if err != nil {
+				t.Fatalf("Subcube: %v", err)
+			}
+			if err := sc.EstablishPermutation(perm); err != nil {
+				t.Fatalf("subcube %s size=%d: %v", name, size, err)
+			}
+			for src, dst := range perm {
+				if sc.DestOf(src) != dst {
+					t.Fatalf("%s: DestOf(%d) = %d, want %d", name, src, sc.DestOf(src), dst)
+				}
+			}
+			// Containment: every physical hop at a shared stage (cube
+			// stages at or above the subcube's order) must be Straight —
+			// the subcube constraint that makes partitions independent.
+			order := 0
+			for 1<<order < size {
+				order++
+			}
+			for src := 0; src < size; src++ {
+				for _, h := range parent.Path(size + src) {
+					if h.Stage < parent.n && h.Stage >= order && h.Setting != Straight {
+						t.Fatalf("%s: line %d hop at shared stage %d is %v, want straight", name, src, h.Stage, h.Setting)
+					}
+				}
+			}
+		}
+	}
+}
+
+// occupyNeighbors establishes shift permutations on every other
+// aligned block of the parent, so isomorphism is tested against a
+// machine whose other partitions are busy.
+func occupyNeighbors(t *testing.T, parent *Network, base, size int) {
+	t.Helper()
+	for nb := 0; nb+size <= parent.Size(); nb += size {
+		if nb == base {
+			continue
+		}
+		nsc, err := parent.Subcube(nb, size, nil)
+		if err != nil {
+			t.Fatalf("neighbor Subcube(%d,%d): %v", nb, size, err)
+		}
+		perm := make([]int, size)
+		for i := range perm {
+			perm[i] = (i - 1 + size) % size
+		}
+		if err := nsc.EstablishPermutation(perm); err != nil {
+			t.Fatalf("neighbor shift at %d: %v", nb, err)
+		}
+	}
+}
+
+// TestSubcubeConcurrentPartitions races independent partitions
+// establishing and releasing circuits through one shared network with
+// a shared lock — the co-resident-job configuration of the
+// partitioned machine.
+func TestSubcubeConcurrentPartitions(t *testing.T) {
+	const parentSize, size = 64, 8
+	parent := MustNew(parentSize)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, parentSize/size)
+	for p := 0; p < parentSize/size; p++ {
+		sc, err := parent.Subcube(p*size, size, &mu)
+		if err != nil {
+			t.Fatalf("Subcube: %v", err)
+		}
+		wg.Add(1)
+		go func(p int, sc *Subcube) {
+			defer wg.Done()
+			perm := make([]int, size)
+			for i := range perm {
+				perm[i] = (i - 1 + size) % size
+			}
+			for round := 0; round < 50; round++ {
+				if err := sc.EstablishPermutation(perm); err != nil {
+					errs[p] = fmt.Errorf("round %d: %w", round, err)
+					return
+				}
+				for i := 0; i < size; i++ {
+					if sc.DestOf(i) != perm[i] {
+						errs[p] = fmt.Errorf("round %d: DestOf(%d) = %d", round, i, sc.DestOf(i))
+						return
+					}
+				}
+				sc.ReleaseAll()
+			}
+		}(p, sc)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Errorf("partition %d: %v", p, err)
+		}
+	}
+	// Everything released: a fresh full-machine permutation must route.
+	full, err := parent.Subcube(0, parentSize, nil)
+	if err != nil {
+		t.Fatalf("full view: %v", err)
+	}
+	perm := make([]int, parentSize)
+	for i := range perm {
+		perm[i] = (i - 1 + parentSize) % parentSize
+	}
+	if err := full.EstablishPermutation(perm); err != nil {
+		t.Errorf("machine not clean after concurrent partitions: %v", err)
+	}
+}
+
+// TestSubcubeBounds checks view construction and out-of-range
+// operands.
+func TestSubcubeBounds(t *testing.T) {
+	parent := MustNew(16)
+	bad := []struct{ base, size int }{
+		{1, 4},  // misaligned
+		{0, 3},  // not a power of two
+		{0, 1},  // below the 2-line minimum
+		{0, 32}, // larger than the parent
+		{12, 8}, // misaligned for its size
+		{-4, 4}, // negative base
+		{16, 4}, // past the end
+	}
+	for _, c := range bad {
+		if _, err := parent.Subcube(c.base, c.size, nil); err == nil {
+			t.Errorf("Subcube(%d,%d): expected error", c.base, c.size)
+		}
+	}
+	sc, err := parent.Subcube(8, 4, nil)
+	if err != nil {
+		t.Fatalf("Subcube: %v", err)
+	}
+	if err := sc.Establish(0, 5); err == nil {
+		t.Error("establish to a line outside the subcube: expected error")
+	}
+	if err := sc.EstablishPermutation([]int{4, -1, -1, -1}); err == nil {
+		t.Error("permutation entry outside the subcube: expected error")
+	}
+	if err := sc.FailBox(9, 0); err == nil {
+		t.Error("FailBox beyond the logical stages: expected error")
+	}
+	if sc.DestOf(99) != -1 {
+		t.Error("DestOf out of range: want -1")
+	}
+	sc.Release(99) // must not panic
+	if sc.Base() != 8 || sc.Size() != 4 {
+		t.Errorf("Base/Size = %d/%d, want 8/4", sc.Base(), sc.Size())
+	}
+}

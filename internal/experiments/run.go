@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/pasm"
 )
 
 // SchemaV2 is the report schema identifier (cmd/pasmbench -json v2).
@@ -16,6 +18,14 @@ const SchemaV2 = "pasmbench/v2"
 // intact; v2 consumers that tolerate unknown fields read v2.1
 // documents unchanged.
 const SchemaV21 = "pasmbench/v2.1"
+
+// SchemaV22 extends v2.1 with the simulated machine size ("pes").
+// Results depend on it (ext-workloads and ext-partition scale with
+// the machine; cells are bounded by it), so consumers that cache or
+// byte-compare reports must treat it as part of the identity — the
+// service's fill validation rejects documents whose pes disagrees
+// with the key's spec.
+const SchemaV22 = "pasmbench/v2.2"
 
 // Result is what every experiment produces: a rendered table. Concrete
 // results usually also implement Summarizer and sometimes Plotter.
@@ -60,6 +70,7 @@ type InterpInfo struct {
 type Report struct {
 	Schema      string             `json:"schema"`
 	Full        bool               `json:"full"`
+	PEs         int                `json:"pes"`
 	Seed        uint32             `json:"seed"`
 	Parallel    int                `json:"parallel,omitempty"`
 	Observe     bool               `json:"observe"`
@@ -115,7 +126,18 @@ func OptionsFor(spec Spec, parallelism int) (Options, error) {
 	opts.Seed = n.Seed
 	opts.Observe = n.Observe
 	opts.Parallelism = parallelism
+	applyPEs(&opts.Config, n.PEs)
 	return opts, nil
+}
+
+// applyPEs resizes a machine config to the spec's machine size,
+// clamping the MC group size for machines smaller than a group (the
+// same clamp a partition lease applies).
+func applyPEs(cfg *pasm.Config, pes int) {
+	cfg.NumPEs = pes
+	if cfg.PEsPerMC > pes {
+		cfg.PEsPerMC = pes
+	}
 }
 
 // runnersByName maps every named experiment to its runner.
@@ -134,6 +156,7 @@ var runnersByName = map[string]func(Options) (Result, error){
 	"ext-fault":     func(o Options) (Result, error) { return FaultTolerance(o) },
 	"ext-workloads": func(o Options) (Result, error) { return Workloads(o) },
 	"ext-mixed":     func(o Options) (Result, error) { return MixedMode(o) },
+	"ext-partition": func(o Options) (Result, error) { return PartitionSweep(o) },
 }
 
 // RunSpec executes a spec and assembles its v2 report: every named
@@ -161,14 +184,16 @@ func RunSpecContext(ctx context.Context, spec Spec, rc RunConfig) (*Report, erro
 	opts.Full = n.Full
 	opts.Seed = n.Seed
 	opts.Observe = n.Observe
+	applyPEs(&opts.Config, n.PEs)
 	opts.memo = &memoTally{}
 	if opts.InterpTier == "" {
 		opts.InterpTier = "super"
 	}
 
 	report := &Report{
-		Schema:  SchemaV21,
+		Schema:  SchemaV22,
 		Full:    n.Full,
+		PEs:     n.PEs,
 		Seed:    n.Seed,
 		Observe: n.Observe,
 	}

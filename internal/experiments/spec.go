@@ -8,26 +8,33 @@ import (
 	"strings"
 
 	"repro/internal/matmul"
+	"repro/internal/partition"
 )
 
 // SpecVersion is the canonical-encoding version of Spec. Bump it when
 // the encoding changes shape (it is embedded in the encoding itself, so
-// old cache keys can never collide with new ones).
-const SpecVersion = 1
+// old cache keys can never collide with new ones). v2 added the "pes"
+// machine-size field.
+const SpecVersion = 2
 
 // CodeVersion names the simulator semantics that produced a result.
 // It is folded into every cache key alongside the canonical spec
 // encoding, so changing the simulated machine's behavior (cycle
 // counts, program generation, report schema) must bump it — cached
 // results from the old code then miss instead of serving stale bytes.
-const CodeVersion = "pasm-sim/2"
+// v3: reports echo the machine size (schema pasmbench/v2.2).
+const CodeVersion = "pasm-sim/3"
+
+// DefaultPEs is the machine size a spec that does not name one gets:
+// the 16-PE prototype every paper experiment models.
+const DefaultPEs = 16
 
 // expAliases expands the user-facing experiment groups.
 var (
 	// ExpOrder is the paper's reproduction set, in report order.
 	ExpOrder = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
 	// ExpExt is the beyond-the-paper extension set, in report order.
-	ExpExt = []string{"ext-crossover", "ext-model", "ext-fault", "ext-workloads", "ext-mixed"}
+	ExpExt = []string{"ext-crossover", "ext-model", "ext-fault", "ext-workloads", "ext-mixed", "ext-partition"}
 )
 
 // CellSpec is one custom matrix-multiplication cell in a Spec: the
@@ -107,6 +114,11 @@ type Spec struct {
 	Cells []CellSpec `json:"cells,omitempty"`
 	// Full selects the paper's complete problem-size set.
 	Full bool `json:"full"`
+	// PEs is the simulated machine size (a power of two up to 1024;
+	// 0 means the 16-PE prototype). Named sweeps need at least the
+	// prototype's 16 PEs; custom cells need p <= pes. Larger machines
+	// change ext-workloads and ext-partition and admit larger cells.
+	PEs int `json:"pes,omitempty"`
 	// Seed drives the random B matrices.
 	Seed uint32 `json:"seed"`
 	// Observe aggregates observability metrics into the summaries
@@ -118,7 +130,13 @@ type Spec struct {
 // every experiment name and cell. The returned spec is the canonical
 // form: two requests meaning the same run normalize identically.
 func (s Spec) Normalize() (Spec, error) {
-	out := Spec{Full: s.Full, Seed: s.Seed, Observe: s.Observe}
+	out := Spec{Full: s.Full, PEs: s.PEs, Seed: s.Seed, Observe: s.Observe}
+	if out.PEs == 0 {
+		out.PEs = DefaultPEs
+	}
+	if out.PEs < 1 || out.PEs > partition.MaxPEs || out.PEs&(out.PEs-1) != 0 {
+		return Spec{}, fmt.Errorf("experiments: pes %d must be a power of two in 1..%d", out.PEs, partition.MaxPEs)
+	}
 	for _, name := range s.Exps {
 		name = strings.ToLower(strings.TrimSpace(name))
 		switch name {
@@ -135,6 +153,9 @@ func (s Spec) Normalize() (Spec, error) {
 			out.Exps = append(out.Exps, name)
 		}
 	}
+	if len(out.Exps) > 0 && out.PEs < DefaultPEs {
+		return Spec{}, fmt.Errorf("experiments: named sweeps need at least the %d-PE prototype, got pes=%d", DefaultPEs, out.PEs)
+	}
 	for _, c := range s.Cells {
 		m, err := c.MatmulSpec()
 		if err != nil {
@@ -143,12 +164,22 @@ func (s Spec) Normalize() (Spec, error) {
 		if m.Mode == matmul.Serial {
 			m.P = 1 // Serial ignores P; normalize so it can't split the key
 		}
+		if p := maxIntSpec(m.P, 1); p > out.PEs {
+			return Spec{}, fmt.Errorf("experiments: cell p=%d exceeds the machine (pes=%d)", p, out.PEs)
+		}
 		out.Cells = append(out.Cells, CellSpec{N: m.N, P: m.P, Muls: m.Muls, Mode: modeName(m.Mode)})
 	}
 	if len(out.Exps) == 0 && len(out.Cells) == 0 {
 		return Spec{}, fmt.Errorf("experiments: empty spec (no experiments and no cells)")
 	}
 	return out, nil
+}
+
+func maxIntSpec(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ParseExpList builds a Spec experiment list from a comma-separated
@@ -175,7 +206,7 @@ func (s Spec) Canonical() ([]byte, error) {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	// Keys in sorted order: cells, exps, full, observe, seed, v.
+	// Keys in sorted order: cells, exps, full, observe, pes, seed, v.
 	first := true
 	field := func(name string) {
 		if !first {
@@ -211,6 +242,8 @@ func (s Spec) Canonical() ([]byte, error) {
 	fmt.Fprintf(&b, "%t", n.Full)
 	field("observe")
 	fmt.Fprintf(&b, "%t", n.Observe)
+	field("pes")
+	fmt.Fprintf(&b, "%d", n.PEs)
 	field("seed")
 	fmt.Fprintf(&b, "%d", n.Seed)
 	field("v")

@@ -18,35 +18,45 @@ func TestSpecCanonicalGolden(t *testing.T) {
 		{
 			name: "table1",
 			spec: Spec{Exps: []string{"table1"}, Seed: 1988},
-			want: `{"exps":["table1"],"full":false,"observe":false,"seed":1988,"v":1}`,
+			want: `{"exps":["table1"],"full":false,"observe":false,"pes":16,"seed":1988,"v":2}`,
 		},
 		{
 			name: "alias all expands",
 			spec: Spec{Exps: []string{"all"}, Full: true, Seed: 7, Observe: true},
 			want: `{"exps":["table1","fig6","fig7","fig8","fig9","fig10","fig11","fig12"],` +
-				`"full":true,"observe":true,"seed":7,"v":1}`,
+				`"full":true,"observe":true,"pes":16,"seed":7,"v":2}`,
 		},
 		{
 			name: "alias ext expands",
 			spec: Spec{Exps: []string{"ext"}, Seed: 1988},
-			want: `{"exps":["ext-crossover","ext-model","ext-fault","ext-workloads","ext-mixed"],` +
-				`"full":false,"observe":false,"seed":1988,"v":1}`,
+			want: `{"exps":["ext-crossover","ext-model","ext-fault","ext-workloads","ext-mixed","ext-partition"],` +
+				`"full":false,"observe":false,"pes":16,"seed":1988,"v":2}`,
 		},
 		{
 			name: "cells only",
 			spec: Spec{Cells: []CellSpec{{N: 64, P: 4, Muls: 1, Mode: "MIMD"}}, Seed: 1988},
-			want: `{"cells":[{"mode":"mimd","muls":1,"n":64,"p":4}],"full":false,"observe":false,"seed":1988,"v":1}`,
+			want: `{"cells":[{"mode":"mimd","muls":1,"n":64,"p":4}],"full":false,"observe":false,"pes":16,"seed":1988,"v":2}`,
 		},
 		{
 			name: "serial cell normalizes p",
 			spec: Spec{Cells: []CellSpec{{N: 16, P: 8, Muls: 2, Mode: "serial"}}, Seed: 3},
-			want: `{"cells":[{"mode":"sisd","muls":2,"n":16,"p":1}],"full":false,"observe":false,"seed":3,"v":1}`,
+			want: `{"cells":[{"mode":"sisd","muls":2,"n":16,"p":1}],"full":false,"observe":false,"pes":16,"seed":3,"v":2}`,
+		},
+		{
+			name: "explicit pes",
+			spec: Spec{Exps: []string{"table1"}, PEs: 64, Seed: 1988},
+			want: `{"exps":["table1"],"full":false,"observe":false,"pes":64,"seed":1988,"v":2}`,
+		},
+		{
+			name: "small machine for cells",
+			spec: Spec{Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "simd"}}, PEs: 2, Seed: 5},
+			want: `{"cells":[{"mode":"simd","muls":1,"n":8,"p":2}],"full":false,"observe":false,"pes":2,"seed":5,"v":2}`,
 		},
 		{
 			name: "mixed exps and cells",
 			spec: Spec{Exps: []string{" fig7 ", "table1"}, Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "smimd"}}, Seed: 1},
 			want: `{"cells":[{"mode":"smimd","muls":1,"n":8,"p":2}],"exps":["fig7","table1"],` +
-				`"full":false,"observe":false,"seed":1,"v":1}`,
+				`"full":false,"observe":false,"pes":16,"seed":1,"v":2}`,
 		},
 	}
 	for _, c := range cases {
@@ -64,11 +74,15 @@ func TestSpecCanonicalGolden(t *testing.T) {
 
 func TestSpecCanonicalInvalid(t *testing.T) {
 	for _, spec := range []Spec{
-		{},                              // empty
-		{Exps: []string{"fig99"}},       // unknown experiment
-		{Cells: []CellSpec{{N: 3, P: 1, Muls: 1, Mode: "simd"}}},  // n not a power of two
-		{Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "warp"}}},  // unknown mode
-		{Cells: []CellSpec{{N: 8, P: 2, Muls: 99, Mode: "simd"}}}, // muls over queue bound
+		{},                        // empty
+		{Exps: []string{"fig99"}}, // unknown experiment
+		{Cells: []CellSpec{{N: 3, P: 1, Muls: 1, Mode: "simd"}}},         // n not a power of two
+		{Cells: []CellSpec{{N: 8, P: 2, Muls: 1, Mode: "warp"}}},         // unknown mode
+		{Cells: []CellSpec{{N: 8, P: 2, Muls: 99, Mode: "simd"}}},        // muls over queue bound
+		{Exps: []string{"table1"}, PEs: 24},                              // pes not a power of two
+		{Exps: []string{"table1"}, PEs: 2048},                            // pes above the 1024-PE ceiling
+		{Exps: []string{"table1"}, PEs: 8},                               // named sweep below the prototype size
+		{Cells: []CellSpec{{N: 8, P: 4, Muls: 1, Mode: "simd"}}, PEs: 2}, // cell p over the machine
 	} {
 		if _, err := spec.Canonical(); err == nil {
 			t.Errorf("Canonical(%+v): expected error, got none", spec)
@@ -94,6 +108,7 @@ func TestSpecKeySensitivity(t *testing.T) {
 		"full":    {Exps: base.Exps, Cells: base.Cells, Full: true, Seed: 1988},
 		"seed":    {Exps: base.Exps, Cells: base.Cells, Seed: 1989},
 		"observe": {Exps: base.Exps, Cells: base.Cells, Seed: 1988, Observe: true},
+		"pes":     {Exps: base.Exps, Cells: base.Cells, Seed: 1988, PEs: 64},
 	}
 	for name, v := range variants {
 		k, err := v.KeyString()

@@ -21,15 +21,15 @@ func FuzzAssembler(f *testing.F) {
 		".equ A, 2\n.equ B, A*3+(4/2)\nmove.w #-B, d0\n",
 		"bra start\nstart: nop\nbeq start\nbne end\nend: halt\n",
 		"label-with-dash: nop",
-		"move.w d0",              // missing operand
-		"move.w d0, d1, d2",      // extra operand
-		"mulu.w #65536, d0",      // immediate out of range
-		".equ X\nmove.w #X, d0",  // malformed directive
-		".block a\n.block b\n",   // unclosed nested blocks
-		"dbra d0, nowhere\n",     // undefined label
-		"bcast nosuchblock\n",    // undefined block
-		"move.w 32768(a0), d0\n", // displacement overflow
-		"start: bra start\n",     // zero-displacement branch (relaxation)
+		"move.w d0",                    // missing operand
+		"move.w d0, d1, d2",            // extra operand
+		"mulu.w #65536, d0",            // immediate out of range
+		".equ X\nmove.w #X, d0",        // malformed directive
+		".block a\n.block b\n",         // unclosed nested blocks
+		"dbra d0, nowhere\n",           // undefined label
+		"bcast nosuchblock\n",          // undefined block
+		"move.w 32768(a0), d0\n",       // displacement overflow
+		"start: bra start\n",           // zero-displacement branch (relaxation)
 		".equ Z, 1/0\nmove.w #Z, d0\n", // division by zero in expression
 		"\x00\x01\x02",
 		"move.w (a9), d0\n", // bad register number

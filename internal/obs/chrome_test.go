@@ -89,14 +89,14 @@ func TestChromeTraceDisasmNamesInstrs(t *testing.T) {
 
 func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"not json":      `{`,
-		"no array":      `{"displayTimeUnit":"ns"}`,
-		"no name":       `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`,
-		"bad phase":     `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":0,"tid":0}]}`,
-		"no pid":        `{"traceEvents":[{"name":"x","ph":"i","ts":1,"tid":0}]}`,
-		"no timestamp":  `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`,
-		"negative dur":  `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-5,"pid":0,"tid":0}]}`,
-		"string ts":     `{"traceEvents":[{"name":"x","ph":"i","ts":"1","pid":0,"tid":0}]}`,
+		"not json":     `{`,
+		"no array":     `{"displayTimeUnit":"ns"}`,
+		"no name":      `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`,
+		"bad phase":    `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":0,"tid":0}]}`,
+		"no pid":       `{"traceEvents":[{"name":"x","ph":"i","ts":1,"tid":0}]}`,
+		"no timestamp": `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`,
+		"negative dur": `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-5,"pid":0,"tid":0}]}`,
+		"string ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":"1","pid":0,"tid":0}]}`,
 	}
 	for name, data := range cases {
 		if _, err := ValidateChromeTrace([]byte(data)); err == nil {

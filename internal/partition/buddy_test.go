@@ -1,0 +1,173 @@
+package partition
+
+import "testing"
+
+func mustBuddy(t *testing.T, total int) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustAlloc(t *testing.T, b *Buddy, pes int) int {
+	t.Helper()
+	base, err := b.Alloc(pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatalf("after Alloc(%d): %v", pes, err)
+	}
+	return base
+}
+
+func TestBuddyAllocPlacement(t *testing.T) {
+	b := mustBuddy(t, 16)
+	// Lowest-base, aligned placement, splitting as needed.
+	if base := mustAlloc(t, b, 8); base != 0 {
+		t.Errorf("first 8-PE block at %d, want 0", base)
+	}
+	if base := mustAlloc(t, b, 4); base != 8 {
+		t.Errorf("4-PE block at %d, want 8", base)
+	}
+	if base := mustAlloc(t, b, 2); base != 12 {
+		t.Errorf("2-PE block at %d, want 12", base)
+	}
+	if b.FreePEs() != 2 {
+		t.Errorf("FreePEs = %d, want 2", b.FreePEs())
+	}
+	// Only 14..15 remain: a 4-PE subcube cannot fit.
+	if _, err := b.Alloc(4); err == nil {
+		t.Error("Alloc(4) on a machine with only 2 free PEs accepted")
+	}
+	if _, ok := b.FitOrder(4); ok {
+		t.Error("FitOrder(4) claims a fit")
+	}
+	if base := mustAlloc(t, b, 2); base != 14 {
+		t.Errorf("last pair at %d, want 14", base)
+	}
+	if b.FreePEs() != 0 || b.LargestFree() != 0 || b.Fragmentation() != 0 {
+		t.Errorf("full machine: free=%d largest=%d frag=%v", b.FreePEs(), b.LargestFree(), b.Fragmentation())
+	}
+}
+
+func TestBuddyMinBlockPairsOnePE(t *testing.T) {
+	// A 1-PE partition reserves a 2-PE block: the smallest subcube
+	// with private interchange boxes.
+	b := mustBuddy(t, 8)
+	a := mustAlloc(t, b, 1)
+	c := mustAlloc(t, b, 1)
+	if a != 0 || c != 2 {
+		t.Errorf("two 1-PE partitions at %d and %d, want 0 and 2", a, c)
+	}
+	if b.FreePEs() != 4 {
+		t.Errorf("FreePEs = %d, want 4 (1-PE jobs reserve pairs)", b.FreePEs())
+	}
+}
+
+func TestBuddyCoalesce(t *testing.T) {
+	b := mustBuddy(t, 16)
+	bases := make([]int, 8)
+	for i := range bases {
+		bases[i] = mustAlloc(t, b, 2)
+	}
+	// Free in an interleaved order; every free must keep invariants and
+	// the last must coalesce back to one 16-PE block.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 6, 4} {
+		if err := b.Free(bases[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Check(); err != nil {
+			t.Fatalf("after Free(%d): %v", bases[i], err)
+		}
+	}
+	if b.LargestFree() != 16 {
+		t.Errorf("LargestFree = %d after freeing everything, want 16", b.LargestFree())
+	}
+	_, _, splits, coalesces, _ := b.Counters()
+	if splits != coalesces {
+		t.Errorf("splits=%d coalesces=%d, want equal after returning to empty", splits, coalesces)
+	}
+}
+
+func TestBuddyFragmentation(t *testing.T) {
+	b := mustBuddy(t, 16)
+	// Hold PEs 0..3 and 8..11: free = {4..7, 12..15}, largest = 4,
+	// fragmentation = 1 - 4/8.
+	mustAlloc(t, b, 4) // 0
+	keep := mustAlloc(t, b, 4)
+	mustAlloc(t, b, 4) // 8
+	if err := b.Free(keep); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.FreePEs(); got != 8 {
+		t.Fatalf("FreePEs = %d, want 8", got)
+	}
+	if got := b.LargestFree(); got != 4 {
+		t.Errorf("LargestFree = %d, want 4", got)
+	}
+	if got := b.Fragmentation(); got != 0.5 {
+		t.Errorf("Fragmentation = %v, want 0.5", got)
+	}
+	// An 8-PE request fails even though 8 PEs are free.
+	if _, err := b.Alloc(8); err == nil {
+		t.Error("Alloc(8) accepted on a fragmented machine with 8 free PEs")
+	}
+}
+
+func TestBuddyErrors(t *testing.T) {
+	if _, err := NewBuddy(3); err == nil {
+		t.Error("NewBuddy(3) accepted")
+	}
+	if _, err := NewBuddy(2048); err == nil {
+		t.Error("NewBuddy(2048) accepted (above MaxPEs)")
+	}
+	b := mustBuddy(t, 16)
+	for _, bad := range []int{0, -2, 3, 32} {
+		if _, err := b.Alloc(bad); err == nil {
+			t.Errorf("Alloc(%d) accepted", bad)
+		}
+	}
+	if err := b.Free(0); err == nil {
+		t.Error("Free of an unallocated base accepted")
+	}
+	base := mustAlloc(t, b, 4)
+	if err := b.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(base); err == nil {
+		t.Error("double Free accepted")
+	}
+	_, _, _, _, failed := b.Counters()
+	if failed != 4 {
+		t.Errorf("failed counter = %d, want 4", failed)
+	}
+}
+
+func TestBuddyBlockLists(t *testing.T) {
+	b := mustBuddy(t, 16)
+	mustAlloc(t, b, 4)
+	mustAlloc(t, b, 2)
+	got := b.Allocated()
+	want := [][2]int{{0, 4}, {4, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("Allocated = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Allocated = %v, want %v", got, want)
+		}
+	}
+	free := b.FreeBlocks()
+	wantFree := [][2]int{{6, 2}, {8, 8}}
+	if len(free) != len(wantFree) {
+		t.Fatalf("FreeBlocks = %v, want %v", free, wantFree)
+	}
+	for i := range wantFree {
+		if free[i] != wantFree[i] {
+			t.Fatalf("FreeBlocks = %v, want %v", free, wantFree)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/matmul"
+	"repro/internal/obs"
+	"repro/internal/pasm"
+)
+
+// capture is one run's full observable surface: the timing result,
+// the computed product, the obs event stream per unit, and the
+// flattened metrics registry.
+type capture struct {
+	res     pasm.RunResult
+	c       matmul.Matrix
+	units   []string
+	events  [][]obs.Event
+	metrics map[string]float64
+}
+
+func runCell(t *testing.T, cfg pasm.Config, spec matmul.Spec) capture {
+	t.Helper()
+	rec := obs.New(obs.Config{Events: ^obs.KindSet(0), Metrics: true})
+	cfg.Obs = rec
+	a := matmul.Identity(spec.N)
+	b := matmul.Random(spec.N, 7)
+	res, c, err := matmul.Execute(cfg, spec, a, b)
+	if err != nil {
+		t.Fatalf("execute %+v: %v", spec, err)
+	}
+	if ref := matmul.Reference(a, b); !matmul.Equal(c, ref) {
+		t.Fatalf("%+v computed a wrong product", spec)
+	}
+	out := capture{res: res, c: c, metrics: rec.Metrics().Flatten("")}
+	for _, u := range rec.Units() {
+		out.units = append(out.units, u.Name)
+		out.events = append(out.events, u.Events())
+	}
+	return out
+}
+
+// TestPartitionResidencyByteIdentity is the differential gate the
+// partitioned machine rests on: a workload run inside a partition of
+// a larger machine — at a non-zero base, with a neighboring partition
+// holding circuits through the shared network — produces bit-for-bit
+// the same cycle counts, observability event stream, metrics, and
+// data results as a standalone machine of the partition's size.
+func TestPartitionResidencyByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		spec matmul.Spec
+	}{
+		{"simd-n16-p4", matmul.Spec{N: 16, P: 4, Muls: 1, Mode: matmul.SIMD}},
+		{"smimd-n16-p4", matmul.Spec{N: 16, P: 4, Muls: 1, Mode: matmul.SMIMD}},
+		{"mimd-n16-p8", matmul.Spec{N: 16, P: 8, Muls: 1, Mode: matmul.MIMD}},
+		{"mixed-n16-p4", matmul.Spec{N: 16, P: 4, Muls: 1, Mode: matmul.Mixed}},
+		{"serial-n8", matmul.Spec{N: 8, Muls: 1, Mode: matmul.Serial}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pes := tc.spec.P
+			if pes < 1 {
+				pes = 1
+			}
+			m := newTestMachine(t, 64)
+
+			// Standalone reference: a private machine of the
+			// partition's size, identically configured.
+			std := m.Config()
+			std.NumPEs = pes
+			if std.PEsPerMC > pes {
+				std.PEsPerMC = pes
+			}
+			want := runCell(t, std, tc.spec)
+
+			// Occupy the low subcube so the target partition lands at
+			// a non-zero base, and hold circuits through the shared
+			// network while the target runs.
+			filler, err := m.Acquire(pes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillerVM, err := filler.NewVM()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fillerVM.EstablishShift(); err != nil {
+				t.Fatal(err)
+			}
+			target, err := m.Acquire(pes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if target.Base == 0 {
+				t.Fatalf("target partition at base 0; the test needs a non-zero base")
+			}
+			got := runCell(t, target.Config(m.Config()), tc.spec)
+
+			if !reflect.DeepEqual(got.res, want.res) {
+				t.Errorf("RunResult diverged:\npartition:  %+v\nstandalone: %+v", got.res, want.res)
+			}
+			if !matmul.Equal(got.c, want.c) {
+				t.Error("product matrices diverged")
+			}
+			if !reflect.DeepEqual(got.units, want.units) {
+				t.Errorf("unit sets diverged: %v vs %v", got.units, want.units)
+			}
+			if !reflect.DeepEqual(got.events, want.events) {
+				for i := range got.events {
+					if i < len(want.events) && !reflect.DeepEqual(got.events[i], want.events[i]) {
+						t.Errorf("event stream of %s diverged (%d vs %d events)",
+							got.units[i], len(got.events[i]), len(want.events[i]))
+						break
+					}
+				}
+				t.Error("obs event streams diverged")
+			}
+			if !reflect.DeepEqual(got.metrics, want.metrics) {
+				t.Errorf("metrics diverged:\npartition:  %v\nstandalone: %v", got.metrics, want.metrics)
+			}
+
+			if err := target.Release(); err != nil {
+				t.Fatal(err)
+			}
+			if err := filler.Release(); err != nil {
+				t.Fatal(err)
+			}
+			if m.FreePEs() != 64 {
+				t.Errorf("PEs leaked: %d free", m.FreePEs())
+			}
+		})
+	}
+}
+
+// TestConcurrentPartitionsMatchStandalone runs the same cell on four
+// co-resident partitions at once; every copy must report exactly the
+// standalone timing (ported from the pasm.System test, now through
+// the shared-network machine).
+func TestConcurrentPartitionsMatchStandalone(t *testing.T) {
+	spec := matmul.Spec{N: 16, P: 4, Muls: 1, Mode: matmul.SIMD}
+	m := newTestMachine(t, 16)
+
+	std := m.Config()
+	std.NumPEs = 4
+	solo := runCell(t, std, spec)
+
+	job := func(name string) Job {
+		return Job{Name: name, PEs: 4, Run: func(vm *pasm.VM) (pasm.RunResult, error) {
+			prog, l, err := matmul.Build(spec)
+			if err != nil {
+				return pasm.RunResult{}, err
+			}
+			a := matmul.Identity(spec.N)
+			b := matmul.Random(spec.N, 7)
+			if err := vm.EstablishShift(); err != nil {
+				return pasm.RunResult{}, err
+			}
+			if err := matmul.Load(vm, l, a, b); err != nil {
+				return pasm.RunResult{}, err
+			}
+			return vm.RunSIMD(prog)
+		}}
+	}
+	results, err := m.RunJobs([]Job{job("a"), job("b"), job("c"), job("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Result.Cycles != solo.res.Cycles {
+			t.Errorf("%s at base %d: %d cycles, standalone took %d (partitions must be independent)",
+				r.Name, r.Base, r.Result.Cycles, solo.res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package partition
+
+import "testing"
+
+// FuzzBuddy drives the allocator with an arbitrary alloc/free
+// sequence and checks the structural invariants after every
+// operation: blocks tile the machine with no overlap, every block is
+// subcube-aligned, free buddies always coalesce, and an emptied
+// machine returns to one full-size block. The op stream decodes one
+// byte per operation: low 7 bits pick a size class (alloc) or an
+// allocation to free; the high bit picks alloc vs free.
+func FuzzBuddy(f *testing.F) {
+	f.Add(16, []byte{0, 1, 2, 0x80, 3, 0x81, 0x80, 4})
+	f.Add(64, []byte{6, 6, 6, 6, 0x82, 0x80, 5, 5, 0x81, 0x83})
+	f.Add(1024, []byte{9, 0x80, 10, 8, 8, 0x81, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, total int, ops []byte) {
+		if total < MinBlock || total > MaxPEs || total&(total-1) != 0 {
+			t.Skip()
+		}
+		b, err := NewBuddy(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var held []int
+		for _, op := range ops {
+			if op < 0x80 {
+				pes := 1 << (int(op) % 11) // 1..1024; oversize must just fail cleanly
+				base, err := b.Alloc(pes)
+				if err == nil {
+					held = append(held, base)
+					if base%blockFor(pes) != 0 {
+						t.Fatalf("Alloc(%d) returned misaligned base %d", pes, base)
+					}
+				} else if _, ok := b.FitOrder(pes); ok && ValidPEs(pes, total) {
+					t.Fatalf("Alloc(%d) failed but FitOrder says it fits: %v", pes, err)
+				}
+			} else if len(held) > 0 {
+				i := int(op&0x7F) % len(held)
+				if err := b.Free(held[i]); err != nil {
+					t.Fatalf("Free(%d): %v", held[i], err)
+				}
+				held = append(held[:i], held[i+1:]...)
+			}
+			if err := b.Check(); err != nil {
+				t.Fatalf("invariant violated after op %#x: %v", op, err)
+			}
+		}
+		// Drain: everything frees and the machine coalesces whole.
+		for _, base := range held {
+			if err := b.Free(base); err != nil {
+				t.Fatalf("drain Free(%d): %v", base, err)
+			}
+		}
+		if err := b.Check(); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+		if b.FreePEs() != total || b.LargestFree() != total {
+			t.Fatalf("drained machine: free=%d largest=%d, want %d", b.FreePEs(), b.LargestFree(), total)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package pasm
+
+import (
+	"testing"
+
+	"repro/internal/m68k"
+)
+
+func TestConfigValidateBranches(t *testing.T) {
+	base := DefaultConfig()
+	muts := []func(*Config){
+		func(c *Config) { c.NumPEs = 3 },
+		func(c *Config) { c.PEsPerMC = 5 },
+		func(c *Config) { c.QueueDepthWords = 1 },
+		func(c *Config) { c.QueueWordCycles = 0 },
+		func(c *Config) { c.PEMemBytes = 16 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.MaxSteps = 0 },
+	}
+	for i, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestVMAccessorsAndPermutation(t *testing.T) {
+	vm := newTestVM(t, 4, nil)
+	// Custom permutation: reversal within the partition.
+	vm2 := newTestVM(t, 4, nil)
+	if err := vm2.EstablishPermutation([]int{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	prog := m68k.MustAssemble(`
+		movea.l #$F10000, a0
+		move.w  $100, d0
+		move.b  d0, (a0)
+		move.b  2(a0), d1
+		move.w  d1, $102
+		halt
+	`)
+	for i, pe := range vm2.PEs {
+		pe.Mem.WriteWords(0x100, []uint16{uint16(60 + i)})
+	}
+	if _, err := vm2.RunMIMD(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, pe := range vm2.PEs {
+		v, _ := pe.Mem.Read(0x102, m68k.Word)
+		if v != uint32(60+(3-i)) {
+			t.Errorf("PE %d received %d, want %d", i, v, 60+(3-i))
+		}
+	}
+	if vm2.NetTransfers() != 4 || vm2.BarrierRounds() != 0 || vm2.NetReconfigs() != 0 {
+		t.Errorf("accessors: %d %d %d", vm2.NetTransfers(), vm2.BarrierRounds(), vm2.NetReconfigs())
+	}
+	_ = vm
+}

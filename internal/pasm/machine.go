@@ -86,6 +86,17 @@ type Config struct {
 	// costs one pointer test per hook, so attaching it never changes
 	// simulated results.
 	Obs *obs.Recorder
+
+	// Net, when non-nil, supplies the machine's circuit-switched
+	// network instead of a private Extra-Stage Cube — the partitioned-
+	// machine path, where a VM's circuits live in its partition's
+	// subcube view of the shared physical network (internal/partition).
+	// Its Size must equal max(NumPEs, 2), the size a standalone VM's
+	// private network would have, so establishment outcomes — and
+	// therefore cycle counts — are identical either way. NewVM releases
+	// any circuits the view still holds, giving every VM the fresh
+	// network a standalone machine starts with.
+	Net Net
 }
 
 // DefaultConfig returns the prototype-like configuration used by all
@@ -198,10 +209,23 @@ func NewVM(cfg Config, p int) (*VM, error) {
 	q := (p + cfg.PEsPerMC - 1) / cfg.PEsPerMC
 	// The partition maps onto the machine-sized Extra-Stage Cube (the
 	// prototype has one 16-line network shared by all partitions);
-	// PE i of the partition uses network line i.
-	net, err := newNetState(maxInt(cfg.NumPEs, 2), cfg.NetLatency, cfg.NetAccessExtra, cfg.NetSetupCycles)
-	if err != nil {
-		return nil, err
+	// PE i of the partition uses network line i. A Config.Net (a
+	// partition's subcube view of a larger shared network) replaces
+	// the private network; the subcube isomorphism keeps results
+	// identical.
+	var net *netState
+	if cfg.Net != nil {
+		if got, want := cfg.Net.Size(), maxInt(cfg.NumPEs, 2); got != want {
+			return nil, fmt.Errorf("pasm: injected network has %d lines, a %d-PE machine needs %d", got, cfg.NumPEs, want)
+		}
+		cfg.Net.ReleaseAll() // a new VM starts with no circuits
+		net = netStateOn(cfg.Net, cfg.NetLatency, cfg.NetAccessExtra, cfg.NetSetupCycles)
+	} else {
+		var err error
+		net, err = newNetState(maxInt(cfg.NumPEs, 2), cfg.NetLatency, cfg.NetAccessExtra, cfg.NetSetupCycles)
+		if err != nil {
+			return nil, err
+		}
 	}
 	vm := &VM{Cfg: cfg, P: p, Q: q, net: net, bar: newBarrier(p), Obs: cfg.Obs}
 	for i := 0; i < p; i++ {

@@ -40,6 +40,37 @@ const (
 	NetCtrlRelease = 0xFFFF
 )
 
+// Net is the circuit-switching network a virtual machine's transfer
+// registers drive. A standalone VM owns a private escube.Network; a VM
+// allocated from a partitioned machine gets an escube.Subcube view of
+// the shared physical network, which confines its routing to the
+// partition's subcube. Both satisfy this interface with identical
+// establishment outcomes for intra-partition traffic (the subcube
+// isomorphism, pinned by the escube tests), which is what makes a job
+// on a partition cycle-identical to the same job on a standalone
+// machine of the partition's size.
+type Net interface {
+	// Size returns the number of network lines.
+	Size() int
+	// Establish sets up a circuit src -> dst.
+	Establish(src, dst int) error
+	// EstablishPermutation establishes perm[src] = dst circuits
+	// atomically (-1 entries skipped); on failure nothing is left
+	// established.
+	EstablishPermutation(perm []int) error
+	// Release tears down src's circuit, if any.
+	Release(src int)
+	// ReleaseAll tears down every circuit this machine holds.
+	ReleaseAll()
+	// DestOf returns the destination of src's circuit, or -1. This is
+	// the per-transfer hot path; implementations must not block on
+	// cross-partition state.
+	DestOf(src int) int
+	// FailBox marks an interchange box faulty (fault-tolerance
+	// experiments).
+	FailBox(stage, box int) error
+}
+
 // netBuf is one PE's single-byte network input register with the
 // timestamps needed for cycle-exact simulation.
 type netBuf struct {
@@ -52,7 +83,7 @@ type netBuf struct {
 // netState is the shared state of one virtual machine's established
 // network circuits.
 type netState struct {
-	nw      *escube.Network
+	nw      Net
 	bufs    []netBuf
 	latency int64 // TX-store to RX-availability, through the circuit
 	extra   int64 // extra cycles per transfer-register access
@@ -69,10 +100,16 @@ func newNetState(size int, latency, extra, setup int64) (*netState, error) {
 	if err != nil {
 		return nil, err
 	}
+	return netStateOn(nw, latency, extra, setup), nil
+}
+
+// netStateOn wraps an existing network (a partition's subcube view, or
+// a test fake) in fresh transfer-register state.
+func netStateOn(nw Net, latency, extra, setup int64) *netState {
 	return &netState{
-		nw: nw, bufs: make([]netBuf, size),
+		nw: nw, bufs: make([]netBuf, nw.Size()),
 		latency: latency, extra: extra, setup: setup,
-	}, nil
+	}
 }
 
 // reconfig handles a run-time write to the network control register:

@@ -8,6 +8,15 @@
 // fronts it with HTTP; the engine itself is transport-free and fully
 // testable in-process.
 //
+// Partition mode (Config.Machine): instead of a fixed worker pool,
+// the service carves a shared partition.Machine into power-of-two
+// subcube partitions and packs queued jobs onto them — each job runs
+// inside a partition of its spec's pes, concurrently with whatever
+// else fits, and the subcube isomorphism keeps every result
+// byte-identical to the classic path (the cache, coalescing, and the
+// cluster's byte-compare guarantees are mode-blind). Config.Policy
+// picks which pending job a freed region goes to.
+//
 // Backpressure discipline: the queue never grows past its bound.
 // A full queue rejects the submit with ErrQueueFull carrying a
 // Retry-After estimate derived from observed job durations; a
@@ -46,6 +55,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/telemetry"
 )
 
@@ -79,8 +89,20 @@ type Config struct {
 	// Workers is the number of jobs executing concurrently. Each job
 	// additionally fans its cells across Options.Parallelism host
 	// goroutines, so Workers*Parallelism should track the host CPU
-	// count. Default 1.
+	// count. Default 1. Ignored in partition mode (Machine non-nil),
+	// where concurrency is whatever the machine's free PEs admit.
 	Workers int
+	// Machine, when non-nil, switches the service to partition mode:
+	// instead of a fixed worker pool, a scheduler packs queued jobs
+	// onto free subcube partitions of this shared machine (each job
+	// gets a partition of its spec's pes and runs with the partition's
+	// network view; the subcube isomorphism keeps its result bytes
+	// identical to a standalone run). Jobs whose pes exceeds the
+	// machine are rejected at admission as bad requests.
+	Machine *partition.Machine
+	// Policy picks which pending job gets a freed partition in
+	// partition mode (firstfit, bestfit, sizeaware). Default firstfit.
+	Policy partition.Policy
 	// Options configures per-job execution (machine config and cell
 	// parallelism). Full/Seed/Observe are overwritten per spec.
 	Options experiments.Options
@@ -179,14 +201,20 @@ type job struct {
 
 // Service is the experiment-serving engine.
 type Service struct {
-	cfg    Config
-	run    func(ctx context.Context, spec experiments.Spec, cap *obs.Capture) ([]byte, error)
-	now    func() time.Time
-	cache  *cache.Cache
-	faults *faults.Injector
-	tracer *telemetry.Tracer
-	log    *slog.Logger
-	queue  chan *job
+	cfg     Config
+	run     func(ctx context.Context, spec experiments.Spec, cap *obs.Capture, lease *partition.Lease) ([]byte, error)
+	now     func() time.Time
+	cache   *cache.Cache
+	faults  *faults.Injector
+	tracer  *telemetry.Tracer
+	log     *slog.Logger
+	queue   chan *job
+	machine *partition.Machine
+	policy  partition.Policy
+	// partWake nudges the partition dispatcher when a lease frees up
+	// (buffered size 1: the dispatcher re-scans the whole machine per
+	// wake, so collapsed signals are harmless).
+	partWake chan struct{}
 
 	mu         sync.Mutex
 	jobs       map[string]*job
@@ -222,6 +250,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxFillBytes <= 0 {
 		cfg.MaxFillBytes = 8 << 20
 	}
+	if cfg.Policy == "" {
+		cfg.Policy = partition.PolicyFirstFit
+	}
 	s := &Service{
 		cfg:      cfg,
 		now:      cfg.now,
@@ -230,18 +261,29 @@ func New(cfg Config) *Service {
 		tracer:   cfg.Telemetry,
 		log:      cfg.Logger,
 		queue:    make(chan *job, cfg.QueueDepth),
+		machine:  cfg.Machine,
+		policy:   cfg.Policy,
+		partWake: make(chan struct{}, 1),
 		jobs:     map[string]*job{},
 		inflight: map[cache.Key]*job{},
 		reg:      obs.NewRegistry(),
 	}
 	if cfg.run != nil {
-		s.run = func(ctx context.Context, spec experiments.Spec, _ *obs.Capture) ([]byte, error) {
+		s.run = func(ctx context.Context, spec experiments.Spec, _ *obs.Capture, _ *partition.Lease) ([]byte, error) {
 			return cfg.run(ctx, spec)
 		}
 	} else {
-		s.run = func(ctx context.Context, spec experiments.Spec, cap *obs.Capture) ([]byte, error) {
+		s.run = func(ctx context.Context, spec experiments.Spec, cap *obs.Capture, lease *partition.Lease) ([]byte, error) {
 			opts := cfg.Options
 			opts.Capture = cap
+			if lease != nil {
+				// The job's whole spec runs inside its partition: the
+				// lease view replaces the private network, and cells run
+				// sequentially — they share the one view, and a new VM
+				// resets its circuits.
+				opts.Config = lease.Config(opts.Config)
+				opts.Parallelism = 1
+			}
 			rep, err := experiments.RunSpecContext(ctx, spec, experiments.RunConfig{Options: opts})
 			if err != nil {
 				return nil, err
@@ -252,9 +294,14 @@ func New(cfg Config) *Service {
 	if s.now == nil {
 		s.now = time.Now
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	if s.machine != nil {
 		s.wg.Add(1)
-		go s.worker()
+		go s.dispatcher()
+	} else {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return s
 }
@@ -295,6 +342,10 @@ func (s *Service) submit(spec experiments.Spec, deadline time.Time, tr *telemetr
 	if err != nil {
 		admit.Attr("outcome", "bad_spec")
 		return JobStatus{}, err
+	}
+	if s.machine != nil && norm.PEs > s.machine.PEs() {
+		admit.Attr("outcome", "bad_spec")
+		return JobStatus{}, fmt.Errorf("service: spec needs pes=%d, this machine has %d PEs", norm.PEs, s.machine.PEs())
 	}
 	rawKey, err := norm.Key()
 	if err != nil {
@@ -407,13 +458,21 @@ func (s *Service) newJobLocked(spec experiments.Spec, key cache.Key, deadline, n
 
 // waitEstimateLocked predicts how long a newly queued job waits for a
 // worker: the queued backlog divided across the pool, paced by the
-// observed average job duration (half a second until measured).
+// observed average job duration (half a second until measured). In
+// partition mode the "pool" is how many default-size partitions the
+// machine holds.
 func (s *Service) waitEstimateLocked() time.Duration {
 	avg := s.avgRunSecs
 	if avg <= 0 {
 		avg = 0.5
 	}
-	backlog := float64(len(s.queue)+1) / float64(s.cfg.Workers)
+	pool := s.cfg.Workers
+	if s.machine != nil {
+		if pool = s.machine.PEs() / experiments.DefaultPEs; pool < 1 {
+			pool = 1
+		}
+	}
+	backlog := float64(len(s.queue)+1) / float64(pool)
 	return time.Duration(avg * backlog * float64(time.Second))
 }
 
@@ -428,72 +487,218 @@ func (s *Service) floorRetry(d time.Duration) time.Duration {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.mu.Lock()
-		now := s.now()
-		if !j.deadline.IsZero() && now.After(j.deadline) {
-			j.state = StateExpired
-			j.err = "deadline exceeded before execution"
-			j.finished = now
-			delete(s.inflight, j.key)
-			close(j.done)
-			s.retireLocked(j)
-			s.reg.Add("expired", 1)
-			s.mu.Unlock()
-			j.trace.SpanAt("queue", j.created).Attr("expired", true).EndAt(now)
-			j.trace.FinishAt(now)
-			s.logJob(j)
+		if !s.beginJob(j) {
 			continue
 		}
-		j.state = StateRunning
-		j.started = now
-		s.running++
-		s.reg.Hist("queue_wait_ms", msBounds).Observe(now.Sub(j.created).Milliseconds())
-		s.mu.Unlock()
-		j.trace.SpanAt("queue", j.created).EndAt(now)
-
-		result, err := s.execute(j)
-
-		s.mu.Lock()
-		s.running--
-		j.finished = s.now()
-		runSecs := j.finished.Sub(j.started).Seconds()
-		if s.avgRunSecs == 0 {
-			s.avgRunSecs = runSecs
-		} else {
-			s.avgRunSecs = 0.8*s.avgRunSecs + 0.2*runSecs
-		}
-		s.reg.Hist("run_ms", msBounds).Observe(int64(runSecs * 1000))
-		switch {
-		case err != nil && errors.Is(err, context.DeadlineExceeded):
-			j.state = StateExpired
-			j.err = "deadline exceeded during execution"
-			s.reg.Add("expired_running", 1)
-		case err != nil:
-			j.state = StateFailed
-			j.err = err.Error()
-			s.reg.Add("failed", 1)
-		default:
-			j.state = StateDone
-			j.result = result
-			s.cache.Put(j.key, result)
-			s.reg.Add("completed", 1)
-		}
-		coalesced := j.coalesced
-		delete(s.inflight, j.key)
-		close(j.done)
-		s.retireLocked(j)
-		s.mu.Unlock()
-		if j.trace != nil {
-			run := j.trace.SpanAt("run", j.started).OnTrack("worker").
-				Attr("outcome", string(j.state)).Attr("coalesced", coalesced)
-			if j.err != "" {
-				run.Attr("error", j.err)
-			}
-			run.EndAt(j.finished)
-			j.trace.FinishAt(j.finished)
-		}
-		s.logJob(j)
+		result, err := s.execute(j, nil)
+		s.finishJob(j, result, err, nil)
 	}
+}
+
+// dispatcher is the partition-mode replacement for the worker pool:
+// it pulls admitted jobs into a pending list and packs them onto free
+// subcube partitions of the shared machine, waking on every arrival
+// and every released lease. The configured policy picks which pending
+// job a free region goes to; each placed job runs on its own
+// goroutine for as long as its lease lasts, so concurrency is bounded
+// by the machine's PEs, not a worker count. Drain semantics match the
+// pool: once the queue closes, everything pending is still placed and
+// every running job finishes before the dispatcher exits.
+func (s *Service) dispatcher() {
+	defer s.wg.Done()
+	var pending []*job
+	var running sync.WaitGroup
+	queue := s.queue
+	for {
+		pending = s.shedExpired(pending)
+		for {
+			pes := make([]int, len(pending))
+			for i, j := range pending {
+				pes[i] = j.spec.PEs
+			}
+			idx := partition.Pick(s.machine, s.policy, pes)
+			if idx < 0 {
+				break
+			}
+			j := pending[idx]
+			pending = append(pending[:idx], pending[idx+1:]...)
+			lease, err := s.machine.Acquire(j.spec.PEs)
+			if err != nil {
+				// Unreachable in practice: Pick verified the fit and
+				// only the dispatcher allocates. Fail the job rather
+				// than wedge the queue.
+				if s.beginJob(j) {
+					s.finishJob(j, nil, err, nil)
+				}
+				continue
+			}
+			if !s.beginJob(j) { // expired at the last instant
+				lease.Release()
+				continue
+			}
+			running.Add(1)
+			go s.runPartitionJob(j, lease, &running)
+		}
+		if queue == nil && len(pending) == 0 {
+			break
+		}
+		select {
+		case j, ok := <-queue:
+			if !ok {
+				queue = nil
+				break
+			}
+			pending = append(pending, j)
+			// Drain whatever else is already queued so the policy sees
+			// the whole backlog, not one arrival at a time.
+			for more := true; more; {
+				select {
+				case j2, ok2 := <-queue:
+					if !ok2 {
+						queue, more = nil, false
+					} else {
+						pending = append(pending, j2)
+					}
+				default:
+					more = false
+				}
+			}
+		case <-s.partWake:
+		}
+	}
+	running.Wait()
+}
+
+// runPartitionJob executes one job inside its partition lease, then
+// returns the PEs and wakes the dispatcher.
+func (s *Service) runPartitionJob(j *job, lease *partition.Lease, running *sync.WaitGroup) {
+	defer running.Done()
+	defer func() {
+		lease.Release()
+		select {
+		case s.partWake <- struct{}{}:
+		default:
+		}
+	}()
+	result, err := s.execute(j, lease)
+	s.finishJob(j, result, err, func(run *telemetry.Span) {
+		run.Attr("partition_base", lease.Base).
+			Attr("partition_pes", lease.PEs).
+			Attr("policy", string(s.policy))
+	})
+}
+
+// shedExpired expires every pending job whose deadline has passed,
+// returning the survivors.
+func (s *Service) shedExpired(pending []*job) []*job {
+	kept := pending[:0]
+	for _, j := range pending {
+		if !j.deadline.IsZero() && s.now().After(j.deadline) {
+			s.expireQueued(j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	return kept
+}
+
+// beginJob transitions a dequeued job to running, or expires it if its
+// deadline already passed (returning false).
+func (s *Service) beginJob(j *job) bool {
+	s.mu.Lock()
+	now := s.now()
+	if !j.deadline.IsZero() && now.After(j.deadline) {
+		s.expireQueuedLocked(j, now)
+		s.mu.Unlock()
+		j.trace.SpanAt("queue", j.created).Attr("expired", true).EndAt(now)
+		j.trace.FinishAt(now)
+		s.logJob(j)
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	s.running++
+	wait := now.Sub(j.created).Milliseconds()
+	s.reg.Hist("queue_wait_ms", msBounds).Observe(wait)
+	if s.machine != nil {
+		// In partition mode the queue wait IS the wait for a free
+		// partition; report it under the name the dashboards use.
+		s.reg.Hist("partition_wait_ms", msBounds).Observe(wait)
+	}
+	s.mu.Unlock()
+	j.trace.SpanAt("queue", j.created).EndAt(now)
+	return true
+}
+
+// expireQueued sheds a job whose deadline passed before it got a
+// worker or a partition.
+func (s *Service) expireQueued(j *job) {
+	s.mu.Lock()
+	now := s.now()
+	s.expireQueuedLocked(j, now)
+	s.mu.Unlock()
+	j.trace.SpanAt("queue", j.created).Attr("expired", true).EndAt(now)
+	j.trace.FinishAt(now)
+	s.logJob(j)
+}
+
+func (s *Service) expireQueuedLocked(j *job, now time.Time) {
+	j.state = StateExpired
+	j.err = "deadline exceeded before execution"
+	j.finished = now
+	delete(s.inflight, j.key)
+	close(j.done)
+	s.retireLocked(j)
+	s.reg.Add("expired", 1)
+}
+
+// finishJob records a finished execution: state transition, caching,
+// metrics, trace spans (decorate, when non-nil, adds mode-specific
+// span attributes), and the structured log line.
+func (s *Service) finishJob(j *job, result []byte, err error, decorate func(*telemetry.Span)) {
+	s.mu.Lock()
+	s.running--
+	j.finished = s.now()
+	runSecs := j.finished.Sub(j.started).Seconds()
+	if s.avgRunSecs == 0 {
+		s.avgRunSecs = runSecs
+	} else {
+		s.avgRunSecs = 0.8*s.avgRunSecs + 0.2*runSecs
+	}
+	s.reg.Hist("run_ms", msBounds).Observe(int64(runSecs * 1000))
+	switch {
+	case err != nil && errors.Is(err, context.DeadlineExceeded):
+		j.state = StateExpired
+		j.err = "deadline exceeded during execution"
+		s.reg.Add("expired_running", 1)
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.reg.Add("failed", 1)
+	default:
+		j.state = StateDone
+		j.result = result
+		s.cache.Put(j.key, result)
+		s.reg.Add("completed", 1)
+	}
+	coalesced := j.coalesced
+	delete(s.inflight, j.key)
+	close(j.done)
+	s.retireLocked(j)
+	s.mu.Unlock()
+	if j.trace != nil {
+		run := j.trace.SpanAt("run", j.started).OnTrack("worker").
+			Attr("outcome", string(j.state)).Attr("coalesced", coalesced)
+		if decorate != nil {
+			decorate(run)
+		}
+		if j.err != "" {
+			run.Attr("error", j.err)
+		}
+		run.EndAt(j.finished)
+		j.trace.FinishAt(j.finished)
+	}
+	s.logJob(j)
 }
 
 // logJob emits one structured line per terminal job (nil logger: one
@@ -546,7 +751,7 @@ func durMs(from, to time.Time) float64 {
 // run span to the simulated clock) and runs under a pprof label
 // carrying the trace ID, so CPU profiles attribute samples to
 // requests.
-func (s *Service) execute(j *job) (result []byte, err error) {
+func (s *Service) execute(j *job, lease *partition.Lease) (result []byte, err error) {
 	ctx := context.Background()
 	if !j.deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -579,12 +784,12 @@ func (s *Service) execute(j *job) (result []byte, err error) {
 		}
 	}
 	if j.trace == nil {
-		return s.run(ctx, j.spec, nil)
+		return s.run(ctx, j.spec, nil, lease)
 	}
 	cap := j.trace.NewSimCapture()
 	start := s.now()
 	pprof.Do(ctx, pprof.Labels("pasm_trace", j.trace.Trace), func(ctx context.Context) {
-		result, err = s.run(ctx, j.spec, cap)
+		result, err = s.run(ctx, j.spec, cap, lease)
 	})
 	j.trace.AttachSim(cap, start, s.now())
 	return result, err
@@ -702,7 +907,11 @@ type HealthInfo struct {
 	InFlight     int    `json:"inflight"`
 	CacheEntries int    `json:"cache_entries"`
 	Workers      int    `json:"workers"`
-	Code         string `json:"code"`
+	// MachinePEs and Policy describe partition mode (0/empty when the
+	// instance runs the classic worker pool).
+	MachinePEs int    `json:"machine_pes,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	Code       string `json:"code"`
 }
 
 // Health snapshots the service's load and drain state.
@@ -716,6 +925,10 @@ func (s *Service) Health() HealthInfo {
 		InFlight:   s.running,
 		Workers:    s.cfg.Workers,
 		Code:       experiments.CodeVersion,
+	}
+	if s.machine != nil {
+		h.MachinePEs = s.machine.PEs()
+		h.Policy = string(s.policy)
 	}
 	s.mu.Unlock()
 	h.CacheEntries = s.cache.Len()
@@ -773,7 +986,8 @@ func (s *Service) Fill(spec experiments.Spec, result []byte) (bool, error) {
 // guarantee failover and hedging rest on survives fills), carry no
 // host-timing fields (those only appear on the non-deterministic,
 // non-cacheable path), and agree with the spec on every parameter the
-// report embeds (seed, full, observe, and the experiment list). A
+// report embeds (seed, full, observe, the machine size, and the
+// experiment list). A
 // forged payload passing all of this is still shaped exactly like a
 // legitimate document for this spec; arbitrary bytes can never land in
 // the cache.
@@ -784,7 +998,7 @@ func validateFillPayload(norm experiments.Spec, result []byte) error {
 	if err := dec.Decode(&rep); err != nil {
 		return fmt.Errorf("service: fill payload is not a report document: %w", err)
 	}
-	if rep.Schema != experiments.SchemaV2 && rep.Schema != experiments.SchemaV21 {
+	if rep.Schema != experiments.SchemaV22 {
 		return fmt.Errorf("service: fill payload has unknown schema %q", rep.Schema)
 	}
 	canon, err := rep.Marshal()
@@ -794,7 +1008,7 @@ func validateFillPayload(norm experiments.Spec, result []byte) error {
 	if rep.HostSeconds != 0 || rep.Parallel != 0 {
 		return errors.New("service: fill payload carries host timings (not a deterministic document)")
 	}
-	if rep.Seed != norm.Seed || rep.Full != norm.Full || rep.Observe != norm.Observe {
+	if rep.Seed != norm.Seed || rep.Full != norm.Full || rep.Observe != norm.Observe || rep.PEs != norm.PEs {
 		return errors.New("service: fill payload parameters do not match the spec")
 	}
 	want := append([]string(nil), norm.Exps...)
@@ -834,9 +1048,9 @@ func (s *Service) Metrics() map[string]float64 {
 		}
 	}
 	// v2: derived p50/p95/p99 for the per-stage host-latency histograms
-	// (queue wait, run, total) so dashboards and loadgen get quantiles
-	// without scraping buckets.
-	for _, name := range []string{"queue_wait_ms", "run_ms", "total_ms"} {
+	// (queue wait, run, total, partition wait) so dashboards and loadgen
+	// get quantiles without scraping buckets.
+	for _, name := range []string{"queue_wait_ms", "run_ms", "total_ms", "partition_wait_ms"} {
 		if h := s.reg.Histogram(name); h != nil && h.N > 0 {
 			for _, q := range telemetry.Quantiles {
 				m["service/"+name+"/"+q.Key] = h.Quantile(q.Q)
@@ -854,6 +1068,11 @@ func (s *Service) Metrics() map[string]float64 {
 		m["service/draining"] = 0
 	}
 	s.mu.Unlock()
+	if s.machine != nil {
+		for k, v := range s.machine.Metrics("partition/") {
+			m[k] = v
+		}
+	}
 	for k, v := range s.tracer.Metrics("telemetry/") {
 		m[k] = v
 	}

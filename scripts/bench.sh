@@ -6,6 +6,7 @@
 #
 # Usage: scripts/bench.sh [output.json] [baseline-to-compare.json]
 #        scripts/bench.sh interp [output.json] [recorded-to-compare.json]
+#        scripts/bench.sh partition [output.json] [machine-pes]
 #
 # With a second argument, the new run's simulated metrics are diffed
 # against that baseline after stripping the host-dependent fields
@@ -19,6 +20,12 @@
 # argument it additionally fails if the super tier's speedup ratios
 # regressed below that recorded document (the `make bench-interp` CI
 # gate).
+#
+# The `partition` mode runs the ext-partition co-scheduling sweep on a
+# 64-PE machine (override with a third argument) and writes
+# BENCH_partition.json: makespan, speedup, utilization, and peak
+# fragmentation of a mixed-size job storm under each scheduling policy
+# against the serial whole-machine baseline.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +39,17 @@ if [ "${1:-}" = "interp" ]; then
     else
         go run ./cmd/interpbench -out "$out"
     fi
+    exit 0
+fi
+
+if [ "${1:-}" = "partition" ]; then
+    out="${2:-BENCH_partition.json}"
+    pes="${3:-64}"
+    go build ./...
+    go run ./cmd/pasmbench -exp ext-partition -pes "$pes" -json "$out" >/dev/null
+    echo "partition benchmark written to $out:"
+    grep -E '"(policy/[a-z]+/(makespan|speedup|utilization_pct)|serial/makespan|machine/pes)"' "$out" |
+        sed 's/^ *//' | sort
     exit 0
 fi
 

@@ -12,7 +12,15 @@
 //
 //	loadgen -addr HOST:PORT [-c 4] [-n 40] [-exp table1]
 //	        [-phase both|cold|hit] [-seed 1988] [-out FILE|-]
+//	        [-pes-mix "4:0.5,16:0.3,64:0.2"]
 //	        [-gateway] [-trace-sample 0]
+//
+// -pes-mix drives a partition-mode server (pasmd -machine-pes) with a
+// mixed-size job storm: each cold-phase request draws its spec's pes
+// from the given size:weight distribution (deterministically from
+// -seed, so two runs submit the identical storm). Sizes must be powers
+// of two and should not exceed the server's machine. Empty (default)
+// leaves pes off the spec — the 16-PE prototype.
 //
 // The JSON document (BENCH_service.json in CI) goes to -out; progress
 // goes to stderr.
@@ -39,12 +47,15 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/prng"
 )
 
 type phaseResult struct {
@@ -90,6 +101,7 @@ type benchDoc struct {
 	Schema  string        `json:"schema"`
 	Addr    string        `json:"addr"`
 	Exp     string        `json:"exp"`
+	PesMix  string        `json:"pes_mix,omitempty"`
 	Host    string        `json:"host"`
 	CPUs    int           `json:"cpus"`
 	Code    string        `json:"code_version"`
@@ -98,11 +110,76 @@ type benchDoc struct {
 	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
+// pesMixEntry is one size class of the -pes-mix distribution.
+type pesMixEntry struct {
+	pes    int
+	weight float64
+}
+
+// parsePesMix parses "4:0.5,16:0.3,64:0.2" into size classes.
+func parsePesMix(s string) ([]pesMixEntry, error) {
+	var mix []pesMixEntry
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sizeStr, weightStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("pes-mix entry %q is not size:weight", part)
+		}
+		pes, err := strconv.Atoi(strings.TrimSpace(sizeStr))
+		if err != nil || pes < 1 || pes&(pes-1) != 0 {
+			return nil, fmt.Errorf("pes-mix size %q must be a power of two", sizeStr)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("pes-mix weight %q must be a positive number", weightStr)
+		}
+		mix = append(mix, pesMixEntry{pes: pes, weight: w})
+		total += w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("pes-mix %q holds no entries", s)
+	}
+	for i := range mix {
+		mix[i].weight /= total
+	}
+	return mix, nil
+}
+
+// mixSpec builds request i's spec under a -pes-mix storm: the size is
+// drawn deterministically from the mix (same seed, same storm), and
+// the work is a matmul cell that spans the drawn partition — named
+// sweeps are pinned to the 16-PE prototype, so small partitions get a
+// proportionate custom cell instead.
+func mixSpec(mix []pesMixEntry, seed uint32, i int) experiments.Spec {
+	r := float64(prng.New(seed+uint32(i)).Uint32()) / (1 << 32)
+	pes := mix[len(mix)-1].pes
+	for _, e := range mix {
+		if r < e.weight {
+			pes = e.pes
+			break
+		}
+		r -= e.weight
+	}
+	n := pes
+	if n < 8 {
+		n = 8
+	}
+	return experiments.Spec{
+		Cells: []experiments.CellSpec{{N: n, P: pes, Muls: 1, Mode: "simd"}},
+		PEs:   pes,
+		Seed:  seed + uint32(i),
+	}
+}
+
 // serverStages extracts the per-stage breakdown from a flattened
 // /metrics map under the given prefix.
 func serverStages(m map[string]float64, prefix string) []stageStats {
 	var out []stageStats
-	for _, stage := range []string{"queue_wait_ms", "run_ms", "total_ms"} {
+	for _, stage := range []string{"queue_wait_ms", "partition_wait_ms", "run_ms", "total_ms"} {
 		base := prefix + stage
 		if m[base+"/count"] == 0 {
 			continue
@@ -126,6 +203,7 @@ func main() {
 	exp := flag.String("exp", "table1", "experiment to request")
 	phase := flag.String("phase", "both", "cold, hit, or both")
 	seed := flag.Uint("seed", 1988, "base seed (cold phase uses seed+i per request)")
+	pesMix := flag.String("pes-mix", "", "weighted machine-size mix for cold requests, e.g. \"4:0.5,16:0.3,64:0.2\" (empty = no pes field)")
 	gateway := flag.Bool("gateway", false, "treat -addr as a pasmgw gateway and record cluster metrics")
 	traceSample := flag.Float64("trace-sample", 0, "attach an X-Pasm-Trace context to this fraction of submissions")
 	out := flag.String("out", "-", "write the JSON results to `file` (\"-\" for stdout)")
@@ -134,6 +212,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var mix []pesMixEntry
+	if *pesMix != "" {
+		var err error
+		if mix, err = parsePesMix(*pesMix); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	cl := client.New(*addr)
@@ -145,6 +232,7 @@ func main() {
 		Schema: "pasm-loadgen/1",
 		Addr:   *addr,
 		Exp:    *exp,
+		PesMix: *pesMix,
 		CPUs:   runtime.NumCPU(),
 		Code:   experiments.CodeVersion,
 	}
@@ -161,6 +249,9 @@ func main() {
 	}
 	if *phase == "both" || *phase == "cold" {
 		doc.Phases = append(doc.Phases, runPhase(ctx, cl, "cold", *c, *n, func(i int) experiments.Spec {
+			if mix != nil {
+				return mixSpec(mix, uint32(*seed), i)
+			}
 			return spec(uint32(*seed) + uint32(i))
 		}))
 	}
