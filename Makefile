@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke bench-service bench-cluster bench-partition report
+.PHONY: all build vet test race cover ci bench bench-json bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke slo-smoke bench-service bench-cluster bench-partition bench-slo report
 
 all: ci
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke
+ci: build vet test race bench-smoke bench-interp trace-smoke service-smoke chaos-smoke cluster-smoke telemetry-smoke partition-smoke slo-smoke
 
 # Coverage gate: per-package statement coverage printed and compared
 # against the checked-in floor; fails on regression. After genuinely
@@ -71,6 +71,21 @@ partition-smoke:
 # telemetry path is zero allocations.
 telemetry-smoke:
 	$(GO) run ./scripts/telemetrysmoke
+
+# SLO-aware serving check: pasmd with -sched sjf and SLO classes,
+# replay the committed golden workload trace open-loop, and assert a
+# lossless drain, per-class latency quantiles + SLO verdicts +
+# fairness index in /metrics, and the per-client 429 admission path.
+slo-smoke:
+	$(GO) run ./scripts/slosmoke
+
+# SLO scheduling benchmark: deterministic virtual-time replay of the
+# golden trace under FCFS vs priority-SJF — short-class p99 must
+# improve, replays must be byte-identical, and executing a trace
+# prefix under both modes must give identical report bytes
+# (writes BENCH_slo.json).
+bench-slo:
+	$(GO) run ./scripts/slobench -out BENCH_slo.json
 
 # Cluster serving benchmark: the loadgen workload through pasmgw with
 # 1 vs 3 replicas, recording latency, hit rate, and peer fills

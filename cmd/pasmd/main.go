@@ -11,12 +11,29 @@
 //
 //	pasmd [-addr 127.0.0.1:8037] [-addr-file FILE] [-name NAME]
 //	      [-queue 64] [-workers 2] [-parallel N]
+//	      [-sched fcfs|sjf] [-classes "interactive=50,batch=0"]
+//	      [-starve-limit 8] [-admit-rate 0] [-admit-burst 8]
 //	      [-machine-pes 0] [-policy firstfit]
 //	      [-cache-entries 256] [-cache-bytes N]
 //	      [-fill-secret SECRET]
 //	      [-trace-sample 0] [-trace-ring 64] [-debug-addr ADDR]
 //	      [-drain-timeout 5m] [-linger 2s]
 //	      [-chaos-profile "run:error=0.1,..." [-chaos-seed N]]
+//
+// -sched sjf turns on SLO-aware scheduling: submits carrying an SLO
+// class (X-Pasm-Class header or "class" body field, with targets from
+// -classes or an explicit X-Pasm-Slo-Ms) are ordered by class urgency
+// first, then by predicted cost from the closed-form timing model, so
+// a cheap interactive probe never queues behind a long batch sweep.
+// -starve-limit bounds both directions: a bypassed batch job is
+// promoted after that many bypasses, and no interactive job can be
+// bypassed by promotions more than that many times. Per-class latency
+// quantiles, SLO hit/miss counters, and a Jain fairness index over
+// client completions appear in /metrics.
+//
+// -admit-rate enables per-client token-bucket admission control:
+// clients identified by X-Pasm-Client (or "client" body field) above
+// their rate get 429 + Retry-After before consuming a queue slot.
 //
 // -machine-pes switches the instance to partition mode: instead of a
 // fixed worker pool, jobs are packed onto subcube partitions of one
@@ -106,6 +123,11 @@ func run() int {
 	fillSecret := flag.String("fill-secret", "", "shared secret arming the peer-fill endpoint (empty = fills disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs on shutdown")
 	linger := flag.Duration("linger", 2*time.Second, "after the queue drains, keep serving status/result reads this long so waiting clients can collect")
+	sched := flag.String("sched", "fcfs", "queue scheduling: fcfs (arrival order) or sjf (SLO class priority + shortest predicted job first)")
+	classes := flag.String("classes", "", "SLO class defaults, comma-separated name=slo_ms (e.g. \"interactive=50,batch=0\"); empty accepts any class with explicit slo_ms")
+	starveLimit := flag.Int("starve-limit", service.DefaultStarveLimit, "sjf anti-starvation: promote a job after this many bypasses")
+	admitRate := flag.Float64("admit-rate", 0, "per-client admission rate, requests/sec (0 = no rate limiting); over-rate identified clients get 429 + Retry-After")
+	admitBurst := flag.Float64("admit-burst", 8, "per-client admission burst (token bucket depth)")
 	chaosProfile := flag.String("chaos-profile", "", "fault-injection profile, e.g. \"run:error=0.1,panic=0.05,delay=0.2@20ms;http:error=0.1\" (empty = no injection)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic fault decision sequences")
 	traceSample := flag.Float64("trace-sample", 0, "probability of tracing a headerless request (X-Pasm-Trace requests are always traced)")
@@ -138,6 +160,20 @@ func run() int {
 		Logger:    logger,
 	})
 
+	schedMode, err := service.ParseSchedulerMode(*sched)
+	if err != nil {
+		logger.Error("bad scheduler", "err", err)
+		return 1
+	}
+	var classDefaults map[string]int64
+	if *classes != "" {
+		classDefaults, err = service.ParseClasses(*classes)
+		if err != nil {
+			logger.Error("bad classes", "err", err)
+			return 1
+		}
+	}
+
 	opts := experiments.DefaultOptions()
 	opts.Parallelism = *parallel
 	var machine *partition.Machine
@@ -163,17 +199,22 @@ func run() int {
 		logger.Info("partition mode", "machine_pes", *machinePEs, "policy", *policy)
 	}
 	svc := service.New(service.Config{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Machine:    machine,
-		Policy:     schedPolicy,
-		Options:    opts,
-		Cache:      cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
-		Name:       *name,
-		FillSecret: *fillSecret,
-		Faults:     injector,
-		Telemetry:  tracer,
-		Logger:     logger,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Machine:     machine,
+		Policy:      schedPolicy,
+		Sched:       schedMode,
+		StarveLimit: *starveLimit,
+		Classes:     classDefaults,
+		AdmitRate:   *admitRate,
+		AdmitBurst:  *admitBurst,
+		Options:     opts,
+		Cache:       cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
+		Name:        *name,
+		FillSecret:  *fillSecret,
+		Faults:      injector,
+		Telemetry:   tracer,
+		Logger:      logger,
 	})
 
 	if *debugAddr != "" {
@@ -200,7 +241,7 @@ func run() int {
 		}
 	}
 	logger.Info("listening", "addr", bound, "queue", *queue, "workers", *workers,
-		"parallel", *parallel, "cache_entries", *cacheEntries,
+		"parallel", *parallel, "sched", string(schedMode), "cache_entries", *cacheEntries,
 		"trace_sample", *traceSample, "code", experiments.CodeVersion)
 
 	srv := &http.Server{Handler: svc.Handler()}

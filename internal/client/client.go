@@ -200,6 +200,16 @@ type SubmitOptions struct {
 	// into the replica. Empty falls back to the client's WithTracing
 	// sampling (if configured), then to untraced.
 	TraceHeader string
+	// Class is the request's SLO class name (the server resolves its
+	// latency target from its -classes table unless SLOMs overrides).
+	Class string
+	// SLOMs, when > 0, is the request's explicit latency target in
+	// milliseconds; it drives priority under SLO-aware scheduling.
+	SLOMs int64
+	// ClientID identifies the submitting principal for per-client
+	// admission control and the fairness index. Empty = anonymous
+	// (never rate-limited).
+	ClientID string
 }
 
 // backoff computes the wait before the given retry attempt (2-based):
@@ -359,7 +369,7 @@ func apiError(resp *http.Response, data []byte) error {
 // shared in-flight job. With opts.Hedge set, a stalled submit races a
 // second identical one.
 func (c *Client) Submit(ctx context.Context, spec experiments.Spec, opts SubmitOptions) (service.JobStatus, error) {
-	req := service.SubmitRequest{Spec: spec}
+	req := service.SubmitRequest{Spec: spec, Class: opts.Class, SLOMs: opts.SLOMs, Client: opts.ClientID}
 	if opts.Deadline > 0 {
 		req.DeadlineMS = opts.Deadline.Milliseconds()
 	}

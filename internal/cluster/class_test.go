@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// startSLOReplica runs a pasmd replica with SLO-aware scheduling and
+// class defaults, the way `pasmd -sched sjf -classes ...` would.
+func startSLOReplica(t *testing.T, name string) (*service.Service, *httptest.Server) {
+	t.Helper()
+	s := service.New(service.Config{Workers: 2, QueueDepth: 16, Name: name,
+		FillSecret: testFillSecret,
+		Sched:      service.SchedSJF,
+		Classes:    map[string]int64{"interactive": 50, "batch": 0},
+		Options:    experiments.DefaultOptions()})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		srv.Close()
+	})
+	return s, srv
+}
+
+// TestGatewayClassPropagation: the SLO class and client identity on a
+// gateway submit — as X-Pasm-* headers or body fields — reach the
+// owning replica (its per-class metrics record the request) and roll
+// up into the gateway's merged /metrics under cluster/class_*.
+func TestGatewayClassPropagation(t *testing.T) {
+	sa, r0 := startSLOReplica(t, "a")
+	sb, r1 := startSLOReplica(t, "b")
+	g, gsrv := startGateway(t, Config{Registry: RegistryConfig{
+		Replicas: []string{"a=" + r0.URL, "b=" + r1.URL},
+	}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Header form: class + client ride X-Pasm headers on a plain POST.
+	body, err := json.Marshal(service.SubmitRequest{Spec: specN(21), WaitMS: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, gsrv.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.ClassHeader, "interactive")
+	req.Header.Set(service.ClientHeader, "tenant-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("header-form submit: HTTP %d", resp.StatusCode)
+	}
+
+	// Body form: the client API carries the same fields.
+	cl := client.New(gsrv.URL)
+	if _, _, err := cl.Run(ctx, specN(22), client.SubmitOptions{
+		Wait: 15 * time.Second, Class: "batch", ClientID: "tenant-7",
+	}); err != nil {
+		t.Fatalf("body-form run: %v", err)
+	}
+
+	// A malformed SLO header is rejected at the gateway, before any
+	// replica sees it.
+	bad, err := http.NewRequestWithContext(ctx, http.MethodPost, gsrv.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Header.Set("Content-Type", "application/json")
+	bad.Header.Set(service.SLOHeader, "soon")
+	bresp, err := http.DefaultClient.Do(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad SLO header: HTTP %d, want 400", bresp.StatusCode)
+	}
+
+	// The owning replicas recorded the classes (whichever replica owns
+	// each spec — check the union).
+	replicaHas := func(key string) bool {
+		for _, s := range []*service.Service{sa, sb} {
+			if s.Metrics()[key] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !replicaHas("service/class_total_ms/interactive/count") {
+		t.Error("no replica recorded the interactive class histogram")
+	}
+	if !replicaHas("service/class_total_ms/batch/count") {
+		t.Error("no replica recorded the batch class histogram")
+	}
+	if !replicaHas("service/class_slo_ok/interactive") && !replicaHas("service/class_slo_miss/interactive") {
+		t.Error("no replica recorded an SLO verdict for the interactive request")
+	}
+
+	// ...and the merged gateway metrics roll the classes up.
+	gm := g.Metrics(ctx)
+	if gm["cluster/class_total_ms/interactive/count"] < 1 {
+		t.Errorf("merged metrics missing interactive class histogram: %v",
+			gm["cluster/class_total_ms/interactive/count"])
+	}
+	if gm["cluster/class_total_ms/batch/count"] < 1 {
+		t.Errorf("merged metrics missing batch class histogram: %v",
+			gm["cluster/class_total_ms/batch/count"])
+	}
+	if gm["cluster/class_slo_ok/interactive"]+gm["cluster/class_slo_miss/interactive"] < 1 {
+		t.Error("merged metrics missing interactive SLO verdict counters")
+	}
+	if _, ok := gm["cluster/class_total_ms/interactive/p99"]; !ok {
+		t.Error("merged class histogram lacks derived quantiles")
+	}
+}

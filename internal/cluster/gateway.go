@@ -430,10 +430,31 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
+	// SLO class and client identity travel to the owning replica: header
+	// form wins over body fields (the same precedence pasmd applies), so
+	// a proxy can tag requests without rewriting bodies.
+	if v := r.Header.Get(service.ClassHeader); v != "" {
+		req.Class = v
+	}
+	if v := r.Header.Get(service.ClientHeader); v != "" {
+		req.Client = v
+	}
+	if v := r.Header.Get(service.SLOHeader); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			outcome = "bad_request"
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad " + service.SLOHeader + " header"})
+			return
+		}
+		req.SLOMs = ms
+	}
 	opts := client.SubmitOptions{
 		Deadline:    time.Duration(req.DeadlineMS) * time.Millisecond,
 		Wait:        time.Duration(req.WaitMS) * time.Millisecond,
 		TraceHeader: tr.HeaderValue(),
+		Class:       req.Class,
+		SLOMs:       req.SLOMs,
+		ClientID:    req.Client,
 	}
 	owner := g.owner(key)
 	route := tr.Span("route").Attr("policy", string(g.cfg.Policy)).Attr("owner", owner.Name)
@@ -843,11 +864,12 @@ func (g *Gateway) Metrics(ctx context.Context) map[string]float64 {
 		// Cluster-wide sums of the counters the bench and loadgen read.
 		for _, k := range []string{"cache/hits", "cache/misses", "service/submitted",
 			"service/completed", "service/served_from_cache", "service/coalesced",
-			"service/peer_fills"} {
+			"service/peer_fills", "service/rejected_ratelimited", "service/sched_promoted"} {
 			m["cluster/"+strings.ReplaceAll(k, "/", "_")] += rm[k]
 		}
 	}
 	aggregateStageHistograms(m, replicaMetrics)
+	aggregateClassMetrics(m, replicaMetrics)
 	for k, v := range g.lat.Flatten("cluster/") {
 		m[k] = v
 	}
@@ -889,6 +911,58 @@ func aggregateStageHistograms(m map[string]float64, replicaMetrics []map[string]
 			continue
 		}
 		telemetry.FlattenHistogram(m, "cluster/"+stage, h)
+	}
+}
+
+// aggregateClassMetrics merges the replicas' per-SLO-class serving
+// metrics: class latency histograms (same bucket-sum argument as the
+// stage histograms — every replica uses the service msBounds, which
+// equal telemetry.MsBounds) plus the SLO hit/miss counters. Class
+// names are discovered from the replica keys, so a class only ever
+// seen by one replica still appears cluster-wide.
+func aggregateClassMetrics(m map[string]float64, replicaMetrics []map[string]float64) {
+	const histPrefix = "service/class_total_ms/"
+	classes := map[string]bool{}
+	for _, rm := range replicaMetrics {
+		for k := range rm {
+			if rest, ok := strings.CutPrefix(k, histPrefix); ok {
+				if class, ok := strings.CutSuffix(rest, "/count"); ok {
+					classes[class] = true
+				}
+			}
+		}
+	}
+	for class := range classes {
+		h := obs.NewHistogram(telemetry.MsBounds)
+		for _, rm := range replicaMetrics {
+			base := histPrefix + class
+			n := int64(rm[base+"/count"])
+			if n == 0 {
+				continue
+			}
+			if min := int64(rm[base+"/min"]); h.N == 0 || min < h.Min {
+				h.Min = min
+			}
+			if max := int64(rm[base+"/max"]); h.N == 0 || max > h.Max {
+				h.Max = max
+			}
+			for i, b := range h.Bounds {
+				h.Counts[i] += int64(rm[base+"/le="+strconv.FormatInt(b, 10)])
+			}
+			h.Counts[len(h.Counts)-1] += int64(rm[base+"/overflow"])
+			h.N += n
+			h.Sum += int64(rm[base+"/sum"])
+		}
+		if h.N > 0 {
+			telemetry.FlattenHistogram(m, "cluster/class_total_ms/"+class, h)
+		}
+		for _, ctr := range []string{"class_slo_ok/", "class_slo_miss/"} {
+			var sum float64
+			for _, rm := range replicaMetrics {
+				sum += rm["service/"+ctr+class]
+			}
+			m["cluster/"+ctr+class] = sum
+		}
 	}
 }
 

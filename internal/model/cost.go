@@ -1,0 +1,88 @@
+package model
+
+// Closed-form request-cost prediction. A full simulation of an n=64
+// matmul costs ~10^7 simulated cycles of host work; the Section 4
+// algebra answers "roughly how many cycles will this cell take?" in
+// nanoseconds. The serving stack uses these estimates as the
+// shortest-job-first key of its class-aware scheduler: the estimate
+// only has to rank jobs correctly (a table1 probe is ~10^5 cycles, an
+// n=64 S/MIMD sweep ~10^7), not to match the simulator cycle-exact.
+// The predictions are pure functions of the spec parameters, so a
+// scheduler driven by them is deterministic under trace replay.
+
+// Per-element inner-loop body outside the multiply itself (load,
+// accumulate, store: ~3 instructions, see SIMDAdvantagePerElement's
+// caller).
+const bodyCyclesPerMul = 74.0
+
+// netCyclesPerOp approximates one PE network operation (set route,
+// send/recv one byte through the ESC): dominated by the device
+// accesses, a few tens of cycles.
+const netCyclesPerOp = 40.0
+
+// CellCycles predicts the simulated cycles of one n x n matrix
+// multiplication on p PEs with muls inner multiplies per element, in
+// the named execution mode ("sisd"/"serial", "simd", "mimd", "smimd",
+// "mixed" — unknown modes cost like simd, the middle of the range).
+// The prediction composes the paper's per-multiply equations with the
+// operation counts of Section 4.
+func (m Machine) CellCycles(mode string, n, p, muls int) float64 {
+	if n < 1 {
+		return 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	if muls < 1 {
+		muls = 1
+	}
+	cols := n / p
+	if cols < 1 {
+		cols = 1
+	}
+	serial := mode == "sisd" || mode == "serial" || p == 1
+	if serial {
+		p = 1
+	}
+
+	// Per-multiply compute cost by mode.
+	var perMul float64
+	switch {
+	case serial:
+		perMul = m.SMIMDPerMul(1, n) // own expected time + fetch/refresh share
+	case mode == "simd":
+		perMul = m.SIMDPerMul(p, cols)
+	case mode == "mimd", mode == "smimd":
+		perMul = m.SMIMDPerMul(p, cols)
+	case mode == "mixed":
+		perMul = (m.SIMDPerMul(p, cols) + m.SMIMDPerMul(p, cols)) / 2
+	default:
+		perMul = m.SIMDPerMul(p, cols)
+	}
+
+	mulWork := float64(Multiplies(n, p)*int64(muls)) * (perMul + bodyCyclesPerMul)
+
+	// Communication: 2n^2 network ops per PE, plus the S/MIMD barrier
+	// protocol's per-transfer overhead where it applies.
+	var comm float64
+	if p > 1 {
+		comm = float64(NetOps(n)) * netCyclesPerOp
+		if mode == "smimd" || mode == "mixed" {
+			comm += float64(Barriers(n, p)) * m.CommDeltaPerTransfer() / 4
+		}
+	}
+	return mulWork + comm
+}
+
+// PrototypeMachine returns the timing parameters of the simulated
+// 1988 prototype (pasm.DefaultConfig's values, kept dependency-free
+// here): the machine every cost prediction is evaluated against.
+func PrototypeMachine() Machine {
+	return Machine{
+		DRAMWaitStates: 1,
+		RefreshPeriod:  256,
+		RefreshStall:   2,
+		BarrierExtra:   4,
+		PEsPerMC:       4,
+	}
+}

@@ -1,0 +1,70 @@
+package model
+
+import "testing"
+
+// TestCellCyclesRanking: the predictor's one job is to rank requests
+// the way the simulator would — bigger n costs more, more multiplies
+// cost more, a short probe is orders of magnitude under a big sweep.
+func TestCellCyclesRanking(t *testing.T) {
+	m := PrototypeMachine()
+
+	small := m.CellCycles("simd", 8, 4, 1)
+	big := m.CellCycles("simd", 64, 16, 1)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("non-positive predictions: small=%g big=%g", small, big)
+	}
+	if big < 50*small {
+		t.Errorf("n=64 sweep predicted %.0f cycles, n=8 probe %.0f: want ~n^3/p scaling (>=50x)", big, small)
+	}
+
+	one := m.CellCycles("mimd", 16, 4, 1)
+	four := m.CellCycles("mimd", 16, 4, 4)
+	if four <= 2*one {
+		t.Errorf("muls=4 predicted %.0f, muls=1 %.0f: want multiply work to scale", four, one)
+	}
+
+	// Serial has no communication term and p=1 compute.
+	if got := m.CellCycles("sisd", 16, 8, 1); got != m.CellCycles("serial", 16, 1, 1) {
+		t.Errorf("sisd with p=8 should normalize to serial p=1: %g", got)
+	}
+}
+
+// TestCellCyclesModes: S/MIMD pays the barrier protocol on top of
+// MIMD-style compute, and every mode is positive and finite.
+func TestCellCyclesModes(t *testing.T) {
+	m := PrototypeMachine()
+	var last float64
+	for _, mode := range []string{"sisd", "simd", "mimd", "smimd", "mixed"} {
+		c := m.CellCycles(mode, 32, 16, 1)
+		if c <= 0 {
+			t.Fatalf("mode %s predicted %.0f cycles", mode, c)
+		}
+		last = c
+	}
+	_ = last
+	smimd := m.CellCycles("smimd", 32, 16, 1)
+	mimd := m.CellCycles("mimd", 32, 16, 1)
+	if smimd <= mimd {
+		t.Errorf("smimd (%.0f) should cost more than mimd (%.0f): barrier protocol", smimd, mimd)
+	}
+}
+
+// TestCellCyclesDegenerate: hostile parameters clamp instead of
+// dividing by zero or going negative.
+func TestCellCyclesDegenerate(t *testing.T) {
+	m := PrototypeMachine()
+	if got := m.CellCycles("simd", 0, 0, 0); got != 0 {
+		t.Errorf("n=0 should cost 0, got %g", got)
+	}
+	if got := m.CellCycles("weird", 8, -3, -1); got <= 0 {
+		t.Errorf("clamped degenerate cell should still cost > 0, got %g", got)
+	}
+	// More PEs than columns: the per-PE column count clamps to 1.
+	if got := m.CellCycles("simd", 8, 16, 1); got <= 0 {
+		t.Errorf("p > n cell should still cost > 0, got %g", got)
+	}
+	// Unknown mode on a parallel machine costs like simd.
+	if got, want := m.CellCycles("weird", 32, 8, 1), m.CellCycles("simd", 32, 8, 1); got != want {
+		t.Errorf("unknown mode predicted %g, want the simd cost %g", got, want)
+	}
+}

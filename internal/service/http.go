@@ -44,6 +44,22 @@ import (
 // still get end-to-end deadline propagation.
 const DeadlineHeader = "X-Pasm-Deadline-Ms"
 
+// ClassHeader names a submit's SLO class (equivalent to
+// SubmitRequest.Class; the header wins when both are set, so a proxy
+// can reclassify traffic it forwards). Classes order the SJF scheduler
+// and key the per-class latency quantiles in /metrics.
+const ClassHeader = "X-Pasm-Class"
+
+// SLOHeader carries the class's latency target in milliseconds
+// (SubmitRequest.SLOMs; header wins). 0 with a server-declared class
+// inherits the declared target.
+const SLOHeader = "X-Pasm-Slo-Ms"
+
+// ClientHeader identifies the submitting client (SubmitRequest.Client;
+// header wins) for per-client token-bucket admission and the fairness
+// index. Anonymous submits are never rate-limited.
+const ClientHeader = "X-Pasm-Client"
+
 // AttemptHeader carries the client's 1-based attempt number for this
 // request. Values above 1 mark retries; the service counts them
 // ("service/retried_submits"), making client retry behavior observable
@@ -88,6 +104,12 @@ type SubmitRequest struct {
 	// many milliseconds before responding (one round trip for small
 	// specs).
 	WaitMS int64 `json:"wait_ms,omitempty"`
+	// Class is the SLO class (see ClassHeader), SLOMs its target in ms
+	// (see SLOHeader), Client the submitter identity (see
+	// ClientHeader). Headers win over body fields.
+	Class  string `json:"class,omitempty"`
+	SLOMs  int64  `json:"slo_ms,omitempty"`
+	Client string `json:"client,omitempty"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -192,14 +214,38 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			req.DeadlineMS = ms
 		}
 	}
+	if v := r.Header.Get(ClassHeader); v != "" {
+		req.Class = v
+	}
+	if v := r.Header.Get(SLOHeader); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad " + SLOHeader + " header"})
+			return
+		}
+		req.SLOMs = ms
+	}
+	if v := r.Header.Get(ClientHeader); v != "" {
+		req.Client = v
+	}
 	var deadline time.Time
 	if req.DeadlineMS > 0 {
 		deadline = s.now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	st, err := s.SubmitTraced(req.Spec, deadline, r.Header.Get(telemetry.Header))
+	st, err := s.SubmitWith(req.Spec, SubmitOpts{
+		Deadline: deadline,
+		Class:    req.Class,
+		SLOMs:    req.SLOMs,
+		Client:   req.Client,
+		Trace:    r.Header.Get(telemetry.Header),
+	})
 	if err != nil {
 		var full *QueueFullError
+		var limited *RateLimitedError
 		switch {
+		case errors.As(err, &limited):
+			w.Header().Set("Retry-After", retryAfterSeconds(limited.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		case errors.As(err, &full):
 			w.Header().Set("Retry-After", retryAfterSeconds(full.RetryAfter))
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -1,0 +1,329 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Scheduler properties, checked over randomized workloads
+// (testing/quick seeds a PRNG that builds the job mix):
+//
+//  1. SJF ordering: with everything queued, pops come out sorted by
+//     (class urgency, predicted cost, arrival).
+//  2. Bounded bypass: no short-class (urgent) request is overtaken by
+//     more than starveLimit long-class requests that arrived after it
+//     — the anti-starvation promotion is itself bounded.
+//  3. No starvation: every job pops eventually (trivially true for a
+//     drain loop, asserted for completeness).
+//  4. FCFS mode is strict arrival order regardless of class/cost.
+
+func mkJob(seq int, sloMS int64, cost float64) *job {
+	return &job{seq: seq, slo: sloMS, cost: cost, classPrio: classPriority(sloMS)}
+}
+
+// randomJobs builds a mixed workload: ~1/3 urgent (slo 50ms) cheap
+// jobs, the rest best-effort with random, mostly larger costs.
+func randomJobs(rng *rand.Rand, n int) []*job {
+	jobs := make([]*job, n)
+	for i := range jobs {
+		if rng.Intn(3) == 0 {
+			jobs[i] = mkJob(i, 50, 1e5+float64(rng.Intn(100)))
+		} else {
+			jobs[i] = mkJob(i, 0, 1e6+float64(rng.Intn(1_000_000)))
+		}
+	}
+	return jobs
+}
+
+func TestSchedSJFOrdering(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newSchedQueue(SchedSJF, 1_000_000) // starvation aging off
+		jobs := randomJobs(rng, 2+rng.Intn(40))
+		for _, j := range jobs {
+			q.Push(j)
+		}
+		var prev *job
+		for range jobs {
+			j, ok := q.TryPop()
+			if !ok {
+				return false
+			}
+			if prev != nil && schedLess(j, prev) {
+				t.Logf("seed %d: job seq=%d popped after seq=%d out of order", seed, j.seq, prev.seq)
+				return false
+			}
+			prev = j
+		}
+		_, ok := q.TryPop()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedFCFSIsArrivalOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newSchedQueue(SchedFCFS, 0)
+		jobs := randomJobs(rng, 1+rng.Intn(30))
+		for _, j := range jobs {
+			q.Push(j)
+		}
+		for i := range jobs {
+			j, ok := q.TryPop()
+			if !ok || j.seq != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedBoundedBypass is the satellite property: under SJF with
+// aging, no urgent (short-class) request waits behind more than
+// starveLimit long-class requests — counted as best-effort jobs that
+// pop while the urgent one is queued. Random interleaving of pushes
+// and pops exercises promotions and their veto.
+func TestSchedBoundedBypass(t *testing.T) {
+	const limit = 4
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newSchedQueue(SchedSJF, limit)
+		jobs := randomJobs(rng, 30+rng.Intn(60))
+		// To *force* starvation pressure, make the best-effort jobs old:
+		// push a long prefix of them first, then interleave.
+		queued := map[int]bool{}   // urgent jobs currently waiting
+		overtaken := map[int]int{} // urgent seq -> best-effort pops while waiting
+		popped := 0
+		next := 0
+		push := func() {
+			j := jobs[next]
+			q.Push(j)
+			if j.classPrio != bestEffortPrio {
+				queued[j.seq] = true
+			}
+			next++
+		}
+		pop := func() bool {
+			j, ok := q.TryPop()
+			if !ok {
+				return true
+			}
+			popped++
+			if j.classPrio == bestEffortPrio {
+				for seq := range queued {
+					overtaken[seq]++
+					if overtaken[seq] > limit {
+						t.Logf("seed %d: urgent seq=%d overtaken %d times (> %d)", seed, seq, overtaken[seq], limit)
+						return false
+					}
+				}
+			} else {
+				delete(queued, j.seq)
+			}
+			return true
+		}
+		for next < len(jobs) || popped < len(jobs) {
+			if next < len(jobs) && (popped == len(jobs) || rng.Intn(2) == 0) {
+				push()
+			} else if !pop() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedAgingPromotes checks the flip side: a best-effort job under
+// constant urgent pressure is promoted after starveLimit bypasses
+// rather than waiting forever.
+func TestSchedAgingPromotes(t *testing.T) {
+	const limit = 3
+	q := newSchedQueue(SchedSJF, limit)
+	batch := mkJob(0, 0, 1e7)
+	q.Push(batch)
+	seq := 1
+	for i := 0; i < 2*limit; i++ {
+		q.Push(mkJob(seq, 10, 1e4))
+		seq++
+		j, ok := q.TryPop()
+		if !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+		if j == batch {
+			if i < limit {
+				t.Fatalf("batch job promoted after only %d bypasses (limit %d)", i, limit)
+			}
+			if q.Promoted() != 1 {
+				t.Fatalf("Promoted() = %d, want 1", q.Promoted())
+			}
+			return
+		}
+	}
+	t.Fatalf("batch job never promoted after %d bypasses (limit %d)", 2*limit, limit)
+}
+
+// TestSchedPromotionVeto: the promotion cannot push an urgent waiter
+// past starveLimit bypasses of its own.
+func TestSchedPromotionVeto(t *testing.T) {
+	const limit = 2
+	q := newSchedQueue(SchedSJF, limit)
+	// An aged batch job...
+	batch := mkJob(0, 0, 1e7)
+	batch.skipped = limit
+	// ...and an urgent waiter that has already absorbed limit
+	// promotions cannot be bypassed again.
+	urgent := mkJob(1, 5, 1e4)
+	urgent.bypassed = limit
+	q.Push(batch)
+	q.Push(urgent)
+	j, ok := q.TryPop()
+	if !ok || j != urgent {
+		t.Fatalf("veto failed: urgent job with %d bypasses was overtaken again", limit)
+	}
+}
+
+func TestParseSchedulerMode(t *testing.T) {
+	for in, want := range map[string]SchedulerMode{
+		"": SchedFCFS, "fcfs": SchedFCFS,
+		"sjf": SchedSJF, "priority": SchedSJF, "slo": SchedSJF, "SJF": SchedSJF,
+	} {
+		got, err := ParseSchedulerMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSchedulerMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSchedulerMode("lifo"); err == nil {
+		t.Fatal("ParseSchedulerMode(lifo) should fail")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	m, err := ParseClasses("interactive=50, batch=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["interactive"] != 50 || m["batch"] != 0 {
+		t.Fatalf("ParseClasses = %v", m)
+	}
+	for _, bad := range []string{"", "x", "=5", "a=-1", "a=b"} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Fatalf("ParseClasses(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPredictCostRanks(t *testing.T) {
+	cell := func(n, p int, mode string) experiments.Spec {
+		return experiments.Spec{Cells: []experiments.CellSpec{{N: n, P: p, Muls: 1, Mode: mode}}}
+	}
+	small, err := cell(8, 4, "simd").Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cell(64, 16, "smimd").Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictCost(small) >= predictCost(big) {
+		t.Fatalf("predictCost: small cell %.0f >= big cell %.0f", predictCost(small), predictCost(big))
+	}
+	probe, err := (experiments.Spec{Exps: []string{"table1"}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := (experiments.Spec{Exps: []string{"ext-workloads"}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictCost(probe) >= predictCost(sweep) {
+		t.Fatal("predictCost: table1 should be cheaper than ext-workloads")
+	}
+	full := probe
+	full.Full = true
+	if predictCost(full) <= predictCost(probe) {
+		t.Fatal("predictCost: full sweep should cost more than quick")
+	}
+}
+
+func TestSortPending(t *testing.T) {
+	jobs := []*job{
+		mkJob(0, 0, 900), // best-effort, expensive
+		mkJob(1, 50, 40), // urgent, mid
+		mkJob(2, 50, 10), // urgent, cheapest
+		mkJob(3, 0, 5),   // best-effort, cheap
+	}
+	sjf := newSchedQueue(SchedSJF, DefaultStarveLimit)
+	got := append([]*job(nil), jobs...)
+	sjf.sortPending(got)
+	want := []int{2, 1, 3, 0}
+	for i, w := range want {
+		if got[i].seq != w {
+			t.Fatalf("sjf sortPending[%d] = seq %d, want %d", i, got[i].seq, w)
+		}
+	}
+	// FCFS mode leaves the backlog untouched.
+	fcfs := newSchedQueue(SchedFCFS, DefaultStarveLimit)
+	got = append([]*job(nil), jobs...)
+	fcfs.sortPending(got)
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Fatal("fcfs sortPending reordered the backlog")
+		}
+	}
+}
+
+func TestResolveSLO(t *testing.T) {
+	g := newGatedRunner()
+	s := New(Config{Workers: 1, QueueDepth: 4, run: g.run,
+		Classes: map[string]int64{"interactive": 50}})
+	defer func() { g.release(); s.Shutdown(context.Background()) }()
+
+	cases := []struct {
+		opts SubmitOpts
+		want int64
+		ok   bool
+	}{
+		{SubmitOpts{Class: "interactive"}, 50, true},            // class default
+		{SubmitOpts{Class: "interactive", SLOMs: 20}, 20, true}, // explicit wins
+		{SubmitOpts{Class: "unknown"}, 0, true},                 // undeclared: best effort
+		{SubmitOpts{}, 0, true},
+		{SubmitOpts{SLOMs: -1}, 0, false},
+		{SubmitOpts{Class: "bad class"}, 0, false}, // space is not metric-key safe
+		{SubmitOpts{Class: strings.Repeat("x", 65)}, 0, false},
+	}
+	for i, c := range cases {
+		got, err := s.resolveSLO(c.opts)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("case %d: slo = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestRateLimitedErrorMessage(t *testing.T) {
+	e := &RateLimitedError{Client: "greedy", RetryAfter: 250 * time.Millisecond}
+	msg := e.Error()
+	for _, frag := range []string{"greedy", "250ms"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error %q missing %q", msg, frag)
+		}
+	}
+}

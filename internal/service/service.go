@@ -56,6 +56,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -103,6 +104,26 @@ type Config struct {
 	// Policy picks which pending job gets a freed partition in
 	// partition mode (firstfit, bestfit, sizeaware). Default firstfit.
 	Policy partition.Policy
+	// Sched orders the queue: FCFS (default, strict arrival order) or
+	// SJF (SLO-class priority + shortest-predicted-job-first with
+	// anti-starvation aging; see sched.go).
+	Sched SchedulerMode
+	// StarveLimit bounds SJF reordering: an aged job is promoted after
+	// this many bypasses, and no urgent job is ever bypassed by more
+	// than this many promotions. Default DefaultStarveLimit.
+	StarveLimit int
+	// Classes declares the SLO classes and their default latency
+	// targets in ms (a submit naming a class without an explicit SLO
+	// inherits the declared target). Nil accepts any class name with
+	// only explicit targets.
+	Classes map[string]int64
+	// AdmitRate/AdmitBurst arm per-client token-bucket admission:
+	// each identified client (X-Pasm-Client) gets AdmitRate submits
+	// per second with AdmitBurst headroom; excess is rejected with
+	// 429 + Retry-After. AdmitRate 0 (default) disables admission
+	// control. Unidentified submits are never rate-limited.
+	AdmitRate  float64
+	AdmitBurst float64
 	// Options configures per-job execution (machine config and cell
 	// parallelism). Full/Seed/Observe are overwritten per spec.
 	Options experiments.Options
@@ -188,6 +209,20 @@ type job struct {
 	deadline time.Time // zero = none
 	done     chan struct{}
 
+	// Scheduling identity, immutable after submit: arrival sequence,
+	// SLO class and target, submitting client, predicted cost, and the
+	// derived class priority rank.
+	seq       int
+	class     string
+	slo       int64
+	client    string
+	cost      float64
+	classPrio int64
+	// skipped/bypassed are the SJF aging counters, guarded by the
+	// schedQueue lock while the job is queued (see sched.go).
+	skipped  int
+	bypassed int
+
 	state     State
 	cached    bool
 	coalesced int
@@ -208,9 +243,10 @@ type Service struct {
 	faults  *faults.Injector
 	tracer  *telemetry.Tracer
 	log     *slog.Logger
-	queue   chan *job
-	machine *partition.Machine
-	policy  partition.Policy
+	sched     *schedQueue
+	admission *buckets // nil: admission control off
+	machine   *partition.Machine
+	policy    partition.Policy
 	// partWake nudges the partition dispatcher when a lease frees up
 	// (buffered size 1: the dispatcher re-scans the whole machine per
 	// wake, so collapsed signals are harmless).
@@ -224,7 +260,9 @@ type Service struct {
 	draining   bool
 	seq        int
 	reg        *obs.Registry
-	avgRunSecs float64 // EWMA of observed job durations
+	avgRunSecs float64          // EWMA of observed job durations
+	classSeen  map[string]bool  // SLO classes observed (metric keys)
+	clientDone map[string]int64 // completions per client (fairness index)
 	wg         sync.WaitGroup
 }
 
@@ -254,19 +292,22 @@ func New(cfg Config) *Service {
 		cfg.Policy = partition.PolicyFirstFit
 	}
 	s := &Service{
-		cfg:      cfg,
-		now:      cfg.now,
-		cache:    cache.New(cfg.Cache),
-		faults:   cfg.Faults,
-		tracer:   cfg.Telemetry,
-		log:      cfg.Logger,
-		queue:    make(chan *job, cfg.QueueDepth),
-		machine:  cfg.Machine,
-		policy:   cfg.Policy,
-		partWake: make(chan struct{}, 1),
-		jobs:     map[string]*job{},
-		inflight: map[cache.Key]*job{},
-		reg:      obs.NewRegistry(),
+		cfg:        cfg,
+		now:        cfg.now,
+		cache:      cache.New(cfg.Cache),
+		faults:     cfg.Faults,
+		tracer:     cfg.Telemetry,
+		log:        cfg.Logger,
+		sched:      newSchedQueue(cfg.Sched, cfg.StarveLimit),
+		admission:  newBuckets(cfg.AdmitRate, cfg.AdmitBurst, 0),
+		machine:    cfg.Machine,
+		policy:     cfg.Policy,
+		partWake:   make(chan struct{}, 1),
+		jobs:       map[string]*job{},
+		inflight:   map[cache.Key]*job{},
+		classSeen:  map[string]bool{},
+		clientDone: map[string]int64{},
+		reg:        obs.NewRegistry(),
 	}
 	if cfg.run != nil {
 		s.run = func(ctx context.Context, spec experiments.Spec, _ *obs.Capture, _ *partition.Lease) ([]byte, error) {
@@ -306,25 +347,50 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// SubmitOpts carries everything about a submission besides the spec.
+// The zero value is a plain untraced, unclassed, deadline-less submit.
+type SubmitOpts struct {
+	// Deadline bounds the job's whole lifetime (zero: none).
+	Deadline time.Time
+	// Class names the request's SLO class (X-Pasm-Class). SLOMs is its
+	// latency target in ms; 0 with a declared class inherits the
+	// class's configured target, otherwise best effort.
+	Class string
+	SLOMs int64
+	// Client identifies the submitter for token-bucket admission and
+	// the fairness index (X-Pasm-Client; empty is never rate-limited).
+	Client string
+	// Trace continues a propagated trace context (the X-Pasm-Trace
+	// value; empty falls back to the tracer's own sampling).
+	Trace string
+}
+
 // Submit admits a spec. The returned status is the job to poll — for
 // a cache hit it is already done; for a coalesced submit it is the
 // in-flight job every identical spec shares (its deadline, if any,
 // stays the primary's). deadline zero means none.
 func (s *Service) Submit(spec experiments.Spec, deadline time.Time) (JobStatus, error) {
-	return s.SubmitTraced(spec, deadline, "")
+	return s.SubmitWith(spec, SubmitOpts{Deadline: deadline})
 }
 
-// SubmitTraced is Submit continuing a propagated trace context
-// (X-Pasm-Trace header value; empty falls back to the tracer's own
-// sampling). A traced submit records an admit span with its outcome
-// and queue depth; a queued job carries the trace to the worker, which
-// adds queue and run spans and finishes the trace at the job's
-// terminal state. Non-queued outcomes (cache hit, coalesce, rejection)
-// finish the trace at submit return.
+// SubmitTraced is Submit continuing a propagated trace context.
 func (s *Service) SubmitTraced(spec experiments.Spec, deadline time.Time, traceHeader string) (JobStatus, error) {
-	tr := s.tracer.Start(traceHeader, "submit")
+	return s.SubmitWith(spec, SubmitOpts{Deadline: deadline, Trace: traceHeader})
+}
+
+// SubmitWith is the full submission path: deadline, SLO class,
+// client identity, and trace context. A traced submit records an
+// admit span with its outcome, class, and queue depth; a queued job
+// carries the trace to the worker, which adds queue and run spans and
+// finishes the trace at the job's terminal state. Non-queued outcomes
+// (cache hit, coalesce, rejection) finish the trace at submit return.
+func (s *Service) SubmitWith(spec experiments.Spec, opts SubmitOpts) (JobStatus, error) {
+	tr := s.tracer.Start(opts.Trace, "submit")
 	admit := tr.Span("admit")
-	st, err := s.submit(spec, deadline, tr, admit)
+	if opts.Class != "" {
+		admit.Attr("class", opts.Class)
+	}
+	st, err := s.submit(spec, opts, tr, admit)
 	if err != nil {
 		admit.Attr("error", err.Error())
 	}
@@ -337,10 +403,16 @@ func (s *Service) SubmitTraced(spec experiments.Spec, deadline time.Time, traceH
 	return st, err
 }
 
-func (s *Service) submit(spec experiments.Spec, deadline time.Time, tr *telemetry.Req, admit *telemetry.Span) (JobStatus, error) {
+func (s *Service) submit(spec experiments.Spec, opts SubmitOpts, tr *telemetry.Req, admit *telemetry.Span) (JobStatus, error) {
+	deadline := opts.Deadline
 	norm, err := spec.Normalize()
 	if err != nil {
 		admit.Attr("outcome", "bad_spec")
+		return JobStatus{}, err
+	}
+	slo, err := s.resolveSLO(opts)
+	if err != nil {
+		admit.Attr("outcome", "bad_class")
 		return JobStatus{}, err
 	}
 	if s.machine != nil && norm.PEs > s.machine.PEs() {
@@ -373,13 +445,20 @@ func (s *Service) submit(spec experiments.Spec, deadline time.Time, tr *telemetr
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	admit.Attr("queue_depth", len(s.queue))
+	admit.Attr("queue_depth", s.sched.Len())
 	if s.draining {
 		s.reg.Add("rejected_draining", 1)
 		admit.Attr("outcome", "rejected_draining")
 		return JobStatus{}, ErrDraining
 	}
 	s.reg.Add("submitted", 1)
+	if s.admission != nil && opts.Client != "" {
+		if ok, wait := s.admission.admit(opts.Client, s.now()); !ok {
+			s.reg.Add("rejected_ratelimited", 1)
+			admit.Attr("outcome", "rejected_ratelimited")
+			return JobStatus{}, &RateLimitedError{Client: opts.Client, RetryAfter: wait}
+		}
+	}
 	if admitErr != nil {
 		s.reg.Add("rejected_injected", 1)
 		admit.Attr("outcome", "rejected_injected")
@@ -417,18 +496,52 @@ func (s *Service) submit(spec experiments.Spec, deadline time.Time, tr *telemetr
 		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "deadline unmeetable at current queue depth"}
 	}
 
-	if len(s.queue) == s.cfg.QueueDepth {
+	if s.sched.Len() >= s.cfg.QueueDepth {
 		s.reg.Add("rejected_queue_full", 1)
 		admit.Attr("outcome", "rejected_queue_full")
 		return JobStatus{}, &QueueFullError{RetryAfter: s.floorRetry(est), Reason: "queue full"}
 	}
 	j := s.newJobLocked(norm, key, deadline, now)
 	j.trace = tr
-	s.queue <- j // cannot block: space was verified under mu and only Submit sends
+	j.class = opts.Class
+	j.slo = slo
+	j.client = opts.Client
+	j.cost = predictCost(norm)
+	j.classPrio = classPriority(slo)
+	j.seq = s.seq // newJobLocked just advanced it; arrival order
+	if j.class != "" {
+		s.classSeen[j.class] = true
+	}
+	s.sched.Push(j) // bounded: capacity was verified under mu and only Submit pushes
 	s.inflight[key] = j
-	s.reg.Hist("queue_depth", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(int64(len(s.queue)))
+	s.reg.Hist("queue_depth", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(int64(s.sched.Len()))
 	admit.Attr("outcome", "queued").Attr("job", j.id)
 	return s.statusLocked(j), nil
+}
+
+// resolveSLO derives a submit's effective SLO target: an explicit
+// target wins; a declared class contributes its default; an undeclared
+// class with no target is best effort. Class names are bounded and
+// character-restricted because they become metric keys and span attrs.
+func (s *Service) resolveSLO(opts SubmitOpts) (int64, error) {
+	if opts.SLOMs < 0 {
+		return 0, fmt.Errorf("service: negative slo_ms %d", opts.SLOMs)
+	}
+	if len(opts.Class) > 64 {
+		return 0, fmt.Errorf("service: class name over 64 bytes")
+	}
+	for i := 0; i < len(opts.Class); i++ {
+		c := opts.Class[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return 0, fmt.Errorf("service: class %q has invalid character %q", opts.Class, c)
+	}
+	slo := opts.SLOMs
+	if slo == 0 && opts.Class != "" && s.cfg.Classes != nil {
+		slo = s.cfg.Classes[opts.Class]
+	}
+	return slo, nil
 }
 
 // cacheGet is the result-cache lookup behind the cache fault point: a
@@ -472,7 +585,7 @@ func (s *Service) waitEstimateLocked() time.Duration {
 			pool = 1
 		}
 	}
-	backlog := float64(len(s.queue)+1) / float64(pool)
+	backlog := float64(s.sched.Len()+1) / float64(pool)
 	return time.Duration(avg * backlog * float64(time.Second))
 }
 
@@ -484,9 +597,14 @@ func (s *Service) floorRetry(d time.Duration) time.Duration {
 }
 
 // worker executes queued jobs until the queue is closed and drained.
+// Pop order is the scheduling policy (FCFS or priority-SJF).
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.Pop()
+		if !ok {
+			return
+		}
 		if !s.beginJob(j) {
 			continue
 		}
@@ -508,8 +626,19 @@ func (s *Service) dispatcher() {
 	defer s.wg.Done()
 	var pending []*job
 	var running sync.WaitGroup
-	queue := s.queue
 	for {
+		// Drain every queued arrival so the policy sees the whole
+		// backlog, then order it by the scheduling policy: the partition
+		// policy picks among fits scanning in order, so SJF ordering
+		// here is what lets urgent cheap jobs claim freed regions first.
+		for {
+			j, ok := s.sched.TryPop()
+			if !ok {
+				break
+			}
+			pending = append(pending, j)
+		}
+		s.sched.sortPending(pending)
 		pending = s.shedExpired(pending)
 		for {
 			pes := make([]int, len(pending))
@@ -539,30 +668,11 @@ func (s *Service) dispatcher() {
 			running.Add(1)
 			go s.runPartitionJob(j, lease, &running)
 		}
-		if queue == nil && len(pending) == 0 {
+		if s.sched.Drained() && len(pending) == 0 {
 			break
 		}
 		select {
-		case j, ok := <-queue:
-			if !ok {
-				queue = nil
-				break
-			}
-			pending = append(pending, j)
-			// Drain whatever else is already queued so the policy sees
-			// the whole backlog, not one arrival at a time.
-			for more := true; more; {
-				select {
-				case j2, ok2 := <-queue:
-					if !ok2 {
-						queue, more = nil, false
-					} else {
-						pending = append(pending, j2)
-					}
-				default:
-					more = false
-				}
-			}
+		case <-s.sched.arrivals:
 		case <-s.partWake:
 		}
 	}
@@ -681,6 +791,23 @@ func (s *Service) finishJob(j *job, result []byte, err error, decorate func(*tel
 		s.cache.Put(j.key, result)
 		s.reg.Add("completed", 1)
 	}
+	if j.class != "" {
+		// Per-SLO-class serving outcome: end-to-end latency histogram
+		// (quantiles derive in Metrics) and, when the class has a
+		// target, whether this job met it.
+		totalMS := j.finished.Sub(j.created).Milliseconds()
+		s.reg.Hist("class_total_ms/"+j.class, msBounds).Observe(totalMS)
+		if j.state == StateDone && j.slo > 0 {
+			if totalMS <= j.slo {
+				s.reg.Add("class_slo_ok/"+j.class, 1)
+			} else {
+				s.reg.Add("class_slo_miss/"+j.class, 1)
+			}
+		}
+	}
+	if j.client != "" && j.state == StateDone {
+		s.clientDone[j.client]++
+	}
 	coalesced := j.coalesced
 	delete(s.inflight, j.key)
 	close(j.done)
@@ -689,6 +816,12 @@ func (s *Service) finishJob(j *job, result []byte, err error, decorate func(*tel
 	if j.trace != nil {
 		run := j.trace.SpanAt("run", j.started).OnTrack("worker").
 			Attr("outcome", string(j.state)).Attr("coalesced", coalesced)
+		if j.class != "" {
+			run.Attr("class", j.class)
+			if j.slo > 0 {
+				run.Attr("slo_ms", j.slo)
+			}
+		}
 		if decorate != nil {
 			decorate(run)
 		}
@@ -921,7 +1054,7 @@ func (s *Service) Health() HealthInfo {
 		Status:     "ok",
 		Name:       s.cfg.Name,
 		Draining:   s.draining,
-		QueueDepth: len(s.queue),
+		QueueDepth: s.sched.Len(),
 		InFlight:   s.running,
 		Workers:    s.cfg.Workers,
 		Code:       experiments.CodeVersion,
@@ -1030,7 +1163,7 @@ func validateFillPayload(norm experiments.Spec, result []byte) error {
 }
 
 // QueueLen returns the number of admitted-but-unstarted jobs.
-func (s *Service) QueueLen() int { return len(s.queue) }
+func (s *Service) QueueLen() int { return s.sched.Len() }
 
 // Metrics returns the service counters and histograms (obs-flattened,
 // "service/" prefix), the cache counters ("cache/" prefix), and
@@ -1041,8 +1174,9 @@ func (s *Service) Metrics() map[string]float64 {
 	for _, name := range []string{"submitted", "completed", "failed", "expired",
 		"coalesced", "served_from_cache", "rejected_queue_full",
 		"rejected_deadline", "rejected_draining", "rejected_injected",
-		"panics_recovered", "expired_running", "cache_faults",
-		"retried_submits", "peer_fills", "peer_fill_dups", "peer_fill_rejects"} {
+		"rejected_ratelimited", "panics_recovered", "expired_running",
+		"cache_faults", "retried_submits", "peer_fills", "peer_fill_dups",
+		"peer_fill_rejects"} {
 		if _, ok := m["service/"+name]; !ok {
 			m["service/"+name] = 0
 		}
@@ -1057,7 +1191,33 @@ func (s *Service) Metrics() map[string]float64 {
 			}
 		}
 	}
-	m["service/queue_depth"] = float64(len(s.queue))
+	// v3: per-SLO-class latency quantiles, the scheduler's identity,
+	// and Jain's fairness index over per-client completions.
+	for class := range s.classSeen {
+		if h := s.reg.Histogram("class_total_ms/" + class); h != nil && h.N > 0 {
+			for _, q := range telemetry.Quantiles {
+				m["service/class_total_ms/"+class+"/"+q.Key] = h.Quantile(q.Q)
+			}
+		}
+	}
+	if len(s.clientDone) > 0 {
+		counts := make([]float64, 0, len(s.clientDone))
+		for _, n := range s.clientDone {
+			counts = append(counts, float64(n))
+		}
+		m["service/fairness_jain"] = stats.Jain(counts)
+		m["service/fairness_clients"] = float64(len(s.clientDone))
+	}
+	if s.sched.mode == SchedSJF {
+		m["service/sched_sjf"] = 1
+	} else {
+		m["service/sched_sjf"] = 0
+	}
+	m["service/sched_promoted"] = float64(s.sched.Promoted())
+	if s.admission != nil {
+		m["service/admission_clients"] = float64(s.admission.clients())
+	}
+	m["service/queue_depth"] = float64(s.sched.Len())
 	m["service/queue_capacity"] = float64(s.cfg.QueueDepth)
 	m["service/inflight"] = float64(s.running)
 	m["service/workers"] = float64(s.cfg.Workers)
@@ -1093,7 +1253,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})

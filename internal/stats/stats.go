@@ -79,3 +79,27 @@ func Crossover(xs []int, y1, y2 []int64) float64 {
 func FormatCycles(cycles int64, clockHz float64) string {
 	return fmt.Sprintf("%d (%.4fs)", cycles, Seconds(cycles, clockHz))
 }
+
+// Jain returns Jain's fairness index over a set of per-entity
+// allocations (throughputs, completed-request counts, ...):
+//
+//	J = (sum x)^2 / (n * sum x^2)
+//
+// J is 1 when every entity gets an identical share and approaches 1/n
+// when one entity takes everything. Entries must be non-negative; an
+// empty or all-zero set returns NaN (fairness of nothing is
+// undefined).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

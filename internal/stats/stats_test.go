@@ -93,3 +93,62 @@ func TestEfficiencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != 1.5 {
+		t.Errorf("Ratio(3,2) = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("Ratio with zero denominator should be NaN")
+	}
+}
+
+func TestFormatCycles(t *testing.T) {
+	if got := FormatCycles(8_000_000, 8e6); got != "8000000 (1.0000s)" {
+		t.Errorf("FormatCycles = %q", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: J = %v, want 1", got)
+	}
+	// One entity takes everything: J = 1/n.
+	if got := Jain([]float64{9, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("single taker: J = %v, want 1/3", got)
+	}
+	if !math.IsNaN(Jain(nil)) || !math.IsNaN(Jain([]float64{0, 0})) {
+		t.Error("empty / all-zero sets should be NaN")
+	}
+}
+
+// Property: J is scale-invariant and bounded by [1/n, 1].
+func TestJainProperty(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			xs[i] = float64(v)
+			nonzero = nonzero || v != 0
+		}
+		if !nonzero {
+			return true
+		}
+		j := Jain(xs)
+		if j < 1/float64(len(xs))-1e-12 || j > 1+1e-12 {
+			return false
+		}
+		k := float64(scale) + 1
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * k
+		}
+		return math.Abs(Jain(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import "math"
+
+// Deterministic per-cohort random streams. Every cohort owns its own
+// Stream, seeded from (base seed, cohort name), so adding a cohort or
+// reordering the cohort list never perturbs another cohort's arrival
+// times — the property that makes recorded traces reproducible and
+// diffs reviewable. The generator is xorshift64* (Vigna 2016): three
+// shifts and a multiply, full 2^64-1 period, and — unlike
+// math/rand — guaranteed stable output across Go releases because we
+// own every line of it.
+
+// Stream is a deterministic PRNG stream with the samplers the arrival
+// processes need. The zero value is invalid; use NewStream.
+type Stream struct {
+	s uint64
+}
+
+// fnv64 hashes a cohort name (FNV-1a) to fold into the seed.
+func fnv64(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewStream derives the stream for one named cohort from the base
+// seed. Identical (seed, name) pairs always yield identical streams.
+func NewStream(seed int64, name string) *Stream {
+	s := uint64(seed) ^ fnv64(name)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15 // xorshift state must be non-zero
+	}
+	st := &Stream{s: s}
+	// Warm up: the first outputs of xorshift correlate with the raw
+	// seed bits; a few rounds decorrelate nearby seeds.
+	for i := 0; i < 8; i++ {
+		st.Uint64()
+	}
+	return st
+}
+
+// Uint64 advances the stream (xorshift64*).
+func (st *Stream) Uint64() uint64 {
+	x := st.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	st.s = x
+	return x * 2685821657736338717
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (st *Stream) Float64() float64 {
+	return float64(st.Uint64()>>11) / (1 << 53)
+}
+
+// positive returns a uniform draw in (0, 1), never exactly zero, so
+// log() in the inverse-CDF samplers stays finite.
+func (st *Stream) positive() float64 {
+	for {
+		u := st.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Exp samples a unit-mean exponential (Poisson process inter-arrival).
+func (st *Stream) Exp() float64 {
+	return -math.Log(st.positive())
+}
+
+// Normal samples a standard normal via Box-Muller (the polar form
+// would consume a data-dependent number of uniforms; basic Box-Muller
+// always consumes exactly two, which keeps replay alignment trivial).
+func (st *Stream) Normal() float64 {
+	u1 := st.positive()
+	u2 := st.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Gamma samples a Gamma(shape, 1) deviate via Marsaglia-Tsang, the
+// standard squeeze method. shape must be > 0; values <= 0 clamp to 1
+// (exponential). The boost trick handles shape < 1.
+func (st *Stream) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		shape = 1
+	}
+	boost := 1.0
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^{1/a}
+		boost = math.Pow(st.positive(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := st.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := st.positive()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v
+		}
+	}
+}
+
+// Weibull samples a Weibull(shape, 1) deviate by inverse CDF. Shapes
+// below 1 give the heavy-tailed bursts the SLO experiments lean on.
+func (st *Stream) Weibull(shape float64) float64 {
+	if shape <= 0 {
+		shape = 1
+	}
+	return math.Pow(-math.Log(st.positive()), 1/shape)
+}

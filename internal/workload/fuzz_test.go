@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip pins the two total-function properties of the
+// trace codec: no input panics Parse, and any input Parse accepts
+// survives encode→parse→encode with identical bytes and identical
+// structure (the canonical-form guarantee replay determinism rests
+// on).
+func FuzzTraceRoundTrip(f *testing.F) {
+	if tr, err := Generate(testConfig()); err == nil {
+		if enc, err := tr.Encode(); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte(`{"version":"workload/tracev1","seed":1,"requests":0}`))
+	f.Add([]byte(`{"version":"workload/tracev1","seed":1,"requests":1}` + "\n" +
+		`{"seq":0,"at_us":10,"client":"a-0","class":"short","slo_ms":50,"spec":{"exps":["table1"],"full":false,"seed":1,"observe":false}}`))
+	f.Add([]byte(`{"version":"workload/tracev2","seed":1,"requests":0}`))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(data) // must never panic
+		if err != nil {
+			return
+		}
+		enc, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("Encode failed on a trace Parse accepted: %v", err)
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Parse rejected its own encoding: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encoding is not a fixed point: encode(parse(encode)) differs")
+		}
+		if !reflect.DeepEqual(tr.Requests, back.Requests) {
+			t.Fatal("requests changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// ParseCohorts parses the -cohorts CLI syntax into cohort configs.
+// Cohorts are ';'-separated; within a cohort, ','-separated key=value
+// pairs (commas inside parentheses don't split, so cell(...) specs
+// survive). Keys:
+//
+//	name=web            cohort name (required)
+//	clients=4           client population (default 1)
+//	proc=poisson        arrival process: poisson|gamma|weibull
+//	shape=0.7           gamma/weibull shape
+//	rate=25             aggregate arrivals per second (required)
+//	class=interactive   SLO class stamped on requests
+//	slo=50              SLO target, milliseconds
+//	mix=table1:3|cell(8,4,1,simd):1   weighted spec mix (required)
+//	pes=64              machine size for every spec in the mix
+//	amp=0.5             diurnal ramp amplitude
+//	period=30s          diurnal ramp period
+//	varyseed=1          draw a fresh spec seed per request (cold storm)
+//
+// Example:
+//
+//	name=web,clients=4,proc=poisson,rate=40,class=short,slo=50,mix=cell(8,4,1,simd)
+func ParseCohorts(s string) ([]Cohort, error) {
+	var cohorts []Cohort
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := parseCohort(part)
+		if err != nil {
+			return nil, err
+		}
+		cohorts = append(cohorts, c)
+	}
+	if len(cohorts) == 0 {
+		return nil, fmt.Errorf("workload: no cohorts in %q", s)
+	}
+	return cohorts, nil
+}
+
+// splitOutsideParens splits on sep, ignoring separators nested inside
+// parentheses — so "mix=cell(8,4,1,simd),rate=5" splits into two
+// fields, not five.
+func splitOutsideParens(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseCohort(s string) (Cohort, error) {
+	c := Cohort{Clients: 1, Process: "poisson"}
+	pes := 0
+	for _, kv := range splitOutsideParens(s, ',') {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return Cohort{}, fmt.Errorf("workload: cohort field %q is not key=value", kv)
+		}
+		key, val := strings.TrimSpace(kv[:eq]), strings.TrimSpace(kv[eq+1:])
+		var err error
+		switch key {
+		case "name":
+			c.Name = val
+		case "clients":
+			c.Clients, err = strconv.Atoi(val)
+		case "proc", "process":
+			c.Process = strings.ToLower(val)
+		case "shape":
+			c.Shape, err = strconv.ParseFloat(val, 64)
+		case "rate":
+			c.RateRPS, err = strconv.ParseFloat(val, 64)
+		case "class":
+			c.Class = val
+		case "slo":
+			c.SLOMs, err = strconv.ParseInt(val, 10, 64)
+		case "mix":
+			c.Mix, err = parseMix(val)
+		case "pes":
+			pes, err = strconv.Atoi(val)
+		case "amp":
+			c.Ramp.Amplitude, err = strconv.ParseFloat(val, 64)
+		case "period":
+			c.Ramp.Period, err = time.ParseDuration(val)
+		case "varyseed":
+			c.VarySeed = val == "1" || strings.EqualFold(val, "true")
+		default:
+			return Cohort{}, fmt.Errorf("workload: unknown cohort key %q", key)
+		}
+		if err != nil {
+			return Cohort{}, fmt.Errorf("workload: cohort key %s=%q: %w", key, val, err)
+		}
+	}
+	if pes > 0 {
+		for i := range c.Mix {
+			c.Mix[i].Spec.PEs = pes
+		}
+	}
+	if err := c.validate(); err != nil {
+		return Cohort{}, err
+	}
+	return c, nil
+}
+
+// parseMix parses "item:weight|item:weight" where item is an
+// experiment name (table1, fig6, ext-mixed, ...) or
+// cell(n,p,muls,mode). Weight defaults to 1.
+func parseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, item := range splitOutsideParens(s, '|') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		weight := 1.0
+		// The weight suffix is ":w" outside any parens.
+		if i := lastColonOutsideParens(item); i >= 0 {
+			w, err := strconv.ParseFloat(strings.TrimSpace(item[i+1:]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: mix weight in %q: %w", item, err)
+			}
+			weight = w
+			item = strings.TrimSpace(item[:i])
+		}
+		spec, err := parseMixSpec(item)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, MixEntry{Weight: weight, Spec: spec})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("workload: empty mix %q", s)
+	}
+	return mix, nil
+}
+
+func lastColonOutsideParens(s string) int {
+	depth := 0
+	last := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ':':
+			if depth == 0 {
+				last = i
+			}
+		}
+	}
+	return last
+}
+
+func parseMixSpec(item string) (experiments.Spec, error) {
+	if strings.HasPrefix(item, "cell(") && strings.HasSuffix(item, ")") {
+		args := splitOutsideParens(item[len("cell("):len(item)-1], ',')
+		if len(args) != 4 {
+			return experiments.Spec{}, fmt.Errorf("workload: cell spec %q: want cell(n,p,muls,mode)", item)
+		}
+		n, err1 := strconv.Atoi(strings.TrimSpace(args[0]))
+		p, err2 := strconv.Atoi(strings.TrimSpace(args[1]))
+		muls, err3 := strconv.Atoi(strings.TrimSpace(args[2]))
+		mode := strings.TrimSpace(args[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return experiments.Spec{}, fmt.Errorf("workload: cell spec %q: bad integer", item)
+		}
+		return experiments.Spec{Cells: []experiments.CellSpec{{N: n, P: p, Muls: muls, Mode: mode}}}, nil
+	}
+	return experiments.Spec{Exps: []string{item}}, nil
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// TraceVersion names the recorded-trace wire format. A trace is JSON
+// lines: one header object, then one object per request, ordered by
+// arrival time. The format is versioned in-band so a future tracev2
+// can never be misread as v1, and the encoder is canonical (fixed
+// field order, no insignificant whitespace), so Parse∘Encode is the
+// identity on valid traces — the property the fuzz target pins.
+const TraceVersion = "workload/tracev1"
+
+// Header is the first line of a trace.
+type Header struct {
+	Version string `json:"version"`
+	// Name labels the workload that produced the trace (free-form).
+	Name string `json:"name,omitempty"`
+	// Seed is the generator seed the trace was drawn with, recorded so
+	// a regenerated trace can be diffed against the committed one.
+	Seed int64 `json:"seed"`
+	// Requests is the request-line count (integrity check on parse).
+	Requests int `json:"requests"`
+}
+
+// Request is one recorded arrival.
+type Request struct {
+	// Seq is the arrival index; line i must carry seq i.
+	Seq int `json:"seq"`
+	// AtUS is the arrival offset from trace start, in microseconds.
+	// Non-decreasing across the trace.
+	AtUS int64 `json:"at_us"`
+	// Client identifies the submitting client (admission-control key).
+	Client string `json:"client"`
+	// Class is the SLO class declared at submit ("" = best-effort).
+	Class string `json:"class,omitempty"`
+	// SLOMs is the class's latency target in milliseconds (0 = none).
+	SLOMs int64 `json:"slo_ms,omitempty"`
+	// Spec is what the request asks the simulator to run.
+	Spec experiments.Spec `json:"spec"`
+}
+
+// Trace is a parsed recorded trace.
+type Trace struct {
+	Header   Header
+	Requests []Request
+}
+
+// Encode renders the trace in canonical tracev1 bytes. The header's
+// Version and Requests fields are forced to the truth, so an Encode
+// output always re-parses.
+func (t *Trace) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	h := t.Header
+	h.Version = TraceVersion
+	h.Requests = len(t.Requests)
+	line, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("workload: encode header: %w", err)
+	}
+	buf.Write(line)
+	buf.WriteByte('\n')
+	for i, r := range t.Requests {
+		r.Seq = i
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("workload: encode request %d: %w", i, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// Parse reads tracev1 bytes. It is strict — wrong version, out-of-order
+// seq, time running backwards, a request-count mismatch, or an invalid
+// spec all error — and total: no input makes it panic (fuzzed).
+func Parse(data []byte) (*Trace, error) {
+	t := &Trace{}
+	lineNo := 0
+	sawHeader := false
+	var lastAt int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		if nl < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:nl], data[nl+1:]
+		}
+		lineNo++
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if err := json.Unmarshal(line, &t.Header); err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad header: %w", lineNo, err)
+			}
+			if t.Header.Version != TraceVersion {
+				return nil, fmt.Errorf("workload: line %d: version %q, want %q", lineNo, t.Header.Version, TraceVersion)
+			}
+			sawHeader = true
+			continue
+		}
+		var r Request
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad request: %w", lineNo, err)
+		}
+		if r.Seq != len(t.Requests) {
+			return nil, fmt.Errorf("workload: line %d: seq %d, want %d", lineNo, r.Seq, len(t.Requests))
+		}
+		if r.AtUS < lastAt {
+			return nil, fmt.Errorf("workload: line %d: at_us %d before previous %d", lineNo, r.AtUS, lastAt)
+		}
+		if r.Client == "" {
+			return nil, fmt.Errorf("workload: line %d: empty client", lineNo)
+		}
+		if r.SLOMs < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative slo_ms %d", lineNo, r.SLOMs)
+		}
+		if _, err := r.Spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		lastAt = r.AtUS
+		t.Requests = append(t.Requests, r)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("workload: empty trace (no header line)")
+	}
+	if t.Header.Requests != len(t.Requests) {
+		return nil, fmt.Errorf("workload: header says %d requests, trace has %d", t.Header.Requests, len(t.Requests))
+	}
+	return t, nil
+}

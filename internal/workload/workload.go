@@ -1,0 +1,240 @@
+// Package workload is the open-loop traffic engine: multi-client
+// cohorts with renewal-process arrivals (Poisson, Gamma, Weibull),
+// weighted spec mixes, and diurnal rate ramps, all drawn from
+// deterministic per-cohort PRNG streams. Generate produces a recorded
+// trace (workload/tracev1 JSON lines) that replays
+// byte-deterministically: same config + seed, same bytes, on every
+// machine and Go release.
+//
+// Open-loop matters: a closed-loop client (wait for response, send
+// next) self-throttles when the server slows down, hiding exactly the
+// queueing collapse the SLO experiments need to provoke. Here arrival
+// times are drawn up front, independent of service times.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// MixEntry is one weighted choice in a cohort's spec mix.
+type MixEntry struct {
+	Weight float64
+	Spec   experiments.Spec
+}
+
+// Ramp modulates a cohort's arrival rate over the run: factor(t) =
+// 1 + Amplitude*sin(2πt/Period), clamped to ≥ 0.05 so the process
+// never stalls. The zero value is the identity (flat rate).
+type Ramp struct {
+	Amplitude float64
+	Period    time.Duration
+}
+
+func (r Ramp) factor(t time.Duration) float64 {
+	if r.Amplitude == 0 || r.Period <= 0 {
+		return 1
+	}
+	f := 1 + r.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(r.Period))
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// Cohort describes one client population sharing an arrival process,
+// a spec mix, and an SLO class.
+type Cohort struct {
+	// Name keys the cohort's PRNG stream: arrivals depend only on
+	// (seed, name, cohort params), never on sibling cohorts.
+	Name string
+	// Clients is the population size; requests carry client IDs
+	// "name-0" .. "name-(Clients-1)", drawn uniformly.
+	Clients int
+	// Process is the inter-arrival law: "poisson" (default), "gamma",
+	// or "weibull". Shape parameterizes the latter two; shape < 1
+	// gives the bursty, heavy-tailed arrivals the paper's
+	// non-deterministic instruction times amplify.
+	Process string
+	Shape   float64
+	// RateRPS is the cohort's aggregate mean arrival rate.
+	RateRPS float64
+	// Class and SLOMs are stamped on every request the cohort emits.
+	Class string
+	SLOMs int64
+	// Mix is the weighted spec distribution (at least one entry).
+	Mix []MixEntry
+	// Ramp optionally modulates RateRPS over the run.
+	Ramp Ramp
+	// VarySeed rewrites each request's spec seed from the cohort
+	// stream, so requests are distinct cache keys (a cold-path storm)
+	// instead of one key served from cache after the first hit.
+	VarySeed bool
+}
+
+// GenConfig drives Generate.
+type GenConfig struct {
+	// Name labels the trace header.
+	Name string
+	// Seed is the base seed; each cohort stream derives from it.
+	Seed int64
+	// Duration bounds arrival times: every request lands in
+	// [0, Duration).
+	Duration time.Duration
+	Cohorts  []Cohort
+}
+
+func (c *Cohort) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: cohort with empty name")
+	}
+	if c.Clients < 1 {
+		return fmt.Errorf("workload: cohort %s: clients %d < 1", c.Name, c.Clients)
+	}
+	if c.RateRPS <= 0 {
+		return fmt.Errorf("workload: cohort %s: rate %g rps must be positive", c.Name, c.RateRPS)
+	}
+	switch c.Process {
+	case "", "poisson", "gamma", "weibull":
+	default:
+		return fmt.Errorf("workload: cohort %s: unknown process %q (want poisson, gamma, or weibull)", c.Name, c.Process)
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("workload: cohort %s: empty spec mix", c.Name)
+	}
+	var total float64
+	for i, m := range c.Mix {
+		if m.Weight <= 0 {
+			return fmt.Errorf("workload: cohort %s: mix entry %d has weight %g (must be positive)", c.Name, i, m.Weight)
+		}
+		total += m.Weight
+		if _, err := m.Spec.Normalize(); err != nil {
+			return fmt.Errorf("workload: cohort %s: mix entry %d: %w", c.Name, i, err)
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: cohort %s: zero total mix weight", c.Name)
+	}
+	if c.SLOMs < 0 {
+		return fmt.Errorf("workload: cohort %s: negative slo %d", c.Name, c.SLOMs)
+	}
+	return nil
+}
+
+// gap draws one mean-1 inter-arrival sample for the cohort's process.
+func (c *Cohort) gap(st *Stream) float64 {
+	switch c.Process {
+	case "gamma":
+		shape := c.Shape
+		if shape <= 0 {
+			shape = 1
+		}
+		return st.Gamma(shape) / shape // Gamma(k,1) has mean k
+	case "weibull":
+		shape := c.Shape
+		if shape <= 0 {
+			shape = 1
+		}
+		return st.Weibull(shape) / math.Gamma(1+1/shape) // normalize mean to 1
+	default: // poisson
+		return st.Exp()
+	}
+}
+
+// pick draws one spec from the weighted mix.
+func (c *Cohort) pick(st *Stream) experiments.Spec {
+	var total float64
+	for _, m := range c.Mix {
+		total += m.Weight
+	}
+	u := st.Float64() * total
+	for _, m := range c.Mix {
+		if u < m.Weight {
+			return m.Spec
+		}
+		u -= m.Weight
+	}
+	return c.Mix[len(c.Mix)-1].Spec
+}
+
+// Generate draws the full trace for the config. Deterministic: the
+// output bytes are a pure function of cfg. Cohorts are generated
+// independently on their own streams, then merged by arrival time
+// (ties broken by cohort order, then per-cohort sequence), so editing
+// one cohort never reshuffles another's arrivals.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration %s must be positive", cfg.Duration)
+	}
+	if len(cfg.Cohorts) == 0 {
+		return nil, fmt.Errorf("workload: no cohorts")
+	}
+	seen := map[string]bool{}
+	for i := range cfg.Cohorts {
+		c := &cfg.Cohorts[i]
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("workload: duplicate cohort name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	type arrival struct {
+		atUS   int64
+		cohort int
+		seq    int // per-cohort arrival index, for stable ties
+		req    Request
+	}
+	var all []arrival
+	for ci := range cfg.Cohorts {
+		c := &cfg.Cohorts[ci]
+		st := NewStream(cfg.Seed, c.Name)
+		t := time.Duration(0)
+		for seq := 0; ; seq++ {
+			// Mean inter-arrival shrinks where the ramp boosts the rate.
+			mean := float64(time.Second) / (c.RateRPS * c.Ramp.factor(t))
+			t += time.Duration(c.gap(st) * mean)
+			if t >= cfg.Duration {
+				break
+			}
+			spec := c.pick(st)
+			if c.VarySeed {
+				spec.Seed = uint32(st.Uint64())
+			}
+			client := fmt.Sprintf("%s-%d", c.Name, st.Uint64()%uint64(c.Clients))
+			all = append(all, arrival{
+				atUS:   t.Microseconds(),
+				cohort: ci,
+				seq:    seq,
+				req: Request{
+					AtUS:   t.Microseconds(),
+					Client: client,
+					Class:  c.Class,
+					SLOMs:  c.SLOMs,
+					Spec:   spec,
+				},
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].atUS != all[j].atUS {
+			return all[i].atUS < all[j].atUS
+		}
+		if all[i].cohort != all[j].cohort {
+			return all[i].cohort < all[j].cohort
+		}
+		return all[i].seq < all[j].seq
+	})
+	tr := &Trace{Header: Header{Version: TraceVersion, Name: cfg.Name, Seed: cfg.Seed, Requests: len(all)}}
+	for i, a := range all {
+		a.req.Seq = i
+		tr.Requests = append(tr.Requests, a.req)
+	}
+	return tr, nil
+}

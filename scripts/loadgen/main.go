@@ -14,6 +14,22 @@
 //	        [-phase both|cold|hit] [-seed 1988] [-out FILE|-]
 //	        [-pes-mix "4:0.5,16:0.3,64:0.2"]
 //	        [-gateway] [-trace-sample 0]
+//	loadgen -cohorts SPEC [-duration 5s] [-seed 1988] -record FILE
+//	loadgen -addr HOST:PORT [-cohorts SPEC | -replay FILE] [-speed 1]
+//
+// The second and third forms are the open-loop workload engine
+// (internal/workload): -cohorts describes multi-client cohorts with
+// Poisson/Gamma/Weibull arrivals, per-cohort spec mixes, SLO classes,
+// and diurnal ramps (see docs/WORKLOAD.md for the grammar); -record
+// writes the generated trace as versioned JSONL without touching any
+// server; -replay fires a previously recorded trace file. Open-loop
+// runs submit at the trace's own timestamps — arrival times never
+// depend on response times, so the run measures how latency degrades
+// under a fixed offered load instead of throttling with the server.
+// -speed scales replay time (2 = twice as fast). Requests carry their
+// cohort's SLO class and client identity, and the report adds
+// per-class client-observed percentiles, SLO hit rates, and the
+// server's fairness index.
 //
 // -pes-mix drives a partition-mode server (pasmd -machine-pes) with a
 // mixed-size job storm: each cold-phase request draws its spec's pes
@@ -56,6 +72,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/prng"
+	"repro/internal/workload"
 )
 
 type phaseResult struct {
@@ -97,17 +114,35 @@ type stageStats struct {
 	P99MS  float64 `json:"p99_ms"`
 }
 
+// classResult is one SLO class's client-observed summary from an
+// open-loop workload run.
+type classResult struct {
+	Class     string  `json:"class"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	RateLimit int     `json:"rate_limited,omitempty"`
+	SLOMs     int64   `json:"slo_ms,omitempty"`
+	SLOHits   int     `json:"slo_hits,omitempty"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
 type benchDoc struct {
-	Schema  string        `json:"schema"`
-	Addr    string        `json:"addr"`
-	Exp     string        `json:"exp"`
-	PesMix  string        `json:"pes_mix,omitempty"`
-	Host    string        `json:"host"`
-	CPUs    int           `json:"cpus"`
-	Code    string        `json:"code_version"`
-	Phases  []phaseResult `json:"phases"`
-	Stages  []stageStats  `json:"server_stages,omitempty"`
-	Cluster *clusterStats `json:"cluster,omitempty"`
+	Schema   string        `json:"schema"`
+	Addr     string        `json:"addr"`
+	Exp      string        `json:"exp,omitempty"`
+	PesMix   string        `json:"pes_mix,omitempty"`
+	Workload string        `json:"workload,omitempty"`
+	Host     string        `json:"host"`
+	CPUs     int           `json:"cpus"`
+	Code     string        `json:"code_version"`
+	Phases   []phaseResult `json:"phases,omitempty"`
+	Classes  []classResult `json:"classes,omitempty"`
+	Fairness float64       `json:"fairness_jain,omitempty"`
+	Stages   []stageStats  `json:"server_stages,omitempty"`
+	Cluster  *clusterStats `json:"cluster,omitempty"`
 }
 
 // pesMixEntry is one size class of the -pes-mix distribution.
@@ -207,7 +242,61 @@ func main() {
 	gateway := flag.Bool("gateway", false, "treat -addr as a pasmgw gateway and record cluster metrics")
 	traceSample := flag.Float64("trace-sample", 0, "attach an X-Pasm-Trace context to this fraction of submissions")
 	out := flag.String("out", "-", "write the JSON results to `file` (\"-\" for stdout)")
+	cohorts := flag.String("cohorts", "", "open-loop workload cohorts, e.g. \"name=probe,proc=poisson,rate=50,class=interactive,slo=50,mix=table1;name=bulk,proc=weibull,shape=0.6,rate=5,mix=cell(32,16,1,smimd)\"")
+	duration := flag.Duration("duration", 5*time.Second, "generated workload length (with -cohorts)")
+	record := flag.String("record", "", "write the generated trace to `file` as workload/tracev1 JSONL and exit (no server needed)")
+	replay := flag.String("replay", "", "fire a recorded trace `file` instead of generating one")
+	speed := flag.Float64("speed", 1, "open-loop time scale (2 = replay twice as fast)")
 	flag.Parse()
+
+	// Workload engine forms: generate (and optionally just record) or
+	// replay a trace, open-loop.
+	var trace *workload.Trace
+	switch {
+	case *cohorts != "" && *replay != "":
+		fmt.Fprintln(os.Stderr, "loadgen: -cohorts and -replay are mutually exclusive")
+		os.Exit(2)
+	case *cohorts != "":
+		cs, err := workload.ParseCohorts(*cohorts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		trace, err = workload.Generate(workload.GenConfig{
+			Name: "loadgen", Seed: int64(*seed), Duration: *duration, Cohorts: cs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	case *replay != "":
+		raw, err := os.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if trace, err = workload.Parse(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", *replay, err)
+			os.Exit(1)
+		}
+	}
+	if *record != "" {
+		if trace == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -record needs -cohorts (or -replay to re-encode)")
+			os.Exit(2)
+		}
+		raw, err := trace.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*record, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: recorded %d requests to %s\n", len(trace.Requests), *record)
+		return
+	}
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
 		flag.Usage()
@@ -242,6 +331,21 @@ func main() {
 	if _, err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
+	}
+
+	if trace != nil {
+		doc.Workload = trace.Header.Name
+		doc.Classes = runTrace(ctx, cl, trace, *speed)
+		if m, err := cl.Metrics(ctx); err == nil {
+			prefix := "service/"
+			if *gateway {
+				prefix = "cluster/"
+			}
+			doc.Fairness = m[prefix+"fairness_jain"]
+			doc.Stages = serverStages(m, prefix)
+		}
+		writeDoc(doc, *out)
+		return
 	}
 
 	spec := func(s uint32) experiments.Spec {
@@ -306,21 +410,119 @@ func main() {
 			cs.Healthy, cs.Replicas, cs.HitRate, cs.Failovers, cs.PeerFills)
 	}
 
+	writeDoc(doc, *out)
+}
+
+func writeDoc(doc benchDoc, out string) {
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+}
+
+// runTrace fires a trace open-loop: request i is submitted at its
+// recorded offset (scaled by speed), regardless of how earlier
+// requests are faring — offered load is fixed by the trace, and
+// latency absorbs the pressure. Each submission carries its cohort's
+// class, SLO, and client identity; results aggregate per class.
+func runTrace(ctx context.Context, cl *client.Client, tr *workload.Trace, speed float64) []classResult {
+	if speed <= 0 {
+		speed = 1
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: open-loop trace %q: %d requests, speed %gx\n",
+		tr.Header.Name, len(tr.Requests), speed)
+	type obs struct {
+		class   string
+		sloMS   int64
+		ms      float64
+		err     error
+		limited bool
+	}
+	results := make([]obs, len(tr.Requests))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, r := range tr.Requests {
+		due := time.Duration(float64(r.AtUS) / speed * float64(time.Microsecond))
+		if wait := time.Until(start.Add(due)); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int, r workload.Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, _, err := cl.Run(ctx, r.Spec, client.SubmitOptions{
+				Wait: 60 * time.Second, Class: r.Class, SLOMs: r.SLOMs, ClientID: r.Client,
+			})
+			o := obs{class: r.Class, sloMS: r.SLOMs, ms: time.Since(t0).Seconds() * 1000, err: err}
+			if err != nil && strings.Contains(err.Error(), "429") {
+				o.limited = true
+			}
+			results[i] = o
+		}(i, r)
+	}
+	wg.Wait()
+
+	byClass := map[string][]obs{}
+	for _, o := range results {
+		byClass[o.class] = append(byClass[o.class], o)
+	}
+	names := make([]string, 0, len(byClass))
+	for c := range byClass {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	var out []classResult
+	for _, name := range names {
+		group := byClass[name]
+		cr := classResult{Class: name, Requests: len(group)}
+		var lat []float64
+		for _, o := range group {
+			if o.sloMS > cr.SLOMs {
+				cr.SLOMs = o.sloMS
+			}
+			if o.err != nil {
+				cr.Errors++
+				if o.limited {
+					cr.RateLimit++
+				}
+				continue
+			}
+			lat = append(lat, o.ms)
+			if o.sloMS > 0 && o.ms <= float64(o.sloMS) {
+				cr.SLOHits++
+			}
+		}
+		sort.Float64s(lat)
+		pct := func(p float64) float64 {
+			if len(lat) == 0 {
+				return 0
+			}
+			i := int(p*float64(len(lat))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return lat[i]
+		}
+		cr.P50Millis, cr.P95Millis, cr.P99Millis = pct(0.50), pct(0.95), pct(0.99)
+		if len(lat) > 0 {
+			cr.MaxMillis = lat[len(lat)-1]
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: class %-12s %4d reqs, %d errors, p50 %.1fms p99 %.1fms\n",
+			name, cr.Requests, cr.Errors, cr.P50Millis, cr.P99Millis)
+		out = append(out, cr)
+	}
+	return out
 }
 
 // runPhase drives n requests through c closed-loop workers and

@@ -1,0 +1,226 @@
+// Command slobench is the SLO-aware scheduling comparison behind
+// BENCH_slo.json (make bench-slo): it replays the committed golden
+// workload trace (200 requests, an interactive probe cohort against a
+// batch sweep cohort) through the real scheduler queue under FCFS and
+// under priority-SJF, using the deterministic virtual-time replay
+// harness (service.Replay), and asserts:
+//
+//  1. the short class's p99 improves under SJF (the point of the
+//     scheduler) without starving the batch class;
+//  2. replaying the same trace twice yields byte-identical schedule
+//     logs (the determinism acceptance criterion);
+//  3. in execute mode, the per-request report SHA-256 digests are
+//     identical across scheduler modes — scheduling changes *when*
+//     work runs, never *what bytes* it produces.
+//
+// The run is a pure function of the committed trace, so the JSON it
+// writes is stable across machines and -race.
+//
+// Usage: slobench [-trace FILE] [-exec-requests 12] [-out BENCH_slo.json]
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+type classDoc struct {
+	Count   int     `json:"count"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	SLOMiss int     `json:"slo_miss,omitempty"`
+}
+
+type modeDoc struct {
+	Mode       string              `json:"mode"`
+	Classes    map[string]classDoc `json:"classes"`
+	Fairness   float64             `json:"fairness_jain"`
+	MakespanMs float64             `json:"makespan_ms"`
+	Promoted   int64               `json:"promoted"`
+	LogSHA256  string              `json:"log_sha256"`
+}
+
+type benchDoc struct {
+	Schema          string  `json:"schema"`
+	Trace           string  `json:"trace"`
+	Requests        int     `json:"requests"`
+	Workers         int     `json:"workers"`
+	Code            string  `json:"code_version"`
+	FCFS            modeDoc `json:"fcfs"`
+	SJF             modeDoc `json:"sjf"`
+	ShortClass      string  `json:"short_class"`
+	ShortP99Improve float64 `json:"short_class_p99_improvement"`
+	ReplayIdentical bool    `json:"replay_twice_identical"`
+	ResultIdentity  bool    `json:"result_bytes_identical_across_modes"`
+	ExecRequests    int     `json:"exec_requests"`
+}
+
+func modeResult(tr *workload.Trace, mode service.SchedulerMode, workers int) (*service.ReplayResult, modeDoc, error) {
+	res, err := service.Replay(tr, service.ReplayConfig{Sched: mode, Workers: workers})
+	if err != nil {
+		return nil, modeDoc{}, err
+	}
+	sum := sha256.Sum256(res.Log)
+	doc := modeDoc{
+		Mode:       string(mode),
+		Classes:    map[string]classDoc{},
+		Fairness:   res.Fairness,
+		MakespanMs: float64(res.MakespanUS) / 1000,
+		Promoted:   res.Promoted,
+		LogSHA256:  hex.EncodeToString(sum[:]),
+	}
+	for class, cs := range res.Classes {
+		doc.Classes[class] = classDoc{
+			Count:   cs.Count,
+			P50Ms:   float64(cs.P50US) / 1000,
+			P95Ms:   float64(cs.P95US) / 1000,
+			P99Ms:   float64(cs.P99US) / 1000,
+			MaxMs:   float64(cs.MaxUS) / 1000,
+			SLOMiss: cs.SLOMiss,
+		}
+	}
+	return res, doc, nil
+}
+
+// shaSet collects the distinct report digests of an execute-mode
+// replay, keyed by request seq (order-independent identity).
+func shaSet(tr *workload.Trace, mode service.SchedulerMode) (map[int]string, error) {
+	opts := experiments.DefaultOptions()
+	opts.Parallelism = 2
+	res, err := service.Replay(tr, service.ReplayConfig{
+		Sched: mode, Workers: 2, Execute: true, Options: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]string{}
+	for _, o := range res.Outcomes {
+		out[o.Seq] = o.SHA
+	}
+	return out, nil
+}
+
+func run() error {
+	tracePath := flag.String("trace", "internal/workload/testdata/golden_200.tracev1", "workload trace to replay")
+	execN := flag.Int("exec-requests", 12, "trace prefix executed for real to check result byte-identity across modes")
+	workers := flag.Int("workers", 1, "virtual worker pool (1 = maximum queueing pressure)")
+	out := flag.String("out", "BENCH_slo.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *tracePath, err)
+	}
+
+	doc := benchDoc{
+		Schema:     "pasm-slobench/1",
+		Trace:      *tracePath,
+		Requests:   len(tr.Requests),
+		Workers:    *workers,
+		Code:       experiments.CodeVersion,
+		ShortClass: "interactive",
+	}
+
+	fcfsRes, fcfsDoc, err := modeResult(tr, service.SchedFCFS, *workers)
+	if err != nil {
+		return err
+	}
+	sjfRes, sjfDoc, err := modeResult(tr, service.SchedSJF, *workers)
+	if err != nil {
+		return err
+	}
+	doc.FCFS, doc.SJF = fcfsDoc, sjfDoc
+
+	// 1. Short-class p99 must improve, batch must not be starved.
+	fShort, ok := fcfsRes.Classes[doc.ShortClass]
+	if !ok {
+		return fmt.Errorf("trace has no %q class", doc.ShortClass)
+	}
+	sShort := sjfRes.Classes[doc.ShortClass]
+	if sShort.P99US >= fShort.P99US {
+		return fmt.Errorf("sjf %s p99 %dus is not better than fcfs %dus",
+			doc.ShortClass, sShort.P99US, fShort.P99US)
+	}
+	doc.ShortP99Improve = float64(fShort.P99US) / float64(sShort.P99US)
+	if sjfRes.Classes["batch"].Count != fcfsRes.Classes["batch"].Count {
+		return fmt.Errorf("batch completions differ across modes (starvation?)")
+	}
+
+	// 2. Replay-twice determinism, both modes.
+	for _, mode := range []service.SchedulerMode{service.SchedFCFS, service.SchedSJF} {
+		again, err := service.Replay(tr, service.ReplayConfig{Sched: mode, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		var first []byte
+		if mode == service.SchedFCFS {
+			first = fcfsRes.Log
+		} else {
+			first = sjfRes.Log
+		}
+		if !bytes.Equal(again.Log, first) {
+			return fmt.Errorf("%s: replaying the same trace twice diverged", mode)
+		}
+	}
+	doc.ReplayIdentical = true
+
+	// 3. Result byte-identity across modes: execute a trace prefix for
+	// real under both schedulers; every request's report digest must
+	// match regardless of scheduling order.
+	sub := &workload.Trace{Header: tr.Header, Requests: tr.Requests[:min(*execN, len(tr.Requests))]}
+	sub.Header.Requests = len(sub.Requests)
+	doc.ExecRequests = len(sub.Requests)
+	fcfsSHA, err := shaSet(sub, service.SchedFCFS)
+	if err != nil {
+		return err
+	}
+	sjfSHA, err := shaSet(sub, service.SchedSJF)
+	if err != nil {
+		return err
+	}
+	for seq, sha := range fcfsSHA {
+		if sjfSHA[seq] != sha {
+			return fmt.Errorf("request %d: report bytes differ across scheduler modes", seq)
+		}
+	}
+	doc.ResultIdentity = true
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return nil
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "slobench: %s p99 %.2fms (fcfs) -> %.2fms (sjf), %.1fx better; wrote %s\n",
+		doc.ShortClass, doc.FCFS.Classes[doc.ShortClass].P99Ms, doc.SJF.Classes[doc.ShortClass].P99Ms,
+		doc.ShortP99Improve, *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slobench: FAIL:", err)
+		os.Exit(1)
+	}
+}
